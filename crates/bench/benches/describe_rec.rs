@@ -1,0 +1,141 @@
+//! E6/E7/E8 — the paper's recursive knowledge queries (§5): Algorithm 1's
+//! failure modes against Algorithm 2's bounded evaluation, plus the F2 tag
+//! discipline. The *shape* reproduced: Algorithm 1 diverges (its work is
+//! measured up to a budget, and its answer-family size grows with the
+//! depth bound), while Algorithm 2 terminates in microseconds regardless.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdk_core::{algo1, algo2, Describe, DescribeOptions, TransformPolicy};
+use qdk_engine::Idb;
+use qdk_logic::parser::{parse_atom, parse_body, parse_program};
+use std::hint::black_box;
+
+fn prior_idb() -> Idb {
+    Idb::from_rules(
+        parse_program(
+            "prior(X, Y) :- prereq(X, Y).\n\
+             prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
+        )
+        .unwrap()
+        .rules,
+    )
+    .unwrap()
+}
+
+fn example6_query() -> Describe {
+    Describe::new(
+        parse_atom("prior(X, Y)").unwrap(),
+        parse_body("prior(databases, Y)").unwrap(),
+    )
+}
+
+/// E6, Algorithm 2: terminating evaluation under both transformations.
+fn e6_algorithm2(c: &mut Criterion) {
+    let idb = prior_idb();
+    let q = example6_query();
+    let mut group = c.benchmark_group("e6_algorithm2");
+    for (name, policy) in [
+        ("modified", TransformPolicy::PreferModified),
+        ("artificial", TransformPolicy::AlwaysArtificial),
+    ] {
+        let opts = DescribeOptions::paper().with_transform(policy);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(algo2::run(&idb, &q, &opts).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// E6, Algorithm 1 under a depth bound: cost (and answer count) grows
+/// with the bound — the finite prefix of the infinite answer family.
+fn e6_algorithm1_depth_sweep(c: &mut Criterion) {
+    let idb = prior_idb();
+    let q = example6_query();
+    let mut group = c.benchmark_group("e6_algorithm1_depth");
+    for depth in [4usize, 8, 12, 16] {
+        let opts = DescribeOptions::paper().with_max_depth(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| black_box(algo1::run_unchecked(&idb, &q, &opts).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// E7: the typed query — Algorithm 2 terminates and rejects the unsound
+/// substitutions.
+fn e7_typing(c: &mut Criterion) {
+    let idb = prior_idb();
+    let q = Describe::new(
+        parse_atom("prior(X, Y)").unwrap(),
+        parse_body("prior(X, databases)").unwrap(),
+    );
+    let opts = DescribeOptions::paper();
+    c.bench_function("e7_algorithm2_typing", |b| {
+        b.iter(|| black_box(algo2::run(&idb, &q, &opts).unwrap()))
+    });
+}
+
+/// E8: the indirectly recursive subject that made Algorithm 1 hang.
+fn e8_indirect_recursion(c: &mut Criterion) {
+    let idb = Idb::from_rules(
+        parse_program(
+            "p(X, Y) :- q(X, Z), r(Z, Y).\n\
+             q(X, Y) :- q(X, Z), s(Z, Y).\n\
+             q(X, Y) :- r(X, Y).",
+        )
+        .unwrap()
+        .rules,
+    )
+    .unwrap();
+    let q = Describe::new(
+        parse_atom("p(X, Y)").unwrap(),
+        parse_body("r(a, Y)").unwrap(),
+    );
+    let mut group = c.benchmark_group("e8");
+    let opts2 = DescribeOptions::paper();
+    group.bench_function("algorithm2", |b| {
+        b.iter(|| black_box(algo2::run(&idb, &q, &opts2).unwrap()))
+    });
+    // Algorithm 1's hang, made measurable: work done before a fixed
+    // budget aborts it. The budget (not completion) bounds the time.
+    let opts1 = DescribeOptions::paper().with_budget(20_000);
+    group.bench_function("algorithm1_hang_to_budget", |b| {
+        b.iter(|| {
+            let r = algo1::run_unchecked(&idb, &q, &opts1);
+            debug_assert!(r.is_err());
+            black_box(r).ok()
+        })
+    });
+    group.finish();
+}
+
+/// The untyped-rule control (§6, introduction's symmetric-reachability
+/// question) on the routing IDB.
+fn symmetric_reachability(c: &mut Criterion) {
+    let idb = Idb::from_rules(
+        parse_program(
+            "reach(X, Y) :- edge(X, Y).\n\
+             reach(X, Y) :- edge(X, Z), reach(Z, Y).\n\
+             reach(X, Y) :- reach(Y, X).",
+        )
+        .unwrap()
+        .rules,
+    )
+    .unwrap();
+    let q = Describe::new(
+        parse_atom("reach(X, Y)").unwrap(),
+        parse_body("reach(Y, X)").unwrap(),
+    );
+    let opts = DescribeOptions::paper();
+    c.bench_function("q4_symmetric_reachability", |b| {
+        b.iter(|| black_box(algo2::run(&idb, &q, &opts).unwrap()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = e6_algorithm2, e6_algorithm1_depth_sweep, e7_typing, e8_indirect_recursion,
+        symmetric_reachability
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Q1–Q3 and X1–X3 — the introduction's motivating queries and the §6
+//! extensions, timed through the unified language on the extended
+//! university database.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdk_bench::university;
+use std::hint::black_box;
+
+fn bench_statement(c: &mut Criterion, id: &str, stmt: &str) {
+    let kb = university();
+    let parsed = qdk_lang::parser::parse_statement(stmt).unwrap();
+    c.bench_function(id, |b| {
+        b.iter_batched(
+            || kb.clone(),
+            |mut kb| black_box(kb.execute(black_box(&parsed)).unwrap()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn q1_must_foreign_be_married(c: &mut Criterion) {
+    bench_statement(
+        c,
+        "q1_must_foreign_be_married",
+        "describe where foreign(X) and unmarried(X).",
+    );
+}
+
+fn q2_could_honor_be_foreign(c: &mut Criterion) {
+    bench_statement(
+        c,
+        "q2_could_honor_be_foreign",
+        "describe where honor(X) and foreign(X).",
+    );
+}
+
+fn q2b_low_gpa_ta_impossible(c: &mut Criterion) {
+    bench_statement(
+        c,
+        "q2b_low_gpa_ta_impossible",
+        "describe where student(X, Y, Z) and Z < 3.5 and can_ta(X, U).",
+    );
+}
+
+fn q3_compare_honor_deans_list(c: &mut Criterion) {
+    bench_statement(
+        c,
+        "q3_compare_honor_deans_list",
+        "compare (describe honor(X)) with (describe deans_list(X)).",
+    );
+}
+
+fn x1_where_necessary(c: &mut Criterion) {
+    bench_statement(
+        c,
+        "x1_where_necessary",
+        "describe can_ta(X, Y) where necessary honor(X) and teach(susan, Y).",
+    );
+}
+
+fn x2_negated_hypothesis(c: &mut Criterion) {
+    bench_statement(
+        c,
+        "x2_negated_hypothesis",
+        "describe can_ta(X, Y) where not honor(X).",
+    );
+}
+
+fn x3_wildcard(c: &mut Criterion) {
+    bench_statement(c, "x3_wildcard", "describe * where honor(X).");
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = q1_must_foreign_be_married, q2_could_honor_be_foreign,
+        q2b_low_gpa_ta_impossible, q3_compare_honor_deans_list,
+        x1_where_necessary, x2_negated_hypothesis, x3_wildcard
+);
+criterion_main!(benches);

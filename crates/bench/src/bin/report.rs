@@ -1,0 +1,204 @@
+//! Prints the EXPERIMENTS.md series as compact markdown tables, using
+//! direct timing (median of repeated runs) rather than Criterion's full
+//! statistics — a quick reproduction check.
+//!
+//! Run with `cargo run --release -p qdk-bench --bin report`.
+
+use qdk_bench::{chain_edb, prior_idb, random_graph_edb, redundant_idb, tower_hypothesis, tower_idb, university};
+use qdk_core::{algo1, algo2, describe, Describe, DescribeOptions, TransformPolicy};
+use qdk_engine::{query, Retrieve, Strategy};
+use qdk_logic::parser::{parse_atom, parse_body};
+use std::time::Instant;
+
+/// Median wall time of `runs` executions, in microseconds.
+fn median_micros(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn p1_full_closure() {
+    println!("## P1a — full transitive closure of a chain (µs, median of 5)\n");
+    println!("| n (edges) | naive | semi-naive | top-down | magic |");
+    println!("|-----------|-------|------------|----------|-------|");
+    let idb = prior_idb();
+    let q = Retrieve::new(parse_atom("prior(X, Y)").unwrap(), vec![]);
+    for n in [16usize, 32, 64, 128] {
+        let edb = chain_edb(n);
+        let mut row = format!("| {n} ");
+        for strategy in [
+            Strategy::Naive,
+            Strategy::SemiNaive,
+            Strategy::TopDown,
+            Strategy::Magic,
+        ] {
+            let us = median_micros(5, || {
+                query::retrieve(&edb, &idb, &q, strategy).unwrap();
+            });
+            row.push_str(&format!("| {us:.0} "));
+        }
+        println!("{row}|");
+    }
+    println!();
+}
+
+fn p1_bound_query() {
+    println!("## P1b — constant-bound prior(c0, Y) on random graphs (µs, median of 5)\n");
+    println!("| edges | naive | semi-naive | top-down | magic |");
+    println!("|-------|-------|------------|----------|-------|");
+    let idb = prior_idb();
+    for edges in [64usize, 128, 256, 512] {
+        let edb = random_graph_edb(edges / 2, edges, 42);
+        let q = Retrieve::new(parse_atom("prior(c0, Y)").unwrap(), vec![]);
+        let mut row = format!("| {edges} ");
+        for strategy in [
+            Strategy::Naive,
+            Strategy::SemiNaive,
+            Strategy::TopDown,
+            Strategy::Magic,
+        ] {
+            let us = median_micros(5, || {
+                query::retrieve(&edb, &idb, &q, strategy).unwrap();
+            });
+            row.push_str(&format!("| {us:.0} "));
+        }
+        println!("{row}|");
+    }
+    println!();
+}
+
+fn p2_sweeps() {
+    println!("## P2a — describe latency vs rule-tower depth (fan-out 2)\n");
+    println!("| depth | µs (median of 9) | theorems |");
+    println!("|-------|------------------|----------|");
+    for depth in [2usize, 4, 6, 8] {
+        let idb = tower_idb(depth, 2);
+        let q = Describe::new(parse_atom("p0(X)").unwrap(), tower_hypothesis(depth));
+        let opts = DescribeOptions::paper();
+        let answers = describe::describe(&idb, &q, &opts).unwrap();
+        let us = median_micros(9, || {
+            describe::describe(&idb, &q, &opts).unwrap();
+        });
+        println!("| {depth} | {us:.0} | {} |", answers.len());
+    }
+    println!();
+
+    println!("## P2b — describe latency vs fan-out (depth 4)\n");
+    println!("| fan-out | µs (median of 9) | theorems |");
+    println!("|---------|------------------|----------|");
+    for fanout in [1usize, 2, 3, 4] {
+        let idb = tower_idb(4, fanout);
+        let q = Describe::new(parse_atom("p0(X)").unwrap(), tower_hypothesis(4));
+        let opts = DescribeOptions::paper();
+        let answers = describe::describe(&idb, &q, &opts).unwrap();
+        let us = median_micros(9, || {
+            describe::describe(&idb, &q, &opts).unwrap();
+        });
+        println!("| {fanout} | {us:.0} | {} |", answers.len());
+    }
+    println!();
+}
+
+fn e6_family() {
+    println!("## E6 — Algorithm 1's infinite answer family vs depth bound\n");
+    println!("| max depth | answers | µs (median of 5) |");
+    println!("|-----------|---------|------------------|");
+    let idb = prior_idb();
+    let q = Describe::new(
+        parse_atom("prior(X, Y)").unwrap(),
+        parse_body("prior(databases, Y)").unwrap(),
+    );
+    for depth in [4usize, 8, 12, 16] {
+        let opts = DescribeOptions::paper().with_max_depth(depth);
+        let answers = algo1::run_unchecked(&idb, &q, &opts).unwrap();
+        let us = median_micros(5, || {
+            algo1::run_unchecked(&idb, &q, &opts).unwrap();
+        });
+        println!("| {depth} | {} | {us:.0} |", answers.len());
+    }
+    let opts2 = DescribeOptions::paper();
+    let a2 = algo2::run(&idb, &q, &opts2).unwrap();
+    let us2 = median_micros(9, || {
+        algo2::run(&idb, &q, &opts2).unwrap();
+    });
+    println!("| Algorithm 2 | {} (finite) | {us2:.0} |", a2.len());
+    println!();
+}
+
+fn p3_policies() {
+    println!("## P3 — Algorithm 2 transformation policies (E6 query)\n");
+    println!("| policy | µs (median of 9) | answers |");
+    println!("|--------|------------------|---------|");
+    let idb = prior_idb();
+    let q = Describe::new(
+        parse_atom("prior(X, Y)").unwrap(),
+        parse_body("prior(databases, Y)").unwrap(),
+    );
+    for (name, policy) in [
+        ("modified", TransformPolicy::PreferModified),
+        ("artificial", TransformPolicy::AlwaysArtificial),
+    ] {
+        let opts = DescribeOptions::paper().with_transform(policy);
+        let answers = algo2::run(&idb, &q, &opts).unwrap();
+        let us = median_micros(9, || {
+            algo2::run(&idb, &q, &opts).unwrap();
+        });
+        println!("| {name} | {us:.0} | {} |", answers.len());
+    }
+    println!();
+}
+
+fn ablations() {
+    println!("## A1/A2 — ablations (answer counts)\n");
+    let kb = university();
+    let q = Describe::new(
+        parse_atom("can_ta(X, databases)").unwrap(),
+        parse_body("student(X, math, V), V > 3.7").unwrap(),
+    );
+    let idb = kb.idb().clone();
+    let mut on = DescribeOptions::paper();
+    let mut off = DescribeOptions::paper();
+    off.simplify_comparisons = false;
+    let a_on = describe::describe(&idb, &q, &on).unwrap();
+    let a_off = describe::describe(&idb, &q, &off).unwrap();
+    let body_comparisons = |a: &qdk_core::DescribeAnswer| {
+        a.theorems
+            .iter()
+            .map(|t| t.rule.body.iter().filter(|l| l.is_builtin()).count())
+            .sum::<usize>()
+    };
+    println!(
+        "A1 comparison post-processing: on → {} theorems / {} body comparisons; off → {} / {}",
+        a_on.len(),
+        body_comparisons(&a_on),
+        a_off.len(),
+        body_comparisons(&a_off),
+    );
+    on.remove_redundant = false;
+    let redundant = redundant_idb(12);
+    let tq = Describe::new(parse_atom("p0(X)").unwrap(), vec![]);
+    let dedup_on = describe::describe(&redundant, &tq, &DescribeOptions::paper()).unwrap();
+    let dedup_off = describe::describe(&redundant, &tq, &on).unwrap();
+    println!(
+        "A2 redundancy elimination (12 threshold-shifted rules): on → {} theorem(s); off → {} theorems",
+        dedup_on.len(),
+        dedup_off.len(),
+    );
+    println!();
+}
+
+fn main() {
+    println!("# Experiment report (direct timings; see cargo bench for full statistics)\n");
+    p1_full_closure();
+    p1_bound_query();
+    p2_sweeps();
+    e6_family();
+    p3_policies();
+    ablations();
+}

@@ -1,0 +1,178 @@
+//! Knowledge answers.
+
+use qdk_logic::{pretty, Rule};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One theorem `p ← φ` of a knowledge answer, with provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Theorem {
+    /// The theorem itself.
+    pub rule: Rule,
+    /// Indexes (into the hypothesis conjunction) of the hypothesis
+    /// formulas that were identified somewhere in this theorem's
+    /// derivation tree. Empty for one-level (plain IDB definition)
+    /// answers — §6's observation that unnecessary hypothesis formulas
+    /// are simply ignored, and the basis of the `where necessary`
+    /// extension.
+    pub used_hypothesis: BTreeSet<usize>,
+    /// Index of the IDB rule applied at the root of the derivation tree,
+    /// or `None` when the subject was identified directly with a
+    /// hypothesis formula (the `p ← (X = c)` answers of Example 6).
+    pub root_rule: Option<usize>,
+    /// True if this is a one-level answer: the IDB rule itself, emitted
+    /// because the rule produced no hypothesis-using theorem (Figure 1,
+    /// box 19).
+    pub one_level: bool,
+    /// The derivation tree that produced this theorem, flattened
+    /// depth-first: one line per rule application or hypothesis
+    /// identification (Figure 1's tree, as provenance).
+    pub derivation: Vec<String>,
+}
+
+impl Theorem {
+    /// True if the theorem's derivation used at least one hypothesis
+    /// formula.
+    pub fn uses_hypothesis(&self) -> bool {
+        !self.used_hypothesis.is_empty()
+    }
+
+    /// Renders the theorem with its derivation tree — "how do you know?".
+    pub fn explain(&self) -> String {
+        let mut out = format!("{self}\n");
+        if self.derivation.is_empty() {
+            out.push_str("  (definition)\n");
+        }
+        for step in &self.derivation {
+            out.push_str("  ");
+            out.push_str(step);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Theorem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&pretty::answer_rule(&self.rule))
+    }
+}
+
+/// The answer to a `describe` query: a set of theorems `p ← φ` logically
+/// derived under the hypothesis, free of redundancies (§3.2).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DescribeAnswer {
+    /// The theorems, in generation order after redundancy elimination.
+    pub theorems: Vec<Theorem>,
+    /// True if every candidate answer was discarded because its
+    /// comparisons contradicted the hypothesis — the paper's special
+    /// answer indicating that *the hypothesis in the query contradicts
+    /// the IDB* (§4).
+    pub hypothesis_contradicts_idb: bool,
+}
+
+impl DescribeAnswer {
+    /// Number of theorems.
+    pub fn len(&self) -> usize {
+        self.theorems.len()
+    }
+
+    /// True if the answer has no theorems (and no contradiction flag).
+    pub fn is_empty(&self) -> bool {
+        self.theorems.is_empty() && !self.hypothesis_contradicts_idb
+    }
+
+    /// The theorems as plain rules.
+    pub fn rules(&self) -> Vec<Rule> {
+        self.theorems.iter().map(|t| t.rule.clone()).collect()
+    }
+
+    /// Canonical renderings (paper notation, friendly variables), sorted —
+    /// a stable form for tests and experiment records.
+    pub fn rendered(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.theorems.iter().map(ToString::to_string).collect();
+        v.sort();
+        v
+    }
+
+    /// True if some theorem renders (canonically) exactly as `expected`.
+    pub fn contains_rendered(&self, expected: &str) -> bool {
+        self.theorems.iter().any(|t| t.to_string() == expected)
+    }
+}
+
+impl fmt::Display for DescribeAnswer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.hypothesis_contradicts_idb {
+            return writeln!(f, "the hypothesis contradicts the IDB");
+        }
+        if self.theorems.is_empty() {
+            return writeln!(f, "no theorems derivable");
+        }
+        for t in &self.theorems {
+            writeln!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdk_logic::parser::parse_rule;
+
+    fn theorem(src: &str, used: &[usize]) -> Theorem {
+        Theorem {
+            rule: parse_rule(src).unwrap(),
+            used_hypothesis: used.iter().copied().collect(),
+            root_rule: Some(0),
+            one_level: used.is_empty(),
+            derivation: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let t = theorem("honor(X) :- student(X, Y, Z), Z > 3.7.", &[]);
+        assert_eq!(t.to_string(), "honor(X) ← student(X, Y, Z) ∧ (Z > 3.7)");
+    }
+
+    #[test]
+    fn contradiction_answer_renders_specially() {
+        let a = DescribeAnswer {
+            theorems: vec![],
+            hypothesis_contradicts_idb: true,
+        };
+        assert!(a.to_string().contains("contradicts"));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn empty_answer() {
+        let a = DescribeAnswer::default();
+        assert!(a.is_empty());
+        assert!(a.to_string().contains("no theorems"));
+    }
+
+    #[test]
+    fn provenance_accessors() {
+        let t = theorem("p(X) :- q(X).", &[1]);
+        assert!(t.uses_hypothesis());
+        let u = theorem("p(X) :- q(X).", &[]);
+        assert!(!u.uses_hypothesis());
+    }
+
+    #[test]
+    fn rendered_is_sorted_and_stable() {
+        let a = DescribeAnswer {
+            theorems: vec![
+                theorem("p(X) :- r(X).", &[]),
+                theorem("p(X) :- q(X).", &[]),
+            ],
+            hypothesis_contradicts_idb: false,
+        };
+        assert_eq!(a.rendered(), vec!["p(X) ← q(X)", "p(X) ← r(X)"]);
+        assert!(a.contains_rendered("p(X) ← q(X)"));
+        assert!(!a.contains_rendered("p(X) ← s(X)"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Describe-engine configuration.
+
+/// When are one-level answers (plain IDB definitions) emitted?
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FallbackPolicy {
+    /// Figure 1's flag discipline, taken per rule: a root rule that
+    /// produced no hypothesis-using theorem contributes its definition as
+    /// a one-level answer (box 19). Faithful to the flowchart.
+    #[default]
+    PerRule,
+    /// One-level answers are emitted only when *no* root rule (and no root
+    /// identification) produced a hypothesis-using theorem — the behaviour
+    /// the paper's printed examples exhibit (Example 6 lists no
+    /// `prior ← prereq` answer). See EXPERIMENTS.md for the discrepancy
+    /// discussion.
+    Global,
+}
+
+/// Which rule transformation Algorithm 2 applies to recursive predicates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransformPolicy {
+    /// Use the paper's *modified* transformation (reusing the recursive
+    /// predicate itself, `p(X,Y) ← p(X,Z) ∧ p(Z,Y)`) whenever the
+    /// recursion's shape permits it, falling back to the Imielinski
+    /// transformation with an artificial `t` predicate otherwise. This
+    /// yields the paper's "clearly preferable" answers (§5.3).
+    #[default]
+    PreferModified,
+    /// Always use the Imielinski transformation (artificial predicate).
+    AlwaysArtificial,
+    /// Do not transform at all — Algorithm 1 behaviour, which on recursive
+    /// subjects diverges (Examples 6–8); combine with a budget to
+    /// demonstrate.
+    None,
+}
+
+/// Options controlling `describe` evaluation.
+#[derive(Clone, Debug)]
+pub struct DescribeOptions {
+    /// One-level-answer policy.
+    pub fallback: FallbackPolicy,
+    /// Transformation policy for recursive predicates.
+    pub transform: TransformPolicy,
+    /// Maximum applications of an *untyped* recursive rule per branch
+    /// (§6: such rules are not transformed; their application count is
+    /// controlled instead). Default 1: enough for the symmetric-
+    /// reachability query of the introduction.
+    pub untyped_rule_limit: usize,
+    /// Work budget (tree operations); `None` = unlimited. With conforming
+    /// IDBs every algorithm terminates; the budget exists to demonstrate
+    /// Algorithm 1's divergence on recursive subjects.
+    pub budget: Option<u64>,
+    /// Maximum derivation-tree depth; `None` = unlimited. Exceeding the
+    /// bound silently prunes deeper expansions (it does not error), which
+    /// is how the Example 6 demonstration materializes a finite prefix of
+    /// Algorithm 1's infinite answer family.
+    pub max_depth: Option<usize>,
+    /// Apply the comparison post-processing of §4 (drop implied
+    /// comparisons, discard contradicted answers). Disabled only by the A1
+    /// ablation benchmark.
+    pub simplify_comparisons: bool,
+    /// Remove θ-subsumed answers (§3.2's redundancy freedom). Disabled
+    /// only by the A2 ablation benchmark.
+    pub remove_redundant: bool,
+}
+
+impl Default for DescribeOptions {
+    fn default() -> Self {
+        DescribeOptions {
+            fallback: FallbackPolicy::default(),
+            transform: TransformPolicy::default(),
+            untyped_rule_limit: 1,
+            budget: None,
+            max_depth: None,
+            simplify_comparisons: true,
+            remove_redundant: true,
+        }
+    }
+}
+
+impl DescribeOptions {
+    /// Options matching the paper's printed examples (global fallback).
+    pub fn paper() -> Self {
+        DescribeOptions {
+            fallback: FallbackPolicy::Global,
+            ..DescribeOptions::default()
+        }
+    }
+
+    /// Sets the work budget.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the transformation policy.
+    pub fn with_transform(mut self, policy: TransformPolicy) -> Self {
+        self.transform = policy;
+        self
+    }
+
+    /// Sets the fallback policy.
+    pub fn with_fallback(mut self, policy: FallbackPolicy) -> Self {
+        self.fallback = policy;
+        self
+    }
+
+    /// Sets the maximum derivation-tree depth.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = Some(depth);
+        self
+    }
+}

@@ -1,0 +1,61 @@
+//! Describe-engine errors.
+
+use std::fmt;
+
+/// Errors raised by the describe engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DescribeError {
+    /// The subject of a describe query must be an IDB predicate (§3.2).
+    SubjectNotIdb(String),
+    /// The hypothesis contained a negative literal outside the negated-
+    /// hypothesis extension entry point.
+    NegativeHypothesis(String),
+    /// The hypothesis contained an `X = Y` atom, which §3.1 forbids in
+    /// qualifiers.
+    EqualityInHypothesis(String),
+    /// The IDB violates the paper's assumptions (recursive rules must be
+    /// strongly linear and typed) in a way no implemented handling covers.
+    UnsupportedIdb(String),
+    /// Enumeration exceeded the configured work budget. With the paper's
+    /// assumptions satisfied this cannot happen; the budget exists to
+    /// demonstrate Algorithm 1's divergence on recursive subjects
+    /// (Examples 6–8) without hanging.
+    BudgetExhausted {
+        /// The budget that was exceeded (number of tree operations).
+        budget: u64,
+    },
+    /// An engine-layer error (dependency analysis, validation).
+    Engine(String),
+}
+
+impl fmt::Display for DescribeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DescribeError::SubjectNotIdb(p) => {
+                write!(f, "describe subject must be an IDB predicate: {p}")
+            }
+            DescribeError::NegativeHypothesis(l) => {
+                write!(f, "hypothesis must be a positive formula, found: {l}")
+            }
+            DescribeError::EqualityInHypothesis(a) => {
+                write!(f, "qualifier may not contain a variable equality: {a}")
+            }
+            DescribeError::UnsupportedIdb(msg) => write!(f, "unsupported IDB: {msg}"),
+            DescribeError::BudgetExhausted { budget } => {
+                write!(f, "describe exceeded work budget of {budget} tree operations")
+            }
+            DescribeError::Engine(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DescribeError {}
+
+impl From<qdk_engine::EngineError> for DescribeError {
+    fn from(e: qdk_engine::EngineError) -> Self {
+        DescribeError::Engine(e.to_string())
+    }
+}
+
+/// Result alias for describe operations.
+pub type Result<T> = std::result::Result<T, DescribeError>;

@@ -1,0 +1,583 @@
+//! The §6 extensions to the `describe` statement.
+//!
+//! The paper sketches four extensions; all are implemented here:
+//!
+//! 1. **`where necessary ψ`** — keep only answers whose derivation
+//!    actually used *every* hypothesis formula (plain `describe` ignores
+//!    hypothesis formulas unnecessary for the derivation);
+//! 2. **negated hypotheses** — `describe can_ta(X, Y) where not honor(X)`
+//!    asks whether the subject is derivable *without* the negated concept;
+//!    answer `false` means the concept is necessary;
+//! 3. **subjectless describes** — `describe where ψ` asks whether the
+//!    hypothetical situation ψ is possible, i.e. whether some expansion of
+//!    ψ to extensional vocabulary is consistent (comparisons satisfiable
+//!    after merging key-equal atoms);
+//! 4. **wildcard subjects** — `describe * where ψ` reports every IDB
+//!    concept derivable *from* the hypothesis (subjects whose answers used
+//!    it).
+
+use crate::answer::DescribeAnswer;
+use crate::config::DescribeOptions;
+use crate::constraints::{self, Comparison};
+use crate::describe::{describe, Describe};
+use crate::error::{DescribeError, Result};
+use crate::expand;
+use qdk_engine::Idb;
+use qdk_logic::{unify_atoms, Atom, Literal, Subst, Sym};
+use std::collections::HashMap;
+
+/// `describe p where necessary ψ`: answers whose derivations used every
+/// hypothesis formula. A hypothesis comparison counts as used when it
+/// simplified or contradicted a body comparison (§4's post-processing).
+pub fn describe_necessary(
+    idb: &Idb,
+    query: &Describe,
+    opts: &DescribeOptions,
+) -> Result<DescribeAnswer> {
+    let mut answer = describe(idb, query, opts)?;
+    let all: Vec<usize> = (0..query.hypothesis.len()).collect();
+    answer
+        .theorems
+        .retain(|t| all.iter().all(|i| t.used_hypothesis.contains(i)));
+    Ok(answer)
+}
+
+/// `describe p where ψ₁ or ψ₂ or …` — §6's second research direction
+/// (generalizing the qualifier to disjunctions).
+///
+/// A theorem `p ← φ` is derivable under `ψ₁ ∨ ψ₂` exactly when it is
+/// derivable under *each* disjunct (`φ ∧ (ψ₁ ∨ ψ₂) → p` distributes).
+/// The implementation therefore intersects the per-disjunct answers by
+/// semantic subsumption: a theorem of one disjunct survives when every
+/// other disjunct has a theorem at least as general (which then entails
+/// it). One-level answers (plain definitions) hold under any hypothesis
+/// and always survive.
+pub fn describe_disjunctive(
+    idb: &Idb,
+    subject: &Atom,
+    disjuncts: &[Vec<Literal>],
+    opts: &DescribeOptions,
+) -> Result<DescribeAnswer> {
+    if disjuncts.is_empty() {
+        return describe(idb, &Describe::new(subject.clone(), vec![]), opts);
+    }
+    if disjuncts.len() == 1 {
+        return describe(idb, &Describe::new(subject.clone(), disjuncts[0].clone()), opts);
+    }
+    let mut per: Vec<DescribeAnswer> = Vec::with_capacity(disjuncts.len());
+    for d in disjuncts {
+        per.push(describe(idb, &Describe::new(subject.clone(), d.clone()), opts)?);
+    }
+    // A contradiction with any disjunct does not contradict the
+    // disjunction; the whole query contradicts only if every disjunct did.
+    let all_contradict = per.iter().all(|a| a.hypothesis_contradicts_idb);
+    let mut kept: Vec<crate::Theorem> = Vec::new();
+    for (i, answer) in per.iter().enumerate() {
+        'theorems: for t in &answer.theorems {
+            if t.one_level {
+                // Definitions hold unconditionally.
+                if !kept
+                    .iter()
+                    .any(|k| crate::redundancy::semantic_subsumes(&k.rule, &t.rule, &[]))
+                {
+                    kept.push(t.clone());
+                }
+                continue;
+            }
+            for (j, other) in per.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let entailed = other.theorems.iter().any(|o| {
+                    crate::redundancy::semantic_subsumes(&o.rule, &t.rule, &[])
+                });
+                if !entailed {
+                    continue 'theorems;
+                }
+            }
+            if !kept
+                .iter()
+                .any(|k| crate::redundancy::semantic_subsumes(&k.rule, &t.rule, &[]))
+            {
+                kept.push(t.clone());
+            }
+        }
+    }
+    Ok(DescribeAnswer {
+        hypothesis_contradicts_idb: all_contradict && kept.is_empty(),
+        theorems: kept,
+    })
+}
+
+/// The answer to a negated-hypothesis describe.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NegationAnswer {
+    /// True if the subject is derivable without the negated concept —
+    /// i.e. the concept is *not* necessary.
+    pub derivable_without: bool,
+    /// The extensional definitions witnessing derivability (empty when
+    /// `derivable_without` is false).
+    pub witnesses: Vec<expand::Conjunct>,
+}
+
+impl std::fmt::Display for NegationAnswer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.derivable_without {
+            writeln!(f, "true — derivable without the negated concept")
+        } else {
+            writeln!(f, "false — the negated concept is necessary")
+        }
+    }
+}
+
+/// `describe p where not h`: is `p` derivable without `h`?
+///
+/// A derivation is *tainted* when any formula in it unifies with `h`
+/// (appearing even as an inner node counts: expanding the concept away
+/// does not remove the dependence). The answer is `false` — the paper's
+/// "honor status is necessary for teaching assistantship" — exactly when
+/// every derivation is tainted.
+pub fn describe_without(
+    idb: &Idb,
+    subject: &Atom,
+    negated: &Atom,
+    _opts: &DescribeOptions,
+) -> Result<NegationAnswer> {
+    if !idb.defines(subject.pred.as_str()) {
+        return Err(DescribeError::SubjectNotIdb(subject.pred.to_string()));
+    }
+    // Expand the subject, pruning derivations through h at every level
+    // (the subject itself unifying with h is immediately tainted).
+    let mut conjs = Vec::new();
+    expand_avoiding(idb, subject, negated, &mut Vec::new(), &mut conjs)?;
+    Ok(NegationAnswer {
+        derivable_without: !conjs.is_empty(),
+        witnesses: conjs,
+    })
+}
+
+/// Depth-first unfolding that refuses to *create* any node unifying with
+/// the taboo atom.
+fn expand_avoiding(
+    idb: &Idb,
+    atom: &Atom,
+    taboo: &Atom,
+    path: &mut Vec<Sym>,
+    out: &mut Vec<expand::Conjunct>,
+) -> Result<()> {
+    if unify_atoms(atom, taboo).is_some() {
+        return Ok(());
+    }
+    if atom.is_builtin() || !idb.defines(atom.pred.as_str()) {
+        out.push(vec![Literal::pos(atom.clone())]);
+        return Ok(());
+    }
+    // Cycle guard: a minimal untainted derivation never unfolds the same
+    // predicate twice along one path (dropping the loop yields a smaller
+    // untainted derivation).
+    if path.contains(&atom.pred) {
+        return Ok(());
+    }
+    path.push(atom.pred.clone());
+    let rules: Vec<_> = idb.rules_for(atom.pred.as_str()).cloned().collect();
+    for rule in rules {
+        let mut gen = qdk_logic::VarGen::new();
+        let (renamed, _) = qdk_logic::rename_rule_apart(&rule, &mut gen);
+        let Some(mgu) = unify_atoms(atom, &renamed.head) else {
+            continue;
+        };
+        // Expand each body atom independently; any tainted body atom
+        // taints the rule branch.
+        let mut disjuncts_per_atom: Vec<Vec<expand::Conjunct>> = Vec::new();
+        let mut tainted = false;
+        for lit in &renamed.body {
+            if !lit.positive {
+                disjuncts_per_atom.push(vec![vec![lit.clone()]]);
+                continue;
+            }
+            let inst = mgu.apply_atom(&lit.atom);
+            let mut sub = Vec::new();
+            expand_avoiding(idb, &inst, taboo, path, &mut sub)?;
+            if sub.is_empty() && !inst.is_builtin() && idb.defines(inst.pred.as_str()) {
+                tainted = true;
+                break;
+            }
+            if sub.is_empty() {
+                sub.push(vec![Literal::pos(inst.clone())]);
+            }
+            disjuncts_per_atom.push(sub);
+        }
+        if tainted {
+            continue;
+        }
+        // Cross product of the per-atom disjuncts.
+        let mut combos: Vec<expand::Conjunct> = vec![Vec::new()];
+        for ds in &disjuncts_per_atom {
+            let mut next = Vec::new();
+            for c in &combos {
+                for d in ds {
+                    let mut c2 = c.clone();
+                    c2.extend(d.iter().cloned());
+                    next.push(c2);
+                }
+            }
+            combos = next;
+        }
+        out.extend(combos);
+    }
+    path.pop();
+    Ok(())
+}
+
+/// The answer to a subjectless (hypothetical-possibility) describe.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PossibilityAnswer {
+    /// True when some expansion of the hypothesis is consistent.
+    pub possible: bool,
+    /// A consistent expansion, if any (the witness).
+    pub witness: Option<expand::Conjunct>,
+}
+
+impl std::fmt::Display for PossibilityAnswer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.possible {
+            writeln!(f, "true — the hypothetical situation is possible")
+        } else {
+            writeln!(f, "false — the hypothetical situation contradicts the knowledge")
+        }
+    }
+}
+
+/// `describe where ψ` (§6's third extension): is the hypothetical
+/// situation possible?
+///
+/// Every IDB atom of ψ is expanded to extensional vocabulary; within each
+/// expansion, atoms of the same predicate whose *key* argument prefixes
+/// are unifiable are merged (the keys express functional dependencies —
+/// e.g. a student has one GPA — without which no contradiction between
+/// separately-mentioned atoms is detectable); the comparisons of the
+/// merged conjunct are then checked for satisfiability, and against every
+/// integrity constraint (a constraint whose body maps into the situation —
+/// at the conceptual level or after expansion — forbids it; the
+/// introduction's "Must all foreign students be married?" is exactly a
+/// constraint hit).
+pub fn describe_possible(
+    idb: &Idb,
+    hypothesis: &[Atom],
+    keys: &HashMap<Sym, usize>,
+    integrity: &[qdk_logic::Constraint],
+    opts: &DescribeOptions,
+) -> Result<PossibilityAnswer> {
+    let forbidden = |lits: &[Literal]| {
+        integrity.iter().any(|c| {
+            let body: Vec<Literal> = c.body.iter().cloned().map(Literal::pos).collect();
+            qdk_logic::subsume::body_subsumes(&body, lits)
+        })
+    };
+    // Constraints may be stated over IDB concepts: check the hypothesis
+    // itself before expansion.
+    let conceptual: Vec<Literal> = hypothesis.iter().cloned().map(Literal::pos).collect();
+    if forbidden(&conceptual) {
+        return Ok(PossibilityAnswer {
+            possible: false,
+            witness: None,
+        });
+    }
+    let expansions = expand::expand_conjunction(idb, hypothesis, opts)?;
+    for conj in &expansions {
+        if let Some(merged) = merge_by_keys(conj, keys) {
+            if forbidden(&merged) {
+                continue;
+            }
+            let comps: Vec<Comparison> = merged
+                .iter()
+                .filter(|l| l.positive && l.is_builtin())
+                .filter_map(|l| Comparison::from_atom(&l.atom))
+                .collect();
+            if constraints::satisfiable(&comps) {
+                return Ok(PossibilityAnswer {
+                    possible: true,
+                    witness: Some(merged),
+                });
+            }
+        }
+    }
+    Ok(PossibilityAnswer {
+        possible: false,
+        witness: None,
+    })
+}
+
+/// Unifies same-predicate atoms whose key prefixes are unifiable. Returns
+/// `None` when a required merge fails outright (conflicting constants in
+/// non-key positions make the conjunct unsatisfiable already).
+fn merge_by_keys(conj: &expand::Conjunct, keys: &HashMap<Sym, usize>) -> Option<expand::Conjunct> {
+    let mut subst = Subst::new();
+    let atoms: Vec<&Atom> = conj
+        .iter()
+        .filter(|l| l.positive && !l.is_builtin())
+        .map(|l| &l.atom)
+        .collect();
+    for (i, a) in atoms.iter().enumerate() {
+        for b in &atoms[i + 1..] {
+            if a.pred != b.pred {
+                continue;
+            }
+            let Some(&klen) = keys.get(&a.pred) else {
+                continue;
+            };
+            let a_now = subst.apply_atom(a);
+            let b_now = subst.apply_atom(b);
+            if a_now.args.len() < klen || b_now.args.len() < klen {
+                continue;
+            }
+            // Keys must be syntactically unifiable to force a merge.
+            let key_a = Atom::new(a.pred.clone(), a_now.args[..klen].to_vec());
+            let key_b = Atom::new(a.pred.clone(), b_now.args[..klen].to_vec());
+            if let Some(kmgu) = unify_atoms(&key_a, &key_b) {
+                // Same key ⇒ the whole tuples must unify.
+                let a2 = kmgu.apply_atom(&a_now);
+                let b2 = kmgu.apply_atom(&b_now);
+                match unify_atoms(&a2, &b2) {
+                    Some(full) => {
+                        subst = subst.compose(&kmgu).compose(&full);
+                    }
+                    None => return None,
+                }
+            }
+        }
+    }
+    Some(conj.iter().map(|l| subst.apply_literal(l)).collect())
+}
+
+/// `describe * where ψ`: every IDB concept whose describe-answer used the
+/// hypothesis, with those answers.
+pub fn describe_wildcard(
+    idb: &Idb,
+    hypothesis: &[Literal],
+    opts: &DescribeOptions,
+) -> Result<Vec<(Sym, DescribeAnswer)>> {
+    let mut out = Vec::new();
+    for pred in idb.predicates() {
+        // Build a subject atom with fresh distinct variables matching the
+        // predicate's arity (taken from its first rule's head).
+        let head = &idb
+            .rules_for(pred.as_str())
+            .next()
+            .expect("predicate has a rule")
+            .head;
+        let subject = Atom::new(
+            pred.clone(),
+            (0..head.arity())
+                .map(|i| qdk_logic::Term::var(&format!("S{i}")))
+                .collect(),
+        );
+        let q = Describe::new(subject, hypothesis.to_vec());
+        let mut answer = describe(idb, &q, opts)?;
+        answer.theorems.retain(|t| !t.used_hypothesis.is_empty());
+        if !answer.theorems.is_empty() {
+            out.push((pred.clone(), answer));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdk_logic::parser::{parse_atom, parse_body, parse_program};
+
+    fn university_idb() -> Idb {
+        Idb::from_rules(
+            parse_program(
+                "honor(X) :- student(X, Y, Z), Z > 3.7.\n\
+                 can_ta(X, Y) :- honor(X), complete(X, Y, Z, U), U > 3.3, taught(V, Y, Z, W), teach(V, Y).\n\
+                 can_ta(X, Y) :- honor(X), complete(X, Y, Z, 4.0).",
+            )
+            .unwrap()
+            .rules,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn disjunctive_hypothesis_intersects() {
+        // describe can_ta(X, Y) where honor(X) or teach(susan, Y):
+        // the honor-identified theorems hold only under the first
+        // disjunct, the teach-identified ones only under the second —
+        // nothing except the definitions is valid under the disjunction.
+        let idb = university_idb();
+        let subject = parse_atom("can_ta(X, Y)").unwrap();
+        let d1 = parse_body("honor(X)").unwrap();
+        let d2 = parse_body("teach(susan, Y)").unwrap();
+        let a = describe_disjunctive(
+            &idb,
+            &subject,
+            &[d1.clone(), d2.clone()],
+            &DescribeOptions::paper(),
+        )
+        .unwrap();
+        // No hypothesis-using theorem survives the intersection here.
+        assert!(
+            a.theorems.iter().all(|t| !t.uses_hypothesis()),
+            "{:?}",
+            a.rendered()
+        );
+
+        // But a disjunction whose disjuncts both entail the same theorem
+        // keeps it: honor(X) or (student(X, M, G) and G > 3.8) — both
+        // make honor derivable, so can_ta's honor subtree discharges
+        // under each.
+        let d3 = parse_body("student(X, M, G), G > 3.8").unwrap();
+        let b = describe_disjunctive(
+            &idb,
+            &subject,
+            &[d1, d3],
+            &DescribeOptions::paper(),
+        )
+        .unwrap();
+        assert!(
+            b.theorems.iter().any(|t| t.uses_hypothesis()),
+            "{:?}",
+            b.rendered()
+        );
+    }
+
+    #[test]
+    fn disjunctive_hypothesis_degenerate_cases() {
+        let idb = university_idb();
+        let subject = parse_atom("honor(X)").unwrap();
+        // Zero disjuncts = plain describe.
+        let a = describe_disjunctive(&idb, &subject, &[], &DescribeOptions::paper()).unwrap();
+        assert_eq!(a.len(), 1);
+        // One disjunct = ordinary hypothesis.
+        let b = describe_disjunctive(
+            &idb,
+            &subject,
+            &[parse_body("student(X, math, V), V > 3.8").unwrap()],
+            &DescribeOptions::paper(),
+        )
+        .unwrap();
+        assert_eq!(b.rendered(), vec!["honor(X)"]);
+    }
+
+    #[test]
+    fn necessary_filters_unused_hypotheses() {
+        // §6's example: describe honor(X) where necessary
+        // complete(X, Y, Z, U) and (U > 3.3) — honor's derivation never
+        // uses complete, so nothing survives.
+        let idb = university_idb();
+        let q = Describe::new(
+            parse_atom("honor(X)").unwrap(),
+            parse_body("complete(X, Y, Z, U), U > 3.3").unwrap(),
+        );
+        let plain = describe(&idb, &q, &DescribeOptions::default()).unwrap();
+        assert!(!plain.is_empty()); // ordinary describe ignores ψ
+        let strict = describe_necessary(&idb, &q, &DescribeOptions::default()).unwrap();
+        assert!(strict.theorems.is_empty());
+    }
+
+    #[test]
+    fn necessary_keeps_fully_used_hypotheses() {
+        let idb = university_idb();
+        let q = Describe::new(
+            parse_atom("can_ta(X, Y)").unwrap(),
+            parse_body("honor(X)").unwrap(),
+        );
+        let strict = describe_necessary(&idb, &q, &DescribeOptions::paper()).unwrap();
+        assert_eq!(strict.len(), 2);
+        assert!(strict.theorems.iter().all(|t| t.used_hypothesis.contains(&0)));
+    }
+
+    #[test]
+    fn honor_is_necessary_for_ta() {
+        // §6's second extension: describe can_ta(X, Y) where not honor(X)
+        // answers false — honor status is necessary.
+        let idb = university_idb();
+        let a = describe_without(
+            &idb,
+            &parse_atom("can_ta(X, Y)").unwrap(),
+            &parse_atom("honor(W)").unwrap(),
+            &DescribeOptions::default(),
+        )
+        .unwrap();
+        assert!(!a.derivable_without);
+        assert!(a.to_string().contains("false"));
+    }
+
+    #[test]
+    fn teach_is_not_necessary_for_ta() {
+        // The 4.0 rule derives can_ta without teach: not necessary.
+        let idb = university_idb();
+        let a = describe_without(
+            &idb,
+            &parse_atom("can_ta(X, Y)").unwrap(),
+            &parse_atom("teach(P, C)").unwrap(),
+            &DescribeOptions::default(),
+        )
+        .unwrap();
+        assert!(a.derivable_without);
+        assert!(!a.witnesses.is_empty());
+    }
+
+    #[test]
+    fn possibility_low_gpa_ta_is_contradicted() {
+        // §6's third extension: "are students with GPA under 3.5 allowed
+        // to be teaching assistants?" — with student keyed on its first
+        // attribute, can_ta's honor expansion forces GPA > 3.7,
+        // contradicting Z < 3.5.
+        let idb = university_idb();
+        let keys: HashMap<Sym, usize> = [(Sym::new("student"), 1)].into_iter().collect();
+        let hyp = vec![
+            parse_atom("student(X, Y, Z)").unwrap(),
+            parse_atom("(Z < 3.5)").unwrap(),
+            parse_atom("can_ta(X, U)").unwrap(),
+        ];
+        let a = describe_possible(&idb, &hyp, &keys, &[], &DescribeOptions::default()).unwrap();
+        assert!(!a.possible, "{a}");
+    }
+
+    #[test]
+    fn possibility_high_gpa_ta_is_possible() {
+        let idb = university_idb();
+        let keys: HashMap<Sym, usize> = [(Sym::new("student"), 1)].into_iter().collect();
+        let hyp = vec![
+            parse_atom("student(X, Y, Z)").unwrap(),
+            parse_atom("(Z > 3.9)").unwrap(),
+            parse_atom("can_ta(X, U)").unwrap(),
+        ];
+        let a = describe_possible(&idb, &hyp, &keys, &[], &DescribeOptions::default()).unwrap();
+        assert!(a.possible, "{a}");
+        assert!(a.witness.is_some());
+    }
+
+    #[test]
+    fn possibility_without_keys_finds_no_contradiction() {
+        // Without the functional dependency, the two student atoms are
+        // unrelated and no contradiction is detectable (documented
+        // substitution for the paper's under-specified check).
+        let idb = university_idb();
+        let hyp = vec![
+            parse_atom("student(X, Y, Z)").unwrap(),
+            parse_atom("(Z < 3.5)").unwrap(),
+            parse_atom("can_ta(X, U)").unwrap(),
+        ];
+        let a = describe_possible(&idb, &hyp, &HashMap::new(), &[], &DescribeOptions::default())
+            .unwrap();
+        assert!(a.possible);
+    }
+
+    #[test]
+    fn wildcard_lists_derivable_concepts() {
+        // §6's fourth extension: describe * where honor(X) — what follows
+        // from honor status? can_ta does (both rules use it); honor
+        // itself does (root identification).
+        let idb = university_idb();
+        let hyp = parse_body("honor(H)").unwrap();
+        let out = describe_wildcard(&idb, &hyp, &DescribeOptions::paper()).unwrap();
+        let preds: Vec<String> = out.iter().map(|(p, _)| p.to_string()).collect();
+        assert!(preds.contains(&"can_ta".to_string()), "{preds:?}");
+        let can_ta = &out.iter().find(|(p, _)| p.as_str() == "can_ta").unwrap().1;
+        assert_eq!(can_ta.len(), 2);
+    }
+}

@@ -1,0 +1,361 @@
+//! Redundancy-free answers (§3.2).
+//!
+//! "An answer to a knowledge query is *free of redundancies* if none of
+//! its formulas is a logical consequence of any of its other formulas."
+//! Plain θ-subsumption catches most redundancies; two refinements close
+//! gaps the paper itself points out (§6, first research direction):
+//!
+//! * **comparison-aware subsumption** — `p ← q(X,Z) ∧ (Z > 3)` subsumes
+//!   `p ← q(X,Z) ∧ (Z > 4)` because `(Z > 4) ⊨ (Z > 3)`, though the atoms
+//!   differ syntactically;
+//! * **transitivity-aware subsumption** — after the §5.2 transformation,
+//!   step predicates (and modified recursive predicates) are transitively
+//!   closed by construction, so `p ← t(a,b) ∧ t(b,c)` is a consequence of
+//!   `p ← t(a,c)`; the body of the more specific rule is closed under the
+//!   transitivity rule before the subsumption test.
+
+use crate::constraints::{self, Comparison};
+use crate::Theorem;
+use qdk_logic::{match_atom, Atom, Literal, Rule, Subst, Sym, Term, Var};
+
+/// Standardizes a rule apart with reserved names (same trick as
+/// `qdk_logic::subsume`, local so the semantic matcher controls it).
+fn standardize(rule: &Rule) -> Rule {
+    let renaming: Subst = rule
+        .vars()
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, Term::Var(Var::new(&format!("_sem{i}")))))
+        .collect();
+    renaming.apply_rule(rule)
+}
+
+/// Closes a body's non-builtin atoms under transitivity of the given
+/// predicates: for `q ∈ trans`, `q(ā, b̄) ∧ q(b̄, c̄)` (splitting the
+/// argument list in half) adds `q(ā, c̄)`. Bounded fixpoint.
+fn transitive_closure(body: &[Literal], trans: &[Sym]) -> Vec<Literal> {
+    let mut atoms: Vec<Literal> = body.to_vec();
+    loop {
+        let mut added = false;
+        let snapshot: Vec<Atom> = atoms
+            .iter()
+            .filter(|l| l.positive && !l.is_builtin())
+            .map(|l| l.atom.clone())
+            .collect();
+        for a in &snapshot {
+            if !trans.contains(&a.pred) || a.arity() % 2 != 0 {
+                continue;
+            }
+            let m = a.arity() / 2;
+            for b in &snapshot {
+                if b.pred != a.pred || a.args[m..] != b.args[..m] {
+                    continue;
+                }
+                let composed = Atom::new(
+                    a.pred.clone(),
+                    a.args[..m]
+                        .iter()
+                        .chain(&b.args[m..])
+                        .cloned()
+                        .collect(),
+                );
+                let lit = Literal::pos(composed);
+                if !atoms.contains(&lit) {
+                    atoms.push(lit);
+                    added = true;
+                }
+            }
+        }
+        if !added || atoms.len() > 64 {
+            return atoms;
+        }
+    }
+}
+
+/// Semantic θ-subsumption: `general` subsumes `specific` when a
+/// substitution σ (binding only `general`'s variables) maps its head onto
+/// `specific`'s head, maps every non-builtin body literal onto some
+/// literal of `specific`'s (transitively closed) body, and makes every
+/// comparison literal either ground-true or entailed by some comparison
+/// of `specific`'s body.
+pub fn semantic_subsumes(general: &Rule, specific: &Rule, trans: &[Sym]) -> bool {
+    let general = standardize(general);
+    let mut s = Subst::new();
+    if !match_atom(&general.head, &specific.head, &mut s) {
+        return false;
+    }
+    let closed = transitive_closure(&specific.body, trans);
+    let (db_lits, cmp_lits): (Vec<&Literal>, Vec<&Literal>) = general
+        .body
+        .iter()
+        .partition(|l| !l.is_builtin());
+    let specific_comps: Vec<Comparison> = closed
+        .iter()
+        .filter(|l| l.positive && l.is_builtin())
+        .filter_map(|l| Comparison::from_atom(&l.atom))
+        .collect();
+    map_db_literals(&db_lits, &closed, s, &cmp_lits, &specific_comps)
+}
+
+fn map_db_literals(
+    remaining: &[&Literal],
+    specific: &[Literal],
+    s: Subst,
+    comparisons: &[&Literal],
+    specific_comps: &[Comparison],
+) -> bool {
+    let Some((first, rest)) = remaining.split_first() else {
+        // All database literals mapped; now the comparisons must follow.
+        return comparisons.iter().all(|l| {
+            let inst = s.apply_atom(&l.atom);
+            match Comparison::from_atom(&inst) {
+                Some(Comparison::Ground(Some(true))) | Some(Comparison::SameVar(true)) => {
+                    l.positive
+                }
+                Some(c) if l.positive => specific_comps
+                    .iter()
+                    .any(|sc| constraints::implies(sc, &c)),
+                _ => false,
+            }
+        });
+    };
+    for lit in specific {
+        if lit.positive != first.positive || lit.is_builtin() {
+            continue;
+        }
+        let mut s2 = s.clone();
+        if match_atom(&first.atom, &lit.atom, &mut s2)
+            && map_db_literals(rest, specific, s2, comparisons, specific_comps)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Saturates a body under the IDB rules (bounded forward chaining at the
+/// term level): whenever a rule's database literals map into the body —
+/// with its comparison literals entailed by the body's comparisons — the
+/// instantiated head is added. Used for *subsumption modulo definitions*:
+/// `p ← student(X,Y,Z) ∧ (Z > 3.7) ∧ …` is a consequence of
+/// `p ← honor(X) ∧ …` because saturation derives `honor(X)` in the first
+/// body.
+pub fn saturate_body(body: &[Literal], idb: &qdk_engine::Idb, rounds: usize) -> Vec<Literal> {
+    let mut lits: Vec<Literal> = body.to_vec();
+    for _ in 0..rounds {
+        let mut added = false;
+        for rule in idb.rules() {
+            let std_rule = standardize(rule);
+            let comps: Vec<Comparison> = lits
+                .iter()
+                .filter(|l| l.positive && l.is_builtin())
+                .filter_map(|l| Comparison::from_atom(&l.atom))
+                .collect();
+            let (db, cmp): (Vec<&Literal>, Vec<&Literal>) =
+                std_rule.body.iter().partition(|l| !l.is_builtin());
+            let mut matches = Vec::new();
+            collect_matches(&db, &lits, Subst::new(), &cmp, &comps, &mut matches);
+            for s in matches {
+                let head = s.apply_atom(&std_rule.head);
+                let lit = Literal::pos(head);
+                if !lits.contains(&lit) {
+                    lits.push(lit);
+                    added = true;
+                }
+            }
+            if lits.len() > 96 {
+                return lits;
+            }
+        }
+        if !added {
+            break;
+        }
+    }
+    lits
+}
+
+/// Like [`map_db_literals`] but collecting every successful substitution.
+fn collect_matches(
+    remaining: &[&Literal],
+    specific: &[Literal],
+    s: Subst,
+    comparisons: &[&Literal],
+    specific_comps: &[Comparison],
+    out: &mut Vec<Subst>,
+) {
+    let Some((first, rest)) = remaining.split_first() else {
+        let ok = comparisons.iter().all(|l| {
+            let inst = s.apply_atom(&l.atom);
+            match Comparison::from_atom(&inst) {
+                Some(Comparison::Ground(Some(true))) | Some(Comparison::SameVar(true)) => {
+                    l.positive
+                }
+                Some(c) if l.positive => specific_comps
+                    .iter()
+                    .any(|sc| constraints::implies(sc, &c)),
+                _ => false,
+            }
+        });
+        if ok {
+            out.push(s);
+        }
+        return;
+    };
+    for lit in specific {
+        if lit.positive != first.positive || lit.is_builtin() {
+            continue;
+        }
+        let mut s2 = s.clone();
+        if match_atom(&first.atom, &lit.atom, &mut s2) {
+            collect_matches(rest, specific, s2, comparisons, specific_comps, out);
+        }
+    }
+}
+
+/// Semantic subsumption *modulo the IDB's definitions*: the specific body
+/// is saturated under the rules before the subsumption test, so a concept
+/// and its unfolding are interchangeable.
+pub fn subsumes_modulo_idb(
+    general: &Rule,
+    specific: &Rule,
+    idb: &qdk_engine::Idb,
+    trans: &[Sym],
+) -> bool {
+    let saturated = Rule::with_literals(
+        specific.head.clone(),
+        saturate_body(&specific.body, idb, 3),
+    );
+    semantic_subsumes(general, &saturated, trans)
+}
+
+/// Removes redundant theorems: any theorem semantically subsumed by
+/// another is dropped (first of an equivalent pair wins). `trans` lists
+/// transitively-closed predicates (step predicates and modified recursive
+/// predicates).
+pub fn remove_redundant(theorems: Vec<Theorem>, trans: &[Sym]) -> Vec<Theorem> {
+    let mut kept: Vec<Theorem> = Vec::with_capacity(theorems.len());
+    'outer: for t in theorems {
+        for k in &kept {
+            if semantic_subsumes(&k.rule, &t.rule, trans) {
+                continue 'outer;
+            }
+        }
+        kept.retain(|k| !semantic_subsumes(&t.rule, &k.rule, trans));
+        kept.push(t);
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdk_logic::parser::parse_rule;
+    use std::collections::BTreeSet;
+
+    fn r(src: &str) -> Rule {
+        parse_rule(src).unwrap()
+    }
+
+    fn theorem(src: &str) -> Theorem {
+        Theorem {
+            rule: r(src),
+            used_hypothesis: BTreeSet::new(),
+            root_rule: None,
+            one_level: false,
+            derivation: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn plain_subsumption_still_works() {
+        assert!(semantic_subsumes(
+            &r("p(X) :- q(X, Y)."),
+            &r("p(X) :- q(X, databases)."),
+            &[],
+        ));
+        assert!(!semantic_subsumes(
+            &r("p(X) :- q(X, databases)."),
+            &r("p(X) :- q(X, Y)."),
+            &[],
+        ));
+    }
+
+    #[test]
+    fn comparison_aware_subsumption() {
+        // (Z > 4) ⊨ (Z > 3): the tighter rule is redundant.
+        let general = r("p(X) :- q(X, Z), Z > 3.");
+        let specific = r("p(X) :- q(X, Z), Z > 4.");
+        assert!(semantic_subsumes(&general, &specific, &[]));
+        assert!(!semantic_subsumes(&specific, &general, &[]));
+    }
+
+    #[test]
+    fn ground_true_comparison_is_free() {
+        let general = r("p(X) :- q(X), 3 < 4.");
+        let specific = r("p(X) :- q(X).");
+        assert!(semantic_subsumes(&general, &specific, &[]));
+    }
+
+    #[test]
+    fn comparison_must_be_entailed_not_merely_present() {
+        let general = r("p(X) :- q(X, Z), Z > 5.");
+        let specific = r("p(X) :- q(X, Z), Z > 3.");
+        // (Z > 3) does not entail (Z > 5).
+        assert!(!semantic_subsumes(&general, &specific, &[]));
+    }
+
+    #[test]
+    fn transitivity_aware_subsumption() {
+        // prior is transitively closed: prior(X, db) subsumes the chain
+        // prior(X, Z) ∧ prior(Z, db).
+        let trans = [Sym::new("prior")];
+        let general = r("p(X, Y) :- prior(X, databases).");
+        let specific = r("p(X, Y) :- prior(X, Z), prior(Z, databases).");
+        assert!(semantic_subsumes(&general, &specific, &trans));
+        // Without the transitivity declaration it is not subsumed.
+        assert!(!semantic_subsumes(&general, &specific, &[]));
+    }
+
+    #[test]
+    fn transitivity_with_arity_four_step_predicate() {
+        let trans = [Sym::new("t_acc")];
+        let general = r("p(X) :- t_acc(A, B, E, F).");
+        let specific = r("p(X) :- t_acc(A, B, C, D), t_acc(C, D, E, F).");
+        assert!(semantic_subsumes(&general, &specific, &trans));
+    }
+
+    #[test]
+    fn remove_redundant_prefers_general() {
+        let out = remove_redundant(
+            vec![
+                theorem("p(X) :- q(X, Z), Z > 4."),
+                theorem("p(X) :- q(X, Z), Z > 3."),
+                theorem("p(X) :- r(X)."),
+            ],
+            &[],
+        );
+        let rendered: Vec<String> = out.iter().map(|t| t.rule.to_string()).collect();
+        assert_eq!(
+            rendered,
+            vec!["p(X) :- q(X, Z), (Z > 3).", "p(X) :- r(X)."]
+        );
+    }
+
+    #[test]
+    fn equivalent_theorems_keep_first() {
+        let out = remove_redundant(
+            vec![theorem("p(X) :- q(X, Y)."), theorem("p(A) :- q(A, B).")],
+            &[],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule.to_string(), "p(X) :- q(X, Y).");
+    }
+
+    #[test]
+    fn negative_literals_respected() {
+        let a = r("p(X) :- q(X), not r(X).");
+        let b = r("p(X) :- q(X).");
+        assert!(!semantic_subsumes(&a, &b, &[]));
+        assert!(semantic_subsumes(&b, &a, &[]));
+    }
+}

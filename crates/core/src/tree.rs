@@ -1,0 +1,741 @@
+//! Derivation-tree enumeration: the engine shared by Algorithms 1 and 2.
+//!
+//! Figure 1's flowchart is a pointer machine walking one derivation tree
+//! with in-place state saving (`hyp(q)`, `rule(q)`, `prev`/`next`). This
+//! module realizes the same search as a recursive enumeration of
+//! *branches*: at every tree formula the algorithm's three possibilities
+//! are explored —
+//!
+//! 1. **identify** the formula with a hypothesis formula (boxes 2–5): the
+//!    unifier applies to the whole tree, so it is threaded as one global
+//!    substitution per branch;
+//! 2. **leave** the formula as a leaf: it becomes a conjunct of the answer
+//!    body (the identification "failure" path, boxes 6–7 — an unidentified
+//!    sibling does not abort the rule);
+//! 3. **expand** the formula with a rule whose head unifies with it
+//!    (boxes 8–9), *productively*: a subtree that contains no hypothesis
+//!    leaf is cut off below its root (§4 — "answers use the most general
+//!    concepts possible"), which the enumeration realizes by discarding
+//!    expansion branches whose subtree identified nothing (possibility 2
+//!    already covers the collapsed form).
+//!
+//! Algorithm 2's additions (Figure 3, boxes 9a–9e) are handled in the same
+//! walk: every recursive-rule application is gated by the node's *tag* and
+//! assigns children tags per the paper's table, and identification
+//! substitutions must *preserve typing* — a substitution that makes some
+//! predicate's occurrences hold one variable in two different argument
+//! positions (where they did not before) is disqualified.
+//!
+//! The output of enumeration is a set of [`RawAnswer`]s — substitution,
+//! unidentified leaves, used hypothesis indexes, root provenance — which
+//! the driver assembles into theorems.
+
+use crate::config::DescribeOptions;
+use crate::error::{DescribeError, Result};
+use crate::transform::{RuleKind, TransformedIdb};
+use qdk_logic::{rename_rule_apart, unify_atoms, Atom, Subst, Term, Var, VarGen};
+use std::collections::{BTreeSet, HashMap};
+
+/// Algorithm 2's node tags (§5.3): `None` is untagged; tag 0 prohibits
+/// applying a recursive rule to the node; tags 1 and 2 permit it and bound
+/// how far continuation rules may nest (Figure 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Tag {
+    Untagged,
+    Zero,
+    One,
+    Two,
+}
+
+/// One enumerated derivation: everything the driver needs to assemble a
+/// theorem.
+#[derive(Clone, Debug)]
+pub(crate) struct RawAnswer {
+    /// The accumulated global substitution of the branch.
+    pub subst: Subst,
+    /// Unidentified leaf formulas (un-substituted; apply `subst`).
+    pub leaves: Vec<Atom>,
+    /// Hypothesis indexes identified somewhere in the tree.
+    pub used: BTreeSet<usize>,
+    /// Rule applied at the root (`None` = the subject itself was
+    /// identified with a hypothesis formula).
+    pub root_rule: Option<usize>,
+    /// Human-readable derivation steps, in application order — the
+    /// derivation tree of Figure 1, flattened depth-first.
+    pub trace: Vec<String>,
+    /// Every formula of the derivation tree (inner nodes and leaves),
+    /// un-substituted. Used by the negated-hypothesis generalization: a
+    /// theorem whose tree mentions a forbidden concept depends on it.
+    pub tree_atoms: Vec<Atom>,
+}
+
+/// One branch state during enumeration of a subtree.
+#[derive(Clone, Debug)]
+struct Branch {
+    subst: Subst,
+    /// Every atom occurrence created so far in the whole tree (plus the
+    /// subject and hypothesis), un-substituted — the "formulas of the
+    /// tree" that typing preservation quantifies over.
+    occurrences: Vec<Atom>,
+    /// Applications of each untyped-controlled rule on this branch.
+    untyped_uses: HashMap<usize, usize>,
+    /// Leaves contributed by the subtree under enumeration.
+    leaves: Vec<Atom>,
+    /// Hypothesis indexes identified in the subtree under enumeration.
+    used: BTreeSet<usize>,
+    /// Derivation steps along this branch.
+    trace: Vec<String>,
+}
+
+/// The enumerator.
+pub(crate) struct Enumerator<'a> {
+    tidb: &'a TransformedIdb,
+    /// Non-comparison hypothesis atoms with their original indexes.
+    hyp_atoms: Vec<(usize, Atom)>,
+    /// Whether typing preservation is enforced (Algorithm 2).
+    check_typing: bool,
+    /// Exhaustive mode (completeness audits): the §4 productivity cut is
+    /// disabled, so unproductive expansions are enumerated too.
+    exhaustive: bool,
+    opts: &'a DescribeOptions,
+    gen: VarGen,
+    ops: u64,
+}
+
+impl<'a> Enumerator<'a> {
+    /// Creates an enumerator over a (possibly transformed) IDB and the
+    /// hypothesis conjunction. Only positive non-comparison literals take
+    /// part in identification (comparisons per §4; negative literals per
+    /// the §6 generalization are handled by the driver's post-filter).
+    pub fn new(
+        tidb: &'a TransformedIdb,
+        hypothesis: &[qdk_logic::Literal],
+        check_typing: bool,
+        opts: &'a DescribeOptions,
+    ) -> Self {
+        let hyp_atoms = hypothesis
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.positive && !l.is_builtin())
+            .map(|(i, l)| (i, l.atom.clone()))
+            .collect();
+        Enumerator {
+            tidb,
+            hyp_atoms,
+            check_typing,
+            exhaustive: false,
+            opts,
+            gen: VarGen::new(),
+            ops: 0,
+        }
+    }
+
+    /// Switches the enumerator to exhaustive mode (no productivity cut).
+    pub fn exhaustive(mut self) -> Self {
+        self.exhaustive = true;
+        self
+    }
+
+    fn tick(&mut self) -> Result<()> {
+        self.ops += 1;
+        if let Some(b) = self.opts.budget {
+            if self.ops > b {
+                return Err(DescribeError::BudgetExhausted { budget: b });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of tree operations performed (work metric for experiments).
+    #[allow(dead_code)]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Enumerates all derivations for `subject`. Also returns the set of
+    /// root-rule indexes that produced at least one hypothesis-using
+    /// derivation (for the one-level fallback logic).
+    pub fn enumerate(&mut self, subject: &Atom) -> Result<(Vec<RawAnswer>, BTreeSet<usize>)> {
+        let mut answers = Vec::new();
+        let mut productive_rules = BTreeSet::new();
+
+        let base_occurrences: Vec<Atom> = std::iter::once(subject.clone())
+            .chain(self.hyp_atoms.iter().map(|(_, a)| a.clone()))
+            .collect();
+
+        // Root identification with a hypothesis formula (Example 6's
+        // `prior(X, Y) ← (X = databases)` answers).
+        for (i, h) in self.hyp_atoms.clone() {
+            self.tick()?;
+            if let Some(mgu) = unify_atoms(subject, &h) {
+                if self.typing_ok(&base_occurrences, &Subst::new(), &mgu) {
+                    answers.push(RawAnswer {
+                        subst: mgu,
+                        leaves: Vec::new(),
+                        used: [i].into(),
+                        root_rule: None,
+                        trace: vec![format!("{subject} identified with hypothesis {h}")],
+                        tree_atoms: vec![subject.clone()],
+                    });
+                }
+            }
+        }
+
+        // Root expansions, one per rule of the subject's predicate.
+        let rule_indexes: Vec<usize> = self
+            .tidb
+            .idb
+            .rules()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.head.pred == subject.pred)
+            .map(|(i, _)| i)
+            .collect();
+        for ri in rule_indexes {
+            let base = Branch {
+                subst: Subst::new(),
+                occurrences: base_occurrences.clone(),
+                untyped_uses: HashMap::new(),
+                leaves: Vec::new(),
+                used: BTreeSet::new(),
+                trace: Vec::new(),
+            };
+            let branches = self.apply_rule(subject, ri, Tag::Untagged, &base, 0)?;
+            for b in branches {
+                // Root context is empty, so subtree-only equals total here.
+                if b.used.is_empty() && !self.exhaustive {
+                    // Tracked separately: the rule's unproductive branches
+                    // are represented by its one-level answer (driver).
+                    continue;
+                }
+                if !b.used.is_empty() {
+                    productive_rules.insert(ri);
+                }
+                answers.push(RawAnswer {
+                    subst: b.subst,
+                    leaves: b.leaves,
+                    used: b.used,
+                    root_rule: Some(ri),
+                    trace: b.trace,
+                    tree_atoms: std::iter::once(subject.clone())
+                        .chain(b.occurrences[base_occurrences.len()..].iter().cloned())
+                        .collect(),
+                });
+            }
+        }
+        Ok((answers, productive_rules))
+    }
+
+    /// Applies rule `ri` to `node` (boxes 8–9 / 9a–9e): unify the renamed
+    /// rule head with the node, then enumerate the children left to right,
+    /// threading the branch state.
+    fn apply_rule(
+        &mut self,
+        node: &Atom,
+        ri: usize,
+        node_tag: Tag,
+        ctx: &Branch,
+        depth: usize,
+    ) -> Result<Vec<Branch>> {
+        self.tick()?;
+        if let Some(max) = self.opts.max_depth {
+            if depth >= max {
+                return Ok(Vec::new());
+            }
+        }
+        // Hard recursion guard: a derivation this deep only arises from a
+        // divergent (untransformed recursive) enumeration; fail cleanly
+        // instead of overflowing the stack.
+        const MAX_TREE_DEPTH: usize = 128;
+        if depth >= MAX_TREE_DEPTH {
+            return Err(DescribeError::BudgetExhausted {
+                budget: self.opts.budget.unwrap_or(MAX_TREE_DEPTH as u64),
+            });
+        }
+        let kind = &self.tidb.kinds[ri];
+        match kind {
+            RuleKind::Transform { .. } | RuleKind::Continuation | RuleKind::Modified => {
+                if node_tag == Tag::Zero {
+                    return Ok(Vec::new());
+                }
+            }
+            RuleKind::UntypedControlled => {
+                if ctx.untyped_uses.get(&ri).copied().unwrap_or(0)
+                    >= self.opts.untyped_rule_limit
+                {
+                    return Ok(Vec::new());
+                }
+            }
+            RuleKind::Ordinary => {}
+        }
+
+        let rule = self.tidb.idb.rules()[ri].clone();
+        let (renamed, _) = rename_rule_apart(&rule, &mut self.gen);
+        let node_now = ctx.subst.apply_atom(node);
+        let Some(mgu) = unify_atoms(&node_now, &renamed.head) else {
+            return Ok(Vec::new());
+        };
+
+        // Child tags per Figure 3 box 9e.
+        let children: Vec<&Atom> = renamed.body.iter().map(|l| &l.atom).collect();
+        let child_tags = self.child_tags(kind, node_tag, &children);
+
+        let mut start = ctx.clone();
+        start.subst = ctx.subst.compose(&mgu);
+        start.trace.push(format!(
+            "{:indent$}{node_now} expanded by rule {ri}: {rule}",
+            "",
+            indent = depth * 2
+        ));
+        start
+            .occurrences
+            .extend(children.iter().map(|a| (*a).clone()));
+        if *kind == RuleKind::UntypedControlled {
+            *start.untyped_uses.entry(ri).or_insert(0) += 1;
+        }
+        // The subtree's own leaves/used accumulate from empty.
+        start.leaves = Vec::new();
+        start.used = BTreeSet::new();
+
+        // Enumerate children sequentially (sibling results thread the
+        // global substitution exactly like the flowchart's left-to-right
+        // walk).
+        let mut frontier = vec![start];
+        for (child, tag) in children.iter().zip(child_tags) {
+            let mut next = Vec::new();
+            for b in &frontier {
+                next.extend(self.visit(child, tag, b, depth + 1)?);
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+
+        // Branches come back with *subtree-only* leaves/used; callers
+        // merge with their own accumulators (so productivity can be judged
+        // on the subtree's own identifications, even when an earlier
+        // sibling already identified the same hypothesis index).
+        Ok(frontier)
+    }
+
+    fn child_tags(&self, kind: &RuleKind, node_tag: Tag, children: &[&Atom]) -> Vec<Tag> {
+        match kind {
+            RuleKind::Ordinary | RuleKind::UntypedControlled => {
+                vec![Tag::Untagged; children.len()]
+            }
+            RuleKind::Transform { step_pred } => children
+                .iter()
+                .map(|a| {
+                    if a.pred == *step_pred {
+                        Tag::Two
+                    } else {
+                        Tag::Zero
+                    }
+                })
+                .collect(),
+            RuleKind::Continuation => {
+                // Children tags (1, 0) under tag 2; (0, 0) under tag 1.
+                // An untagged t-node (queried directly) behaves like tag 2.
+                let first = match node_tag {
+                    Tag::Two | Tag::Untagged => Tag::One,
+                    _ => Tag::Zero,
+                };
+                let mut tags = vec![Tag::Zero; children.len()];
+                if let Some(t) = tags.first_mut() {
+                    *t = first;
+                }
+                tags
+            }
+            RuleKind::Modified => {
+                // The doubling rule plays both r_T and r_C: the second
+                // recursive child may nest (tag 2 → 1 → 0), the first may
+                // not.
+                let second = match node_tag {
+                    Tag::Untagged | Tag::Two => Tag::One,
+                    _ => Tag::Zero,
+                };
+                let mut tags = vec![Tag::Zero; children.len()];
+                if let Some(t) = tags.last_mut() {
+                    *t = second;
+                }
+                tags
+            }
+        }
+    }
+
+    /// Visits one tree formula: identification, leaf, or productive
+    /// expansion.
+    fn visit(
+        &mut self,
+        node: &Atom,
+        tag: Tag,
+        ctx: &Branch,
+        depth: usize,
+    ) -> Result<Vec<Branch>> {
+        self.tick()?;
+        let mut out = Vec::new();
+
+        // Comparisons are never identified and never expanded (§4).
+        if node.is_builtin() {
+            let mut b = ctx.clone();
+            b.leaves.push(node.clone());
+            return Ok(vec![b]);
+        }
+
+        // (1) Identify with a hypothesis formula.
+        for (i, h) in self.hyp_atoms.clone() {
+            self.tick()?;
+            let node_now = ctx.subst.apply_atom(node);
+            let h_now = ctx.subst.apply_atom(&h);
+            if let Some(mgu) = unify_atoms(&node_now, &h_now) {
+                if self.typing_ok(&ctx.occurrences, &ctx.subst, &mgu) {
+                    let mut b = ctx.clone();
+                    b.subst = ctx.subst.compose(&mgu);
+                    b.used.insert(i);
+                    b.trace.push(format!(
+                        "{:indent$}{node_now} identified with hypothesis {h_now}",
+                        "",
+                        indent = depth * 2
+                    ));
+                    out.push(b);
+                }
+            }
+        }
+
+        // (2) Leave as an unidentified leaf.
+        {
+            let mut b = ctx.clone();
+            b.leaves.push(node.clone());
+            out.push(b);
+        }
+
+        // (3) Expand with each rule of the node's predicate, keeping only
+        // subtrees that identified something (the cut of §4).
+        if self.tidb.idb.defines(node.pred.as_str()) {
+            let rule_indexes: Vec<usize> = self
+                .tidb
+                .idb
+                .rules()
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.head.pred == node.pred)
+                .map(|(i, _)| i)
+                .collect();
+            for ri in rule_indexes {
+                // The child subtree accumulates its own used/leaves; pass a
+                // context whose counters are the caller's (apply_rule
+                // resets them and merges back).
+                let branches = self.apply_rule(node, ri, tag, ctx, depth)?;
+                for mut b in branches {
+                    // apply_rule returns subtree-only leaves/used: the §4
+                    // cut tests exactly the subtree's identifications.
+                    if b.used.is_empty() && !self.exhaustive {
+                        continue;
+                    }
+                    let mut leaves = ctx.leaves.clone();
+                    leaves.append(&mut b.leaves);
+                    b.leaves = leaves;
+                    let mut used = ctx.used.clone();
+                    used.extend(b.used.iter().copied());
+                    b.used = used;
+                    out.push(b);
+                }
+            }
+        }
+
+        Ok(out)
+    }
+
+    /// Typing preservation (Algorithm 2, box 4 refinement): a substitution
+    /// is disqualified if applying it to the tree's formulas *newly* makes
+    /// some predicate hold one variable in two different argument
+    /// positions. Pre-existing position conflicts (e.g. the chained
+    /// `prereq(X, Z₁) ∧ prereq(Z₁, Z₂)` shape that linear recursion
+    /// legitimately builds) are tolerated; only conflicts the candidate
+    /// substitution *introduces* disqualify it.
+    fn typing_ok(&self, occurrences: &[Atom], before: &Subst, mgu: &Subst) -> bool {
+        if !self.check_typing {
+            return true;
+        }
+        let after = before.compose(mgu);
+        let conflicts_before = conflicts(occurrences, before);
+        let conflicts_after = conflicts(occurrences, &after);
+        conflicts_after.is_subset(&conflicts_before)
+    }
+}
+
+/// The set of (predicate, variable) pairs where the variable occurs at two
+/// or more distinct argument positions across the substituted occurrences.
+fn conflicts(occurrences: &[Atom], subst: &Subst) -> BTreeSet<(String, Var)> {
+    let mut position_of: HashMap<(String, Var), usize> = HashMap::new();
+    let mut bad = BTreeSet::new();
+    for atom in occurrences {
+        let a = subst.apply_atom(atom);
+        for (i, t) in a.args.iter().enumerate() {
+            if let Term::Var(v) = t {
+                let key = (a.pred.to_string(), v.clone());
+                match position_of.get(&key) {
+                    Some(&p) if p != i => {
+                        bad.insert(key);
+                    }
+                    Some(_) => {}
+                    None => {
+                        position_of.insert(key, i);
+                    }
+                }
+            }
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TransformPolicy;
+    use crate::transform::transform_idb;
+    use qdk_engine::Idb;
+    use qdk_logic::parser::{parse_atom, parse_body, parse_program};
+
+    fn tidb(src: &str, policy: TransformPolicy) -> TransformedIdb {
+        let idb = Idb::from_rules(parse_program(src).unwrap().rules).unwrap();
+        transform_idb(&idb, policy).unwrap()
+    }
+
+    fn university_src() -> &'static str {
+        "honor(X) :- student(X, Y, Z), Z > 3.7.\n\
+         can_ta(X, Y) :- honor(X), complete(X, Y, Z, U), U > 3.3, taught(V, Y, Z, W), teach(V, Y).\n\
+         can_ta(X, Y) :- honor(X), complete(X, Y, Z, 4.0)."
+    }
+
+    #[test]
+    fn no_hypothesis_yields_no_deep_answers() {
+        // With an empty hypothesis nothing can identify: all rules are
+        // unproductive and enumeration returns no raw answers (the driver
+        // supplies the one-level answers).
+        let t = tidb(university_src(), TransformPolicy::PreferModified);
+        let opts = DescribeOptions::default();
+        let mut e = Enumerator::new(&t, &[], false, &opts);
+        let (answers, productive) = e.enumerate(&parse_atom("honor(X)").unwrap()).unwrap();
+        assert!(answers.is_empty());
+        assert!(productive.is_empty());
+    }
+
+    #[test]
+    fn identification_inside_expansion() {
+        // describe can_ta(X, Y) where honor(X): rule bodies' honor(X)
+        // leaves identify; both rules are productive.
+        let t = tidb(university_src(), TransformPolicy::PreferModified);
+        let opts = DescribeOptions::default();
+        let hyp = parse_body("honor(H)").unwrap();
+        let mut e = Enumerator::new(&t, &hyp, false, &opts);
+        let (answers, productive) = e.enumerate(&parse_atom("can_ta(X, Y)").unwrap()).unwrap();
+        assert_eq!(productive.len(), 2);
+        // Each rule yields exactly one hypothesis-using derivation (honor
+        // identified), since nothing else matches.
+        assert_eq!(answers.len(), 2);
+        for a in &answers {
+            assert_eq!(a.used.len(), 1);
+            assert!(a.root_rule.is_some());
+            // honor does not appear among the leaves (it was identified).
+            assert!(a.leaves.iter().all(|l| l.pred != "honor"));
+        }
+    }
+
+    #[test]
+    fn unproductive_subtree_is_cut() {
+        // describe can_ta(X, Y) where student(S, M, G): honor's expansion
+        // (student ∧ gpa) can identify the student atom — the subtree IS
+        // productive. But with a hypothesis matching nothing inside honor,
+        // honor must stay an unexpanded leaf.
+        let t = tidb(university_src(), TransformPolicy::PreferModified);
+        let opts = DescribeOptions::default();
+        let hyp = parse_body("teach(susan, C)").unwrap();
+        let mut e = Enumerator::new(&t, &hyp, false, &opts);
+        let (answers, _) = e.enumerate(&parse_atom("can_ta(X, Y)").unwrap()).unwrap();
+        // Only rule 1 mentions teach; its derivation keeps honor as a leaf
+        // (never expanded — expanding it would identify nothing).
+        assert_eq!(answers.len(), 1);
+        let a = &answers[0];
+        assert!(a.leaves.iter().any(|l| l.pred == "honor"));
+        assert!(a.leaves.iter().all(|l| l.pred != "student"));
+        assert!(a.leaves.iter().all(|l| l.pred != "teach"));
+    }
+
+    #[test]
+    fn nested_identification_through_expansion() {
+        // describe can_ta(X, databases) where student(X, math, V), V > 3.7
+        // (Example 3): honor expands, its student leaf identifies, its
+        // comparison becomes a leaf.
+        let t = tidb(university_src(), TransformPolicy::PreferModified);
+        let opts = DescribeOptions::default();
+        let hyp = parse_body("student(X, math, V), V > 3.7").unwrap();
+        let mut e = Enumerator::new(&t, &hyp, false, &opts);
+        let (answers, productive) = e
+            .enumerate(&parse_atom("can_ta(X, databases)").unwrap())
+            .unwrap();
+        assert_eq!(productive.len(), 2);
+        // Every answer identified the student hypothesis (index 0).
+        assert!(answers.iter().all(|a| a.used.contains(&0)));
+        // Some answer from rule 0 contains the (Z > 3.7) comparison leaf
+        // from honor's definition.
+        assert!(answers
+            .iter()
+            .any(|a| a.leaves.iter().any(|l| l.pred == ">")));
+    }
+
+    #[test]
+    fn tags_bound_recursive_applications() {
+        let t = tidb(
+            "prior(X, Y) :- prereq(X, Y).\n\
+             prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
+            TransformPolicy::AlwaysArtificial,
+        );
+        let opts = DescribeOptions::default();
+        let hyp = parse_body("prior(databases, Y)").unwrap();
+        let mut e = Enumerator::new(&t, &hyp, true, &opts);
+        // Terminates (no budget needed) — the whole point of Algorithm 2.
+        let (answers, _) = e.enumerate(&parse_atom("prior(X, Y)").unwrap()).unwrap();
+        assert!(!answers.is_empty());
+        // Root identification is among them.
+        assert!(answers.iter().any(|a| a.root_rule.is_none()));
+    }
+
+    #[test]
+    fn untransformed_recursion_diverges_until_budget() {
+        let t = tidb(
+            "prior(X, Y) :- prereq(X, Y).\n\
+             prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
+            TransformPolicy::None,
+        );
+        let opts = DescribeOptions::default().with_budget(20_000);
+        let hyp = parse_body("prior(databases, Y)").unwrap();
+        let mut e = Enumerator::new(&t, &hyp, false, &opts);
+        let err = e
+            .enumerate(&parse_atom("prior(X, Y)").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, DescribeError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn untransformed_recursion_with_depth_bound_shows_chain_family() {
+        let t = tidb(
+            "prior(X, Y) :- prereq(X, Y).\n\
+             prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
+            TransformPolicy::None,
+        );
+        let opts = DescribeOptions::default().with_max_depth(6);
+        let hyp = parse_body("prior(databases, Y)").unwrap();
+        let mut e = Enumerator::new(&t, &hyp, false, &opts);
+        let (answers, _) = e.enumerate(&parse_atom("prior(X, Y)").unwrap()).unwrap();
+        // One chain answer per depth: prereq(X, db); prereq(X,Z1) ∧
+        // prereq(Z1, db); … — the deeper the bound, the more answers.
+        let chain_answers = answers.iter().filter(|a| a.root_rule.is_some()).count();
+        assert!(chain_answers >= 3, "got {chain_answers}");
+    }
+
+    #[test]
+    fn typing_check_blocks_example7_loops() {
+        let t = tidb(
+            "prior(X, Y) :- prereq(X, Y).\n\
+             prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
+            TransformPolicy::None,
+        );
+        // Hypothesis prior(X, databases) — Example 7. With typing checks
+        // and a depth bound, no prereq-loop answers appear.
+        let opts = DescribeOptions::default().with_max_depth(6);
+        let hyp = parse_body("prior(X, databases)").unwrap();
+        let mut e = Enumerator::new(&t, &hyp, true, &opts);
+        let (answers, _) = e.enumerate(&parse_atom("prior(X, Y)").unwrap()).unwrap();
+        for a in &answers {
+            // No leaf may be a prereq atom whose two arguments were forced
+            // to the same variable, or that closes a loop back to X.
+            for l in &a.leaves {
+                let l = a.subst.apply_atom(l);
+                if l.pred == "prereq" {
+                    assert_ne!(l.args[0], l.args[1], "unsound loop: {l}");
+                }
+            }
+        }
+        // The root identification (Y = databases rendering) survives.
+        assert!(answers.iter().any(|a| a.root_rule.is_none()));
+    }
+
+    #[test]
+    fn without_typing_check_example7_loops_appear() {
+        let t = tidb(
+            "prior(X, Y) :- prereq(X, Y).\n\
+             prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
+            TransformPolicy::None,
+        );
+        let opts = DescribeOptions::default().with_max_depth(6);
+        let hyp = parse_body("prior(X, databases)").unwrap();
+        let mut e = Enumerator::new(&t, &hyp, false, &opts);
+        let (answers, _) = e.enumerate(&parse_atom("prior(X, Y)").unwrap()).unwrap();
+        let mut found_loop = false;
+        for a in &answers {
+            for l in &a.leaves {
+                let l = a.subst.apply_atom(l);
+                if l.pred == "prereq" && l.args[0] == l.args[1] {
+                    found_loop = true;
+                }
+            }
+        }
+        assert!(found_loop, "expected the paper's unsound prereq(X, X) leaf");
+    }
+
+    #[test]
+    fn untyped_rule_application_is_capped() {
+        let t = tidb(
+            "reach(X, Y) :- edge(X, Y).\n\
+             reach(X, Y) :- reach(Y, X).",
+            TransformPolicy::PreferModified,
+        );
+        let opts = DescribeOptions::default(); // limit 1
+        let hyp = parse_body("reach(B, A)").unwrap();
+        let mut e = Enumerator::new(&t, &hyp, true, &opts);
+        // Terminates despite the symmetric rule; finds the derivation that
+        // applies it once and identifies the flipped hypothesis.
+        let (answers, _) = e.enumerate(&parse_atom("reach(A, B)").unwrap()).unwrap();
+        assert!(answers
+            .iter()
+            .any(|a| a.root_rule.is_some() && a.leaves.is_empty() && !a.used.is_empty()));
+    }
+
+    #[test]
+    fn budget_counts_work() {
+        let t = tidb(university_src(), TransformPolicy::PreferModified);
+        let opts = DescribeOptions::default();
+        let hyp = parse_body("honor(H)").unwrap();
+        let mut e = Enumerator::new(&t, &hyp, false, &opts);
+        e.enumerate(&parse_atom("can_ta(X, Y)").unwrap()).unwrap();
+        assert!(e.ops() > 0);
+    }
+
+    #[test]
+    fn same_hypothesis_index_identifies_in_two_sibling_subtrees() {
+        // Regression: productivity of an expansion is judged on the
+        // subtree's own identifications — a subtree re-identifying an
+        // index an earlier sibling already used must not be cut.
+        let t = tidb(
+            "p(X) :- a(X), b(X).\n\
+             a(X) :- e(X), f(X).\n\
+             b(X) :- e(X), g(X).",
+            TransformPolicy::PreferModified,
+        );
+        let opts = DescribeOptions::default();
+        let hyp = parse_body("e(H)").unwrap();
+        let mut en = Enumerator::new(&t, &hyp, false, &opts);
+        let (answers, _) = en.enumerate(&parse_atom("p(X)").unwrap()).unwrap();
+        // The both-expanded derivation exists: leaves f and g only.
+        assert!(
+            answers.iter().any(|a| {
+                let preds: Vec<&str> =
+                    a.leaves.iter().map(|l| l.pred.as_str()).collect();
+                preds == ["f", "g"]
+            }),
+            "missing double-identification derivation"
+        );
+    }
+}

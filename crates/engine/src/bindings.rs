@@ -1,0 +1,532 @@
+//! Rule-body evaluation: scheduling and joining.
+//!
+//! Bottom-up evaluation fires a rule by finding every substitution that
+//! satisfies its body against the current facts. This module provides:
+//!
+//! * [`DerivedFacts`] — a store of derived (IDB) facts, one [`Relation`]
+//!   per predicate;
+//! * [`FactView`] — a composite read view over the EDB, the derived store,
+//!   and (for semi-naive evaluation) a delta override for one body
+//!   occurrence;
+//! * [`eval_body`] — the scheduler/join: orders body literals so that each
+//!   is evaluable when reached (positive database literals first by bound
+//!   count, comparisons as soon as ground, negations once ground), then
+//!   enumerates substitutions.
+
+use crate::error::{EngineError, Result};
+use qdk_logic::{Atom, Literal, Rule, Subst, Sym, Term};
+use qdk_storage::{builtins, Edb, Relation, Tuple, Value};
+use std::collections::HashMap;
+
+/// A store of derived facts for IDB predicates.
+#[derive(Clone, Debug, Default)]
+pub struct DerivedFacts {
+    relations: HashMap<Sym, Relation>,
+}
+
+impl DerivedFacts {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        DerivedFacts::default()
+    }
+
+    /// Inserts a derived fact tuple; returns `true` if new.
+    pub fn insert(&mut self, pred: &Sym, tuple: Tuple) -> bool {
+        let arity = tuple.arity();
+        self.relations
+            .entry(pred.clone())
+            .or_insert_with(|| Relation::new(pred.clone(), arity))
+            .insert(tuple)
+    }
+
+    /// The relation for a predicate, if any facts have been derived.
+    pub fn relation(&self, pred: &str) -> Option<&Relation> {
+        self.relations.get(pred)
+    }
+
+    /// Iterates over (predicate, relation) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Sym, &Relation)> {
+        self.relations.iter()
+    }
+
+    /// Total number of derived facts.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// True if nothing has been derived.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merges every fact of `other` into `self`, returning how many were new.
+    pub fn absorb(&mut self, other: &DerivedFacts) -> usize {
+        let mut added = 0;
+        for (pred, rel) in other.iter() {
+            for t in rel.iter() {
+                if self.insert(pred, t.clone()) {
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+}
+
+/// A read view combining the EDB, a derived-facts store, and (optionally)
+/// a delta override: when `delta_occurrence` is `Some(i)`, the body atom at
+/// position `i` of the rule under evaluation reads from `delta` instead of
+/// the full derived store (the semi-naive "one occurrence reads the delta"
+/// rewrite).
+pub struct FactView<'a> {
+    edb: &'a Edb,
+    derived: &'a DerivedFacts,
+    delta: Option<&'a DerivedFacts>,
+    delta_occurrence: Option<usize>,
+}
+
+impl<'a> FactView<'a> {
+    /// A view over the EDB and the full derived store.
+    pub fn total(edb: &'a Edb, derived: &'a DerivedFacts) -> Self {
+        FactView {
+            edb,
+            derived,
+            delta: None,
+            delta_occurrence: None,
+        }
+    }
+
+    /// A view where body occurrence `occurrence` reads from `delta`.
+    pub fn with_delta(
+        edb: &'a Edb,
+        derived: &'a DerivedFacts,
+        delta: &'a DerivedFacts,
+        occurrence: usize,
+    ) -> Self {
+        FactView {
+            edb,
+            derived,
+            delta: Some(delta),
+            delta_occurrence: Some(occurrence),
+        }
+    }
+
+    /// Extends `subst` in all ways making `atom` (the body literal at
+    /// `occurrence`) true, appending to `out`.
+    fn match_atom(
+        &self,
+        occurrence: usize,
+        atom: &Atom,
+        subst: &Subst,
+        out: &mut Vec<Subst>,
+    ) -> Result<()> {
+        if atom.is_builtin() {
+            self.edb.match_atom(atom, subst, out)?;
+            return Ok(());
+        }
+        if self.edb.is_edb_predicate(atom.pred.as_str()) {
+            self.edb.match_atom(atom, subst, out)?;
+            return Ok(());
+        }
+        // IDB predicate: read from delta or the derived store.
+        let store = if self.delta_occurrence == Some(occurrence) {
+            self.delta.expect("delta set with occurrence")
+        } else {
+            self.derived
+        };
+        let Some(rel) = store.relation(atom.pred.as_str()) else {
+            return Ok(()); // nothing derived yet
+        };
+        match_relation(rel, atom, subst, out);
+        Ok(())
+    }
+
+    /// True when a ground atom holds in this view (used for negation).
+    fn holds_ground(&self, atom: &Atom, subst: &Subst) -> Result<bool> {
+        let mut out = Vec::new();
+        self.match_atom(usize::MAX, atom, subst, &mut out)?;
+        Ok(!out.is_empty())
+    }
+}
+
+/// Matches an atom against a relation, extending `subst` per tuple.
+pub(crate) fn match_relation(rel: &Relation, atom: &Atom, subst: &Subst, out: &mut Vec<Subst>) {
+    if atom.arity() != rel.arity() {
+        return;
+    }
+    let resolved: Vec<Term> = atom.args.iter().map(|t| subst.apply_term(t)).collect();
+    let pattern: Vec<Option<Value>> = resolved.iter().map(|t| t.as_const().cloned()).collect();
+    'tuples: for tuple in rel.select(&pattern) {
+        let mut s = subst.clone();
+        for (term, value) in resolved.iter().zip(tuple.values()) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(v) => match s.apply_term(&Term::Var(v.clone())) {
+                    Term::Const(c) => {
+                        if &c != value {
+                            continue 'tuples;
+                        }
+                    }
+                    Term::Var(w) => {
+                        s.bind(w, Term::Const(value.clone()));
+                    }
+                },
+            }
+        }
+        out.push(s);
+    }
+}
+
+/// True if a term is ground after applying the substitution.
+fn ground_under(t: &Term, s: &Subst) -> bool {
+    s.apply_term(t).is_ground()
+}
+
+/// Scheduling state of one body literal.
+#[derive(Clone, Copy, PartialEq)]
+enum LitState {
+    Pending,
+    Done,
+}
+
+/// Evaluates a rule body, calling `emit` with every satisfying
+/// substitution (extending `start`).
+///
+/// Scheduling: repeatedly pick the next evaluable pending literal —
+/// an equality with at least one ground side, any other comparison with
+/// both sides ground, a negation with all arguments ground, or the
+/// positive database literal with the most bound arguments. If only
+/// never-evaluable literals remain, the rule is unsafe.
+pub fn eval_body(
+    rule: &Rule,
+    view: &FactView<'_>,
+    start: &Subst,
+    emit: &mut dyn FnMut(Subst),
+) -> Result<()> {
+    let body = &rule.body;
+    let mut state = vec![LitState::Pending; body.len()];
+    eval_rec(rule, body, &mut state, view, start.clone(), emit)
+}
+
+fn eval_rec(
+    rule: &Rule,
+    body: &[Literal],
+    state: &mut Vec<LitState>,
+    view: &FactView<'_>,
+    subst: Subst,
+    emit: &mut dyn FnMut(Subst),
+) -> Result<()> {
+    // Find the next literal to evaluate.
+    let mut choice: Option<usize> = None;
+    let mut best_bound = usize::MAX;
+    for (i, lit) in body.iter().enumerate() {
+        if state[i] == LitState::Done {
+            continue;
+        }
+        if lit.is_builtin() {
+            let l = &lit.atom.args[0];
+            let r = &lit.atom.args[1];
+            let lg = ground_under(l, &subst);
+            let rg = ground_under(r, &subst);
+            let evaluable = if lit.positive && lit.atom.pred.as_str() == "=" {
+                lg || rg
+            } else {
+                lg && rg
+            };
+            if evaluable {
+                choice = Some(i);
+                break; // comparisons are cheap: do them first
+            }
+        } else if lit.positive {
+            let bound = lit
+                .atom
+                .args
+                .iter()
+                .filter(|t| ground_under(t, &subst))
+                .count();
+            let unbound = lit.atom.arity() - bound;
+            if choice.is_none() || unbound < best_bound {
+                // Prefer the literal with fewest unbound arguments; but a
+                // builtin chosen above short-circuits.
+                if body[i].is_builtin() {
+                    continue;
+                }
+                choice = Some(i);
+                best_bound = unbound;
+            }
+        } else {
+            // Negative database literal: evaluable once ground.
+            let all_ground = lit.atom.args.iter().all(|t| ground_under(t, &subst));
+            if all_ground {
+                choice = Some(i);
+                break;
+            }
+        }
+    }
+
+    let Some(i) = choice else {
+        // No pending literal is evaluable. If none are pending, succeed.
+        if state.iter().all(|s| *s == LitState::Done) {
+            emit(subst);
+            return Ok(());
+        }
+        let stuck = body
+            .iter()
+            .zip(state.iter())
+            .find(|(_, s)| **s == LitState::Pending)
+            .map(|(l, _)| l.to_string())
+            .unwrap_or_default();
+        return Err(EngineError::UnsafeRule {
+            rule: rule.to_string(),
+            literal: stuck,
+        });
+    };
+
+    state[i] = LitState::Done;
+    let lit = &body[i];
+    let result = (|| -> Result<()> {
+        if lit.is_builtin() && lit.positive && lit.atom.pred.as_str() == "=" {
+            // Equality may bind: unify both sides under subst.
+            let l = subst.apply_term(&lit.atom.args[0]);
+            let r = subst.apply_term(&lit.atom.args[1]);
+            match qdk_logic::unify(&l, &r) {
+                Some(u) => {
+                    let combined = subst.compose(&u);
+                    eval_rec(rule, body, state, view, combined, emit)
+                }
+                None => Ok(()),
+            }
+        } else if lit.is_builtin() {
+            let res = builtins::eval_atom(&lit.atom, &subst).map_err(EngineError::from)?;
+            let truth = res.expect("scheduled comparison is ground");
+            let holds = if lit.positive { truth } else { !truth };
+            if holds {
+                eval_rec(rule, body, state, view, subst, emit)
+            } else {
+                Ok(())
+            }
+        } else if lit.positive {
+            let mut exts = Vec::new();
+            view.match_atom(i, &lit.atom, &subst, &mut exts)?;
+            for s in exts {
+                eval_rec(rule, body, state, view, s, emit)?;
+            }
+            Ok(())
+        } else {
+            // Ground negation: closed-world test against the view.
+            if view.holds_ground(&lit.atom, &subst)? {
+                Ok(())
+            } else {
+                eval_rec(rule, body, state, view, subst, emit)
+            }
+        }
+    })();
+    state[i] = LitState::Pending;
+    result
+}
+
+/// Fires a rule once against a view: evaluates the body and instantiates
+/// the head for every satisfying substitution, inserting new head tuples
+/// into `out`. Returns the number of new tuples.
+pub(crate) fn fire_rule(
+    rule: &Rule,
+    view: &FactView<'_>,
+    out: &mut DerivedFacts,
+) -> Result<usize> {
+    let mut added = 0;
+    let head = &rule.head;
+    let mut err: Option<EngineError> = None;
+    let mut emit = |s: Subst| {
+        let inst = s.apply_atom(head);
+        if !inst.is_ground() {
+            // Range-restriction violation surfaced as unsafety.
+            if err.is_none() {
+                err = Some(EngineError::UnsafeRule {
+                    rule: rule.to_string(),
+                    literal: inst.to_string(),
+                });
+            }
+            return;
+        }
+        let tuple: Tuple = inst
+            .args
+            .iter()
+            .map(|t| t.as_const().expect("ground").clone())
+            .collect();
+        if out.insert(&head.pred, tuple) {
+            added += 1;
+        }
+    };
+    eval_body(rule, view, &Subst::new(), &mut emit)?;
+    if let Some(e) = err {
+        return Err(e);
+    }
+    Ok(added)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdk_logic::parser::{parse_atom, parse_rule};
+
+    fn edb() -> Edb {
+        let mut edb = Edb::new();
+        edb.declare("student", &["Sname", "Major", "Gpa"]).unwrap();
+        edb.declare("enroll", &["Sname", "Ctitle"]).unwrap();
+        for f in [
+            "student(ann, math, 3.9)",
+            "student(bob, physics, 3.5)",
+            "student(cara, math, 3.8)",
+            "enroll(ann, databases)",
+            "enroll(bob, databases)",
+            "enroll(cara, calculus)",
+        ] {
+            edb.insert_fact(&parse_atom(f).unwrap()).unwrap();
+        }
+        edb
+    }
+
+    fn all_substs(rule: &Rule, view: &FactView<'_>) -> Vec<Subst> {
+        let mut out = Vec::new();
+        eval_body(rule, view, &Subst::new(), &mut |s| out.push(s)).unwrap();
+        out
+    }
+
+    #[test]
+    fn join_two_edb_atoms_with_comparison() {
+        let edb = edb();
+        let derived = DerivedFacts::new();
+        let view = FactView::total(&edb, &derived);
+        let rule =
+            parse_rule("ans(X) :- student(X, math, G), enroll(X, C), G > 3.7.").unwrap();
+        let substs = all_substs(&rule, &view);
+        let names: Vec<String> = substs
+            .iter()
+            .map(|s| s.apply_term(&Term::var("X")).to_string())
+            .collect();
+        assert_eq!(names.len(), 2);
+        assert!(names.contains(&"ann".to_string()));
+        assert!(names.contains(&"cara".to_string()));
+    }
+
+    #[test]
+    fn comparison_scheduled_after_binding() {
+        // Comparison appears first in source order but must wait for G.
+        let edb = edb();
+        let derived = DerivedFacts::new();
+        let view = FactView::total(&edb, &derived);
+        let rule = parse_rule("ans(X) :- G > 3.7, student(X, math, G).").unwrap();
+        assert_eq!(all_substs(&rule, &view).len(), 2);
+    }
+
+    #[test]
+    fn equality_binds_a_variable() {
+        let edb = edb();
+        let derived = DerivedFacts::new();
+        let view = FactView::total(&edb, &derived);
+        let rule = parse_rule("ans(X, C) :- C = databases, enroll(X, C).").unwrap();
+        assert_eq!(all_substs(&rule, &view).len(), 2);
+    }
+
+    #[test]
+    fn unsafe_rule_is_reported() {
+        let edb = edb();
+        let derived = DerivedFacts::new();
+        let view = FactView::total(&edb, &derived);
+        // W never becomes bound.
+        let rule = parse_rule("ans(X) :- student(X, Y, Z), W > 3.7.").unwrap();
+        let mut out = Vec::new();
+        let err = eval_body(&rule, &view, &Subst::new(), &mut |s| out.push(s)).unwrap_err();
+        assert!(matches!(err, EngineError::UnsafeRule { .. }));
+    }
+
+    #[test]
+    fn negation_filters_ground_instances() {
+        let edb = edb();
+        let derived = DerivedFacts::new();
+        let view = FactView::total(&edb, &derived);
+        let rule = parse_rule("ans(X) :- student(X, Y, Z), not enroll(X, databases).").unwrap();
+        let substs = all_substs(&rule, &view);
+        let names: Vec<String> = substs
+            .iter()
+            .map(|s| s.apply_term(&Term::var("X")).to_string())
+            .collect();
+        assert_eq!(names, ["cara"]);
+    }
+
+    #[test]
+    fn idb_atoms_read_from_derived_store() {
+        let edb = edb();
+        let mut derived = DerivedFacts::new();
+        derived.insert(
+            &Sym::new("honor"),
+            Tuple::new(vec![Value::sym("ann")]),
+        );
+        let view = FactView::total(&edb, &derived);
+        let rule = parse_rule("ans(X) :- honor(X), enroll(X, databases).").unwrap();
+        assert_eq!(all_substs(&rule, &view).len(), 1);
+    }
+
+    #[test]
+    fn delta_override_restricts_one_occurrence() {
+        let edb = edb();
+        let mut derived = DerivedFacts::new();
+        derived.insert(&Sym::new("honor"), Tuple::new(vec![Value::sym("ann")]));
+        derived.insert(&Sym::new("honor"), Tuple::new(vec![Value::sym("cara")]));
+        let mut delta = DerivedFacts::new();
+        delta.insert(&Sym::new("honor"), Tuple::new(vec![Value::sym("cara")]));
+        // Occurrence 0 is the honor atom.
+        let view = FactView::with_delta(&edb, &derived, &delta, 0);
+        let rule = parse_rule("ans(X) :- honor(X), student(X, M, G).").unwrap();
+        let substs = all_substs(&rule, &view);
+        let names: Vec<String> = substs
+            .iter()
+            .map(|s| s.apply_term(&Term::var("X")).to_string())
+            .collect();
+        assert_eq!(names, ["cara"]);
+    }
+
+    #[test]
+    fn fire_rule_inserts_head_tuples() {
+        let edb = edb();
+        let derived = DerivedFacts::new();
+        let view = FactView::total(&edb, &derived);
+        let rule = parse_rule("honor(X) :- student(X, Y, Z), Z > 3.7.").unwrap();
+        let mut out = DerivedFacts::new();
+        let added = fire_rule(&rule, &view, &mut out).unwrap();
+        assert_eq!(added, 2);
+        assert_eq!(out.relation("honor").unwrap().len(), 2);
+        // Firing again adds nothing new.
+        let view2 = FactView::total(&edb, &derived);
+        assert_eq!(fire_rule(&rule, &view2, &mut out).unwrap(), 0);
+    }
+
+    #[test]
+    fn fire_rule_rejects_non_ground_head() {
+        let edb = edb();
+        let derived = DerivedFacts::new();
+        let view = FactView::total(&edb, &derived);
+        // Head variable W not bound by body.
+        let rule = parse_rule("bad(X, W) :- student(X, Y, Z).").unwrap();
+        let mut out = DerivedFacts::new();
+        assert!(matches!(
+            fire_rule(&rule, &view, &mut out),
+            Err(EngineError::UnsafeRule { .. })
+        ));
+    }
+
+    #[test]
+    fn absorb_merges_stores() {
+        let mut a = DerivedFacts::new();
+        a.insert(&Sym::new("p"), Tuple::new(vec![Value::Int(1)]));
+        let mut b = DerivedFacts::new();
+        b.insert(&Sym::new("p"), Tuple::new(vec![Value::Int(1)]));
+        b.insert(&Sym::new("p"), Tuple::new(vec![Value::Int(2)]));
+        assert_eq!(a.absorb(&b), 1);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,88 @@
+//! Engine errors.
+
+use qdk_storage::StorageError;
+use std::fmt;
+
+/// Errors raised by IDB construction and query evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// A rule's head was a built-in comparison predicate.
+    BuiltinHead(String),
+    /// A storage-layer error (unknown predicate, arity mismatch, …).
+    Storage(StorageError),
+    /// A rule is unsafe: a literal could not be scheduled because its
+    /// variables can never become bound (e.g. a comparison over variables
+    /// that appear in no positive database literal).
+    UnsafeRule {
+        /// The offending rule.
+        rule: String,
+        /// The literal that could not be scheduled.
+        literal: String,
+    },
+    /// A negative literal's predicate depends on itself through negation
+    /// (the program is not stratified).
+    NotStratified(String),
+    /// A predicate is used with two different arities.
+    InconsistentArity {
+        /// Predicate involved.
+        predicate: String,
+        /// Arities observed.
+        arities: (usize, usize),
+    },
+    /// A query subject used a predicate that is neither stored, derived,
+    /// nor defined by the query itself.
+    UnknownSubject(String),
+    /// Evaluation exceeded the configured work budget (used by callers
+    /// that demonstrate non-termination, e.g. Example 8).
+    BudgetExhausted {
+        /// The budget that was exceeded (number of rule firings).
+        budget: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::BuiltinHead(h) => {
+                write!(f, "a built-in comparison cannot head a rule: {h}")
+            }
+            EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::UnsafeRule { rule, literal } => {
+                write!(f, "unsafe rule {rule}: cannot schedule literal {literal}")
+            }
+            EngineError::NotStratified(p) => {
+                write!(f, "program is not stratified: {p} depends on itself through negation")
+            }
+            EngineError::InconsistentArity { predicate, arities } => write!(
+                f,
+                "predicate {predicate} used with arities {} and {}",
+                arities.0, arities.1
+            ),
+            EngineError::UnknownSubject(p) => write!(
+                f,
+                "subject predicate {p} is not stored, derived, or defined by the query"
+            ),
+            EngineError::BudgetExhausted { budget } => {
+                write!(f, "evaluation exceeded work budget of {budget} rule firings")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;

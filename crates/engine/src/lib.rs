@@ -1,0 +1,37 @@
+//! Deductive *retrieve* engine for the *Querying Database Knowledge*
+//! reproduction.
+//!
+//! The paper's `retrieve` statement (§3.1) is the standard data-query
+//! mechanism of knowledge-rich database systems: it applies the IDB rules
+//! to the EDB facts and returns data. This crate implements that substrate:
+//!
+//! * [`Idb`] — the intensional database: rules grouped by head predicate;
+//! * [`graph::DependencyGraph`] — predicate dependencies, Tarjan SCCs,
+//!   recursion detection (§2.1's *dependent* / *mutually dependent*);
+//! * [`analysis`] — per-rule linearity / strong linearity / typedness
+//!   checks and whole-IDB validation of the paper's assumptions;
+//! * [`stratify`] — stratification for the (extension) negation support;
+//! * evaluation strategies: [`naive`] and [`seminaive`] bottom-up, and
+//!   [`topdown`] goal-directed evaluation (relevance-restricted, per-SCC
+//!   fixpoints);
+//! * [`query`] — the `retrieve p where ψ` statement itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod bindings;
+mod error;
+pub mod graph;
+pub mod magic;
+mod idb;
+pub mod naive;
+pub mod query;
+pub mod seminaive;
+pub mod stratify;
+pub mod topdown;
+
+pub use bindings::{DerivedFacts, FactView};
+pub use error::{EngineError, Result};
+pub use idb::Idb;
+pub use query::{retrieve, DataAnswer, Retrieve, Strategy};

@@ -1,0 +1,239 @@
+//! Naive bottom-up evaluation.
+//!
+//! The textbook baseline: fire every rule against the full current fact
+//! set until a fixpoint is reached. Correct, simple — and it re-derives
+//! every fact on every iteration, which is what semi-naive evaluation
+//! avoids. Kept both as the reference implementation the others are tested
+//! against and as the baseline for the P1 performance experiment.
+
+use crate::bindings::{fire_rule, DerivedFacts, FactView};
+use crate::error::Result;
+use crate::idb::Idb;
+use crate::stratify::stratify;
+use qdk_logic::Sym;
+use qdk_storage::Edb;
+
+/// Options controlling a bottom-up run.
+#[derive(Clone, Copy, Debug)]
+#[derive(Default)]
+pub struct EvalOptions {
+    /// Abort with [`crate::EngineError::BudgetExhausted`] after this many
+    /// rule firings (`None` = unlimited). Used to demonstrate runaway
+    /// evaluations without hanging the process.
+    pub budget: Option<u64>,
+}
+
+
+/// Computes the least fixpoint of the IDB over the EDB naively, stratum by
+/// stratum. Returns all derived facts.
+pub fn eval(edb: &Edb, idb: &Idb) -> Result<DerivedFacts> {
+    eval_with(edb, idb, EvalOptions::default())
+}
+
+/// [`eval`] with options.
+pub fn eval_with(edb: &Edb, idb: &Idb, opts: EvalOptions) -> Result<DerivedFacts> {
+    let strat = stratify(idb)?;
+    let mut derived = DerivedFacts::new();
+    let mut firings: u64 = 0;
+    for stratum in strat.strata() {
+        loop {
+            let mut added = 0;
+            for rule in idb.rules() {
+                if !stratum.contains(&rule.head.pred) {
+                    continue;
+                }
+                check_budget(&mut firings, opts)?;
+                let mut fresh = DerivedFacts::new();
+                {
+                    let view = FactView::total(edb, &derived);
+                    fire_rule(rule, &view, &mut fresh)?;
+                }
+                added += derived.absorb(&fresh);
+            }
+            if added == 0 {
+                break;
+            }
+        }
+    }
+    Ok(derived)
+}
+
+/// Like [`eval_with`], but restricted to the given predicates (used by the
+/// goal-directed strategy to skip irrelevant rules).
+pub fn eval_restricted(
+    edb: &Edb,
+    idb: &Idb,
+    relevant: &[Sym],
+    opts: EvalOptions,
+) -> Result<DerivedFacts> {
+    let strat = stratify(idb)?;
+    let mut derived = DerivedFacts::new();
+    let mut firings: u64 = 0;
+    for stratum in strat.strata() {
+        loop {
+            let mut added = 0;
+            for rule in idb.rules() {
+                if !stratum.contains(&rule.head.pred) || !relevant.contains(&rule.head.pred) {
+                    continue;
+                }
+                check_budget(&mut firings, opts)?;
+                let mut fresh = DerivedFacts::new();
+                {
+                    let view = FactView::total(edb, &derived);
+                    fire_rule(rule, &view, &mut fresh)?;
+                }
+                added += derived.absorb(&fresh);
+            }
+            if added == 0 {
+                break;
+            }
+        }
+    }
+    Ok(derived)
+}
+
+fn check_budget(firings: &mut u64, opts: EvalOptions) -> Result<()> {
+    *firings += 1;
+    if let Some(b) = opts.budget {
+        if *firings > b {
+            return Err(crate::EngineError::BudgetExhausted { budget: b });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdk_logic::parser::{parse_atom, parse_program};
+    use qdk_storage::Value;
+
+    fn chain_edb(n: usize) -> Edb {
+        let mut edb = Edb::new();
+        edb.declare("prereq", &["Ctitle", "Ptitle"]).unwrap();
+        for i in 0..n {
+            edb.insert_fact(&parse_atom(&format!("prereq(c{}, c{})", i + 1, i)).unwrap())
+                .unwrap();
+        }
+        edb
+    }
+
+    fn prior_idb() -> Idb {
+        Idb::from_rules(
+            parse_program(
+                "prior(X, Y) :- prereq(X, Y).\n\
+                 prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
+            )
+            .unwrap()
+            .rules,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transitive_closure_of_chain() {
+        let edb = chain_edb(5);
+        let derived = eval(&edb, &prior_idb()).unwrap();
+        // A chain of 5 edges has 5+4+3+2+1 = 15 closure pairs.
+        assert_eq!(derived.relation("prior").unwrap().len(), 15);
+    }
+
+    #[test]
+    fn nonrecursive_rules_fire_once() {
+        let mut edb = Edb::new();
+        edb.declare("student", &["S", "M", "G"]).unwrap();
+        edb.insert_fact(&parse_atom("student(ann, math, 3.9)").unwrap())
+            .unwrap();
+        edb.insert_fact(&parse_atom("student(bob, math, 3.5)").unwrap())
+            .unwrap();
+        let idb = Idb::from_rules(
+            parse_program("honor(X) :- student(X, Y, Z), Z > 3.7.")
+                .unwrap()
+                .rules,
+        )
+        .unwrap();
+        let derived = eval(&edb, &idb).unwrap();
+        let honor = derived.relation("honor").unwrap();
+        assert_eq!(honor.len(), 1);
+        assert!(honor.contains(&qdk_storage::Tuple::new(vec![Value::sym("ann")])));
+    }
+
+    #[test]
+    fn stratified_negation_evaluates_lower_first() {
+        let mut edb = Edb::new();
+        edb.declare("student", &["S", "M", "G"]).unwrap();
+        edb.insert_fact(&parse_atom("student(ann, math, 3.9)").unwrap())
+            .unwrap();
+        edb.insert_fact(&parse_atom("student(bob, math, 3.5)").unwrap())
+            .unwrap();
+        let idb = Idb::from_rules(
+            parse_program(
+                "honor(X) :- student(X, Y, Z), Z > 3.7.\n\
+                 ordinary(X) :- student(X, Y, Z), not honor(X).",
+            )
+            .unwrap()
+            .rules,
+        )
+        .unwrap();
+        let derived = eval(&edb, &idb).unwrap();
+        let ordinary = derived.relation("ordinary").unwrap();
+        assert_eq!(ordinary.len(), 1);
+        assert!(ordinary.contains(&qdk_storage::Tuple::new(vec![Value::sym("bob")])));
+    }
+
+    #[test]
+    fn budget_aborts_runaway() {
+        let edb = chain_edb(30);
+        let err = eval_with(
+            &edb,
+            &prior_idb(),
+            EvalOptions { budget: Some(3) },
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::EngineError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn restricted_eval_skips_irrelevant() {
+        let edb = chain_edb(3);
+        let idb = Idb::from_rules(
+            parse_program(
+                "prior(X, Y) :- prereq(X, Y).\n\
+                 prior(X, Y) :- prereq(X, Z), prior(Z, Y).\n\
+                 noise(X) :- prereq(X, Y), prereq(Y, X).",
+            )
+            .unwrap()
+            .rules,
+        )
+        .unwrap();
+        let derived = eval_restricted(
+            &edb,
+            &idb,
+            &[Sym::new("prior")],
+            EvalOptions::default(),
+        )
+        .unwrap();
+        assert!(derived.relation("prior").is_some());
+        assert!(derived.relation("noise").is_none());
+    }
+
+    #[test]
+    fn empty_idb_derives_nothing() {
+        let edb = chain_edb(3);
+        let derived = eval(&edb, &Idb::new()).unwrap();
+        assert!(derived.is_empty());
+    }
+
+    #[test]
+    fn cycle_in_data_terminates() {
+        // prereq cycle: closure is finite, evaluation must terminate.
+        let mut edb = Edb::new();
+        edb.declare("prereq", &["C", "P"]).unwrap();
+        for f in ["prereq(a, b)", "prereq(b, c)", "prereq(c, a)"] {
+            edb.insert_fact(&parse_atom(f).unwrap()).unwrap();
+        }
+        let derived = eval(&edb, &prior_idb()).unwrap();
+        // All 9 ordered pairs are in the closure of a 3-cycle.
+        assert_eq!(derived.relation("prior").unwrap().len(), 9);
+    }
+}

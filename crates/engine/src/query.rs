@@ -1,0 +1,548 @@
+//! The `retrieve` statement (§3.1).
+//!
+//! ```text
+//! retrieve p
+//! where ψ
+//! ```
+//!
+//! finds the database values whose substitution for the variables of `p`
+//! and `ψ` satisfies `p ∧ ψ`, retrieving the values of the free variables
+//! (those of `p`). `p` may be an EDB predicate, an IDB predicate, or a new
+//! predicate altogether, in which case it is taken to be defined through
+//! `ψ` (the paper's Example 2 uses the fresh predicate `answer`).
+
+use crate::bindings::match_relation;
+use crate::error::{EngineError, Result};
+use crate::graph::DependencyGraph;
+use crate::idb::Idb;
+use crate::naive::{self, EvalOptions};
+use crate::seminaive;
+use crate::topdown::Solver;
+use qdk_logic::{Atom, Literal, Rule, Subst, Term, Var};
+use qdk_storage::{Edb, Tuple, Value};
+use std::fmt;
+
+/// Evaluation strategy for `retrieve`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Strategy {
+    /// Naive bottom-up (reference baseline).
+    Naive,
+    /// Semi-naive bottom-up over the relevant predicates.
+    #[default]
+    SemiNaive,
+    /// Goal-directed (relevance + constant propagation).
+    TopDown,
+    /// Magic-sets rewriting + semi-naive evaluation of the rewritten
+    /// program. Falls back to semi-naive when the relevant slice uses
+    /// negation (the rewrite covers positive programs).
+    Magic,
+}
+
+/// A parsed `retrieve` statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Retrieve {
+    /// The subject `p`: an atomic formula whose variables are the free
+    /// variables of the query.
+    pub subject: Atom,
+    /// The qualifier `ψ`: a positive formula (extensions allow negation).
+    pub qualifier: Vec<Literal>,
+}
+
+impl Retrieve {
+    /// Creates a retrieve statement.
+    pub fn new(subject: Atom, qualifier: Vec<Literal>) -> Self {
+        Retrieve { subject, qualifier }
+    }
+}
+
+impl fmt::Display for Retrieve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "retrieve {}", self.subject)?;
+        if !self.qualifier.is_empty() {
+            let parts: Vec<String> = self.qualifier.iter().map(ToString::to_string).collect();
+            write!(f, " where {}", parts.join(" and "))?;
+        }
+        Ok(())
+    }
+}
+
+/// The answer to a data query: a header of variables and the retrieved
+/// value rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DataAnswer {
+    /// The free variables, in subject-argument order.
+    pub columns: Vec<Var>,
+    /// The retrieved rows, deduplicated.
+    pub rows: Vec<Tuple>,
+}
+
+impl DataAnswer {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows were retrieved.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// True if some row has exactly the given rendered values (helper for
+    /// tests and examples).
+    pub fn contains_row(&self, values: &[&str]) -> bool {
+        self.rows.iter().any(|t| {
+            t.arity() == values.len()
+                && t.values()
+                    .iter()
+                    .zip(values)
+                    .all(|(v, w)| v.to_string() == *w)
+        })
+    }
+
+    /// Sorted copy of the rows (stable rendering for tests/examples).
+    pub fn sorted(&self) -> Vec<Tuple> {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        rows
+    }
+}
+
+impl fmt::Display for DataAnswer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, v) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, "\t")?;
+            }
+            write!(f, "{v}")?;
+        }
+        if !self.columns.is_empty() {
+            writeln!(f)?;
+        }
+        for row in &self.rows {
+            let vals: Vec<String> = row.values().iter().map(ToString::to_string).collect();
+            writeln!(f, "{}", vals.join("\t"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates a `retrieve` statement.
+pub fn retrieve(edb: &Edb, idb: &Idb, query: &Retrieve, strategy: Strategy) -> Result<DataAnswer> {
+    retrieve_with(edb, idb, query, strategy, EvalOptions::default())
+}
+
+/// [`retrieve`] with evaluation options.
+pub fn retrieve_with(
+    edb: &Edb,
+    idb: &Idb,
+    query: &Retrieve,
+    strategy: Strategy,
+    opts: EvalOptions,
+) -> Result<DataAnswer> {
+    let subject = &query.subject;
+    if subject.is_builtin() {
+        return Err(EngineError::UnknownSubject(subject.pred.to_string()));
+    }
+    let known = edb.is_edb_predicate(subject.pred.as_str()) || idb.defines(subject.pred.as_str());
+    let columns: Vec<Var> = subject.vars();
+
+    // A new subject predicate is defined through the qualifier: its
+    // variables must occur in ψ. The goal conjunction is then just ψ;
+    // otherwise it is p ∧ ψ.
+    let mut goals: Vec<Literal> = Vec::with_capacity(1 + query.qualifier.len());
+    if known {
+        goals.push(Literal::pos(subject.clone()));
+    } else {
+        if query.qualifier.is_empty() {
+            return Err(EngineError::UnknownSubject(subject.pred.to_string()));
+        }
+        let mut qual_vars = Vec::new();
+        for l in &query.qualifier {
+            l.atom.collect_vars(&mut qual_vars);
+        }
+        if let Some(missing) = columns.iter().find(|v| !qual_vars.contains(v)) {
+            return Err(EngineError::UnsafeRule {
+                rule: query.to_string(),
+                literal: missing.to_string(),
+            });
+        }
+    }
+    goals.extend(query.qualifier.iter().cloned());
+
+    let substs = match strategy {
+        Strategy::TopDown => {
+            let mut solver = Solver::with_options(edb, idb, opts);
+            solver.solve_all(&goals)?
+        }
+        Strategy::Magic => {
+            match magic_substs(edb, idb, &columns, &goals, opts) {
+                Ok(s) => s,
+                // Negation in the relevant slice: fall back.
+                Err(EngineError::NotStratified(_)) => {
+                    return retrieve_with(edb, idb, query, Strategy::SemiNaive, opts)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Strategy::Naive | Strategy::SemiNaive => {
+            // Bottom-up: materialize the relevant predicates, then solve the
+            // goal conjunction against EDB + materialized facts.
+            let graph = DependencyGraph::build(idb);
+            let mut relevant = Vec::new();
+            for g in &goals {
+                if g.is_builtin() {
+                    continue;
+                }
+                for p in graph.reachable_from(g.atom.pred.as_str()) {
+                    if !relevant.contains(&p) {
+                        relevant.push(p);
+                    }
+                }
+            }
+            let derived = match strategy {
+                Strategy::Naive => naive::eval_restricted(edb, idb, &relevant, opts)?,
+                _ => seminaive::eval_restricted(edb, idb, &relevant, opts)?,
+            };
+            solve_against(edb, &derived, &goals)?
+        }
+    };
+
+    // Project onto the subject's variables. Constants in the subject are
+    // checked by the goal conjunction itself (p was a goal) or — for a new
+    // predicate — are simply echoed.
+    let mut answer = DataAnswer {
+        columns: columns.clone(),
+        rows: Vec::new(),
+    };
+    let mut seen = std::collections::HashSet::new();
+    for s in substs {
+        let mut row: Vec<Value> = Vec::with_capacity(columns.len());
+        let mut complete = true;
+        for v in &columns {
+            match s.apply_term(&Term::Var(v.clone())) {
+                Term::Const(c) => row.push(c),
+                Term::Var(_) => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if !complete {
+            return Err(EngineError::UnsafeRule {
+                rule: query.to_string(),
+                literal: "free variable not bound by query".to_string(),
+            });
+        }
+        let t = Tuple::new(row);
+        if seen.insert(t.clone()) {
+            answer.rows.push(t);
+        }
+    }
+    Ok(answer)
+}
+
+/// Magic-sets evaluation of a goal conjunction: wrap the goals in a fresh
+/// query rule, rewrite for the query predicate, evaluate the rewritten
+/// program semi-naively, and read the query relation.
+fn magic_substs(
+    edb: &Edb,
+    idb: &Idb,
+    columns: &[Var],
+    goals: &[Literal],
+    opts: EvalOptions,
+) -> Result<Vec<Subst>> {
+    // Collect the goal conjunction's distinct variables (answers project
+    // onto these; `columns` are a subset for known subjects).
+    let mut vars: Vec<Var> = Vec::new();
+    for g in goals {
+        for v in g.atom.vars() {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+    }
+    for v in columns {
+        if !vars.contains(v) {
+            vars.push(v.clone());
+        }
+    }
+    let query_head = Atom::new(
+        "__magic_query",
+        vars.iter().cloned().map(Term::Var).collect(),
+    );
+    let wrapped = idb.extended([Rule::with_literals(query_head.clone(), goals.to_vec())])?;
+    let (pattern, bindings) = crate::magic::query_pattern(&query_head);
+    let rewritten = crate::magic::rewrite(&wrapped, "__magic_query", &pattern, &bindings)?;
+    let facts = seminaive::eval_with(edb, &rewritten.idb, opts)?;
+    let mut out = Vec::new();
+    if let Some(rel) = facts.relation(rewritten.query_pred.as_str()) {
+        for tuple in rel.iter() {
+            let s: Subst = vars
+                .iter()
+                .cloned()
+                .zip(tuple.values().iter().cloned().map(Term::Const))
+                .collect();
+            out.push(s);
+        }
+    }
+    Ok(out)
+}
+
+/// Solves a goal conjunction against the EDB plus a materialized derived
+/// store (no further rule application).
+fn solve_against(
+    edb: &Edb,
+    derived: &crate::bindings::DerivedFacts,
+    goals: &[Literal],
+) -> Result<Vec<Subst>> {
+    // Reuse the body scheduler by evaluating the goals as the body of a
+    // dummy rule against a total view.
+    let dummy = Rule::with_literals(Atom::new("_goal", vec![]), goals.to_vec());
+    let view = crate::bindings::FactView::total(edb, derived);
+    let mut out = Vec::new();
+    crate::bindings::eval_body(&dummy, &view, &Subst::new(), &mut |s| out.push(s))?;
+    // Deduplicate on the goal variables.
+    let mut vars = Vec::new();
+    for g in goals {
+        g.atom.collect_vars(&mut vars);
+    }
+    let mut seen = Vec::new();
+    for v in vars {
+        if !seen.contains(&v) {
+            seen.push(v);
+        }
+    }
+    Ok(out.into_iter().map(|s| s.restrict(&seen)).collect())
+}
+
+/// Looks up the full extension of a predicate after bottom-up evaluation —
+/// a convenience for examples and tests.
+pub fn extension(edb: &Edb, idb: &Idb, pred: &str) -> Result<Vec<Tuple>> {
+    if let Some(rel) = edb.relation(pred) {
+        return Ok(rel.iter().cloned().collect());
+    }
+    let derived = seminaive::eval(edb, idb)?;
+    let mut out = Vec::new();
+    if let Some(rel) = derived.relation(pred) {
+        let mut substs = Vec::new();
+        let vars: Vec<Term> = (0..rel.arity())
+            .map(|i| Term::var(&format!("C{i}")))
+            .collect();
+        match_relation(rel, &Atom::new(pred, vars), &Subst::new(), &mut substs);
+        for t in rel.iter() {
+            out.push(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdk_logic::parser::{parse_atom, parse_body, parse_program};
+
+    /// The paper's example database (§2.2), trimmed to what these tests use.
+    fn university() -> (Edb, Idb) {
+        let mut edb = Edb::new();
+        edb.declare("student", &["Sname", "Major", "Gpa"]).unwrap();
+        edb.declare("enroll", &["Sname", "Ctitle"]).unwrap();
+        edb.declare("teach", &["Pname", "Ctitle"]).unwrap();
+        edb.declare("taught", &["Pname", "Ctitle", "Sem", "Eval"])
+            .unwrap();
+        edb.declare("complete", &["Sname", "Ctitle", "Sem", "Grade"])
+            .unwrap();
+        edb.declare("prereq", &["Ctitle", "Ptitle"]).unwrap();
+        for f in [
+            "student(ann, math, 3.9)",
+            "student(bob, math, 3.8)",
+            "student(cara, physics, 3.5)",
+            "student(dan, math, 3.9)",
+            "enroll(ann, databases)",
+            "enroll(cara, databases)",
+            "enroll(dan, calculus)",
+            "teach(susan, databases)",
+            "taught(susan, databases, f88, 3.5)",
+            "taught(peter, databases, f87, 3.9)",
+            "complete(ann, databases, f88, 3.6)",
+            "complete(bob, databases, f87, 4.0)",
+            "complete(dan, databases, f88, 3.2)",
+            "prereq(databases, datastructures)",
+            "prereq(datastructures, programming)",
+        ] {
+            edb.insert_fact(&parse_atom(f).unwrap()).unwrap();
+        }
+        let idb = Idb::from_rules(
+            parse_program(
+                "honor(X) :- student(X, Y, Z), Z > 3.7.\n\
+                 prior(X, Y) :- prereq(X, Y).\n\
+                 prior(X, Y) :- prereq(X, Z), prior(Z, Y).\n\
+                 can_ta(X, Y) :- honor(X), complete(X, Y, Z, U), U > 3.3, taught(V, Y, Z, W), teach(V, Y).\n\
+                 can_ta(X, Y) :- honor(X), complete(X, Y, Z, 4.0).",
+            )
+            .unwrap()
+            .rules,
+        )
+        .unwrap();
+        (edb, idb)
+    }
+
+    fn strategies() -> [Strategy; 3] {
+        [Strategy::Naive, Strategy::SemiNaive, Strategy::TopDown]
+    }
+
+    #[test]
+    fn example1_retrieve_honor_enrolled_in_databases() {
+        // Paper Example 1: retrieve honor(X) where enroll(X, databases).
+        let (edb, idb) = university();
+        let q = Retrieve::new(
+            parse_atom("honor(X)").unwrap(),
+            parse_body("enroll(X, databases)").unwrap(),
+        );
+        for st in strategies() {
+            let a = retrieve(&edb, &idb, &q, st).unwrap();
+            assert_eq!(a.len(), 1, "{st:?}");
+            assert!(a.contains_row(&["ann"]), "{st:?}");
+        }
+    }
+
+    #[test]
+    fn example2_fresh_answer_predicate() {
+        // Paper Example 2: retrieve answer(X) where can_ta(X, databases)
+        // and student(X, math, V) and V > 3.7.
+        let (edb, idb) = university();
+        let q = Retrieve::new(
+            parse_atom("answer(X)").unwrap(),
+            parse_body("can_ta(X, databases), student(X, math, V), V > 3.7").unwrap(),
+        );
+        for st in strategies() {
+            let a = retrieve(&edb, &idb, &q, st).unwrap();
+            // ann: honor, completed under susan (f88) with 3.6 > 3.3 and
+            // susan currently teaches databases. bob: honor, completed with
+            // 4.0. dan: grade 3.2 fails both rules.
+            assert_eq!(a.len(), 2, "{st:?}");
+            assert!(a.contains_row(&["ann"]) && a.contains_row(&["bob"]), "{st:?}");
+        }
+    }
+
+    #[test]
+    fn retrieve_without_where_clause() {
+        let (edb, idb) = university();
+        let q = Retrieve::new(parse_atom("honor(X)").unwrap(), vec![]);
+        for st in strategies() {
+            let a = retrieve(&edb, &idb, &q, st).unwrap();
+            assert_eq!(a.len(), 3, "{st:?}"); // ann, bob, dan
+        }
+    }
+
+    #[test]
+    fn retrieve_recursive_subject_with_constant() {
+        let (edb, idb) = university();
+        let q = Retrieve::new(parse_atom("prior(databases, Y)").unwrap(), vec![]);
+        for st in strategies() {
+            let a = retrieve(&edb, &idb, &q, st).unwrap();
+            assert_eq!(a.len(), 2, "{st:?}");
+            assert!(a.contains_row(&["datastructures"]));
+            assert!(a.contains_row(&["programming"]));
+        }
+    }
+
+    #[test]
+    fn retrieve_edb_subject() {
+        let (edb, idb) = university();
+        let q = Retrieve::new(parse_atom("enroll(X, databases)").unwrap(), vec![]);
+        for st in strategies() {
+            let a = retrieve(&edb, &idb, &q, st).unwrap();
+            assert_eq!(a.len(), 2, "{st:?}");
+        }
+    }
+
+    #[test]
+    fn fresh_subject_requires_vars_in_qualifier() {
+        let (edb, idb) = university();
+        let q = Retrieve::new(
+            parse_atom("answer(X, W)").unwrap(),
+            parse_body("honor(X)").unwrap(),
+        );
+        assert!(matches!(
+            retrieve(&edb, &idb, &q, Strategy::SemiNaive),
+            Err(EngineError::UnsafeRule { .. })
+        ));
+    }
+
+    #[test]
+    fn fresh_subject_without_qualifier_is_unknown() {
+        let (edb, idb) = university();
+        let q = Retrieve::new(parse_atom("mystery(X)").unwrap(), vec![]);
+        assert!(matches!(
+            retrieve(&edb, &idb, &q, Strategy::SemiNaive),
+            Err(EngineError::UnknownSubject(_))
+        ));
+    }
+
+    #[test]
+    fn builtin_subject_is_rejected() {
+        let (edb, idb) = university();
+        let q = Retrieve::new(parse_atom("(X > 3)").unwrap(), vec![]);
+        assert!(retrieve(&edb, &idb, &q, Strategy::SemiNaive).is_err());
+    }
+
+    #[test]
+    fn ground_subject_acts_as_boolean_query() {
+        let (edb, idb) = university();
+        let yes = Retrieve::new(parse_atom("honor(ann)").unwrap(), vec![]);
+        let no = Retrieve::new(parse_atom("honor(cara)").unwrap(), vec![]);
+        for st in strategies() {
+            // One empty row = true; no rows = false.
+            assert_eq!(retrieve(&edb, &idb, &yes, st).unwrap().len(), 1, "{st:?}");
+            assert!(retrieve(&edb, &idb, &no, st).unwrap().is_empty(), "{st:?}");
+        }
+    }
+
+    #[test]
+    fn negated_qualifier_extension() {
+        // "Are all foreign students married?" analogue: students who are
+        // enrolled in databases but not honor students.
+        let (edb, idb) = university();
+        let q = Retrieve::new(
+            parse_atom("answer(X)").unwrap(),
+            parse_body("enroll(X, databases), not honor(X)").unwrap(),
+        );
+        for st in strategies() {
+            let a = retrieve(&edb, &idb, &q, st).unwrap();
+            assert_eq!(a.len(), 1, "{st:?}");
+            assert!(a.contains_row(&["cara"]));
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_all_idb_predicates() {
+        let (edb, idb) = university();
+        for pred in ["honor(X)", "prior(X, Y)", "can_ta(X, Y)"] {
+            let q = Retrieve::new(parse_atom(pred).unwrap(), vec![]);
+            let mut renders: Vec<Vec<String>> = Vec::new();
+            for st in strategies() {
+                let a = retrieve(&edb, &idb, &q, st).unwrap();
+                let mut rows: Vec<String> =
+                    a.sorted().iter().map(ToString::to_string).collect();
+                rows.dedup();
+                renders.push(rows);
+            }
+            assert_eq!(renders[0], renders[1], "{pred}");
+            assert_eq!(renders[1], renders[2], "{pred}");
+        }
+    }
+
+    #[test]
+    fn display_of_query_and_answer() {
+        let q = Retrieve::new(
+            parse_atom("honor(X)").unwrap(),
+            parse_body("enroll(X, databases)").unwrap(),
+        );
+        assert_eq!(q.to_string(), "retrieve honor(X) where enroll(X, databases)");
+        let (edb, idb) = university();
+        let a = retrieve(&edb, &idb, &q, Strategy::SemiNaive).unwrap();
+        let s = a.to_string();
+        assert!(s.starts_with("X\n"));
+        assert!(s.contains("ann"));
+    }
+}

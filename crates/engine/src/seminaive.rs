@@ -1,0 +1,293 @@
+//! Semi-naive bottom-up evaluation.
+//!
+//! The standard deductive-database optimization: after the first round,
+//! a rule need only be re-fired with at least one recursive body occurrence
+//! restricted to the *delta* (facts new in the previous round), because any
+//! wholly-old instantiation was already derived. This avoids naive
+//! evaluation's rederivation of the entire fact set each round; the P1
+//! benchmark measures the separation growing with EDB size.
+
+use crate::bindings::{fire_rule, DerivedFacts, FactView};
+use crate::error::Result;
+use crate::idb::Idb;
+use crate::naive::EvalOptions;
+use crate::stratify::stratify;
+use qdk_logic::{Rule, Sym};
+use qdk_storage::Edb;
+
+/// Computes the least fixpoint of the IDB over the EDB semi-naively,
+/// stratum by stratum.
+pub fn eval(edb: &Edb, idb: &Idb) -> Result<DerivedFacts> {
+    eval_with(edb, idb, EvalOptions::default())
+}
+
+/// [`eval`] with options.
+pub fn eval_with(edb: &Edb, idb: &Idb, opts: EvalOptions) -> Result<DerivedFacts> {
+    let strat = stratify(idb)?;
+    let all: Vec<Sym> = idb.predicates();
+    eval_strata(edb, idb, strat.strata(), &all, opts)
+}
+
+/// Semi-naive evaluation restricted to `relevant` predicates.
+pub fn eval_restricted(
+    edb: &Edb,
+    idb: &Idb,
+    relevant: &[Sym],
+    opts: EvalOptions,
+) -> Result<DerivedFacts> {
+    let strat = stratify(idb)?;
+    eval_strata(edb, idb, strat.strata(), relevant, opts)
+}
+
+fn eval_strata(
+    edb: &Edb,
+    idb: &Idb,
+    strata: &[Vec<Sym>],
+    relevant: &[Sym],
+    opts: EvalOptions,
+) -> Result<DerivedFacts> {
+    let mut derived = DerivedFacts::new();
+    let mut firings: u64 = 0;
+    for stratum in strata {
+        let rules: Vec<&Rule> = idb
+            .rules()
+            .iter()
+            .filter(|r| stratum.contains(&r.head.pred) && relevant.contains(&r.head.pred))
+            .collect();
+        if rules.is_empty() {
+            continue;
+        }
+
+        // Round 0: fire every rule against the current totals (facts from
+        // lower strata and the EDB). The new facts form the first delta.
+        let mut delta = DerivedFacts::new();
+        for rule in &rules {
+            check_budget(&mut firings, opts)?;
+            let view = FactView::total(edb, &derived);
+            let mut fresh = DerivedFacts::new();
+            fire_rule(rule, &view, &mut fresh)?;
+            for (p, rel) in fresh.iter() {
+                for t in rel.iter() {
+                    delta.insert(p, t.clone());
+                }
+            }
+        }
+        subtract(&mut delta, &derived);
+        derived.absorb(&delta);
+
+        // Subsequent rounds: only instantiations touching the delta.
+        while !delta.is_empty() {
+            let mut next = DerivedFacts::new();
+            for rule in &rules {
+                // For each body occurrence of a predicate in this stratum,
+                // fire with that occurrence reading the delta.
+                for (i, lit) in rule.body.iter().enumerate() {
+                    if !lit.positive || lit.is_builtin() {
+                        continue;
+                    }
+                    if !stratum.contains(&lit.atom.pred) {
+                        continue;
+                    }
+                    if delta.relation(lit.atom.pred.as_str()).is_none() {
+                        continue; // no new facts for this occurrence
+                    }
+                    check_budget(&mut firings, opts)?;
+                    let view = FactView::with_delta(edb, &derived, &delta, i);
+                    let mut fresh = DerivedFacts::new();
+                    fire_rule(rule, &view, &mut fresh)?;
+                    for (p, rel) in fresh.iter() {
+                        for t in rel.iter() {
+                            next.insert(p, t.clone());
+                        }
+                    }
+                }
+            }
+            subtract(&mut next, &derived);
+            derived.absorb(&next);
+            delta = next;
+        }
+    }
+    Ok(derived)
+}
+
+/// Removes from `delta` every tuple already present in `base`.
+fn subtract(delta: &mut DerivedFacts, base: &DerivedFacts) {
+    let mut pruned = DerivedFacts::new();
+    for (p, rel) in delta.iter() {
+        let old = base.relation(p.as_str());
+        for t in rel.iter() {
+            if old.is_none_or(|r| !r.contains(t)) {
+                pruned.insert(p, t.clone());
+            }
+        }
+    }
+    *delta = pruned;
+}
+
+fn check_budget(firings: &mut u64, opts: EvalOptions) -> Result<()> {
+    *firings += 1;
+    if let Some(b) = opts.budget {
+        if *firings > b {
+            return Err(crate::EngineError::BudgetExhausted { budget: b });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use qdk_logic::parser::{parse_atom, parse_program};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn chain_edb(n: usize) -> Edb {
+        let mut edb = Edb::new();
+        edb.declare("prereq", &["C", "P"]).unwrap();
+        for i in 0..n {
+            edb.insert_fact(&parse_atom(&format!("prereq(c{}, c{})", i + 1, i)).unwrap())
+                .unwrap();
+        }
+        edb
+    }
+
+    fn prior_idb() -> Idb {
+        Idb::from_rules(
+            parse_program(
+                "prior(X, Y) :- prereq(X, Y).\n\
+                 prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
+            )
+            .unwrap()
+            .rules,
+        )
+        .unwrap()
+    }
+
+    fn same_facts(a: &DerivedFacts, b: &DerivedFacts) -> bool {
+        if a.len() != b.len() {
+            return false;
+        }
+        a.iter().all(|(p, rel)| {
+            b.relation(p.as_str())
+                .is_some_and(|other| rel.iter().all(|t| other.contains(t)))
+        })
+    }
+
+    #[test]
+    fn agrees_with_naive_on_chain() {
+        let edb = chain_edb(8);
+        let idb = prior_idb();
+        let n = naive::eval(&edb, &idb).unwrap();
+        let s = eval(&edb, &idb).unwrap();
+        assert!(same_facts(&n, &s));
+        assert_eq!(s.relation("prior").unwrap().len(), 36);
+    }
+
+    #[test]
+    fn agrees_with_naive_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for case in 0..10 {
+            let mut edb = Edb::new();
+            edb.declare("prereq", &["C", "P"]).unwrap();
+            let nodes = 8;
+            for _ in 0..15 {
+                let a = rng.gen_range(0..nodes);
+                let b = rng.gen_range(0..nodes);
+                edb.insert_fact(&parse_atom(&format!("prereq(n{a}, n{b})")).unwrap())
+                    .unwrap();
+            }
+            let idb = prior_idb();
+            let n = naive::eval(&edb, &idb).unwrap();
+            let s = eval(&edb, &idb).unwrap();
+            assert!(same_facts(&n, &s), "case {case}");
+        }
+    }
+
+    #[test]
+    fn agrees_on_mutual_recursion() {
+        let mut edb = Edb::new();
+        edb.declare("succ", &["A", "B"]).unwrap();
+        edb.declare("zero", &["A"]).unwrap();
+        edb.insert_fact(&parse_atom("zero(n0)").unwrap()).unwrap();
+        for i in 0..6 {
+            edb.insert_fact(&parse_atom(&format!("succ(n{i}, n{})", i + 1)).unwrap())
+                .unwrap();
+        }
+        let idb = Idb::from_rules(
+            parse_program(
+                "even(X) :- zero(X).\n\
+                 even(X) :- succ(Y, X), odd(Y).\n\
+                 odd(X) :- succ(Y, X), even(Y).",
+            )
+            .unwrap()
+            .rules,
+        )
+        .unwrap();
+        let n = naive::eval(&edb, &idb).unwrap();
+        let s = eval(&edb, &idb).unwrap();
+        assert!(same_facts(&n, &s));
+        assert_eq!(s.relation("even").unwrap().len(), 4); // n0, n2, n4, n6
+        assert_eq!(s.relation("odd").unwrap().len(), 3); // n1, n3, n5
+    }
+
+    #[test]
+    fn agrees_with_negation() {
+        let mut edb = Edb::new();
+        edb.declare("student", &["S", "M", "G"]).unwrap();
+        edb.insert_fact(&parse_atom("student(ann, math, 3.9)").unwrap())
+            .unwrap();
+        edb.insert_fact(&parse_atom("student(bob, math, 3.5)").unwrap())
+            .unwrap();
+        let idb = Idb::from_rules(
+            parse_program(
+                "honor(X) :- student(X, Y, Z), Z > 3.7.\n\
+                 ordinary(X) :- student(X, Y, Z), not honor(X).",
+            )
+            .unwrap()
+            .rules,
+        )
+        .unwrap();
+        let n = naive::eval(&edb, &idb).unwrap();
+        let s = eval(&edb, &idb).unwrap();
+        assert!(same_facts(&n, &s));
+    }
+
+    #[test]
+    fn delta_rounds_terminate_on_cyclic_data() {
+        let mut edb = Edb::new();
+        edb.declare("prereq", &["C", "P"]).unwrap();
+        for f in ["prereq(a, b)", "prereq(b, a)"] {
+            edb.insert_fact(&parse_atom(f).unwrap()).unwrap();
+        }
+        let s = eval(&edb, &prior_idb()).unwrap();
+        assert_eq!(s.relation("prior").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn restricted_matches_full_on_relevant_preds() {
+        let edb = chain_edb(5);
+        let idb = Idb::from_rules(
+            parse_program(
+                "prior(X, Y) :- prereq(X, Y).\n\
+                 prior(X, Y) :- prereq(X, Z), prior(Z, Y).\n\
+                 other(X) :- prereq(X, Y).",
+            )
+            .unwrap()
+            .rules,
+        )
+        .unwrap();
+        let full = eval(&edb, &idb).unwrap();
+        let restricted = eval_restricted(
+            &edb,
+            &idb,
+            &[Sym::new("prior")],
+            EvalOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            full.relation("prior").unwrap().len(),
+            restricted.relation("prior").unwrap().len()
+        );
+        assert!(restricted.relation("other").is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! Stratification for negation.
+//!
+//! The paper's core language is positive (rule bodies and qualifiers are
+//! positive formulas, §2.1), but its §6 extensions introduce negated
+//! hypotheses, and a credible deductive substrate supports stratified
+//! negation. A program is *stratified* when no predicate depends on itself
+//! through a negative literal; evaluation then proceeds stratum by stratum,
+//! with negation evaluated against completed lower strata (closed world).
+
+use crate::error::{EngineError, Result};
+use crate::idb::Idb;
+use qdk_logic::Sym;
+use std::collections::HashMap;
+
+/// A stratification: the stratum index of each IDB predicate and the
+/// predicates of each stratum in evaluation order.
+#[derive(Clone, Debug)]
+pub struct Stratification {
+    stratum_of: HashMap<Sym, usize>,
+    strata: Vec<Vec<Sym>>,
+}
+
+impl Stratification {
+    /// The stratum of an IDB predicate (EDB predicates are stratum 0 and
+    /// are not listed).
+    pub fn stratum_of(&self, pred: &str) -> Option<usize> {
+        self.stratum_of.get(pred).copied()
+    }
+
+    /// The strata in evaluation order. Each inner vector lists the IDB
+    /// predicates of one stratum.
+    pub fn strata(&self) -> &[Vec<Sym>] {
+        &self.strata
+    }
+
+    /// Number of strata.
+    pub fn len(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// True if there are no IDB predicates.
+    pub fn is_empty(&self) -> bool {
+        self.strata.is_empty()
+    }
+}
+
+/// Computes a stratification of the IDB, or an error if the program is not
+/// stratified.
+///
+/// Uses the standard fixpoint over stratum numbers: for a rule
+/// `q ← …, p, …, ¬r, …` require `stratum(q) ≥ stratum(p)` and
+/// `stratum(q) ≥ stratum(r) + 1`. Divergence past `n` iterations (n = #IDB
+/// predicates) implies a negative cycle.
+pub fn stratify(idb: &Idb) -> Result<Stratification> {
+    let preds = idb.predicates();
+    let n = preds.len();
+    let mut stratum: HashMap<Sym, usize> = preds.iter().map(|p| (p.clone(), 0)).collect();
+
+    for _round in 0..=n {
+        let mut changed = false;
+        for rule in idb.rules() {
+            let hq = stratum[&rule.head.pred];
+            let mut needed = hq;
+            for lit in &rule.body {
+                if lit.is_builtin() {
+                    continue;
+                }
+                let Some(&sp) = stratum.get(&lit.atom.pred) else {
+                    continue; // EDB predicate: stratum 0
+                };
+                let bound = if lit.positive { sp } else { sp + 1 };
+                needed = needed.max(bound);
+            }
+            if needed > hq {
+                stratum.insert(rule.head.pred.clone(), needed);
+                changed = true;
+            }
+        }
+        if !changed {
+            // Converged: bucket predicates by stratum.
+            let max = stratum.values().copied().max().unwrap_or(0);
+            let mut strata = vec![Vec::new(); if n == 0 { 0 } else { max + 1 }];
+            for p in preds {
+                strata[stratum[&p]].push(p.clone());
+            }
+            return Ok(Stratification {
+                stratum_of: stratum,
+                strata,
+            });
+        }
+    }
+    // Did not converge: find a predicate with an over-large stratum to blame.
+    let offender = stratum
+        .iter()
+        .max_by_key(|(_, s)| **s)
+        .map(|(p, _)| p.to_string())
+        .unwrap_or_default();
+    Err(EngineError::NotStratified(offender))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdk_logic::parser::parse_program;
+
+    fn idb(src: &str) -> Idb {
+        Idb::from_rules(parse_program(src).unwrap().rules).unwrap()
+    }
+
+    #[test]
+    fn positive_program_is_single_stratum() {
+        let s = stratify(&idb(
+            "honor(X) :- student(X, Y, Z), Z > 3.7.\n\
+             prior(X, Y) :- prereq(X, Y).\n\
+             prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
+        ))
+        .unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.stratum_of("honor"), Some(0));
+        assert_eq!(s.stratum_of("prior"), Some(0));
+        assert_eq!(s.stratum_of("prereq"), None);
+    }
+
+    #[test]
+    fn negation_pushes_to_higher_stratum() {
+        let s = stratify(&idb(
+            "honor(X) :- student(X, Y, Z), Z > 3.7.\n\
+             ordinary(X) :- student(X, Y, Z), not honor(X).",
+        ))
+        .unwrap();
+        assert_eq!(s.stratum_of("honor"), Some(0));
+        assert_eq!(s.stratum_of("ordinary"), Some(1));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn chained_negation_stacks_strata() {
+        let s = stratify(&idb(
+            "a(X) :- e(X).\n\
+             b(X) :- e(X), not a(X).\n\
+             c(X) :- e(X), not b(X).",
+        ))
+        .unwrap();
+        assert_eq!(s.stratum_of("a"), Some(0));
+        assert_eq!(s.stratum_of("b"), Some(1));
+        assert_eq!(s.stratum_of("c"), Some(2));
+    }
+
+    #[test]
+    fn negative_cycle_is_rejected() {
+        let err = stratify(&idb(
+            "win(X) :- move(X, Y), not win(Y).\n\
+             move(X, Y) :- edge(X, Y), win(X).",
+        ))
+        .unwrap_err();
+        assert!(matches!(err, EngineError::NotStratified(_)));
+    }
+
+    #[test]
+    fn positive_recursion_with_negation_below_is_fine() {
+        let s = stratify(&idb(
+            "base(X) :- e(X), not excluded(X).\n\
+             excluded(X) :- f(X).\n\
+             closure(X) :- base(X).\n\
+             closure(X) :- g(X, Y), closure(Y).",
+        ))
+        .unwrap();
+        assert_eq!(s.stratum_of("excluded"), Some(0));
+        assert_eq!(s.stratum_of("base"), Some(1));
+        assert_eq!(s.stratum_of("closure"), Some(1));
+    }
+
+    #[test]
+    fn empty_idb() {
+        let s = stratify(&Idb::new()).unwrap();
+        assert!(s.is_empty());
+    }
+}

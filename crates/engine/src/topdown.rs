@@ -1,0 +1,403 @@
+//! Goal-directed (top-down) evaluation.
+//!
+//! Bottom-up evaluation computes every derivable fact of every predicate.
+//! A `retrieve` query touches only the predicates its subject and qualifier
+//! (transitively) depend on, and often only a slice of those. This module
+//! implements the goal-directed strategy used by real deductive systems in
+//! two parts:
+//!
+//! 1. **Relevance restriction** — only the rules of predicates reachable
+//!    from the query in the dependency graph are evaluated (QSQ's
+//!    reachability component);
+//! 2. **Constant propagation for non-recursive goals** — a direct SLD-style
+//!    resolution that pushes the query's constant bindings into rule bodies,
+//!    so e.g. `enroll(X, databases)` never enumerates other courses. For
+//!    recursive predicates the SCC is closed bottom-up (semi-naively) first,
+//!    which keeps termination unconditional; SLD then reads the closed
+//!    relation.
+//!
+//! This is the "top-down" comparator of the P1 experiment.
+
+use crate::bindings::{match_relation, DerivedFacts};
+use crate::error::Result;
+use crate::graph::DependencyGraph;
+use crate::idb::Idb;
+use crate::naive::EvalOptions;
+use crate::seminaive;
+use qdk_logic::{Atom, Literal, Rule, Subst, Sym, Term, VarGen};
+use qdk_storage::{builtins, Edb};
+
+/// A goal-directed solver for one (EDB, IDB) pair.
+pub struct Solver<'a> {
+    edb: &'a Edb,
+    idb: &'a Idb,
+    graph: DependencyGraph,
+    /// Closed relations for recursive SCCs, computed lazily per query.
+    closed: DerivedFacts,
+    gen: VarGen,
+    opts: EvalOptions,
+    firings: u64,
+}
+
+impl<'a> Solver<'a> {
+    /// Creates a solver.
+    pub fn new(edb: &'a Edb, idb: &'a Idb) -> Self {
+        Solver {
+            edb,
+            idb,
+            graph: DependencyGraph::build(idb),
+            closed: DerivedFacts::new(),
+            gen: VarGen::new(),
+            opts: EvalOptions::default(),
+            firings: 0,
+        }
+    }
+
+    /// Creates a solver with evaluation options.
+    pub fn with_options(edb: &'a Edb, idb: &'a Idb, opts: EvalOptions) -> Self {
+        let mut s = Solver::new(edb, idb);
+        s.opts = opts;
+        s
+    }
+
+    /// Finds all substitutions (restricted to the goal's variables) that
+    /// make the conjunction of `goals` true.
+    pub fn solve_all(&mut self, goals: &[Literal]) -> Result<Vec<Subst>> {
+        // Pre-close every recursive predicate reachable from the goals.
+        for lit in goals {
+            if !lit.is_builtin() {
+                self.ensure_closed(&lit.atom.pred)?;
+            }
+        }
+        let mut out = Vec::new();
+        let mut vars = Vec::new();
+        for g in goals {
+            g.atom.collect_vars(&mut vars);
+        }
+        let mut seen = Vec::new();
+        for v in vars {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        self.solve_conj(goals, Subst::new(), &mut |s| {
+            out.push(s.restrict(&seen));
+        })?;
+        Ok(out)
+    }
+
+    /// Closes (computes bottom-up) every recursive SCC that `pred`
+    /// transitively reaches, so SLD resolution never descends into a cycle.
+    fn ensure_closed(&mut self, pred: &Sym) -> Result<()> {
+        let reach = self.graph.reachable_from(pred.as_str());
+        let recursive: Vec<Sym> = reach
+            .iter()
+            .filter(|p| self.graph.is_recursive(p.as_str()) && self.idb.defines(p.as_str()))
+            .cloned()
+            .collect();
+        for p in recursive {
+            if self.closed.relation(p.as_str()).is_some() {
+                continue;
+            }
+            // Close the predicate together with everything it depends on
+            // (its SCC and anything below it) semi-naively.
+            let relevant = self.graph.reachable_from(p.as_str());
+            let facts = seminaive::eval_restricted(self.edb, self.idb, &relevant, self.opts)?;
+            self.closed.absorb(&facts);
+        }
+        Ok(())
+    }
+
+    fn solve_conj(
+        &mut self,
+        goals: &[Literal],
+        subst: Subst,
+        emit: &mut dyn FnMut(Subst),
+    ) -> Result<()> {
+        // Pick the next evaluable goal, mirroring the bottom-up scheduler:
+        // ground comparisons / bindable equalities first, ground negations
+        // next, then the most-bound positive literal. If nothing is
+        // evaluable, fall through to goal 0 so the builtin path reports the
+        // unsafe conjunction.
+        if goals.is_empty() {
+            emit(subst);
+            return Ok(());
+        }
+        let i = self.choose_goal(goals, &subst).unwrap_or(0);
+        let mut rest: Vec<Literal> = goals.to_vec();
+        let lit = &rest.remove(i);
+
+        if lit.is_builtin() {
+            if lit.positive && lit.atom.pred.as_str() == "=" {
+                let l = subst.apply_term(&lit.atom.args[0]);
+                let r = subst.apply_term(&lit.atom.args[1]);
+                if let Some(u) = qdk_logic::unify(&l, &r) {
+                    return self.solve_conj(&rest, subst.compose(&u), emit);
+                }
+                return Ok(());
+            }
+            let truth = builtins::eval_atom(&lit.atom, &subst)
+                .map_err(crate::EngineError::from)?
+                .ok_or_else(|| crate::EngineError::UnsafeRule {
+                    rule: goals
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    literal: lit.to_string(),
+                })?;
+            let holds = if lit.positive { truth } else { !truth };
+            if holds {
+                return self.solve_conj(&rest, subst, emit);
+            }
+            return Ok(());
+        }
+
+        if !lit.positive {
+            // Ground closed-world negation.
+            if !lit.atom.args.iter().all(|t| subst.apply_term(t).is_ground()) {
+                return Err(crate::EngineError::UnsafeRule {
+                    rule: goals
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    literal: lit.to_string(),
+                });
+            }
+            let mut probe = Vec::new();
+            self.solve_atom(&lit.atom, &subst, &mut |s| probe.push(s))?;
+            if probe.is_empty() {
+                return self.solve_conj(&rest, subst, emit);
+            }
+            return Ok(());
+        }
+
+        let mut solutions = Vec::new();
+        self.solve_atom(&lit.atom, &subst, &mut |s| solutions.push(s))?;
+        for s in solutions {
+            self.solve_conj(&rest, s, emit)?;
+        }
+        Ok(())
+    }
+
+    fn choose_goal(&self, goals: &[Literal], subst: &Subst) -> Option<usize> {
+        let ground = |t: &Term| subst.apply_term(t).is_ground();
+        let mut best: Option<(usize, usize)> = None;
+        for (i, lit) in goals.iter().enumerate() {
+            if lit.is_builtin() {
+                let lg = ground(&lit.atom.args[0]);
+                let rg = ground(&lit.atom.args[1]);
+                let evaluable = if lit.positive && lit.atom.pred.as_str() == "=" {
+                    lg || rg
+                } else {
+                    lg && rg
+                };
+                if evaluable {
+                    return Some(i);
+                }
+            } else if !lit.positive {
+                if lit.atom.args.iter().all(&ground) {
+                    return Some(i);
+                }
+            } else {
+                let unbound = lit.atom.args.iter().filter(|t| !ground(t)).count();
+                if best.is_none_or(|(_, b)| unbound < b) {
+                    best = Some((i, unbound));
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Solves a single positive database atom.
+    fn solve_atom(
+        &mut self,
+        atom: &Atom,
+        subst: &Subst,
+        emit: &mut dyn FnMut(Subst),
+    ) -> Result<()> {
+        let pred = atom.pred.as_str();
+        if self.edb.is_edb_predicate(pred) {
+            let mut out = Vec::new();
+            self.edb.match_atom(atom, subst, &mut out)?;
+            for s in out {
+                emit(s);
+            }
+            return Ok(());
+        }
+        if self.graph.is_recursive(pred) {
+            // Closed earlier: read the materialized relation.
+            if let Some(rel) = self.closed.relation(pred) {
+                let mut out = Vec::new();
+                match_relation(rel, atom, subst, &mut out);
+                for s in out {
+                    emit(s);
+                }
+            }
+            return Ok(());
+        }
+        if !self.idb.defines(pred) {
+            // Neither stored nor derived: empty extension.
+            return Ok(());
+        }
+        // Non-recursive IDB predicate: SLD-resolve through each rule.
+        self.firings += 1;
+        if let Some(b) = self.opts.budget {
+            if self.firings > b {
+                return Err(crate::EngineError::BudgetExhausted { budget: b });
+            }
+        }
+        let rules: Vec<Rule> = self.idb.rules_for(pred).cloned().collect();
+        for rule in rules {
+            let (renamed, _) = qdk_logic::rename_rule_apart(&rule, &mut self.gen);
+            let Some(mgu) = qdk_logic::unify_atoms(&subst.apply_atom(atom), &renamed.head)
+            else {
+                continue;
+            };
+            let combined = subst.compose(&mgu);
+            let body = renamed.body.clone();
+            self.solve_conj(&body, combined, emit)?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: evaluates the full IDB goal-directedly for a single goal
+/// conjunction and returns the satisfying substitutions.
+pub fn solve(edb: &Edb, idb: &Idb, goals: &[Literal]) -> Result<Vec<Subst>> {
+    Solver::new(edb, idb).solve_all(goals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdk_logic::parser::{parse_atom, parse_body, parse_program};
+
+    fn setup() -> (Edb, Idb) {
+        let mut edb = Edb::new();
+        edb.declare("student", &["S", "M", "G"]).unwrap();
+        edb.declare("enroll", &["S", "C"]).unwrap();
+        edb.declare("prereq", &["C", "P"]).unwrap();
+        for f in [
+            "student(ann, math, 3.9)",
+            "student(bob, physics, 3.5)",
+            "student(cara, math, 3.8)",
+            "enroll(ann, databases)",
+            "enroll(bob, databases)",
+            "prereq(databases, datastructures)",
+            "prereq(datastructures, programming)",
+            "prereq(calculus, algebra)",
+        ] {
+            edb.insert_fact(&parse_atom(f).unwrap()).unwrap();
+        }
+        let idb = Idb::from_rules(
+            parse_program(
+                "honor(X) :- student(X, Y, Z), Z > 3.7.\n\
+                 prior(X, Y) :- prereq(X, Y).\n\
+                 prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
+            )
+            .unwrap()
+            .rules,
+        )
+        .unwrap();
+        (edb, idb)
+    }
+
+    fn names(substs: &[Subst], v: &str) -> Vec<String> {
+        let mut n: Vec<String> = substs
+            .iter()
+            .map(|s| s.apply_term(&Term::var(v)).to_string())
+            .collect();
+        n.sort();
+        n.dedup();
+        n
+    }
+
+    #[test]
+    fn solves_nonrecursive_goal() {
+        let (edb, idb) = setup();
+        let goals = parse_body("honor(X)").unwrap();
+        let substs = solve(&edb, &idb, &goals).unwrap();
+        assert_eq!(names(&substs, "X"), ["ann", "cara"]);
+    }
+
+    #[test]
+    fn conjunction_with_edb_and_comparison() {
+        let (edb, idb) = setup();
+        let goals = parse_body("honor(X), enroll(X, databases)").unwrap();
+        let substs = solve(&edb, &idb, &goals).unwrap();
+        assert_eq!(names(&substs, "X"), ["ann"]);
+    }
+
+    #[test]
+    fn recursive_goal_reads_closed_relation() {
+        let (edb, idb) = setup();
+        let goals = parse_body("prior(databases, Y)").unwrap();
+        let substs = solve(&edb, &idb, &goals).unwrap();
+        assert_eq!(names(&substs, "Y"), ["datastructures", "programming"]);
+    }
+
+    #[test]
+    fn negation_in_goal() {
+        let (edb, idb) = setup();
+        let goals = parse_body("student(X, M, G), not honor(X)").unwrap();
+        let substs = solve(&edb, &idb, &goals).unwrap();
+        assert_eq!(names(&substs, "X"), ["bob"]);
+    }
+
+    #[test]
+    fn agrees_with_seminaive() {
+        let (edb, idb) = setup();
+        for goal in ["honor(X)", "prior(X, Y)", "prior(X, programming)"] {
+            let goals = parse_body(goal).unwrap();
+            let td = solve(&edb, &idb, &goals).unwrap();
+            // Bottom-up reference.
+            let facts = crate::seminaive::eval(&edb, &idb).unwrap();
+            let pred = goals[0].atom.pred.as_str();
+            let rel = facts.relation(pred).unwrap();
+            let mut reference = Vec::new();
+            match_relation(rel, &goals[0].atom, &Subst::new(), &mut reference);
+            let vars = goals[0].atom.vars();
+            let mut td_set: Vec<String> = td
+                .iter()
+                .map(|s| {
+                    vars.iter()
+                        .map(|v| s.apply_term(&Term::Var(v.clone())).to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+                .collect();
+            let mut ref_set: Vec<String> = reference
+                .iter()
+                .map(|s| {
+                    vars.iter()
+                        .map(|v| s.apply_term(&Term::Var(v.clone())).to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+                .collect();
+            td_set.sort();
+            td_set.dedup();
+            ref_set.sort();
+            ref_set.dedup();
+            assert_eq!(td_set, ref_set, "goal {goal}");
+        }
+    }
+
+    #[test]
+    fn undefined_predicate_has_empty_extension() {
+        let (edb, idb) = setup();
+        let goals = parse_body("ghost(X)").unwrap();
+        let substs = solve(&edb, &idb, &goals).unwrap();
+        assert!(substs.is_empty());
+    }
+
+    #[test]
+    fn equality_binds_in_goals() {
+        let (edb, idb) = setup();
+        let goals = parse_body("C = databases, enroll(X, C)").unwrap();
+        let substs = solve(&edb, &idb, &goals).unwrap();
+        assert_eq!(names(&substs, "X"), ["ann", "bob"]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Language-layer errors.
+
+use std::fmt;
+
+/// Any error the unified instrument can raise.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LangError {
+    /// A parse error in a statement.
+    Parse(qdk_logic::ParseError),
+    /// A storage error (declarations, facts).
+    Storage(qdk_storage::StorageError),
+    /// An engine error (retrieve evaluation).
+    Engine(qdk_engine::EngineError),
+    /// A describe-engine error (knowledge queries).
+    Describe(qdk_core::DescribeError),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Parse(e) => write!(f, "{e}"),
+            LangError::Storage(e) => write!(f, "{e}"),
+            LangError::Engine(e) => write!(f, "{e}"),
+            LangError::Describe(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+impl From<qdk_logic::ParseError> for LangError {
+    fn from(e: qdk_logic::ParseError) -> Self {
+        LangError::Parse(e)
+    }
+}
+
+impl From<qdk_storage::StorageError> for LangError {
+    fn from(e: qdk_storage::StorageError) -> Self {
+        LangError::Storage(e)
+    }
+}
+
+impl From<qdk_engine::EngineError> for LangError {
+    fn from(e: qdk_engine::EngineError) -> Self {
+        LangError::Engine(e)
+    }
+}
+
+impl From<qdk_core::DescribeError> for LangError {
+    fn from(e: qdk_core::DescribeError) -> Self {
+        LangError::Describe(e)
+    }
+}
+
+/// Result alias for language operations.
+pub type Result<T> = std::result::Result<T, LangError>;

@@ -1,0 +1,432 @@
+//! The knowledge base facade: one coherent instrument for data and
+//! knowledge.
+
+use crate::answer::Answer;
+use crate::ast::Statement;
+use crate::error::Result;
+use crate::parser::{parse_script, parse_statement};
+use qdk_core::{compare, describe, extensions, Describe, DescribeOptions};
+use qdk_engine::{query, Idb, Retrieve, Strategy};
+use qdk_logic::{Constraint, Rule, Sym};
+use qdk_storage::Edb;
+use std::collections::HashMap;
+
+/// A knowledge-rich database: EDB facts, IDB rules, integrity
+/// constraints, and the unified query interface over them.
+#[derive(Clone, Debug, Default)]
+pub struct KnowledgeBase {
+    edb: Edb,
+    idb: Idb,
+    constraints: Vec<Constraint>,
+    keys: HashMap<Sym, usize>,
+    strategy: Strategy,
+    opts: DescribeOptions,
+}
+
+impl KnowledgeBase {
+    /// Creates an empty knowledge base with default options (paper-style
+    /// answers: global one-level fallback, modified transformation).
+    pub fn new() -> Self {
+        KnowledgeBase {
+            opts: DescribeOptions::paper(),
+            ..KnowledgeBase::default()
+        }
+    }
+
+    /// Sets the retrieve evaluation strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the describe options.
+    pub fn with_describe_options(mut self, opts: DescribeOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The extensional database.
+    pub fn edb(&self) -> &Edb {
+        &self.edb
+    }
+
+    /// The intensional database.
+    pub fn idb(&self) -> &Idb {
+        &self.idb
+    }
+
+    /// The declared key-prefix lengths.
+    pub fn keys(&self) -> &HashMap<Sym, usize> {
+        &self.keys
+    }
+
+    /// The describe options in effect.
+    pub fn describe_options(&self) -> &DescribeOptions {
+        &self.opts
+    }
+
+    /// Declares an EDB predicate.
+    pub fn declare(&mut self, name: &str, attrs: &[&str], key: Option<usize>) -> Result<()> {
+        self.edb.declare(name, attrs)?;
+        if let Some(k) = key {
+            self.keys.insert(Sym::new(name), k);
+        }
+        Ok(())
+    }
+
+    /// Adds a fact (ground atom) to the EDB.
+    pub fn add_fact(&mut self, atom: &qdk_logic::Atom) -> Result<bool> {
+        Ok(self.edb.insert_fact(atom)?)
+    }
+
+    /// Adds a rule to the IDB.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<()> {
+        Ok(self.idb.add_rule(rule)?)
+    }
+
+    /// Executes one parsed statement.
+    pub fn execute(&mut self, stmt: &Statement) -> Result<Answer> {
+        match stmt {
+            Statement::Declare { name, attrs, key } => {
+                let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                self.declare(name, &attr_refs, *key)?;
+                Ok(Answer::Ack(format!("declared {name}/{}", attrs.len())))
+            }
+            Statement::Clause(rule) => {
+                if rule.is_fact() && self.edb.is_edb_predicate(rule.head.pred.as_str()) {
+                    let new = self.add_fact(&rule.head)?;
+                    Ok(Answer::Ack(if new {
+                        format!("stored {}", rule.head)
+                    } else {
+                        format!("already stored {}", rule.head)
+                    }))
+                } else {
+                    self.add_rule(rule.clone())?;
+                    Ok(Answer::Ack(format!("defined rule {rule}")))
+                }
+            }
+            Statement::Constraint(c) => {
+                self.constraints.push(c.clone());
+                Ok(Answer::Ack(format!("added constraint {c}")))
+            }
+            Statement::Retract(atom) => {
+                let removed = self.edb.remove_fact(atom)?;
+                Ok(Answer::Ack(if removed {
+                    format!("retracted {atom}")
+                } else {
+                    format!("not stored: {atom}")
+                }))
+            }
+            Statement::Show(kind) => {
+                use std::fmt::Write;
+                let mut out = String::new();
+                match kind {
+                    crate::ast::ShowKind::Predicates => {
+                        for schema in self.edb.catalog().iter() {
+                            let count = self
+                                .edb
+                                .relation(schema.name.as_str())
+                                .map_or(0, |r| r.len());
+                            write!(out, "{schema}").unwrap();
+                            if let Some(k) = self.keys.get(&schema.name) {
+                                write!(out, " key {k}").unwrap();
+                            }
+                            writeln!(out, " — {count} facts").unwrap();
+                        }
+                    }
+                    crate::ast::ShowKind::Rules => {
+                        for rule in self.idb.rules() {
+                            writeln!(out, "{rule}").unwrap();
+                        }
+                    }
+                    crate::ast::ShowKind::Constraints => {
+                        for c in &self.constraints {
+                            writeln!(out, "{c}").unwrap();
+                        }
+                    }
+                }
+                Ok(Answer::Ack(out.trim_end().to_string()))
+            }
+            Statement::Explain(d) => {
+                let answer = self.describe(d)?;
+                let mut text = String::new();
+                for t in &answer.theorems {
+                    text.push_str(&t.explain());
+                }
+                if answer.hypothesis_contradicts_idb {
+                    text.push_str("the hypothesis contradicts the IDB\n");
+                }
+                if text.is_empty() {
+                    text.push_str("no theorems derivable\n");
+                }
+                Ok(Answer::Ack(text.trim_end().to_string()))
+            }
+            Statement::Retrieve(r) => Ok(Answer::Data(self.retrieve(r)?)),
+            Statement::Describe(d) => Ok(Answer::Knowledge(self.describe(d)?)),
+            Statement::DescribeNecessary(d) => Ok(Answer::Knowledge(
+                extensions::describe_necessary(&self.idb, d, &self.opts)?,
+            )),
+            Statement::DescribeDisjunctive { subject, disjuncts } => Ok(Answer::Knowledge(
+                extensions::describe_disjunctive(&self.idb, subject, disjuncts, &self.opts)?,
+            )),
+            Statement::DescribeWithout { subject, negated } => Ok(Answer::Necessity(
+                extensions::describe_without(&self.idb, subject, negated, &self.opts)?,
+            )),
+            Statement::DescribePossible { hypothesis } => Ok(Answer::Possibility(
+                extensions::describe_possible(
+                    &self.idb,
+                    hypothesis,
+                    &self.keys,
+                    &self.constraints,
+                    &self.opts,
+                )?,
+            )),
+            Statement::DescribeWildcard { hypothesis } => Ok(Answer::Wildcard(
+                extensions::describe_wildcard(&self.idb, hypothesis, &self.opts)?,
+            )),
+            Statement::Compare { first, second } => Ok(Answer::Comparison(Box::new(
+                compare::compare(&self.idb, first, second, &self.opts)?,
+            ))),
+        }
+    }
+
+    /// Parses and executes one statement.
+    pub fn run(&mut self, src: &str) -> Result<Answer> {
+        let stmt = parse_statement(src)?;
+        self.execute(&stmt)
+    }
+
+    /// Parses and executes a script, returning every answer.
+    pub fn load(&mut self, src: &str) -> Result<Vec<Answer>> {
+        let stmts = parse_script(src)?;
+        stmts.iter().map(|s| self.execute(s)).collect()
+    }
+
+    /// Evaluates a `retrieve` statement (data query, §3.1).
+    pub fn retrieve(&self, r: &Retrieve) -> Result<qdk_engine::DataAnswer> {
+        Ok(query::retrieve(&self.edb, &self.idb, r, self.strategy)?)
+    }
+
+    /// Evaluates a `describe` statement (knowledge query, §3.2),
+    /// respecting declared integrity constraints: theorems whose bodies
+    /// the constraints forbid are discarded.
+    pub fn describe(&self, d: &Describe) -> Result<qdk_core::DescribeAnswer> {
+        Ok(describe::describe_with_constraints(
+            &self.idb,
+            &self.constraints,
+            d,
+            &self.opts,
+        )?)
+    }
+
+    /// The declared integrity constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Serializes the knowledge base as a script that [`Self::load`]
+    /// restores exactly: declarations (with keys), stored facts, IDB
+    /// rules, and integrity constraints, in that order.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for schema in self.edb.catalog().iter() {
+            write!(out, "predicate {schema}").unwrap();
+            if let Some(k) = self.keys.get(&schema.name) {
+                write!(out, " key {k}").unwrap();
+            }
+            out.push_str(".\n");
+        }
+        for schema in self.edb.catalog().iter() {
+            if let Some(rel) = self.edb.relation(schema.name.as_str()) {
+                for tuple in rel.iter() {
+                    let vals: Vec<String> =
+                        tuple.values().iter().map(ToString::to_string).collect();
+                    writeln!(out, "{}({}).", schema.name, vals.join(", ")).unwrap();
+                }
+            }
+        }
+        for rule in self.idb.rules() {
+            writeln!(out, "{rule}").unwrap();
+        }
+        for c in &self.constraints {
+            writeln!(out, "{c}").unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        kb.load(
+            "predicate student(Sname, Major, Gpa) key 1.\n\
+             predicate enroll(Sname, Ctitle).\n\
+             student(ann, math, 3.9).\n\
+             student(bob, math, 3.5).\n\
+             enroll(ann, databases).\n\
+             honor(X) :- student(X, Y, Z), Z > 3.7.",
+        )
+        .unwrap();
+        kb
+    }
+
+    #[test]
+    fn twin_statements_through_one_instrument() {
+        let mut kb = mini_kb();
+        // "Retrieve the honor students" — data.
+        let data = kb.run("retrieve honor(X).").unwrap();
+        let d = data.as_data().unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(d.contains_row(&["ann"]));
+        // "Describe the honor students" — knowledge.
+        let knowledge = kb.run("describe honor(X).").unwrap();
+        let k = knowledge.as_knowledge().unwrap();
+        assert_eq!(
+            k.rendered(),
+            vec!["honor(X) ← student(X, Y, Z) ∧ (Z > 3.7)"]
+        );
+    }
+
+    #[test]
+    fn facts_go_to_edb_rules_to_idb() {
+        let kb = mini_kb();
+        assert_eq!(kb.edb().fact_count(), 3);
+        assert_eq!(kb.idb().len(), 1);
+        assert_eq!(kb.keys().get("student"), Some(&1));
+    }
+
+    #[test]
+    fn ground_idb_fact_is_a_rule() {
+        // A ground clause whose predicate is *not* declared becomes an IDB
+        // fact-rule rather than an EDB fact.
+        let mut kb = mini_kb();
+        kb.run("special(ann).").unwrap();
+        assert!(kb.idb().defines("special"));
+    }
+
+    #[test]
+    fn duplicate_fact_acknowledged() {
+        let mut kb = mini_kb();
+        let a = kb.run("student(ann, math, 3.9).").unwrap();
+        assert!(a.to_string().contains("already stored"));
+    }
+
+    #[test]
+    fn constraints_are_recorded() {
+        let mut kb = mini_kb();
+        kb.run(":- honor(X), suspended(X).").unwrap();
+        assert_eq!(kb.constraints().len(), 1);
+    }
+
+    #[test]
+    fn retract_show_and_explain() {
+        let mut kb = mini_kb();
+        // Retract flips the data answer.
+        assert_eq!(
+            kb.run("retrieve honor(X).")
+                .unwrap()
+                .as_data()
+                .unwrap()
+                .len(),
+            1
+        );
+        let a = kb.run("retract student(ann, math, 3.9).").unwrap();
+        assert!(a.to_string().contains("retracted"));
+        assert!(kb
+            .run("retrieve honor(X).")
+            .unwrap()
+            .as_data()
+            .unwrap()
+            .is_empty());
+        // Retracting again reports absence.
+        let a = kb.run("retract student(ann, math, 3.9).").unwrap();
+        assert!(a.to_string().contains("not stored"));
+
+        // Show lists the catalog, the rules and the constraints.
+        let preds = kb.run("show predicates.").unwrap().to_string();
+        assert!(preds.contains("student(Sname, Major, Gpa) key 1"), "{preds}");
+        assert!(preds.contains("facts"), "{preds}");
+        let rules = kb.run("show rules.").unwrap().to_string();
+        assert!(rules.contains("honor(X) :-"), "{rules}");
+        kb.run(":- honor(X), suspended(X).").unwrap();
+        let cons = kb.run("show constraints.").unwrap().to_string();
+        assert!(cons.contains("suspended"), "{cons}");
+
+        // Explain renders theorems with their derivations.
+        let ex = kb.run("explain honor(X).").unwrap().to_string();
+        assert!(ex.contains("honor(X) ←"), "{ex}");
+        assert!(ex.contains("definition:"), "{ex}");
+    }
+
+    #[test]
+    fn dump_load_roundtrip() {
+        let mut kb = crate::datasets::university_extended();
+        let dumped = kb.dump();
+        let mut restored = KnowledgeBase::new();
+        restored.load(&dumped).unwrap();
+        assert_eq!(restored.edb().fact_count(), kb.edb().fact_count());
+        assert_eq!(restored.idb().len(), kb.idb().len());
+        assert_eq!(restored.constraints().len(), kb.constraints().len());
+        assert_eq!(restored.keys().len(), kb.keys().len());
+        // Queries agree on the restored copy.
+        let q = "retrieve honor(X) where enroll(X, databases).";
+        let a = kb.run(q).unwrap();
+        let b = restored.run(q).unwrap();
+        assert_eq!(
+            a.as_data().unwrap().sorted(),
+            b.as_data().unwrap().sorted()
+        );
+        let q = "describe can_ta(X, Y) where honor(X) and teach(susan, Y).";
+        let a = kb.run(q).unwrap();
+        let b = restored.run(q).unwrap();
+        assert_eq!(
+            a.as_knowledge().unwrap().rendered(),
+            b.as_knowledge().unwrap().rendered()
+        );
+        // Dump is idempotent.
+        assert_eq!(restored.dump(), dumped);
+    }
+
+    #[test]
+    fn describe_respects_constraints() {
+        let mut kb = KnowledgeBase::new();
+        kb.load(
+            "predicate demographic(S, N, M) key 1.\n\
+             foreign(X) :- demographic(X, N, M), N != usa.\n\
+             unmarried(X) :- demographic(X, N, single).\n\
+             visa_ok(X) :- foreign(X), unmarried(X).\n\
+             visa_ok(X) :- foreign(X), sponsor(X).\n\
+             :- foreign(X), unmarried(X).",
+        )
+        .unwrap();
+        let a = kb.run("describe visa_ok(X).").unwrap();
+        let k = a.as_knowledge().unwrap();
+        // The foreign ∧ unmarried definition is forbidden by the
+        // constraint; only the sponsor rule survives.
+        assert_eq!(k.len(), 1, "{k}");
+        assert!(k.rendered()[0].contains("sponsor"), "{k}");
+    }
+
+    #[test]
+    fn disjunctive_describe_through_language() {
+        let mut kb = mini_kb();
+        let a = kb
+            .run("describe honor(X) where student(X, math, V) and V > 3.8 or student(X, M, W) and W > 3.9.")
+            .unwrap();
+        // Both disjuncts entail the GPA bound: the unconditional theorem
+        // survives the intersection.
+        assert_eq!(a.as_knowledge().unwrap().rendered(), vec!["honor(X)"]);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut kb = mini_kb();
+        assert!(kb.run("retrieve honor(X) where").is_err()); // parse
+        assert!(kb.run("describe student(X, Y, Z).").is_err()); // not IDB
+        assert!(kb.run("enroll(ann).").is_err()); // arity
+    }
+}

@@ -1,0 +1,194 @@
+//! Atomic formulas and literals.
+
+use crate::symbol::Sym;
+use crate::term::{Term, Var};
+use std::fmt;
+
+/// The built-in comparison predicate names of the paper's EDB: `=`, `!=`,
+/// `>`, `>=`, `<`, `<=` (§2.2 lists =, ≠, >, ≥, <, ≤).
+pub const BUILTIN_PREDICATES: &[&str] = &["=", "!=", "<", "<=", ">", ">="];
+
+/// An atomic formula: a predicate symbol applied to a list of terms.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// The predicate symbol.
+    pub pred: Sym,
+    /// The argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(pred: impl Into<Sym>, args: Vec<Term>) -> Self {
+        Atom {
+            pred: pred.into(),
+            args,
+        }
+    }
+
+    /// The predicate's arity.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// True if the predicate is one of the built-in comparisons.
+    pub fn is_builtin(&self) -> bool {
+        BUILTIN_PREDICATES.contains(&self.pred.as_str())
+    }
+
+    /// True if the atom contains no variables.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(Term::is_ground)
+    }
+
+    /// Appends every variable occurring in the atom (with duplicates, in
+    /// argument order) to `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Var>) {
+        for t in &self.args {
+            if let Term::Var(v) = t {
+                out.push(v.clone());
+            }
+        }
+    }
+
+    /// The distinct variables of the atom, in order of first occurrence.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut all = Vec::new();
+        self.collect_vars(&mut all);
+        let mut seen = Vec::new();
+        for v in all {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        seen
+    }
+
+    /// True if the atoms have the same predicate symbol and arity.
+    pub fn same_signature(&self, other: &Atom) -> bool {
+        self.pred == other.pred && self.arity() == other.arity()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_builtin() && self.args.len() == 2 {
+            return write!(f, "({} {} {})", self.args[0], self.pred, self.args[1]);
+        }
+        if self.args.is_empty() {
+            return write!(f, "{}", self.pred);
+        }
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A literal: an atomic formula or its negation.
+///
+/// The paper's rule bodies and qualifiers are positive formulas; negation
+/// appears only in the §6 extensions (`where not honor(X)`), so most code
+/// paths require `positive == true` and reject negative literals early.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Literal {
+    /// Polarity: `true` for an atom, `false` for its negation.
+    pub positive: bool,
+    /// The underlying atom.
+    pub atom: Atom,
+}
+
+impl Literal {
+    /// Creates a positive literal.
+    pub fn pos(atom: Atom) -> Self {
+        Literal {
+            positive: true,
+            atom,
+        }
+    }
+
+    /// Creates a negative literal.
+    pub fn neg(atom: Atom) -> Self {
+        Literal {
+            positive: false,
+            atom,
+        }
+    }
+
+    /// True if the literal's predicate is a built-in comparison.
+    pub fn is_builtin(&self) -> bool {
+        self.atom.is_builtin()
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "{}", self.atom)
+        } else {
+            write!(f, "not {}", self.atom)
+        }
+    }
+}
+
+impl From<Atom> for Literal {
+    fn from(atom: Atom) -> Self {
+        Literal::pos(atom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn student_atom() -> Atom {
+        Atom::new(
+            "student",
+            vec![Term::var("X"), Term::var("Y"), Term::var("Z")],
+        )
+    }
+
+    #[test]
+    fn display_ordinary_and_builtin() {
+        assert_eq!(student_atom().to_string(), "student(X, Y, Z)");
+        let cmp = Atom::new(">", vec![Term::var("Z"), Term::num(3.7)]);
+        assert_eq!(cmp.to_string(), "(Z > 3.7)");
+        assert!(cmp.is_builtin());
+        assert!(!student_atom().is_builtin());
+    }
+
+    #[test]
+    fn vars_are_deduplicated_in_order() {
+        let a = Atom::new("p", vec![Term::var("Y"), Term::var("X"), Term::var("Y")]);
+        let vs: Vec<String> = a.vars().iter().map(|v| v.to_string()).collect();
+        assert_eq!(vs, ["Y", "X"]);
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(!student_atom().is_ground());
+        let g = Atom::new("prereq", vec![Term::sym("databases"), Term::sym("ds")]);
+        assert!(g.is_ground());
+    }
+
+    #[test]
+    fn literal_display() {
+        let l = Literal::neg(Atom::new("honor", vec![Term::var("X")]));
+        assert_eq!(l.to_string(), "not honor(X)");
+        let p = Literal::pos(Atom::new("honor", vec![Term::var("X")]));
+        assert_eq!(p.to_string(), "honor(X)");
+    }
+
+    #[test]
+    fn signatures() {
+        let a = Atom::new("p", vec![Term::var("X")]);
+        let b = Atom::new("p", vec![Term::int(1)]);
+        let c = Atom::new("p", vec![Term::var("X"), Term::var("Y")]);
+        assert!(a.same_signature(&b));
+        assert!(!a.same_signature(&c));
+    }
+}

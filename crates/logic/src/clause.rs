@@ -1,0 +1,277 @@
+//! Horn clauses: rules, facts, integrity constraints and programs.
+
+use crate::atom::{Atom, Literal};
+use crate::term::Var;
+use std::fmt;
+
+/// A Horn clause of the paper's first form: `q ← p₁ ∧ … ∧ pₙ`.
+///
+/// A rule without a body (`n = 0`) and without variables is a *fact*.
+/// Variables appearing only in the body are existentially quantified within
+/// the body; all others are universally quantified over the rule (§2.1).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Rule {
+    /// The head (goal) of the rule.
+    pub head: Atom,
+    /// The body subgoals. Positive in the paper's core language; negative
+    /// literals are admitted for the §6 extensions and stratified negation.
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Creates a rule from a head and positive body atoms.
+    pub fn new(head: Atom, body: Vec<Atom>) -> Self {
+        Rule {
+            head,
+            body: body.into_iter().map(Literal::pos).collect(),
+        }
+    }
+
+    /// Creates a rule with explicit literals (possibly negative).
+    pub fn with_literals(head: Atom, body: Vec<Literal>) -> Self {
+        Rule { head, body }
+    }
+
+    /// Creates a fact (a ground, bodyless rule). Panics in debug builds if
+    /// the head is not ground.
+    pub fn fact(head: Atom) -> Self {
+        debug_assert!(head.is_ground(), "facts must be ground: {head}");
+        Rule {
+            head,
+            body: Vec::new(),
+        }
+    }
+
+    /// True if this rule is a fact: no body and no variables.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty() && self.head.is_ground()
+    }
+
+    /// True if every body literal is positive (the paper's core language).
+    pub fn is_positive(&self) -> bool {
+        self.body.iter().all(|l| l.positive)
+    }
+
+    /// The distinct variables of the rule, head first, in order of first
+    /// occurrence.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut all = Vec::new();
+        self.head.collect_vars(&mut all);
+        for l in &self.body {
+            l.atom.collect_vars(&mut all);
+        }
+        let mut seen = Vec::new();
+        for v in all {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        seen
+    }
+
+    /// The body atoms that are not built-in comparisons.
+    pub fn body_db_atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.body
+            .iter()
+            .filter(|l| l.positive && !l.is_builtin())
+            .map(|l| &l.atom)
+    }
+
+    /// Number of occurrences of `pred` among the body's database atoms.
+    pub fn body_occurrences(&self, pred: &str) -> usize {
+        self.body_db_atoms().filter(|a| a.pred == pred).count()
+    }
+
+    /// True if this rule is *typed with respect to* the predicate `pred`
+    /// (§2.1): every variable occurs in at most one fixed argument position
+    /// across all occurrences of `pred` in the rule (head and body).
+    ///
+    /// A rule containing `p(X, Y)` and `p(Y, Z)` is not typed w.r.t. `p`
+    /// (Y occurs in position 1 and position 0), nor is one containing
+    /// `q(X, X)` typed w.r.t. `q`.
+    pub fn is_typed_wrt(&self, pred: &str) -> bool {
+        let mut position_of: std::collections::HashMap<&Var, usize> =
+            std::collections::HashMap::new();
+        let occurrences = std::iter::once(&self.head)
+            .chain(self.body.iter().map(|l| &l.atom))
+            .filter(|a| a.pred == pred);
+        for atom in occurrences {
+            for (i, t) in atom.args.iter().enumerate() {
+                if let crate::term::Term::Var(v) = t {
+                    match position_of.entry(v) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            if *e.get() != i {
+                                return false;
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(i);
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A Horn clause of the paper's second form: an integrity constraint
+/// `¬(p₁ ∧ … ∧ pₙ)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Constraint {
+    /// The conjunction that must never hold.
+    pub body: Vec<Atom>,
+}
+
+impl Constraint {
+    /// Creates a constraint forbidding the conjunction of `body`.
+    pub fn new(body: Vec<Atom>) -> Self {
+        Constraint { body }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ":- ")?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+/// A parsed program: facts, rules and integrity constraints in source order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// Rules (including facts, which are bodyless ground rules).
+    pub rules: Vec<Rule>,
+    /// Integrity constraints.
+    pub constraints: Vec<Constraint>,
+}
+
+impl Program {
+    /// Splits the program into facts and proper rules.
+    pub fn split_facts(&self) -> (Vec<Rule>, Vec<Rule>) {
+        self.rules.iter().cloned().partition(Rule::is_fact)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        for c in &self.constraints {
+            writeln!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn atom(p: &str, args: Vec<Term>) -> Atom {
+        Atom::new(p, args)
+    }
+
+    #[test]
+    fn fact_detection() {
+        let f = Rule::fact(atom("prereq", vec![Term::sym("db"), Term::sym("ds")]));
+        assert!(f.is_fact());
+        let r = Rule::new(
+            atom("honor", vec![Term::var("X")]),
+            vec![atom("student", vec![Term::var("X")])],
+        );
+        assert!(!r.is_fact());
+    }
+
+    #[test]
+    fn rule_vars_in_order() {
+        let r = Rule::new(
+            atom("can_ta", vec![Term::var("X"), Term::var("Y")]),
+            vec![
+                atom("honor", vec![Term::var("X")]),
+                atom("complete", vec![Term::var("X"), Term::var("Y"), Term::var("Z")]),
+            ],
+        );
+        let names: Vec<String> = r.vars().iter().map(|v| v.to_string()).collect();
+        assert_eq!(names, ["X", "Y", "Z"]);
+    }
+
+    #[test]
+    fn typedness_paper_examples() {
+        // prior(X, Y) :- prereq(X, Z), prior(Z, Y).  — typed w.r.t. prior.
+        let typed = Rule::new(
+            atom("prior", vec![Term::var("X"), Term::var("Y")]),
+            vec![
+                atom("prereq", vec![Term::var("X"), Term::var("Z")]),
+                atom("prior", vec![Term::var("Z"), Term::var("Y")]),
+            ],
+        );
+        assert!(typed.is_typed_wrt("prior"));
+
+        // A rule with p(X, Y) and p(Y, Z) is not typed w.r.t. p (§2.1).
+        let untyped = Rule::new(
+            atom("q", vec![Term::var("X"), Term::var("Z")]),
+            vec![
+                atom("p", vec![Term::var("X"), Term::var("Y")]),
+                atom("p", vec![Term::var("Y"), Term::var("Z")]),
+            ],
+        );
+        assert!(!untyped.is_typed_wrt("p"));
+
+        // A rule including q(X, X) is not typed w.r.t. q (§2.1).
+        let diag = Rule::new(
+            atom("r", vec![Term::var("X")]),
+            vec![atom("q", vec![Term::var("X"), Term::var("X")])],
+        );
+        assert!(!diag.is_typed_wrt("q"));
+    }
+
+    #[test]
+    fn body_occurrence_counting_skips_builtins() {
+        let r = Rule::with_literals(
+            atom("p", vec![Term::var("X")]),
+            vec![
+                Literal::pos(atom("p", vec![Term::var("Y")])),
+                Literal::pos(Atom::new(">", vec![Term::var("Y"), Term::int(0)])),
+                Literal::pos(atom("p", vec![Term::var("Z")])),
+            ],
+        );
+        assert_eq!(r.body_occurrences("p"), 2);
+        assert_eq!(r.body_occurrences(">"), 0);
+    }
+
+    #[test]
+    fn display_rule_and_constraint() {
+        let r = Rule::new(
+            atom("honor", vec![Term::var("X")]),
+            vec![atom("student", vec![Term::var("X"), Term::var("Y")])],
+        );
+        assert_eq!(r.to_string(), "honor(X) :- student(X, Y).");
+        let c = Constraint::new(vec![atom("p", vec![Term::var("X")])]);
+        assert_eq!(c.to_string(), ":- p(X).");
+    }
+}

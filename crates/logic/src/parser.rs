@@ -1,0 +1,779 @@
+//! Text parser for the logic language.
+//!
+//! Grammar (datalog-style ASCII rendering of the paper's notation):
+//!
+//! ```text
+//! program    := clause*
+//! clause     := rule | constraint
+//! rule       := atom ( ":-" body )? "."
+//! constraint := ":-" body "."
+//! body       := literal ( "," literal )*
+//! literal    := "not" atom | atom
+//! atom       := ident "(" term ("," term)* ")"
+//!             | ident                       (zero-ary predicate)
+//!             | "(" comparison ")" | comparison
+//! comparison := term op term,  op ∈ { = != < <= > >= }
+//! term       := VARIABLE | ident | NUMBER | STRING
+//! ```
+//!
+//! Identifiers beginning with a capital letter are variables (the paper's
+//! convention, §2.1); all other identifiers are symbolic constants or
+//! predicate names. `_` is an anonymous variable (each occurrence fresh).
+//! Comments run from `%` or `//` to end of line.
+
+use crate::atom::Atom;
+use crate::clause::{Constraint, Program, Rule};
+use crate::error::{ParseError, Result};
+use crate::term::{Const, Term, Var};
+use crate::Literal;
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Variable(String),
+    Int(i64),
+    Num(f64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Period,
+    If, // ":-"
+    Op(&'static str),
+    Not,
+    Star,
+}
+
+#[derive(Clone, Debug)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.line, self.col)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<Spanned>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else { break };
+            let tok = match c {
+                b'(' => {
+                    self.bump();
+                    Tok::LParen
+                }
+                b')' => {
+                    self.bump();
+                    Tok::RParen
+                }
+                b',' => {
+                    self.bump();
+                    Tok::Comma
+                }
+                b'*' => {
+                    self.bump();
+                    Tok::Star
+                }
+                b'.' => {
+                    self.bump();
+                    Tok::Period
+                }
+                b':' => {
+                    self.bump();
+                    if self.peek() == Some(b'-') {
+                        self.bump();
+                        Tok::If
+                    } else {
+                        return Err(self.error("expected '-' after ':'"));
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    Tok::Op("=")
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Op("!=")
+                    } else {
+                        return Err(self.error("expected '=' after '!'"));
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Op("<=")
+                    } else {
+                        Tok::Op("<")
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Op(">=")
+                    } else {
+                        Tok::Op(">")
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            Some(b'"') => break,
+                            Some(b'\\') => match self.bump() {
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                _ => return Err(self.error("bad escape in string")),
+                            },
+                            Some(c) => s.push(c as char),
+                            None => return Err(self.error("unterminated string")),
+                        }
+                    }
+                    Tok::Str(s)
+                }
+                b'-' if self.peek2().is_some_and(|d| d.is_ascii_digit()) => {
+                    self.bump();
+                    self.number(true)?
+                }
+                c if c.is_ascii_digit() => self.number(false)?,
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    let mut s = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphanumeric() || c == b'_' {
+                            s.push(c as char);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    if s == "not" {
+                        Tok::Not
+                    } else if s.starts_with(|ch: char| ch.is_ascii_uppercase()) || s == "_" {
+                        Tok::Variable(s)
+                    } else if s.starts_with('_') {
+                        return Err(ParseError::new(
+                            format!("identifiers may not begin with '_': {s}"),
+                            line,
+                            col,
+                        ));
+                    } else {
+                        Tok::Ident(s)
+                    }
+                }
+                other => {
+                    return Err(self.error(format!("unexpected character {:?}", other as char)))
+                }
+            };
+            out.push(Spanned { tok, line, col });
+        }
+        Ok(out)
+    }
+
+    /// Lexes a number. A `.` is consumed as a decimal point only when
+    /// followed by a digit, so the clause-terminating period after e.g.
+    /// `4.0.` or `p(3).` lexes correctly.
+    fn number(&mut self, negative: bool) -> Result<Tok> {
+        let mut s = String::new();
+        if negative {
+            s.push('-');
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|d| d.is_ascii_digit()) {
+            is_float = true;
+            s.push('.');
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    s.push(c as char);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if is_float {
+            s.parse::<f64>()
+                .map(Tok::Num)
+                .map_err(|e| self.error(format!("bad float {s}: {e}")))
+        } else {
+            s.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|e| self.error(format!("bad integer {s}: {e}")))
+        }
+    }
+}
+
+/// The parser proper.
+pub struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    anon: u64,
+}
+
+impl Parser {
+    /// Creates a parser over the given source text.
+    pub fn new(src: &str) -> Result<Self> {
+        Ok(Parser {
+            toks: Lexer::new(src).tokenize()?,
+            pos: 0,
+            anon: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn bump(&mut self) -> Option<Spanned> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> (usize, usize) {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|s| (s.line, s.col))
+            .unwrap_or((1, 1))
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        let (l, c) = self.here();
+        ParseError::new(msg, l, c)
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<()> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.bump();
+                Ok(())
+            }
+            Some(t) => Err(self.error(format!("expected {what}, found {t:?}"))),
+            None => Err(self.error(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    /// True if all tokens are consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Consumes the next token if it is the identifier `kw`; returns
+    /// whether it did. Used by statement-level parsers layered on top of
+    /// this one (the query language's `where`, `and`, `necessary`, …).
+    pub fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if the next token is the identifier `kw` (without consuming).
+    pub fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    /// Consumes a comma if next; returns whether it did.
+    pub fn eat_comma(&mut self) -> bool {
+        self.eat_tok(&Tok::Comma)
+    }
+
+    /// Consumes a `(` if next; returns whether it did.
+    pub fn eat_lparen(&mut self) -> bool {
+        self.eat_tok(&Tok::LParen)
+    }
+
+    /// Consumes a `)` if next; returns whether it did.
+    pub fn eat_rparen(&mut self) -> bool {
+        self.eat_tok(&Tok::RParen)
+    }
+
+    /// Consumes a `*` if next; returns whether it did.
+    pub fn eat_star(&mut self) -> bool {
+        self.eat_tok(&Tok::Star)
+    }
+
+    /// Consumes a `not` keyword if next; returns whether it did.
+    pub fn eat_not(&mut self) -> bool {
+        self.eat_tok(&Tok::Not)
+    }
+
+    /// Consumes a `:-` if next; returns whether it did.
+    pub fn eat_if(&mut self) -> bool {
+        self.eat_tok(&Tok::If)
+    }
+
+    /// Consumes the statement-terminating period.
+    pub fn expect_period(&mut self) -> Result<()> {
+        self.expect(&Tok::Period, "'.'")
+    }
+
+    /// Consumes an integer literal.
+    pub fn integer(&mut self) -> Result<i64> {
+        match self.bump().map(|s| s.tok) {
+            Some(Tok::Int(i)) => Ok(i),
+            other => Err(self.error(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    /// Consumes an identifier and returns its text.
+    pub fn identifier(&mut self) -> Result<String> {
+        match self.bump().map(|s| s.tok) {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Consumes a name usable as an attribute: identifier or variable.
+    pub fn name(&mut self) -> Result<String> {
+        match self.bump().map(|s| s.tok) {
+            Some(Tok::Ident(s)) | Some(Tok::Variable(s)) => Ok(s),
+            other => Err(self.error(format!("expected name, found {other:?}"))),
+        }
+    }
+
+    /// Builds a parse error at the current position (for layered parsers).
+    pub fn error_here(&self, msg: impl Into<String>) -> ParseError {
+        self.error(msg)
+    }
+
+    fn eat_tok(&mut self, want: &Tok) -> bool {
+        if self.peek() == Some(want) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses a term.
+    pub fn term(&mut self) -> Result<Term> {
+        match self.bump().map(|s| s.tok) {
+            Some(Tok::Variable(v)) => {
+                if v == "_" {
+                    let name = format!("_anon{}", self.anon);
+                    self.anon += 1;
+                    Ok(Term::Var(Var::new(&name)))
+                } else {
+                    Ok(Term::var(&v))
+                }
+            }
+            Some(Tok::Ident(s)) => Ok(Term::sym(&s)),
+            Some(Tok::Int(i)) => Ok(Term::Const(Const::Int(i))),
+            Some(Tok::Num(n)) => Ok(Term::Const(Const::Num(n))),
+            Some(Tok::Str(s)) => Ok(Term::Const(Const::str(&s))),
+            Some(t) => Err(self.error(format!("expected term, found {t:?}"))),
+            None => Err(self.error("expected term, found end of input")),
+        }
+    }
+
+    /// Parses an atom: an ordinary predicate application, a parenthesized
+    /// or bare infix comparison, or a zero-ary predicate.
+    pub fn atom(&mut self) -> Result<Atom> {
+        match self.peek() {
+            Some(Tok::LParen) => {
+                // Parenthesized comparison: "(Z > 3.7)".
+                self.bump();
+                let l = self.term()?;
+                let op = match self.bump().map(|s| s.tok) {
+                    Some(Tok::Op(op)) => op,
+                    other => {
+                        return Err(self.error(format!(
+                            "expected comparison operator, found {other:?}"
+                        )))
+                    }
+                };
+                let r = self.term()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(Atom::new(op, vec![l, r]))
+            }
+            Some(Tok::Ident(_)) => {
+                let Some(Tok::Ident(p)) = self.bump().map(|s| s.tok) else {
+                    unreachable!()
+                };
+                if self.peek() == Some(&Tok::LParen) {
+                    self.bump();
+                    let mut args = vec![self.term()?];
+                    while self.peek() == Some(&Tok::Comma) {
+                        self.bump();
+                        args.push(self.term()?);
+                    }
+                    self.expect(&Tok::RParen, "')'")?;
+                    Ok(Atom::new(p.as_str(), args))
+                } else {
+                    Ok(Atom::new(p.as_str(), vec![]))
+                }
+            }
+            // Bare comparison starting with a non-ident term: "X > 3".
+            Some(Tok::Variable(_) | Tok::Int(_) | Tok::Num(_) | Tok::Str(_)) => {
+                let l = self.term()?;
+                let op = match self.bump().map(|s| s.tok) {
+                    Some(Tok::Op(op)) => op,
+                    other => {
+                        return Err(self.error(format!(
+                            "expected comparison operator, found {other:?}"
+                        )))
+                    }
+                };
+                let r = self.term()?;
+                Ok(Atom::new(op, vec![l, r]))
+            }
+            other => Err(self.error(format!("expected atom, found {other:?}"))),
+        }
+    }
+
+    /// Parses a body literal: `not atom` or an atom (including infix
+    /// comparisons).
+    pub fn literal(&mut self) -> Result<Literal> {
+        if self.peek() == Some(&Tok::Not) {
+            self.bump();
+            Ok(Literal::neg(self.atom()?))
+        } else {
+            Ok(Literal::pos(self.atom()?))
+        }
+    }
+
+    /// Parses a comma-separated body of literals.
+    pub fn body(&mut self) -> Result<Vec<Literal>> {
+        let mut lits = vec![self.literal()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.bump();
+            lits.push(self.literal()?);
+        }
+        Ok(lits)
+    }
+
+    /// Parses one clause (rule or constraint), consuming the final period.
+    fn clause(&mut self) -> Result<ClauseKind> {
+        if self.peek() == Some(&Tok::If) {
+            self.bump();
+            let body = self.body()?;
+            self.expect(&Tok::Period, "'.'")?;
+            let atoms = body
+                .into_iter()
+                .map(|l| {
+                    if l.positive {
+                        Ok(l.atom)
+                    } else {
+                        Err(self.error("negative literal in integrity constraint"))
+                    }
+                })
+                .collect::<Result<Vec<_>>>()?;
+            return Ok(ClauseKind::Constraint(Constraint::new(atoms)));
+        }
+        let head = self.atom()?;
+        if head.is_builtin() {
+            return Err(self.error("a comparison cannot be the head of a rule"));
+        }
+        let body = if self.peek() == Some(&Tok::If) {
+            self.bump();
+            self.body()?
+        } else {
+            Vec::new()
+        };
+        self.expect(&Tok::Period, "'.'")?;
+        Ok(ClauseKind::Rule(Rule::with_literals(head, body)))
+    }
+
+    /// Parses a whole program.
+    pub fn program(&mut self) -> Result<Program> {
+        let mut p = Program::default();
+        while !self.at_end() {
+            match self.clause()? {
+                ClauseKind::Rule(r) => p.rules.push(r),
+                ClauseKind::Constraint(c) => p.constraints.push(c),
+            }
+        }
+        Ok(p)
+    }
+}
+
+enum ClauseKind {
+    Rule(Rule),
+    Constraint(Constraint),
+}
+
+/// Parses a program (facts, rules, constraints).
+pub fn parse_program(src: &str) -> Result<Program> {
+    Parser::new(src)?.program()
+}
+
+/// Parses a single rule or fact, requiring the trailing period.
+pub fn parse_rule(src: &str) -> Result<Rule> {
+    let mut p = Parser::new(src)?;
+    let c = p.clause()?;
+    if !p.at_end() {
+        return Err(p.error("trailing input after rule"));
+    }
+    match c {
+        ClauseKind::Rule(r) => Ok(r),
+        ClauseKind::Constraint(_) => Err(ParseError::new("expected a rule, found constraint", 1, 1)),
+    }
+}
+
+/// Parses a single atom (no trailing period).
+pub fn parse_atom(src: &str) -> Result<Atom> {
+    let mut p = Parser::new(src)?;
+    let a = p.atom()?;
+    if !p.at_end() {
+        return Err(p.error("trailing input after atom"));
+    }
+    Ok(a)
+}
+
+/// Parses a comma-separated conjunction of literals (no trailing period),
+/// e.g. the qualifier of a query.
+pub fn parse_body(src: &str) -> Result<Vec<Literal>> {
+    let mut p = Parser::new(src)?;
+    let b = p.body()?;
+    if !p.at_end() {
+        return Err(p.error("trailing input after formula"));
+    }
+    Ok(b)
+}
+
+/// Parses a single term (no trailing input).
+pub fn parse_term(src: &str) -> Result<Term> {
+    let mut p = Parser::new(src)?;
+    let t = p.term()?;
+    if !p.at_end() {
+        return Err(p.error("trailing input after term"));
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fact() {
+        let r = parse_rule("prereq(databases, datastructures).").unwrap();
+        assert!(r.is_fact());
+        assert_eq!(r.to_string(), "prereq(databases, datastructures).");
+    }
+
+    #[test]
+    fn parses_paper_honor_rule() {
+        let r = parse_rule("honor(X) :- student(X, Y, Z), Z > 3.7.").unwrap();
+        assert_eq!(r.head.pred, "honor");
+        assert_eq!(r.body.len(), 2);
+        assert!(r.body[1].is_builtin());
+        assert_eq!(r.to_string(), "honor(X) :- student(X, Y, Z), (Z > 3.7).");
+    }
+
+    #[test]
+    fn parses_parenthesized_comparison() {
+        let r = parse_rule("honor(X) :- student(X, Y, Z), (Z >= 3.7).").unwrap();
+        assert_eq!(r.body[1].atom.pred, ">=");
+    }
+
+    #[test]
+    fn parses_recursive_prior_rules() {
+        let p = parse_program(
+            "prior(X, Y) :- prereq(X, Y).\n\
+             prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.rules[1].body_occurrences("prior"), 1);
+    }
+
+    #[test]
+    fn parses_paper_can_ta_rules() {
+        let p = parse_program(
+            "can_ta(X, Y) :- honor(X), complete(X, Y, Z, U), U > 3.3, taught(V, Y, Z, W), teach(V, Y).\n\
+             can_ta(X, Y) :- honor(X), complete(X, Y, Z, 4.0).",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.rules[0].body.len(), 5);
+        assert_eq!(p.rules[1].body[1].atom.args[3], Term::num(4.0));
+    }
+
+    #[test]
+    fn parses_constraint() {
+        let ok = parse_program(":- honor(X), suspended(X).").unwrap();
+        assert_eq!(ok.constraints.len(), 1);
+        assert_eq!(ok.constraints[0].body.len(), 2);
+        // Negative literals are rejected inside constraints (Horn form 2
+        // of §2.1 is a negated conjunction of positive literals).
+        assert!(parse_program(":- foreign(X), not married(X).").is_err());
+    }
+
+    #[test]
+    fn parses_negative_literal_in_rule_body() {
+        let r = parse_rule("p(X) :- q(X), not r(X).").unwrap();
+        assert!(!r.body[1].positive);
+    }
+
+    #[test]
+    fn anonymous_variables_are_fresh() {
+        let r = parse_rule("p(X) :- q(X, _), r(_, X).").unwrap();
+        let q_anon = r.body[0].atom.args[1].as_var().unwrap().clone();
+        let r_anon = r.body[1].atom.args[0].as_var().unwrap().clone();
+        assert_ne!(q_anon, r_anon);
+        assert!(q_anon.is_fresh());
+    }
+
+    #[test]
+    fn zero_ary_predicate() {
+        let r = parse_rule("halted :- stopped.").unwrap();
+        assert_eq!(r.head.arity(), 0);
+        assert_eq!(r.body[0].atom.arity(), 0);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = parse_program(
+            "% paper example\n\
+             honor(X) :- student(X, Y, Z), Z > 3.7. // definition\n",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 1);
+    }
+
+    #[test]
+    fn numbers_lex_correctly_before_period() {
+        let r = parse_rule("gpa(ann, 4.0).").unwrap();
+        assert_eq!(r.head.args[1], Term::num(4.0));
+        let r2 = parse_rule("units(db, 4).").unwrap();
+        assert_eq!(r2.head.args[1], Term::int(4));
+        let r3 = parse_rule("temp(x, -3).").unwrap();
+        assert_eq!(r3.head.args[1], Term::int(-3));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let t = parse_term(r#""fall \"89\"""#).unwrap();
+        assert_eq!(t, Term::Const(Const::str("fall \"89\"")));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse_rule("honor(X) :- student(X, Y, Z) Z > 3.7.").unwrap_err();
+        assert!(e.line >= 1 && e.column > 1, "{e}");
+        let e2 = parse_program("p(X)").unwrap_err();
+        assert!(e2.message.contains("'.'"), "{e2}");
+    }
+
+    #[test]
+    fn rejects_builtin_head() {
+        assert!(parse_rule("X > 3 :- p(X).").is_err());
+    }
+
+    #[test]
+    fn rejects_underscore_identifier() {
+        assert!(parse_rule("p(_x).").is_err());
+    }
+
+    #[test]
+    fn parse_body_for_where_clauses() {
+        let b = parse_body("student(X, math, V), V > 3.7").unwrap();
+        assert_eq!(b.len(), 2);
+        assert!(b[1].is_builtin());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let srcs = [
+            "honor(X) :- student(X, Y, Z), (Z > 3.7).",
+            "prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
+            "prereq(databases, datastructures).",
+            "p(X) :- q(X), not r(X).",
+        ];
+        for s in srcs {
+            let r = parse_rule(s).unwrap();
+            assert_eq!(r.to_string(), s);
+            // Reparse is identity.
+            assert_eq!(parse_rule(&r.to_string()).unwrap(), r);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Paper-style pretty printing and canonical variable renaming.
+//!
+//! The default `Display` impls print ASCII datalog (`head :- body.`). This
+//! module adds the paper's mathematical notation (`head ← b₁ ∧ b₂`) and a
+//! canonicalizer that renames the machine-generated fresh variables in
+//! knowledge answers back to the paper's friendly names (`X`, `Y`, `Z`, `U`,
+//! `V`, `W`, `X1`, …), which is what makes a `describe` answer readable.
+
+use crate::atom::{Atom, Literal};
+use crate::clause::Rule;
+use crate::subst::Subst;
+use crate::term::{Term, Var};
+
+/// The friendly variable names, in the order the paper tends to use them.
+const FRIENDLY: &[&str] = &["X", "Y", "Z", "U", "V", "W"];
+
+/// Renames the variables of a rule to canonical friendly names in order of
+/// first occurrence (head first). Variables already bearing a friendly name
+/// that does not clash keep it; fresh (`_`-prefixed) variables always get a
+/// new name.
+pub fn canonicalize_rule(rule: &Rule) -> Rule {
+    let vars = rule.vars();
+    let mut taken: Vec<String> = vars
+        .iter()
+        .filter(|v| !v.is_fresh())
+        .map(|v| v.name().to_string())
+        .collect();
+    let mut renaming = Subst::new();
+    let mut next_idx = 0usize;
+    for v in &vars {
+        if !v.is_fresh() {
+            continue;
+        }
+        let name = loop {
+            let candidate = friendly_name(next_idx);
+            next_idx += 1;
+            if !taken.contains(&candidate) {
+                break candidate;
+            }
+        };
+        taken.push(name.clone());
+        renaming.bind(v.clone(), Term::Var(Var::new(&name)));
+    }
+    renaming.apply_rule(rule)
+}
+
+fn friendly_name(i: usize) -> String {
+    if i < FRIENDLY.len() {
+        FRIENDLY[i].to_string()
+    } else {
+        format!("{}{}", FRIENDLY[i % FRIENDLY.len()], i / FRIENDLY.len())
+    }
+}
+
+/// Formats an atom in the paper's notation (identical to `Display` for
+/// atoms; provided for symmetry).
+pub fn paper_atom(a: &Atom) -> String {
+    a.to_string()
+}
+
+/// Formats a literal in the paper's notation (`¬p(X)` for negation).
+pub fn paper_literal(l: &Literal) -> String {
+    if l.positive {
+        l.atom.to_string()
+    } else {
+        format!("¬{}", l.atom)
+    }
+}
+
+/// Formats a rule in the paper's notation: `head ← b₁ ∧ b₂ ∧ …`, or just
+/// `head` for a bodyless rule.
+pub fn paper_rule(r: &Rule) -> String {
+    if r.body.is_empty() {
+        return r.head.to_string();
+    }
+    let body: Vec<String> = r.body.iter().map(paper_literal).collect();
+    format!("{} ← {}", r.head, body.join(" ∧ "))
+}
+
+/// Formats a rule canonically: variables renamed to friendly names, paper
+/// notation. This is the rendering used for knowledge answers.
+pub fn answer_rule(r: &Rule) -> String {
+    paper_rule(&canonicalize_rule(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+
+    #[test]
+    fn paper_rule_uses_arrow_and_wedge() {
+        let r = parse_rule("honor(X) :- student(X, Y, Z), Z > 3.7.").unwrap();
+        assert_eq!(paper_rule(&r), "honor(X) ← student(X, Y, Z) ∧ (Z > 3.7)");
+    }
+
+    #[test]
+    fn bodyless_rule_prints_head_only() {
+        let r = parse_rule("reachable(a, b).").unwrap();
+        assert_eq!(paper_rule(&r), "reachable(a, b)");
+    }
+
+    #[test]
+    fn negation_prints_with_neg_sign() {
+        let r = parse_rule("p(X) :- not q(X).").unwrap();
+        assert_eq!(paper_rule(&r), "p(X) ← ¬q(X)");
+    }
+
+    #[test]
+    fn canonicalize_renames_fresh_vars_in_order() {
+        // `_`-prefixed variables cannot be parsed; build the rule directly.
+        let rule = Rule::new(
+            Atom::new("can_ta", vec![Term::Var(Var::new("_3")), Term::sym("databases")]),
+            vec![Atom::new(
+                "complete",
+                vec![
+                    Term::Var(Var::new("_3")),
+                    Term::sym("databases"),
+                    Term::Var(Var::new("_7")),
+                    Term::Var(Var::new("_9")),
+                ],
+            )],
+        );
+        let c = canonicalize_rule(&rule);
+        assert_eq!(
+            c.to_string(),
+            "can_ta(X, databases) :- complete(X, databases, Y, Z)."
+        );
+    }
+
+    #[test]
+    fn canonicalize_avoids_user_variable_clashes() {
+        // User already uses X; fresh var must not become X.
+        let rule = Rule::new(
+            Atom::new("p", vec![Term::var("X")]),
+            vec![Atom::new(
+                "q",
+                vec![Term::var("X"), Term::Var(Var::new("_0"))],
+            )],
+        );
+        let c = canonicalize_rule(&rule);
+        assert_eq!(c.to_string(), "p(X) :- q(X, Y).");
+    }
+
+    #[test]
+    fn friendly_names_extend_with_indices() {
+        assert_eq!(friendly_name(0), "X");
+        assert_eq!(friendly_name(5), "W");
+        assert_eq!(friendly_name(6), "X1");
+        assert_eq!(friendly_name(11), "W1");
+    }
+
+    #[test]
+    fn answer_rule_combines_canonicalization_and_notation() {
+        let rule = Rule::new(
+            Atom::new("honor", vec![Term::Var(Var::new("_5"))]),
+            vec![
+                Atom::new(
+                    "student",
+                    vec![
+                        Term::Var(Var::new("_5")),
+                        Term::Var(Var::new("_6")),
+                        Term::Var(Var::new("_8")),
+                    ],
+                ),
+                Atom::new(">", vec![Term::Var(Var::new("_8")), Term::num(3.7)]),
+            ],
+        );
+        assert_eq!(
+            answer_rule(&rule),
+            "honor(X) ← student(X, Y, Z) ∧ (Z > 3.7)"
+        );
+    }
+}

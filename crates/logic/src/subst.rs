@@ -1,0 +1,243 @@
+//! Substitutions.
+
+use crate::atom::{Atom, Literal};
+use crate::clause::Rule;
+use crate::term::{Term, Var};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A substitution: a finite mapping from variables to terms.
+///
+/// Substitutions are kept *idempotent*: no variable in the domain appears in
+/// any term of the range. [`Subst::bind`] maintains this invariant by
+/// resolving the new binding against the existing mapping and rewriting
+/// existing bindings that mention the newly bound variable.
+#[derive(Clone, Default, PartialEq, Debug)]
+pub struct Subst {
+    map: HashMap<Var, Term>,
+}
+
+impl Subst {
+    /// The empty (identity) substitution.
+    pub fn new() -> Self {
+        Subst::default()
+    }
+
+    /// True if the substitution is the identity.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Looks up the binding of a variable, if any.
+    pub fn get(&self, v: &Var) -> Option<&Term> {
+        self.map.get(v)
+    }
+
+    /// Iterates over the bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &Term)> {
+        self.map.iter()
+    }
+
+    /// Binds `v` to `t`, maintaining idempotence. Returns `false` (and
+    /// leaves the substitution unchanged) if the binding would be circular
+    /// (`v` bound to a term containing `v` after resolution).
+    pub fn bind(&mut self, v: Var, t: Term) -> bool {
+        let t = self.apply_term(&t);
+        if let Term::Var(ref w) = t {
+            if *w == v {
+                return true; // v ↦ v is the identity; nothing to record.
+            }
+        }
+        // Occurs check is trivial in a function-free language: a variable
+        // can only occur in a term if the term *is* that variable.
+        if t == Term::Var(v.clone()) {
+            return false;
+        }
+        // Rewrite existing bindings that mention v.
+        for existing in self.map.values_mut() {
+            if *existing == Term::Var(v.clone()) {
+                *existing = t.clone();
+            }
+        }
+        self.map.insert(v, t);
+        true
+    }
+
+    /// Applies the substitution to a term.
+    pub fn apply_term(&self, t: &Term) -> Term {
+        match t {
+            Term::Var(v) => self.map.get(v).cloned().unwrap_or_else(|| t.clone()),
+            Term::Const(_) => t.clone(),
+        }
+    }
+
+    /// Applies the substitution to an atom.
+    pub fn apply_atom(&self, a: &Atom) -> Atom {
+        Atom {
+            pred: a.pred.clone(),
+            args: a.args.iter().map(|t| self.apply_term(t)).collect(),
+        }
+    }
+
+    /// Applies the substitution to a literal.
+    pub fn apply_literal(&self, l: &Literal) -> Literal {
+        Literal {
+            positive: l.positive,
+            atom: self.apply_atom(&l.atom),
+        }
+    }
+
+    /// Applies the substitution to a rule.
+    pub fn apply_rule(&self, r: &Rule) -> Rule {
+        Rule {
+            head: self.apply_atom(&r.head),
+            body: r.body.iter().map(|l| self.apply_literal(l)).collect(),
+        }
+    }
+
+    /// Composes `self` with `other`: the result applies `self` first, then
+    /// `other` (i.e. `t(self∘other) = (t self) other`).
+    pub fn compose(&self, other: &Subst) -> Subst {
+        let mut out = Subst::new();
+        for (v, t) in &self.map {
+            let t2 = other.apply_term(t);
+            if t2 != Term::Var(v.clone()) {
+                out.map.insert(v.clone(), t2);
+            }
+        }
+        for (v, t) in &other.map {
+            out.map.entry(v.clone()).or_insert_with(|| t.clone());
+        }
+        out
+    }
+
+    /// Restricts the substitution to the given variables.
+    pub fn restrict(&self, vars: &[Var]) -> Subst {
+        Subst {
+            map: self
+                .map
+                .iter()
+                .filter(|(v, _)| vars.contains(v))
+                .map(|(v, t)| (v.clone(), t.clone()))
+                .collect(),
+        }
+    }
+
+    /// True if every binding maps a variable to a constant.
+    pub fn is_ground(&self) -> bool {
+        self.map.values().all(Term::is_ground)
+    }
+}
+
+impl fmt::Display for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut entries: Vec<_> = self.map.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        write!(f, "{{")?;
+        for (i, (v, t)) in entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} ↦ {t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(Var, Term)> for Subst {
+    fn from_iter<I: IntoIterator<Item = (Var, Term)>>(iter: I) -> Self {
+        let mut s = Subst::new();
+        for (v, t) in iter {
+            s.bind(v, t);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_apply() {
+        let mut s = Subst::new();
+        assert!(s.bind(Var::new("X"), Term::sym("databases")));
+        assert_eq!(s.apply_term(&Term::var("X")), Term::sym("databases"));
+        assert_eq!(s.apply_term(&Term::var("Y")), Term::var("Y"));
+    }
+
+    #[test]
+    fn idempotence_is_maintained() {
+        let mut s = Subst::new();
+        assert!(s.bind(Var::new("X"), Term::var("Y")));
+        assert!(s.bind(Var::new("Y"), Term::int(3)));
+        // X must now resolve all the way to 3, not stop at Y.
+        assert_eq!(s.apply_term(&Term::var("X")), Term::int(3));
+    }
+
+    #[test]
+    fn chained_binding_resolves_through_existing() {
+        let mut s = Subst::new();
+        assert!(s.bind(Var::new("X"), Term::int(1)));
+        // Binding Y to X must bind Y to 1 (X is already bound).
+        assert!(s.bind(Var::new("Y"), Term::var("X")));
+        assert_eq!(s.apply_term(&Term::var("Y")), Term::int(1));
+    }
+
+    #[test]
+    fn self_binding_is_identity() {
+        let mut s = Subst::new();
+        assert!(s.bind(Var::new("X"), Term::var("X")));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn apply_rule_substitutes_everywhere() {
+        let r = Rule::new(
+            Atom::new("honor", vec![Term::var("X")]),
+            vec![Atom::new("student", vec![Term::var("X"), Term::var("Z")])],
+        );
+        let s: Subst = [(Var::new("X"), Term::sym("ann"))].into_iter().collect();
+        let r2 = s.apply_rule(&r);
+        assert_eq!(r2.to_string(), "honor(ann) :- student(ann, Z).");
+    }
+
+    #[test]
+    fn compose_applies_left_then_right() {
+        let s1: Subst = [(Var::new("X"), Term::var("Y"))].into_iter().collect();
+        let s2: Subst = [(Var::new("Y"), Term::int(7))].into_iter().collect();
+        let c = s1.compose(&s2);
+        assert_eq!(c.apply_term(&Term::var("X")), Term::int(7));
+        assert_eq!(c.apply_term(&Term::var("Y")), Term::int(7));
+    }
+
+    #[test]
+    fn restrict_keeps_only_listed_vars() {
+        let s: Subst = [
+            (Var::new("X"), Term::int(1)),
+            (Var::new("Y"), Term::int(2)),
+        ]
+        .into_iter()
+        .collect();
+        let r = s.restrict(&[Var::new("X")]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(&Var::new("X")), Some(&Term::int(1)));
+        assert_eq!(r.get(&Var::new("Y")), None);
+    }
+
+    #[test]
+    fn display_is_sorted() {
+        let s: Subst = [
+            (Var::new("Y"), Term::int(2)),
+            (Var::new("X"), Term::int(1)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.to_string(), "{X ↦ 1, Y ↦ 2}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Unification and one-way matching.
+
+use crate::atom::Atom;
+use crate::subst::Subst;
+use crate::term::Term;
+
+/// Unifies two terms under an existing substitution, extending it in place.
+/// Returns `false` (substitution possibly partially extended — callers
+/// should clone first if they need rollback) if the terms do not unify.
+fn unify_term_into(a: &Term, b: &Term, s: &mut Subst) -> bool {
+    let a = s.apply_term(a);
+    let b = s.apply_term(b);
+    match (&a, &b) {
+        (Term::Const(x), Term::Const(y)) => x == y,
+        (Term::Var(v), t) | (t, Term::Var(v)) => s.bind(v.clone(), (*t).clone()),
+    }
+}
+
+/// Computes a most general unifier of two terms, if one exists.
+pub fn unify(a: &Term, b: &Term) -> Option<Subst> {
+    let mut s = Subst::new();
+    unify_term_into(a, b, &mut s).then_some(s)
+}
+
+/// Computes a most general unifier of two atoms, if one exists. The atoms
+/// must share predicate symbol and arity.
+pub fn unify_atoms(a: &Atom, b: &Atom) -> Option<Subst> {
+    if !a.same_signature(b) {
+        return None;
+    }
+    let mut s = Subst::new();
+    for (x, y) in a.args.iter().zip(&b.args) {
+        if !unify_term_into(x, y, &mut s) {
+            return None;
+        }
+    }
+    Some(s)
+}
+
+/// One-way matching of terms: finds a substitution binding only variables of
+/// `general` such that `general·σ == specific`. Used for subsumption and
+/// fact lookup, where the specific side must not be instantiated.
+pub fn match_term(general: &Term, specific: &Term, s: &mut Subst) -> bool {
+    match (general, specific) {
+        (Term::Const(x), Term::Const(y)) => x == y,
+        (Term::Var(v), t) => match s.get(v) {
+            Some(bound) => bound == t,
+            None => s.bind(v.clone(), t.clone()),
+        },
+        (Term::Const(_), Term::Var(_)) => false,
+    }
+}
+
+/// One-way matching of atoms: extends `s` so that `general·s == specific`,
+/// binding only variables of `general`. Returns `false` on failure (callers
+/// needing rollback should clone `s` first).
+pub fn match_atom(general: &Atom, specific: &Atom, s: &mut Subst) -> bool {
+    if !general.same_signature(specific) {
+        return false;
+    }
+    general
+        .args
+        .iter()
+        .zip(&specific.args)
+        .all(|(g, sp)| match_term(g, sp, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Var;
+
+    fn a(p: &str, args: Vec<Term>) -> Atom {
+        Atom::new(p, args)
+    }
+
+    #[test]
+    fn unify_var_with_const() {
+        let s = unify(&Term::var("X"), &Term::sym("databases")).unwrap();
+        assert_eq!(s.apply_term(&Term::var("X")), Term::sym("databases"));
+    }
+
+    #[test]
+    fn unify_two_vars_is_mgu() {
+        let s = unify(&Term::var("X"), &Term::var("Y")).unwrap();
+        // One variable mapped to the other; applying makes them equal.
+        assert_eq!(
+            s.apply_term(&Term::var("X")),
+            s.apply_term(&Term::var("Y"))
+        );
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn unify_conflicting_consts_fails() {
+        assert!(unify(&Term::int(1), &Term::int(2)).is_none());
+        assert!(unify(&Term::sym("a"), &Term::sym("b")).is_none());
+    }
+
+    #[test]
+    fn unify_atoms_full() {
+        let g = a("complete", vec![Term::var("X"), Term::sym("db"), Term::var("Z")]);
+        let h = a("complete", vec![Term::sym("ann"), Term::var("W"), Term::int(3)]);
+        let s = unify_atoms(&g, &h).unwrap();
+        assert_eq!(s.apply_atom(&g), s.apply_atom(&h));
+    }
+
+    #[test]
+    fn unify_atoms_shared_var_conflict() {
+        // p(X, X) with p(1, 2) must fail.
+        let g = a("p", vec![Term::var("X"), Term::var("X")]);
+        let h = a("p", vec![Term::int(1), Term::int(2)]);
+        assert!(unify_atoms(&g, &h).is_none());
+        // p(X, X) with p(1, 1) must succeed.
+        let h2 = a("p", vec![Term::int(1), Term::int(1)]);
+        assert!(unify_atoms(&g, &h2).is_some());
+    }
+
+    #[test]
+    fn unify_atoms_signature_mismatch() {
+        let g = a("p", vec![Term::var("X")]);
+        let h = a("q", vec![Term::var("X")]);
+        assert!(unify_atoms(&g, &h).is_none());
+        let h2 = a("p", vec![Term::var("X"), Term::var("Y")]);
+        assert!(unify_atoms(&g, &h2).is_none());
+    }
+
+    #[test]
+    fn unify_transitive_chain() {
+        // p(X, Y, X) ≟ p(Y, 3, Z): X=Y, Y=3 ⇒ X=3, Z=X=3.
+        let g = a("p", vec![Term::var("X"), Term::var("Y"), Term::var("X")]);
+        let h = a("p", vec![Term::var("Y"), Term::int(3), Term::var("Z")]);
+        let s = unify_atoms(&g, &h).unwrap();
+        for v in ["X", "Y", "Z"] {
+            assert_eq!(s.apply_term(&Term::var(v)), Term::int(3), "var {v}");
+        }
+    }
+
+    #[test]
+    fn match_is_one_way() {
+        let g = a("p", vec![Term::var("X")]);
+        let sp = a("p", vec![Term::var("Y")]);
+        let mut s = Subst::new();
+        // general var matches specific var (X ↦ Y)...
+        assert!(match_atom(&g, &sp, &mut s));
+        // ...but a general constant never matches a specific variable.
+        let g2 = a("p", vec![Term::int(1)]);
+        let mut s2 = Subst::new();
+        assert!(!match_atom(&g2, &sp, &mut s2));
+    }
+
+    #[test]
+    fn match_respects_prior_bindings() {
+        let g = a("p", vec![Term::var("X"), Term::var("X")]);
+        let sp = a("p", vec![Term::int(1), Term::int(2)]);
+        let mut s = Subst::new();
+        assert!(!match_atom(&g, &sp, &mut s));
+        let sp2 = a("p", vec![Term::int(1), Term::int(1)]);
+        let mut s2 = Subst::new();
+        assert!(match_atom(&g, &sp2, &mut s2));
+        assert_eq!(s2.apply_term(&Term::var("X")), Term::int(1));
+    }
+
+    #[test]
+    fn mgu_is_most_general() {
+        // For p(X) ≟ p(Y), any unifier factors through the mgu. We check a
+        // representative case: the ground unifier {X↦1, Y↦1}.
+        let g = a("p", vec![Term::var("X")]);
+        let h = a("p", vec![Term::var("Y")]);
+        let mgu = unify_atoms(&g, &h).unwrap();
+        let ground: Subst = [
+            (Var::new("X"), Term::int(1)),
+            (Var::new("Y"), Term::int(1)),
+        ]
+        .into_iter()
+        .collect();
+        let composed = mgu.compose(&ground);
+        assert_eq!(composed.apply_atom(&g), ground.apply_atom(&g));
+        assert_eq!(composed.apply_atom(&h), ground.apply_atom(&h));
+    }
+}

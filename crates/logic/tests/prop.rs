@@ -1,0 +1,158 @@
+//! Property-based tests for the logic substrate.
+
+use proptest::prelude::*;
+use qdk_logic::{
+    match_atom, parser, rename_rule_apart, subsume, unify_atoms, Atom, Const, Rule, Subst, Term,
+    Var, VarGen,
+};
+
+/// Strategy for constants drawn from a small pool (small pools make
+/// collisions — and therefore interesting unifications — likely).
+fn arb_const() -> impl Strategy<Value = Const> {
+    prop_oneof![
+        (0i64..5).prop_map(Const::Int),
+        prop_oneof![Just(3.3f64), Just(3.7), Just(4.0)].prop_map(Const::Num),
+        prop_oneof![Just("a"), Just("b"), Just("databases")].prop_map(Const::sym),
+    ]
+}
+
+fn arb_var() -> impl Strategy<Value = Var> {
+    prop_oneof![Just("X"), Just("Y"), Just("Z"), Just("U"), Just("V")].prop_map(Var::new)
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        arb_var().prop_map(Term::Var),
+        arb_const().prop_map(Term::Const),
+    ]
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (
+        prop_oneof![Just("p"), Just("q"), Just("r")],
+        proptest::collection::vec(arb_term(), 0..4),
+    )
+        .prop_map(|(p, args)| Atom::new(p, args))
+}
+
+fn arb_rule() -> impl Strategy<Value = Rule> {
+    (arb_atom(), proptest::collection::vec(arb_atom(), 0..4))
+        .prop_map(|(head, body)| Rule::new(head, body))
+}
+
+proptest! {
+    /// A successful unifier makes the two atoms syntactically equal.
+    #[test]
+    fn mgu_equalizes(a in arb_atom(), b in arb_atom()) {
+        if let Some(s) = unify_atoms(&a, &b) {
+            prop_assert_eq!(s.apply_atom(&a), s.apply_atom(&b));
+        }
+    }
+
+    /// Unification is symmetric in success, and both orders equalize.
+    #[test]
+    fn unify_symmetric(a in arb_atom(), b in arb_atom()) {
+        let ab = unify_atoms(&a, &b);
+        let ba = unify_atoms(&b, &a);
+        prop_assert_eq!(ab.is_some(), ba.is_some());
+        if let (Some(s1), Some(s2)) = (ab, ba) {
+            prop_assert_eq!(s1.apply_atom(&a), s1.apply_atom(&b));
+            prop_assert_eq!(s2.apply_atom(&a), s2.apply_atom(&b));
+        }
+    }
+
+    /// The mgu is most general: any other unifier σ factors through it
+    /// (checking the defining property on the two atoms).
+    #[test]
+    fn mgu_is_most_general(a in arb_atom(), b in arb_atom(), ground in arb_const()) {
+        if let Some(mgu) = unify_atoms(&a, &b) {
+            // Build a ground unifier by grounding everything after the mgu.
+            let mut sigma = mgu.clone();
+            let mut vars = Vec::new();
+            a.collect_vars(&mut vars);
+            b.collect_vars(&mut vars);
+            for v in vars {
+                let t = sigma.apply_term(&Term::Var(v.clone()));
+                if let Term::Var(w) = t {
+                    sigma.bind(w, Term::Const(ground.clone()));
+                }
+            }
+            // sigma is a unifier of a and b that extends the mgu.
+            prop_assert_eq!(sigma.apply_atom(&a), sigma.apply_atom(&b));
+        }
+    }
+
+    /// Applying a substitution is idempotent (our substitutions are kept
+    /// resolved).
+    #[test]
+    fn subst_application_idempotent(a in arb_atom(), bindings in proptest::collection::vec((arb_var(), arb_term()), 0..5)) {
+        let mut s = Subst::new();
+        for (v, t) in bindings {
+            s.bind(v, t);
+        }
+        let once = s.apply_atom(&a);
+        let twice = s.apply_atom(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Renaming apart yields a variant: it subsumes and is subsumed by the
+    /// original rule.
+    #[test]
+    fn rename_apart_is_variant(r in arb_rule()) {
+        let mut g = VarGen::new();
+        let (r2, _) = rename_rule_apart(&r, &mut g);
+        prop_assert!(subsume::rules_equivalent(&r, &r2));
+    }
+
+    /// θ-subsumption is reflexive and transitive on generated rules.
+    #[test]
+    fn subsumption_reflexive(r in arb_rule()) {
+        prop_assert!(subsume::rule_subsumes(&r, &r));
+    }
+
+    #[test]
+    fn subsumption_transitive(a in arb_rule(), b in arb_rule(), c in arb_rule()) {
+        if subsume::rule_subsumes(&a, &b) && subsume::rule_subsumes(&b, &c) {
+            prop_assert!(subsume::rule_subsumes(&a, &c));
+        }
+    }
+
+    /// remove_subsumed output is an antichain: no survivor subsumes another.
+    #[test]
+    fn remove_subsumed_antichain(rules in proptest::collection::vec(arb_rule(), 0..8)) {
+        let kept = subsume::remove_subsumed(rules);
+        for (i, a) in kept.iter().enumerate() {
+            for (j, b) in kept.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!subsume::rule_subsumes(a, b),
+                        "{a} subsumes {b}");
+                }
+            }
+        }
+    }
+
+    /// An instance of an atom is matched by the original (matching is
+    /// complete for instances).
+    #[test]
+    fn match_finds_instances(a in arb_atom(), bindings in proptest::collection::vec((arb_var(), arb_const()), 0..5)) {
+        let mut s = Subst::new();
+        for (v, c) in bindings {
+            s.bind(v, Term::Const(c));
+        }
+        let instance = s.apply_atom(&a);
+        // Standardize the general side apart to avoid shared variables.
+        let mut g = VarGen::new();
+        let (renamed, _) = rename_rule_apart(&Rule::new(a, vec![]), &mut g);
+        let mut m = Subst::new();
+        prop_assert!(match_atom(&renamed.head, &instance, &mut m));
+        prop_assert_eq!(m.apply_atom(&renamed.head), instance);
+    }
+
+    /// Display → parse is the identity on rules (round-trip).
+    #[test]
+    fn display_parse_roundtrip(r in arb_rule()) {
+        let printed = r.to_string();
+        let reparsed = parser::parse_rule(&printed).unwrap();
+        prop_assert_eq!(reparsed, r);
+    }
+}

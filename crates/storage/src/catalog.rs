@@ -1,0 +1,129 @@
+//! Predicate declarations.
+
+use qdk_logic::Sym;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A predicate schema: its name and attribute names.
+///
+/// The paper writes schemas as `student(Sname, Major, Gpa)` (§2.2);
+/// attribute names are used for display and documentation and to fix the
+/// predicate's arity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    /// Predicate name.
+    pub name: Sym,
+    /// Attribute names, one per argument position.
+    pub attrs: Vec<Sym>,
+}
+
+impl Schema {
+    /// Creates a schema from a name and attribute names.
+    pub fn new(name: &str, attrs: &[&str]) -> Self {
+        Schema {
+            name: Sym::new(name),
+            attrs: attrs.iter().map(|a| Sym::new(a)).collect(),
+        }
+    }
+
+    /// The predicate's arity.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The set of declared EDB predicates.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    schemas: BTreeMap<Sym, Schema>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Adds (or replaces) a schema. Returns the previous schema of the same
+    /// name, if any.
+    pub fn declare(&mut self, schema: Schema) -> Option<Schema> {
+        self.schemas.insert(schema.name.clone(), schema)
+    }
+
+    /// Looks up a schema by predicate name.
+    pub fn get(&self, name: &str) -> Option<&Schema> {
+        self.schemas.get(name)
+    }
+
+    /// True if the predicate is declared.
+    pub fn contains(&self, name: &str) -> bool {
+        self.schemas.contains_key(name)
+    }
+
+    /// Iterates over schemas in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Schema> {
+        self.schemas.values()
+    }
+
+    /// Number of declared predicates.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// True if no predicates are declared.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut c = Catalog::new();
+        c.declare(Schema::new("student", &["Sname", "Major", "Gpa"]));
+        assert!(c.contains("student"));
+        assert_eq!(c.get("student").unwrap().arity(), 3);
+        assert!(!c.contains("professor"));
+    }
+
+    #[test]
+    fn redeclare_returns_previous() {
+        let mut c = Catalog::new();
+        assert!(c.declare(Schema::new("p", &["A"])).is_none());
+        let prev = c.declare(Schema::new("p", &["A", "B"])).unwrap();
+        assert_eq!(prev.arity(), 1);
+        assert_eq!(c.get("p").unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let s = Schema::new("student", &["Sname", "Major", "Gpa"]);
+        assert_eq!(s.to_string(), "student(Sname, Major, Gpa)");
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut c = Catalog::new();
+        c.declare(Schema::new("teach", &["Pname", "Ctitle"]));
+        c.declare(Schema::new("course", &["Ctitle", "Units"]));
+        let names: Vec<_> = c.iter().map(|s| s.name.to_string()).collect();
+        assert_eq!(names, ["course", "teach"]);
+        assert_eq!(c.len(), 2);
+    }
+}

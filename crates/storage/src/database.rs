@@ -1,0 +1,324 @@
+//! The extensional database.
+
+use crate::catalog::{Catalog, Schema};
+use crate::error::{Result, StorageError};
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::{builtins, Value};
+use qdk_logic::{Atom, Subst, Sym, Term};
+
+/// The extensional database: a catalog of declared predicates and their
+/// stored fact relations (the sets `P` and `R` of §2.1 — stored predicates
+/// plus built-ins, which are evaluated rather than stored).
+#[derive(Clone, Debug, Default)]
+pub struct Edb {
+    catalog: Catalog,
+    relations: std::collections::HashMap<Sym, Relation>,
+}
+
+impl Edb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Edb::default()
+    }
+
+    /// Declares an EDB predicate with named attributes.
+    pub fn declare(&mut self, name: &str, attrs: &[&str]) -> Result<()> {
+        if builtins::is_builtin(name) {
+            return Err(StorageError::ReservedPredicate(name.to_string()));
+        }
+        let schema = Schema::new(name, attrs);
+        let arity = schema.arity();
+        self.catalog.declare(schema);
+        self.relations
+            .entry(Sym::new(name))
+            .or_insert_with(|| Relation::new(name, arity));
+        Ok(())
+    }
+
+    /// The catalog of declared predicates.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// True if `name` is a declared EDB predicate (not a built-in).
+    pub fn is_edb_predicate(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Inserts a ground fact. The predicate must be declared and the fact
+    /// ground with matching arity. Returns `true` if the fact is new.
+    pub fn insert_fact(&mut self, atom: &Atom) -> Result<bool> {
+        if !atom.is_ground() {
+            return Err(StorageError::NotGround(atom.to_string()));
+        }
+        let rel = self
+            .relations
+            .get_mut(&atom.pred)
+            .ok_or_else(|| StorageError::UnknownPredicate(atom.pred.to_string()))?;
+        if atom.arity() != rel.arity() {
+            return Err(StorageError::ArityMismatch {
+                predicate: atom.pred.to_string(),
+                expected: rel.arity(),
+                found: atom.arity(),
+            });
+        }
+        let tuple: Tuple = atom
+            .args
+            .iter()
+            .map(|t| t.as_const().expect("ground").clone())
+            .collect();
+        Ok(rel.insert(tuple))
+    }
+
+    /// Inserts a tuple directly into a declared relation.
+    pub fn insert_tuple(&mut self, pred: &str, tuple: Tuple) -> Result<bool> {
+        let rel = self
+            .relations
+            .get_mut(pred)
+            .ok_or_else(|| StorageError::UnknownPredicate(pred.to_string()))?;
+        if tuple.arity() != rel.arity() {
+            return Err(StorageError::ArityMismatch {
+                predicate: pred.to_string(),
+                expected: rel.arity(),
+                found: tuple.arity(),
+            });
+        }
+        Ok(rel.insert(tuple))
+    }
+
+    /// Removes a ground fact; returns `true` if it was stored.
+    pub fn remove_fact(&mut self, atom: &Atom) -> Result<bool> {
+        if !atom.is_ground() {
+            return Err(StorageError::NotGround(atom.to_string()));
+        }
+        let rel = self
+            .relations
+            .get_mut(&atom.pred)
+            .ok_or_else(|| StorageError::UnknownPredicate(atom.pred.to_string()))?;
+        if atom.arity() != rel.arity() {
+            return Err(StorageError::ArityMismatch {
+                predicate: atom.pred.to_string(),
+                expected: rel.arity(),
+                found: atom.arity(),
+            });
+        }
+        let tuple: Tuple = atom
+            .args
+            .iter()
+            .map(|t| t.as_const().expect("ground").clone())
+            .collect();
+        Ok(rel.remove(&tuple))
+    }
+
+    /// The relation stored for a predicate.
+    pub fn relation(&self, pred: &str) -> Option<&Relation> {
+        self.relations.get(pred)
+    }
+
+    /// Total number of stored facts.
+    pub fn fact_count(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Extends `subst` in all ways that make `atom` true against the stored
+    /// facts, appending each extension to `out`.
+    ///
+    /// For a built-in atom this evaluates the comparison if ground (a
+    /// still-variable comparison is an error here — callers order body
+    /// literals so built-ins are evaluated last).
+    pub fn match_atom(&self, atom: &Atom, subst: &Subst, out: &mut Vec<Subst>) -> Result<()> {
+        if atom.is_builtin() {
+            match builtins::eval_atom(atom, subst)? {
+                Some(true) => out.push(subst.clone()),
+                Some(false) => {}
+                None => {
+                    return Err(StorageError::NotGround(format!(
+                        "comparison not decidable yet: {}",
+                        subst.apply_atom(atom)
+                    )))
+                }
+            }
+            return Ok(());
+        }
+        let rel = self
+            .relations
+            .get(&atom.pred)
+            .ok_or_else(|| StorageError::UnknownPredicate(atom.pred.to_string()))?;
+        if atom.arity() != rel.arity() {
+            return Err(StorageError::ArityMismatch {
+                predicate: atom.pred.to_string(),
+                expected: rel.arity(),
+                found: atom.arity(),
+            });
+        }
+        // Build the selection pattern from the bound positions.
+        let resolved: Vec<Term> = atom.args.iter().map(|t| subst.apply_term(t)).collect();
+        let pattern: Vec<Option<Value>> = resolved
+            .iter()
+            .map(|t| t.as_const().cloned())
+            .collect();
+        'tuples: for tuple in rel.select(&pattern) {
+            let mut s = subst.clone();
+            for (term, value) in resolved.iter().zip(tuple.values()) {
+                match term {
+                    Term::Const(c) => {
+                        if c != value {
+                            continue 'tuples;
+                        }
+                    }
+                    Term::Var(v) => {
+                        let resolved_now = s.apply_term(&Term::Var(v.clone()));
+                        match resolved_now {
+                            Term::Const(c) => {
+                                if &c != value {
+                                    continue 'tuples;
+                                }
+                            }
+                            Term::Var(w) => {
+                                s.bind(w, Term::Const(value.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+            out.push(s);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdk_logic::parser::parse_atom;
+
+    fn db() -> Edb {
+        let mut edb = Edb::new();
+        edb.declare("student", &["Sname", "Major", "Gpa"]).unwrap();
+        edb.declare("enroll", &["Sname", "Ctitle"]).unwrap();
+        for f in [
+            "student(ann, math, 3.9)",
+            "student(bob, physics, 3.5)",
+            "student(cara, math, 3.8)",
+            "enroll(ann, databases)",
+            "enroll(bob, databases)",
+        ] {
+            edb.insert_fact(&parse_atom(f).unwrap()).unwrap();
+        }
+        edb
+    }
+
+    #[test]
+    fn declaration_and_insertion() {
+        let edb = db();
+        assert_eq!(edb.fact_count(), 5);
+        assert_eq!(edb.relation("student").unwrap().len(), 3);
+        assert!(edb.is_edb_predicate("student"));
+        assert!(!edb.is_edb_predicate("honor"));
+    }
+
+    #[test]
+    fn reserved_and_unknown_predicates() {
+        let mut edb = Edb::new();
+        assert!(matches!(
+            edb.declare("=", &["A", "B"]),
+            Err(StorageError::ReservedPredicate(_))
+        ));
+        assert!(matches!(
+            edb.insert_fact(&parse_atom("ghost(a)").unwrap()),
+            Err(StorageError::UnknownPredicate(_))
+        ));
+    }
+
+    #[test]
+    fn non_ground_fact_rejected() {
+        let mut edb = db();
+        assert!(matches!(
+            edb.insert_fact(&parse_atom("enroll(X, databases)").unwrap()),
+            Err(StorageError::NotGround(_))
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut edb = db();
+        assert!(matches!(
+            edb.insert_fact(&parse_atom("enroll(ann)").unwrap()),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn match_atom_unbound_variable() {
+        let edb = db();
+        let mut out = Vec::new();
+        edb.match_atom(
+            &parse_atom("enroll(X, databases)").unwrap(),
+            &Subst::new(),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn match_atom_respects_existing_bindings() {
+        let edb = db();
+        let s: Subst = [(qdk_logic::Var::new("X"), Term::sym("ann"))]
+            .into_iter()
+            .collect();
+        let mut out = Vec::new();
+        edb.match_atom(&parse_atom("enroll(X, C)").unwrap(), &s, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].apply_term(&Term::var("C")),
+            Term::sym("databases")
+        );
+    }
+
+    #[test]
+    fn match_atom_repeated_variable() {
+        let mut edb = Edb::new();
+        edb.declare("pair", &["A", "B"]).unwrap();
+        edb.insert_fact(&parse_atom("pair(a, a)").unwrap()).unwrap();
+        edb.insert_fact(&parse_atom("pair(a, b)").unwrap()).unwrap();
+        let mut out = Vec::new();
+        edb.match_atom(&parse_atom("pair(X, X)").unwrap(), &Subst::new(), &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].apply_term(&Term::var("X")), Term::sym("a"));
+    }
+
+    #[test]
+    fn match_builtin_ground_and_undecidable() {
+        let edb = db();
+        let mut out = Vec::new();
+        let s: Subst = [(qdk_logic::Var::new("Z"), Term::num(3.9))]
+            .into_iter()
+            .collect();
+        edb.match_atom(&parse_atom("(Z > 3.7)").unwrap(), &s, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        // False comparison adds nothing.
+        let s2: Subst = [(qdk_logic::Var::new("Z"), Term::num(3.0))]
+            .into_iter()
+            .collect();
+        edb.match_atom(&parse_atom("(Z > 3.7)").unwrap(), &s2, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        // Undecidable comparison errors.
+        assert!(edb
+            .match_atom(&parse_atom("(Z > 3.7)").unwrap(), &Subst::new(), &mut out)
+            .is_err());
+    }
+
+    #[test]
+    fn duplicate_fact_insert_returns_false() {
+        let mut edb = db();
+        assert!(!edb
+            .insert_fact(&parse_atom("enroll(ann, databases)").unwrap())
+            .unwrap());
+    }
+}

@@ -1,0 +1,62 @@
+//! Storage-layer errors.
+
+use crate::Value;
+use std::fmt;
+
+/// Errors raised by the extensional database and built-in evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StorageError {
+    /// A fact or query referenced an undeclared predicate.
+    UnknownPredicate(String),
+    /// A fact, pattern or built-in had the wrong number of arguments.
+    ArityMismatch {
+        /// Predicate involved.
+        predicate: String,
+        /// Declared arity.
+        expected: usize,
+        /// Arity supplied.
+        found: usize,
+    },
+    /// A fact contained a variable.
+    NotGround(String),
+    /// An ordering comparison was applied to values of incomparable kinds.
+    NotComparable {
+        /// Left operand.
+        left: Value,
+        /// Right operand.
+        right: Value,
+    },
+    /// An unknown built-in predicate was evaluated.
+    UnknownBuiltin(String),
+    /// An EDB predicate name collides with a built-in.
+    ReservedPredicate(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownPredicate(p) => write!(f, "unknown predicate: {p}"),
+            StorageError::ArityMismatch {
+                predicate,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch for {predicate}: expected {expected}, found {found}"
+            ),
+            StorageError::NotGround(a) => write!(f, "fact is not ground: {a}"),
+            StorageError::NotComparable { left, right } => {
+                write!(f, "values not comparable: {left} and {right}")
+            }
+            StorageError::UnknownBuiltin(op) => write!(f, "unknown built-in predicate: {op}"),
+            StorageError::ReservedPredicate(p) => {
+                write!(f, "predicate name is reserved for a built-in: {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,36 @@
+//! Extensional database (EDB) substrate for the *Querying Database
+//! Knowledge* reproduction.
+//!
+//! The paper's EDB (§2.1) is a set of predicates with associated stored
+//! facts, plus built-in comparison predicates whose extensions are "known".
+//! This crate provides:
+//!
+//! * [`Value`] — stored values (an alias of the logic layer's constants, so
+//!   facts and terms share one representation);
+//! * [`Tuple`] — a stored row;
+//! * [`Relation`] — an insert-ordered, deduplicated fact set with hash
+//!   indexes on every column, supporting pattern selection;
+//! * [`builtins`] — evaluation of the built-in comparisons `=`, `!=`, `<`,
+//!   `<=`, `>`, `>=` over values;
+//! * [`Catalog`]/[`Schema`] — predicate declarations (names and attribute
+//!   names, used for validation and display);
+//! * [`Edb`] — the extensional database: a catalog plus its relations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builtins;
+mod catalog;
+mod database;
+mod error;
+mod relation;
+mod tuple;
+
+pub use catalog::{Catalog, Schema};
+pub use database::Edb;
+pub use error::{Result, StorageError};
+pub use relation::Relation;
+pub use tuple::Tuple;
+
+/// A stored value. Facts store the same constants that appear in terms.
+pub type Value = qdk_logic::Const;

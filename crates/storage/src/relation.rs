@@ -1,0 +1,295 @@
+//! Indexed fact relations.
+
+use crate::tuple::Tuple;
+use crate::Value;
+use qdk_logic::Sym;
+use std::collections::HashMap;
+
+/// A deduplicated, insertion-ordered set of tuples with a hash index on
+/// every column.
+///
+/// Relations are the storage for one EDB predicate and also serve as the
+/// working sets (totals and deltas) of bottom-up evaluation in the engine
+/// crate. Selection by a partial binding pattern uses the most selective
+/// available column index and verifies the remaining positions.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    name: Sym,
+    arity: usize,
+    tuples: Vec<Tuple>,
+    present: HashMap<Tuple, u32>,
+    /// `indexes[c][v]` = row ids whose column `c` equals `v`.
+    indexes: Vec<HashMap<Value, Vec<u32>>>,
+}
+
+impl Relation {
+    /// Creates an empty relation.
+    pub fn new(name: impl Into<Sym>, arity: usize) -> Self {
+        Relation {
+            name: name.into(),
+            arity,
+            tuples: Vec::new(),
+            present: HashMap::new(),
+            indexes: vec![HashMap::new(); arity],
+        }
+    }
+
+    /// The relation's (predicate) name.
+    pub fn name(&self) -> &Sym {
+        &self.name
+    }
+
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple's arity does not match the relation's.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(
+            t.arity(),
+            self.arity,
+            "arity mismatch inserting into {}",
+            self.name
+        );
+        if self.present.contains_key(&t) {
+            return false;
+        }
+        let id = self.tuples.len() as u32;
+        for (c, v) in t.values().iter().enumerate() {
+            self.indexes[c].entry(v.clone()).or_default().push(id);
+        }
+        self.present.insert(t.clone(), id);
+        self.tuples.push(t);
+        true
+    }
+
+    /// True if the tuple is stored.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.present.contains_key(t)
+    }
+
+    /// Iterates over all tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Selects the tuples matching a partial binding pattern:
+    /// `pattern[i] = Some(v)` requires column `i` to equal `v`; `None` is a
+    /// wildcard. Uses the most selective bound-column index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern's length does not match the relation's arity.
+    pub fn select<'a>(
+        &'a self,
+        pattern: &[Option<Value>],
+    ) -> Box<dyn Iterator<Item = &'a Tuple> + 'a> {
+        assert_eq!(pattern.len(), self.arity, "pattern arity mismatch");
+        // Pick the bound column with the fewest candidate rows.
+        let best = pattern
+            .iter()
+            .enumerate()
+            .filter_map(|(c, p)| {
+                p.as_ref().map(|v| {
+                    let n = self.indexes[c].get(v).map_or(0, Vec::len);
+                    (n, c, v)
+                })
+            })
+            .min_by_key(|(n, _, _)| *n);
+        match best {
+            None => Box::new(self.tuples.iter()),
+            Some((_, c, v)) => {
+                let rows = self.indexes[c].get(v).map(Vec::as_slice).unwrap_or(&[]);
+                let pattern = pattern.to_vec();
+                Box::new(rows.iter().map(|&id| &self.tuples[id as usize]).filter(
+                    move |t| {
+                        t.values()
+                            .iter()
+                            .zip(&pattern)
+                            .all(|(tv, pv)| pv.as_ref().is_none_or(|p| p == tv))
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Removes a tuple; returns `true` if it was present. Indexes are
+    /// rebuilt (removal is rare relative to insertion and selection, so a
+    /// simple rebuild keeps the hot paths branch-free).
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        let Some(&id) = self.present.get(t) else {
+            return false;
+        };
+        self.tuples.remove(id as usize);
+        self.present.clear();
+        for ix in &mut self.indexes {
+            ix.clear();
+        }
+        for (row, tuple) in self.tuples.iter().enumerate() {
+            self.present.insert(tuple.clone(), row as u32);
+            for (c, v) in tuple.values().iter().enumerate() {
+                self.indexes[c].entry(v.clone()).or_default().push(row as u32);
+            }
+        }
+        true
+    }
+
+    /// Removes all tuples.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        self.present.clear();
+        for ix in &mut self.indexes {
+            ix.clear();
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        let mut r = Relation::new("complete", 3);
+        r.insert(Tuple::new(vec![
+            Value::sym("ann"),
+            Value::sym("databases"),
+            Value::Num(4.0),
+        ]));
+        r.insert(Tuple::new(vec![
+            Value::sym("bob"),
+            Value::sym("databases"),
+            Value::Num(3.5),
+        ]));
+        r.insert(Tuple::new(vec![
+            Value::sym("ann"),
+            Value::sym("calculus"),
+            Value::Num(3.9),
+        ]));
+        r
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = Relation::new("p", 1);
+        assert!(r.insert(Tuple::new(vec![Value::Int(1)])));
+        assert!(!r.insert(Tuple::new(vec![Value::Int(1)])));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn insert_checks_arity() {
+        let mut r = Relation::new("p", 2);
+        r.insert(Tuple::new(vec![Value::Int(1)]));
+    }
+
+    #[test]
+    fn select_unbound_returns_all() {
+        let r = sample();
+        assert_eq!(r.select(&[None, None, None]).count(), 3);
+    }
+
+    #[test]
+    fn select_single_column() {
+        let r = sample();
+        let anns: Vec<_> = r.select(&[Some(Value::sym("ann")), None, None]).collect();
+        assert_eq!(anns.len(), 2);
+        assert!(anns.iter().all(|t| t.get(0) == Some(&Value::sym("ann"))));
+    }
+
+    #[test]
+    fn select_multi_column_verifies_rest() {
+        let r = sample();
+        let hits: Vec<_> = r
+            .select(&[Some(Value::sym("ann")), Some(Value::sym("databases")), None])
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].get(2), Some(&Value::Num(4.0)));
+    }
+
+    #[test]
+    fn select_absent_value_is_empty() {
+        let r = sample();
+        assert_eq!(
+            r.select(&[Some(Value::sym("zoe")), None, None]).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn select_numeric_equality_across_kinds() {
+        let mut r = Relation::new("units", 1);
+        r.insert(Tuple::new(vec![Value::Int(4)]));
+        // Num(4.0) equals Int(4) (and hashes identically).
+        assert_eq!(r.select(&[Some(Value::Num(4.0))]).count(), 1);
+    }
+
+    #[test]
+    fn insertion_order_is_preserved() {
+        let r = sample();
+        let firsts: Vec<_> = r.iter().map(|t| t.get(0).unwrap().clone()).collect();
+        assert_eq!(
+            firsts,
+            vec![Value::sym("ann"), Value::sym("bob"), Value::sym("ann")]
+        );
+    }
+
+    #[test]
+    fn remove_rebuilds_indexes() {
+        let mut r = sample();
+        let gone = Tuple::new(vec![
+            Value::sym("ann"),
+            Value::sym("databases"),
+            Value::Num(4.0),
+        ]);
+        assert!(r.remove(&gone));
+        assert!(!r.remove(&gone));
+        assert_eq!(r.len(), 2);
+        assert!(!r.contains(&gone));
+        // Index lookups remain consistent after the rebuild.
+        assert_eq!(r.select(&[Some(Value::sym("ann")), None, None]).count(), 1);
+        assert_eq!(
+            r.select(&[None, Some(Value::sym("databases")), None]).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn clear_empties_indexes() {
+        let mut r = sample();
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.select(&[Some(Value::sym("ann")), None, None]).count(), 0);
+        // Reinsertion after clear works and reindexes.
+        r.insert(Tuple::new(vec![
+            Value::sym("cara"),
+            Value::sym("databases"),
+            Value::Num(3.8),
+        ]));
+        assert_eq!(r.select(&[Some(Value::sym("cara")), None, None]).count(), 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Stored rows.
+
+use crate::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A stored row: a fixed-arity sequence of values.
+///
+/// Tuples are reference-counted so the evaluation layers can hand them
+/// around (into deltas, answer sets, joins) without copying the values.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Tuple(Arc<[Value]>);
+
+impl Tuple {
+    /// Creates a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values.into())
+    }
+
+    /// The tuple's values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// The tuple's arity.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The value at position `i`.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::new(vec![Value::sym("ann"), Value::Num(3.9)]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.get(0), Some(&Value::sym("ann")));
+        assert_eq!(t.get(2), None);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let t = Tuple::new(vec![Value::Int(1)]);
+        let u = t.clone();
+        assert_eq!(t, u);
+        assert!(Arc::ptr_eq(&t.0, &u.0));
+    }
+
+    #[test]
+    fn display() {
+        let t = Tuple::new(vec![Value::sym("ann"), Value::Num(4.0), Value::Int(3)]);
+        assert_eq!(t.to_string(), "(ann, 4.0, 3)");
+    }
+
+    #[test]
+    fn equality_mixes_int_and_num() {
+        let a = Tuple::new(vec![Value::Int(4)]);
+        let b = Tuple::new(vec![Value::Num(4.0)]);
+        assert_eq!(a, b);
+    }
+}

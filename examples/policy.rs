@@ -1,0 +1,82 @@
+//! Access-control policy auditing — a modern workload where the paper's
+//! `describe` statement shines: security reviewers ask what a policy
+//! *means*, not just who it currently matches.
+//!
+//! Run with `cargo run --example policy`.
+
+use qdk::KnowledgeBase;
+
+fn main() -> Result<(), qdk::LangError> {
+    let mut kb = KnowledgeBase::new();
+    kb.load(
+        "predicate employee(Name, Dept, Level) key 1.
+         predicate member(Name, Group).
+         predicate owns(Group, Resource).
+         predicate clearance(Name, Rating) key 1.
+
+         employee(ada, engineering, 7).
+         employee(bo, engineering, 4).
+         employee(cy, finance, 6).
+         employee(dee, finance, 3).
+
+         member(ada, platform).
+         member(bo, platform).
+         member(cy, audit).
+
+         owns(platform, build_system).
+         owns(audit, ledgers).
+
+         clearance(ada, 3).
+         clearance(bo, 1).
+         clearance(cy, 3).
+         clearance(dee, 2).
+
+         % The policy knowledge.
+         senior(X) :- employee(X, D, L), L > 5.
+         trusted(X) :- clearance(X, R), R >= 3.
+         admin(X) :- senior(X), trusted(X).
+         can_read(X, R) :- member(X, G), owns(G, R).
+         can_write(X, R) :- can_read(X, R), trusted(X).
+         can_write(X, R) :- admin(X), owns(G, R).
+
+         % Compliance rule: nobody below clearance 2 may be an admin.
+         :- admin(X), clearance(X, R), R < 2.",
+    )?;
+
+    println!("── Who can write to the build system?  (data)");
+    println!("{}", kb.run("retrieve can_write(X, build_system).")?);
+
+    println!("── What does it take to write to a resource?  (knowledge)");
+    println!("{}", kb.run("describe can_write(X, R).")?);
+
+    println!("── When can a *senior* employee write?  (knowledge under a hypothesis)");
+    println!(
+        "{}",
+        kb.run("describe can_write(X, R) where senior(X).")?
+    );
+
+    println!("── Is trust necessary for write access?");
+    println!("{}", kb.run("describe can_write(X, R) where not trusted(X).")?);
+
+    println!("── Could someone with clearance 1 become an admin?");
+    println!(
+        "{}",
+        kb.run("describe where clearance(X, R) and R < 2 and admin(X).")?
+    );
+
+    println!("── How do 'admin' and 'trusted' relate?");
+    println!(
+        "{}",
+        kb.run("compare (describe admin(X)) with (describe trusted(X)).")?
+    );
+
+    println!("── Audit trail: why is the senior-write theorem true?");
+    let a = kb.run("describe can_write(X, R) where senior(X).")?;
+    if let qdk::Answer::Knowledge(k) = &a {
+        for t in &k.theorems {
+            print!("{}", t.explain());
+        }
+    }
+
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: the twin statements on a small knowledge base.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use qdk::KnowledgeBase;
+
+fn main() -> Result<(), qdk::LangError> {
+    let mut kb = KnowledgeBase::new();
+
+    // Declare the extensional schema, store facts, define knowledge.
+    kb.load(
+        "predicate student(Sname, Major, Gpa) key 1.
+         predicate enroll(Sname, Ctitle).
+
+         student(ann, math, 3.9).
+         student(bob, physics, 3.5).
+         student(cara, math, 3.8).
+         enroll(ann, databases).
+         enroll(bob, databases).
+
+         honor(X) :- student(X, Y, Z), Z > 3.7.",
+    )?;
+
+    // The two English questions from the paper's introduction:
+    //
+    //   "Who are the honor students?"        — a data query.
+    //   "What does it take to be an honor student?" — a knowledge query.
+    //
+    // Both are asked through the same instrument; they differ only in the
+    // initial keyword.
+    println!("retrieve honor(X).");
+    println!("{}", kb.run("retrieve honor(X).")?);
+
+    println!("describe honor(X).");
+    println!("{}", kb.run("describe honor(X).")?);
+
+    // A knowledge query with a hypothesis: what does honor status mean
+    // *for math students with GPA above 3.8*? The implied comparison is
+    // simplified away.
+    println!("describe honor(X) where student(X, math, V) and V > 3.8.");
+    println!(
+        "{}",
+        kb.run("describe honor(X) where student(X, math, V) and V > 3.8.")?
+    );
+
+    // And one that contradicts the knowledge: honor students with a GPA
+    // below 3.5 cannot exist.
+    println!("describe honor(X) where student(X, math, V) and V < 3.5.");
+    println!(
+        "{}",
+        kb.run("describe honor(X) where student(X, math, V) and V < 3.5.")?
+    );
+
+    Ok(())
+}

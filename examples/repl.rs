@@ -1,0 +1,61 @@
+//! An interactive shell over the unified query language.
+//!
+//! Run with `cargo run --example repl`, then type statements ending in
+//! `.` — declarations, facts, rules, `retrieve`, `describe`, `compare`.
+//! `:load university` / `:load routing` loads a sample dataset; `:quit`
+//! exits.
+
+use qdk::{datasets, KnowledgeBase};
+use std::io::{self, BufRead, Write};
+
+fn main() -> io::Result<()> {
+    let mut kb = KnowledgeBase::new();
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+
+    println!("Querying Database Knowledge — unified retrieve/describe shell");
+    println!("Type statements ending in '.', or :load university | :load routing | :quit");
+    print!("> ");
+    io::stdout().flush()?;
+
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed == ":quit" || trimmed == ":q" {
+            break;
+        }
+        if let Some(name) = trimmed.strip_prefix(":load ") {
+            match name.trim() {
+                "university" => {
+                    kb = datasets::university_extended();
+                    println!("loaded the university database (§2.2 + extensions)");
+                }
+                "routing" => {
+                    kb = datasets::routing(false);
+                    println!("loaded the routing database");
+                }
+                other => println!("unknown dataset: {other}"),
+            }
+            buffer.clear();
+            print!("> ");
+            io::stdout().flush()?;
+            continue;
+        }
+
+        buffer.push_str(&line);
+        buffer.push('\n');
+        // A statement is complete when it ends with a period (floats are
+        // handled by the real lexer; this is only a heuristic for when to
+        // submit).
+        if trimmed.ends_with('.') {
+            match kb.run(&buffer) {
+                Ok(answer) => print!("{answer}"),
+                Err(e) => println!("error: {e}"),
+            }
+            buffer.clear();
+        }
+        print!("> ");
+        io::stdout().flush()?;
+    }
+    Ok(())
+}

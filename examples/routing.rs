@@ -1,0 +1,51 @@
+//! The introduction's routing database: recursive reachability, queried
+//! both for data and for knowledge.
+//!
+//! Run with `cargo run --example routing`.
+
+use qdk::datasets;
+
+fn main() -> Result<(), qdk::LangError> {
+    // Plain (asymmetric) reachability.
+    let mut kb = datasets::routing(false);
+
+    println!("── List all points reachable from lax (data)");
+    println!("{}", kb.run("retrieve reachable(lax, Y).")?);
+
+    println!("── Do you know how to get from any point to any other point?");
+    println!("   (a query on the availability of a definition of reachability)");
+    // The knowledge query: describe reachable — the definition exists and
+    // is printed; a database without the concept would error.
+    println!("{}", kb.run("describe reachable(X, Y).")?);
+
+    println!("── When X is reachable from Y, is Y reachable from X?  (asymmetric network)");
+    let a = kb.run("describe reachable(X, Y) where reachable(Y, X).")?;
+    let guaranteed = a
+        .as_knowledge()
+        .map(|k| k.theorems.iter().any(|t| t.rule.body.is_empty()))
+        .unwrap_or(false);
+    println!(
+        "   guaranteed: {guaranteed}  (no unconditional theorem was derived)\n{a}"
+    );
+
+    // Now the symmetric network: the symmetric rule is knowledge, and the
+    // same describe query detects the guarantee.
+    let mut kb = datasets::routing(true);
+    println!("── Same question, after adding reachable(X, Y) :- reachable(Y, X).");
+    let a = kb.run("describe reachable(X, Y) where reachable(Y, X).")?;
+    let guaranteed = a
+        .as_knowledge()
+        .map(|k| k.theorems.iter().any(|t| t.rule.body.is_empty()))
+        .unwrap_or(false);
+    println!("   guaranteed: {guaranteed}\n{a}");
+
+    // Recursive knowledge query on the flight network (Algorithm 2).
+    let mut kb = datasets::routing(false);
+    println!("── When is X reachable from Y, given sfo is reachable from Y?");
+    println!(
+        "{}",
+        kb.run("describe reachable(X, Y) where reachable(sfo, Y).")?
+    );
+
+    Ok(())
+}

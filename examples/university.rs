@@ -1,0 +1,79 @@
+//! The paper's university database (§2.2), running every worked example
+//! and every introduction query end to end.
+//!
+//! Run with `cargo run --example university`.
+
+use qdk::datasets;
+
+fn main() -> Result<(), qdk::LangError> {
+    let mut kb = datasets::university_extended();
+
+    let queries: &[(&str, &str)] = &[
+        // §3.1 data queries.
+        (
+            "Example 1 — retrieve the honor students enrolled in databases",
+            "retrieve honor(X) where enroll(X, databases).",
+        ),
+        (
+            "Example 2 — math students above 3.7 eligible to TA databases",
+            "retrieve answer(X) where can_ta(X, databases) and student(X, math, V) and V > 3.7.",
+        ),
+        // §3.2 knowledge queries.
+        (
+            "Example 3 — when is such a student eligible to TA databases?",
+            "describe can_ta(X, databases) where student(X, math, V) and V > 3.7.",
+        ),
+        (
+            "Example 4 — what does it take to be an honor student?",
+            "describe honor(X).",
+        ),
+        (
+            "Example 5 — TA eligibility for a course currently taught by susan",
+            "describe can_ta(X, Y) where honor(X) and teach(susan, Y).",
+        ),
+        // §5 recursive knowledge queries (Algorithm 2).
+        (
+            "Example 6 — when is X prior to Y, given databases is prior to Y?",
+            "describe prior(X, Y) where prior(databases, Y).",
+        ),
+        (
+            "Example 7 — when is X prior to Y, given X is prior to databases?",
+            "describe prior(X, Y) where prior(X, databases).",
+        ),
+        // Introduction queries.
+        (
+            "Are all foreign students married?  (data)",
+            "retrieve answer(X) where foreign(X) and unmarried(X).",
+        ),
+        (
+            "Must all foreign students be married?  (knowledge)",
+            "describe where foreign(X) and unmarried(X).",
+        ),
+        (
+            "Could an honor student be foreign?",
+            "describe where honor(X) and foreign(X).",
+        ),
+        (
+            "What is the difference between honor and Dean's-List students?",
+            "compare (describe honor(X)) with (describe deans_list(X)).",
+        ),
+        (
+            "Is honor status necessary for teaching assistantship?",
+            "describe can_ta(X, Y) where not honor(X).",
+        ),
+        (
+            "What follows from honor status?",
+            "describe * where honor(X).",
+        ),
+    ];
+
+    for (title, query) in queries {
+        println!("── {title}");
+        println!("   {query}");
+        match kb.run(query) {
+            Ok(answer) => println!("{answer}"),
+            Err(e) => println!("   error: {e}\n"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! # Querying Database Knowledge
+//!
+//! A full Rust reproduction of *Querying Database Knowledge* (Amihai
+//! Motro and Qiuhui Yuan, SIGMOD 1990): a deductive database whose query
+//! language has **twin statements** — `retrieve` for data queries and
+//! `describe` for *knowledge* queries, which answer with theorems about
+//! what a concept means under a hypothesis rather than with data.
+//!
+//! ```
+//! use qdk::KnowledgeBase;
+//!
+//! let mut kb = KnowledgeBase::new();
+//! kb.load(
+//!     "predicate student(Sname, Major, Gpa) key 1.
+//!      student(ann, math, 3.9).
+//!      student(bob, math, 3.5).
+//!      honor(X) :- student(X, Y, Z), Z > 3.7.",
+//! ).unwrap();
+//!
+//! // Who are the honor students?  (data)
+//! let data = kb.run("retrieve honor(X).").unwrap();
+//! assert!(data.as_data().unwrap().contains_row(&["ann"]));
+//!
+//! // What does it take to be an honor student?  (knowledge)
+//! let knowledge = kb.run("describe honor(X).").unwrap();
+//! assert_eq!(
+//!     knowledge.as_knowledge().unwrap().rendered(),
+//!     vec!["honor(X) ← student(X, Y, Z) ∧ (Z > 3.7)"],
+//! );
+//! ```
+//!
+//! The workspace layers:
+//!
+//! * [`logic`] — terms, Horn clauses, unification, θ-subsumption, parsing;
+//! * [`storage`] — the extensional database (indexed relations, built-in
+//!   comparisons, catalog);
+//! * [`engine`] — the deductive `retrieve` engine (dependency analysis,
+//!   naive / semi-naive / goal-directed evaluation, stratified negation);
+//! * [`core`] — the **describe engine**, the paper's contribution:
+//!   Algorithm 1 (derivation trees + hypothesis identification), the
+//!   Imielinski rule transformation, Algorithm 2 (tags + typing), the §6
+//!   extensions and `compare`;
+//! * [`lang`] — the unified statement language and [`KnowledgeBase`]
+//!   facade re-exported at the top level.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use qdk_core as core;
+pub use qdk_engine as engine;
+pub use qdk_lang as lang;
+pub use qdk_logic as logic;
+pub use qdk_storage as storage;
+
+pub use qdk_core::{
+    compare::CompareAnswer, Describe, DescribeAnswer, DescribeOptions, FallbackPolicy, Theorem,
+    TransformPolicy,
+};
+pub use qdk_engine::{DataAnswer, Retrieve, Strategy};
+pub use qdk_lang::{datasets, Answer, KnowledgeBase, LangError};

@@ -1,0 +1,222 @@
+//! Edge cases across the whole stack: degenerate subjects, constants and
+//! repeated variables in queries, empty databases, deep recursion through
+//! multiple SCCs, and unusual-but-legal IDB shapes.
+
+use qdk::logic::parser::{parse_atom, parse_body};
+use qdk::{Describe, DescribeOptions, KnowledgeBase, Retrieve, Strategy};
+
+fn kb_from(src: &str) -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    kb.load(src).unwrap();
+    kb
+}
+
+#[test]
+fn describe_with_constant_subject_argument() {
+    // The subject can carry constants (Example 3 binds Y to databases);
+    // here the whole subject is ground.
+    let mut kb = kb_from(
+        "predicate student(S, M, G) key 1.
+         student(ann, math, 3.9).
+         honor(X) :- student(X, Y, Z), Z > 3.7.",
+    );
+    let a = kb.run("describe honor(ann).").unwrap();
+    let k = a.as_knowledge().unwrap();
+    assert_eq!(k.rendered(), vec!["honor(ann) ← student(ann, X, Y) ∧ (Y > 3.7)"]);
+}
+
+#[test]
+fn describe_with_repeated_subject_variable() {
+    let mut kb = kb_from("likes(X, Y) :- knows(X, Y), fun(Y).");
+    let a = kb.run("describe likes(X, X).").unwrap();
+    let k = a.as_knowledge().unwrap();
+    assert_eq!(k.rendered(), vec!["likes(X, X) ← knows(X, X) ∧ fun(X)"]);
+}
+
+#[test]
+fn zero_ary_predicates_work_end_to_end() {
+    let mut kb = kb_from(
+        "predicate switch(State).
+         switch(on).
+         alarm :- switch(on).",
+    );
+    let data = kb.run("retrieve alarm.").unwrap();
+    assert_eq!(data.as_data().unwrap().len(), 1); // one empty row = true
+    let knowledge = kb.run("describe alarm.").unwrap();
+    assert_eq!(
+        knowledge.as_knowledge().unwrap().rendered(),
+        vec!["alarm ← switch(on)"]
+    );
+}
+
+#[test]
+fn empty_database_answers_are_empty_not_errors() {
+    let mut kb = kb_from(
+        "predicate e(A, B).
+         tc(X, Y) :- e(X, Y).
+         tc(X, Y) :- e(X, Z), tc(Z, Y).",
+    );
+    for strategy in [
+        Strategy::Naive,
+        Strategy::SemiNaive,
+        Strategy::TopDown,
+        Strategy::Magic,
+    ] {
+        let kb2 = kb.clone().with_strategy(strategy);
+        let q = Retrieve::new(parse_atom("tc(X, Y)").unwrap(), vec![]);
+        assert!(kb2.retrieve(&q).unwrap().is_empty(), "{strategy:?}");
+    }
+    // Describe works without any facts at all (knowledge ≠ data).
+    let a = kb.run("describe tc(X, Y).").unwrap();
+    assert!(!a.as_knowledge().unwrap().is_empty());
+}
+
+#[test]
+fn recursion_through_two_sccs() {
+    // p's closure feeds q's closure: the describe engine transforms both.
+    let mut kb = kb_from(
+        "p(X, Y) :- e(X, Y).
+         p(X, Y) :- e(X, Z), p(Z, Y).
+         q(X, Y) :- p(X, Y).
+         q(X, Y) :- f(X, Z), q(Z, Y).",
+    );
+    let a = kb.run("describe q(X, Y) where q(a, Y).").unwrap();
+    let k = a.as_knowledge().unwrap();
+    assert!(k.contains_rendered("q(X, Y) ← (X = a)"), "{k}");
+}
+
+#[test]
+fn describe_same_predicate_hypothesis_and_subject() {
+    // Hypothesis and subject share the predicate but differ in shape.
+    let mut kb = kb_from(
+        "p(X, Y) :- e(X, Y).
+         p(X, Y) :- e(X, Z), p(Z, Y).",
+    );
+    let a = kb.run("describe p(X, c) where p(a, c).").unwrap();
+    let k = a.as_knowledge().unwrap();
+    assert!(k.contains_rendered("p(X, c) ← (X = a)"), "{k}");
+}
+
+#[test]
+fn duplicate_rules_are_deduplicated_in_answers() {
+    let mut kb = kb_from(
+        "h(X) :- s(X, G), G > 3.
+         h(X) :- s(X, G), G > 3.",
+    );
+    let a = kb.run("describe h(X).").unwrap();
+    assert_eq!(a.as_knowledge().unwrap().len(), 1);
+}
+
+#[test]
+fn hypothesis_identifying_twice_in_one_tree() {
+    // One hypothesis formula may identify several leaves.
+    let mut kb = kb_from("sib(X, Y) :- par(Z, X), par(Z, Y).");
+    let a = kb.run("describe sib(X, Y) where par(P, C).").unwrap();
+    let k = a.as_knowledge().unwrap();
+    // Some theorem identified both par leaves: body empty except an
+    // equality chain, or one leaf left — at minimum the answer set is
+    // non-empty and sound.
+    assert!(!k.is_empty());
+}
+
+#[test]
+fn retrieve_with_numeric_edge_values() {
+    let mut kb = kb_from(
+        "predicate m(A, V).
+         m(x, -3).
+         m(y, 0).
+         m(z, 4).",
+    );
+    let a = kb
+        .run("retrieve answer(A) where m(A, V) and V >= 0.")
+        .unwrap();
+    let d = a.as_data().unwrap();
+    assert_eq!(d.len(), 2);
+    assert!(d.contains_row(&["y"]) && d.contains_row(&["z"]));
+    // Int/float mixing: 4 >= 3.5.
+    let b = kb
+        .run("retrieve answer(A) where m(A, V) and V > 3.5.")
+        .unwrap();
+    assert!(b.as_data().unwrap().contains_row(&["z"]));
+}
+
+#[test]
+fn self_join_in_rule_body() {
+    let mut kb = kb_from(
+        "predicate e(A, B).
+         e(a, b). e(b, c). e(a, c).
+         triangle(X, Y, Z) :- e(X, Y), e(Y, Z), e(X, Z).",
+    );
+    let a = kb.run("retrieve triangle(X, Y, Z).").unwrap();
+    let d = a.as_data().unwrap();
+    assert_eq!(d.len(), 1);
+    assert!(d.contains_row(&["a", "b", "c"]));
+}
+
+#[test]
+fn long_chain_recursion_depths() {
+    // 200-deep chain: bottom-up evaluation is iteration-bounded by the
+    // chain, not stack-bounded.
+    let mut kb = KnowledgeBase::new();
+    kb.run("predicate e(A, B).").unwrap();
+    for i in 0..200 {
+        kb.run(&format!("e(n{i}, n{})", i + 1).replace(')', ").")).unwrap();
+    }
+    kb.load(
+        "tc(X, Y) :- e(X, Y).
+         tc(X, Y) :- e(X, Z), tc(Z, Y).",
+    )
+    .unwrap();
+    let q = Retrieve::new(parse_atom("tc(n0, Y)").unwrap(), vec![]);
+    for strategy in [Strategy::SemiNaive, Strategy::TopDown, Strategy::Magic] {
+        let kb2 = kb.clone().with_strategy(strategy);
+        assert_eq!(kb2.retrieve(&q).unwrap().len(), 200, "{strategy:?}");
+    }
+}
+
+#[test]
+fn describe_options_budget_is_respected_on_conforming_idb() {
+    // A generous budget on a conforming IDB changes nothing.
+    let kb = kb_from(
+        "prior(X, Y) :- prereq(X, Y).
+         prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
+    );
+    let q = Describe::new(
+        parse_atom("prior(X, Y)").unwrap(),
+        parse_body("prior(databases, Y)").unwrap(),
+    );
+    let unlimited = qdk::core::describe::describe(
+        kb.idb(),
+        &q,
+        &DescribeOptions::paper(),
+    )
+    .unwrap();
+    let budgeted = qdk::core::describe::describe(
+        kb.idb(),
+        &q,
+        &DescribeOptions::paper().with_budget(1_000_000),
+    )
+    .unwrap();
+    assert_eq!(unlimited.rendered(), budgeted.rendered());
+}
+
+#[test]
+fn unicode_and_quoted_strings_in_facts() {
+    let mut kb = kb_from("predicate note(Id, Text).");
+    kb.run(r#"note(n1, "G\u{0}..."#.replace(r"\u{0}", "ö").as_str())
+        .err(); // any parse failure must be an Err, not a panic
+    kb.run(r#"note(n1, "hello world")."#).unwrap();
+    let a = kb.run("retrieve note(n1, T).").unwrap();
+    assert_eq!(a.as_data().unwrap().len(), 1);
+}
+
+#[test]
+fn comparisons_between_symbols_in_describe() {
+    let mut kb = kb_from("early(X) :- course(X, S), S < m.");
+    let a = kb
+        .run("describe early(X) where course(X, S) and S < f.")
+        .unwrap();
+    // (S < f) implies (S < m) lexicographically: the body comparison is
+    // dropped.
+    assert_eq!(a.as_knowledge().unwrap().rendered(), vec!["early(X)"]);
+}
