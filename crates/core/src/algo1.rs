@@ -33,9 +33,10 @@ pub fn run(idb: &Idb, query: &Describe, opts: &DescribeOptions) -> Result<Descri
 }
 
 /// Runs Algorithm 1 without the non-recursion scope check — the §5.1
-/// demonstrations. Set a budget (divergence aborts with
-/// [`DescribeError::BudgetExhausted`]) or a depth bound (a finite prefix
-/// of the infinite answer family is returned) in `opts`.
+/// demonstrations. Set a work budget or deadline (divergence soft-stops
+/// with a [`crate::Completeness::Truncated`] answer carrying the
+/// exhaustion diagnostic) or a depth bound (a finite prefix of the
+/// infinite answer family is returned, also tagged truncated) in `opts`.
 pub fn run_unchecked(idb: &Idb, query: &Describe, opts: &DescribeOptions) -> Result<DescribeAnswer> {
     query.validate(idb)?;
     let tidb = TransformedIdb::untransformed(idb);
@@ -68,17 +69,23 @@ mod tests {
     #[test]
     fn example6_divergence_demonstration_budget() {
         // §5.1: Algorithm 1 on Example 6 generates an infinite answer.
+        // The work budget converts the divergence into a truncated answer
+        // carrying the structured diagnostic — not an error, not silence.
         let q = Describe::new(
             parse_atom("prior(X, Y)").unwrap(),
             parse_body("prior(databases, Y)").unwrap(),
         );
-        let err = run_unchecked(
+        // The budget must be smaller than the (finite) guard-bounded walk,
+        // so it trips mid-enumeration.
+        let a = run_unchecked(
             &prior_idb(),
             &q,
-            &DescribeOptions::default().with_budget(50_000),
+            &DescribeOptions::default().with_work_budget(500),
         )
-        .unwrap_err();
-        assert!(matches!(err, DescribeError::BudgetExhausted { .. }));
+        .unwrap();
+        let e = a.completeness.exhausted().expect("must be truncated");
+        assert_eq!(e.resource, crate::governor::Resource::WorkBudget);
+        assert_eq!(e.limit, 500);
     }
 
     #[test]
@@ -99,6 +106,8 @@ mod tests {
         .unwrap();
         assert!(a.contains_rendered("prior(X, Y) ← (X = databases)"));
         assert!(a.contains_rendered("prior(X, Y) ← prereq(X, databases)"));
+        // The depth bound cut the infinite family: the answer says so.
+        assert!(a.is_truncated());
         assert!(a.contains_rendered("prior(X, Y) ← prereq(X, Y1) ∧ prereq(Y1, databases)")
             || a.rendered().iter().any(|s| s.matches("prereq").count() == 2),
             "{:?}", a.rendered());
@@ -116,7 +125,7 @@ mod tests {
     fn example8_hangs_demonstration() {
         // §5.1 Example 8: p depends on recursive q; Algorithm 1 "hangs"
         // constructing an infinite derivation tree. The budget converts
-        // the hang into an observable abort.
+        // the hang into an observable truncation.
         let i = idb(
             "p(X, Y) :- q(X, Z), r(Z, Y).\n\
              q(X, Y) :- q(X, Z), s(Z, Y).\n\
@@ -126,9 +135,11 @@ mod tests {
             parse_atom("p(X, Y)").unwrap(),
             parse_body("r(a, Y)").unwrap(),
         );
-        let err = run_unchecked(&i, &q, &DescribeOptions::default().with_budget(50_000))
-            .unwrap_err();
-        assert!(matches!(err, DescribeError::BudgetExhausted { .. }));
+        let a = run_unchecked(&i, &q, &DescribeOptions::default().with_work_budget(500))
+            .unwrap();
+        let e = a.completeness.exhausted().expect("must be truncated");
+        assert_eq!(e.resource, crate::governor::Resource::WorkBudget);
+        assert!(e.spent > e.limit);
     }
 
     #[test]

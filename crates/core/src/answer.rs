@@ -1,8 +1,39 @@
 //! Knowledge answers.
 
+use crate::governor::Exhausted;
 use qdk_logic::{pretty, Rule};
 use std::collections::BTreeSet;
 use std::fmt;
+
+/// Whether a describe answer covers the full theorem set or was cut short
+/// by a resource limit. Truncation is a *reported* outcome, never a silent
+/// one: when depth, budget, deadline, fact limits or cancellation stop the
+/// enumeration, the answers found so far are returned with the governor's
+/// diagnostic attached.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Completeness {
+    /// Every derivable theorem (under the configured policies) is present.
+    #[default]
+    Complete,
+    /// Enumeration stopped early; the attached diagnostic says which
+    /// resource ran out and how much was spent.
+    Truncated(Exhausted),
+}
+
+impl Completeness {
+    /// True when the answer was cut short.
+    pub fn is_truncated(&self) -> bool {
+        matches!(self, Completeness::Truncated(_))
+    }
+
+    /// The exhaustion diagnostic, if the answer was cut short.
+    pub fn exhausted(&self) -> Option<Exhausted> {
+        match self {
+            Completeness::Complete => None,
+            Completeness::Truncated(e) => Some(*e),
+        }
+    }
+}
 
 /// One theorem `p ← φ` of a knowledge answer, with provenance.
 #[derive(Clone, Debug, PartialEq)]
@@ -69,6 +100,9 @@ pub struct DescribeAnswer {
     /// answer indicating that *the hypothesis in the query contradicts
     /// the IDB* (§4).
     pub hypothesis_contradicts_idb: bool,
+    /// Whether the theorem set is complete or was truncated by a resource
+    /// limit.
+    pub completeness: Completeness,
 }
 
 impl DescribeAnswer {
@@ -80,6 +114,11 @@ impl DescribeAnswer {
     /// True if the answer has no theorems (and no contradiction flag).
     pub fn is_empty(&self) -> bool {
         self.theorems.is_empty() && !self.hypothesis_contradicts_idb
+    }
+
+    /// True when enumeration stopped early on a resource limit.
+    pub fn is_truncated(&self) -> bool {
+        self.completeness.is_truncated()
     }
 
     /// The theorems as plain rules.
@@ -107,10 +146,16 @@ impl fmt::Display for DescribeAnswer {
             return writeln!(f, "the hypothesis contradicts the IDB");
         }
         if self.theorems.is_empty() {
+            if let Completeness::Truncated(e) = self.completeness {
+                return writeln!(f, "no theorems found before truncation ({e})");
+            }
             return writeln!(f, "no theorems derivable");
         }
         for t in &self.theorems {
             writeln!(f, "{t}")?;
+        }
+        if let Completeness::Truncated(e) = self.completeness {
+            writeln!(f, "-- truncated: {e}")?;
         }
         Ok(())
     }
@@ -142,6 +187,7 @@ mod tests {
         let a = DescribeAnswer {
             theorems: vec![],
             hypothesis_contradicts_idb: true,
+            completeness: Completeness::Complete,
         };
         assert!(a.to_string().contains("contradicts"));
         assert!(!a.is_empty());
@@ -170,6 +216,7 @@ mod tests {
                 theorem("p(X) :- q(X).", &[]),
             ],
             hypothesis_contradicts_idb: false,
+            completeness: Completeness::Complete,
         };
         assert_eq!(a.rendered(), vec!["p(X) ← q(X)", "p(X) ← r(X)"]);
         assert!(a.contains_rendered("p(X) ← q(X)"));

@@ -98,7 +98,7 @@ pub fn audit_against(
         TransformedIdb::untransformed(idb)
     };
     let mut audit_opts = opts.clone();
-    audit_opts.max_depth = Some(depth);
+    audit_opts.limits.max_depth = Some(depth);
     audit_opts.remove_redundant = false;
     let candidates =
         describe::run_exhaustive(&tidb, query, recursive && opts.transform != TransformPolicy::None, &audit_opts)?;

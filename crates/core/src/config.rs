@@ -1,5 +1,8 @@
 //! Describe-engine configuration.
 
+use crate::governor::{CancelToken, Governor, ResourceLimits};
+use std::time::Duration;
+
 /// When are one-level answers (plain IDB definitions) emitted?
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum FallbackPolicy {
@@ -46,15 +49,16 @@ pub struct DescribeOptions {
     /// controlled instead). Default 1: enough for the symmetric-
     /// reachability query of the introduction.
     pub untyped_rule_limit: usize,
-    /// Work budget (tree operations); `None` = unlimited. With conforming
-    /// IDBs every algorithm terminates; the budget exists to demonstrate
-    /// Algorithm 1's divergence on recursive subjects.
-    pub budget: Option<u64>,
-    /// Maximum derivation-tree depth; `None` = unlimited. Exceeding the
-    /// bound silently prunes deeper expansions (it does not error), which
-    /// is how the Example 6 demonstration materializes a finite prefix of
-    /// Algorithm 1's infinite answer family.
-    pub max_depth: Option<usize>,
+    /// Unified resource limits (wall-clock deadline, work budget, tree
+    /// depth, fact count) enforced by the shared [`Governor`]. With
+    /// conforming IDBs every algorithm terminates; the limits bound
+    /// Algorithm 1's divergence on recursive subjects (Examples 6–8) and
+    /// runaway workloads generally. When a limit trips, `describe` returns
+    /// the answers found so far tagged
+    /// [`crate::Completeness::Truncated`] instead of erroring.
+    pub limits: ResourceLimits,
+    /// Cooperative cancellation token, checkable from another thread.
+    pub cancel: Option<CancelToken>,
     /// Apply the comparison post-processing of §4 (drop implied
     /// comparisons, discard contradicted answers). Disabled only by the A1
     /// ablation benchmark.
@@ -70,8 +74,8 @@ impl Default for DescribeOptions {
             fallback: FallbackPolicy::default(),
             transform: TransformPolicy::default(),
             untyped_rule_limit: 1,
-            budget: None,
-            max_depth: None,
+            limits: ResourceLimits::default(),
+            cancel: None,
             simplify_comparisons: true,
             remove_redundant: true,
         }
@@ -87,9 +91,27 @@ impl DescribeOptions {
         }
     }
 
-    /// Sets the work budget.
-    pub fn with_budget(mut self, budget: u64) -> Self {
-        self.budget = Some(budget);
+    /// Sets the abstract work budget (tree operations).
+    pub fn with_work_budget(mut self, budget: u64) -> Self {
+        self.limits.work_budget = Some(budget);
+        self
+    }
+
+    /// Sets a wall-clock deadline for the whole describe evaluation.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.limits.deadline = Some(deadline);
+        self
+    }
+
+    /// Replaces all resource limits at once.
+    pub fn with_limits(mut self, limits: ResourceLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -107,7 +129,12 @@ impl DescribeOptions {
 
     /// Sets the maximum derivation-tree depth.
     pub fn with_max_depth(mut self, depth: usize) -> Self {
-        self.max_depth = Some(depth);
+        self.limits.max_depth = Some(depth);
         self
+    }
+
+    /// Builds the governor for one describe evaluation.
+    pub(crate) fn governor(&self) -> Governor {
+        Governor::new(self.limits).with_cancel(self.cancel.clone())
     }
 }

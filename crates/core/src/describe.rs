@@ -1,7 +1,7 @@
 //! The `describe` statement (§3.2): validation, dispatch, and answer
 //! assembly.
 
-use crate::answer::{DescribeAnswer, Theorem};
+use crate::answer::{Completeness, DescribeAnswer, Theorem};
 use crate::config::{DescribeOptions, FallbackPolicy, TransformPolicy};
 use crate::constraints::{self, Comparison};
 use crate::error::{DescribeError, Result};
@@ -128,7 +128,9 @@ pub fn run(
     opts: &DescribeOptions,
 ) -> Result<DescribeAnswer> {
     let mut enumerator = Enumerator::new(tidb, &query.hypothesis, check_typing, opts);
-    let (raw, productive) = enumerator.enumerate(&query.subject)?;
+    let (raw, productive) = enumerator.enumerate(&query.subject);
+    let truncation = enumerator.truncation();
+    let hard_truncation = enumerator.hard_stop();
 
     let hyp_comps: Vec<(usize, Atom)> = query
         .hypothesis
@@ -215,8 +217,17 @@ pub fn run(
         }
     }
 
-    // Redundancy elimination (§3.2).
-    if opts.remove_redundant {
+    // Redundancy elimination (§3.2). When the enumerator hard-stopped —
+    // a hard limit (deadline, budget, facts, cancellation) tripped, or the
+    // built-in recursion guard cut a divergent walk — the O(n²)
+    // subsumption passes are skipped too: the evaluation is already over
+    // its allowance (or its guard-length chain bodies make θ-subsumption
+    // intractable), and a truncated answer makes no minimality promise.
+    // A configured-depth-only truncation keeps the full post-processing:
+    // the walk completed within its per-branch bound, and the paper's
+    // depth-bounded demonstrations (Example 6 under Algorithm 1) rely on
+    // the reduced form.
+    if opts.remove_redundant && !hard_truncation {
         // Hypothesis-aware dominance (the Example 5 behaviour; cf. §6's
         // remark that identification "may reduce the generality of the
         // answer"): a theorem is dropped when a more-identified theorem
@@ -249,11 +260,12 @@ pub fn run(
     Ok(DescribeAnswer {
         hypothesis_contradicts_idb: theorems.is_empty() && discarded_contradictory > 0,
         theorems,
+        completeness: truncation.map_or(Completeness::Complete, Completeness::Truncated),
     })
 }
 
 /// Exhaustive-mode enumeration (no productivity cut, no fallback, no
-/// dominance): every derivation at most `opts.max_depth` deep becomes a
+/// dominance): every derivation within `opts.limits.max_depth` becomes a
 /// candidate theorem. Used by the completeness audit.
 pub fn run_exhaustive(
     tidb: &TransformedIdb,
@@ -263,7 +275,8 @@ pub fn run_exhaustive(
 ) -> Result<DescribeAnswer> {
     let mut enumerator =
         Enumerator::new(tidb, &query.hypothesis, check_typing, opts).exhaustive();
-    let (raw, _) = enumerator.enumerate(&query.subject)?;
+    let (raw, _) = enumerator.enumerate(&query.subject);
+    let truncation = enumerator.truncation();
     let hyp_comps: Vec<(usize, Atom)> = query
         .hypothesis
         .iter()
@@ -280,6 +293,7 @@ pub fn run_exhaustive(
     Ok(DescribeAnswer {
         theorems,
         hypothesis_contradicts_idb: false,
+        completeness: truncation.map_or(Completeness::Complete, Completeness::Truncated),
     })
 }
 

@@ -1,5 +1,6 @@
 //! Describe-engine errors.
 
+use crate::governor::Exhausted;
 use std::fmt;
 
 /// Errors raised by the describe engine.
@@ -16,14 +17,12 @@ pub enum DescribeError {
     /// The IDB violates the paper's assumptions (recursive rules must be
     /// strongly linear and typed) in a way no implemented handling covers.
     UnsupportedIdb(String),
-    /// Enumeration exceeded the configured work budget. With the paper's
-    /// assumptions satisfied this cannot happen; the budget exists to
-    /// demonstrate Algorithm 1's divergence on recursive subjects
-    /// (Examples 6–8) without hanging.
-    BudgetExhausted {
-        /// The budget that was exceeded (number of tree operations).
-        budget: u64,
-    },
+    /// Evaluation exceeded a configured resource limit in a context where
+    /// no partial answer can be returned (e.g. rule-body expansion). The
+    /// main `describe` path instead returns a
+    /// [`crate::Completeness::Truncated`] answer; this error carries the
+    /// same structured diagnostic for the paths that must abort.
+    Exhausted(Exhausted),
     /// An engine-layer error (dependency analysis, validation).
     Engine(String),
 }
@@ -41,9 +40,7 @@ impl fmt::Display for DescribeError {
                 write!(f, "qualifier may not contain a variable equality: {a}")
             }
             DescribeError::UnsupportedIdb(msg) => write!(f, "unsupported IDB: {msg}"),
-            DescribeError::BudgetExhausted { budget } => {
-                write!(f, "describe exceeded work budget of {budget} tree operations")
-            }
+            DescribeError::Exhausted(e) => write!(f, "describe stopped: {e}"),
             DescribeError::Engine(msg) => write!(f, "{msg}"),
         }
     }
@@ -53,7 +50,18 @@ impl std::error::Error for DescribeError {}
 
 impl From<qdk_engine::EngineError> for DescribeError {
     fn from(e: qdk_engine::EngineError) -> Self {
-        DescribeError::Engine(e.to_string())
+        // Preserve the structured exhaustion diagnostic across the layer
+        // boundary; everything else is carried as a message.
+        match e {
+            qdk_engine::EngineError::Exhausted(x) => DescribeError::Exhausted(x),
+            other => DescribeError::Engine(other.to_string()),
+        }
+    }
+}
+
+impl From<Exhausted> for DescribeError {
+    fn from(e: Exhausted) -> Self {
+        DescribeError::Exhausted(e)
     }
 }
 

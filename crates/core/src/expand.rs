@@ -10,6 +10,7 @@
 
 use crate::config::DescribeOptions;
 use crate::error::Result;
+use crate::governor::Governor;
 use qdk_engine::Idb;
 use qdk_logic::{rename_rule_apart, unify_atoms, Atom, Literal, Subst, VarGen};
 use std::collections::HashMap;
@@ -23,11 +24,15 @@ pub type Conjunct = Vec<Literal>;
 /// expansions of its body. A predicate is unfolded at most
 /// `opts.untyped_rule_limit + 1` times along any one branch, which bounds
 /// recursive concepts.
+///
+/// Unlike `describe` (which returns truncated answers), expansion has no
+/// meaningful partial result — a prefix of a DNF misrepresents the
+/// concept's meaning — so resource exhaustion here is an error
+/// ([`crate::DescribeError::Exhausted`]).
 pub fn expand_atom(idb: &Idb, atom: &Atom, opts: &DescribeOptions) -> Result<Vec<Conjunct>> {
     let mut gen = VarGen::new();
     let mut out = Vec::new();
-    let budget = opts.budget.unwrap_or(u64::MAX);
-    let mut ops = 0u64;
+    let mut gov = opts.governor();
     let user_vars = atom.vars();
     expand_rec(
         idb,
@@ -36,8 +41,7 @@ pub fn expand_atom(idb: &Idb, atom: &Atom, opts: &DescribeOptions) -> Result<Vec
         &HashMap::new(),
         opts.untyped_rule_limit + 1,
         &mut gen,
-        &mut ops,
-        budget,
+        &mut gov,
         &mut |conj, subst| {
             out.push(finalize(conj, subst, &user_vars));
         },
@@ -68,8 +72,7 @@ pub fn expand_conjunction(
     opts: &DescribeOptions,
 ) -> Result<Vec<Conjunct>> {
     let mut gen = VarGen::new();
-    let budget = opts.budget.unwrap_or(u64::MAX);
-    let mut ops = 0u64;
+    let mut gov = opts.governor();
     let mut user_vars = Vec::new();
     for a in atoms {
         for v in a.vars() {
@@ -89,8 +92,7 @@ pub fn expand_conjunction(
                 &HashMap::new(),
                 opts.untyped_rule_limit + 1,
                 &mut gen,
-                &mut ops,
-                budget,
+                &mut gov,
                 &mut |conj, s| {
                     let mut combined = prefix.clone();
                     combined.extend(conj.iter().cloned());
@@ -114,14 +116,10 @@ fn expand_rec(
     depth_of: &HashMap<String, usize>,
     max_unfold: usize,
     gen: &mut VarGen,
-    ops: &mut u64,
-    budget: u64,
+    gov: &mut Governor,
     emit: &mut dyn FnMut(&Conjunct, &Subst),
 ) -> Result<()> {
-    *ops += 1;
-    if *ops > budget {
-        return Err(crate::DescribeError::BudgetExhausted { budget });
-    }
+    gov.tick()?;
     let pred = atom.pred.as_str();
     if atom.is_builtin() || !idb.defines(pred) {
         emit(&vec![Literal::pos(atom.clone())], subst);
@@ -163,8 +161,7 @@ fn expand_rec(
                     &depth2,
                     max_unfold,
                     gen,
-                    ops,
-                    budget,
+                    gov,
                     &mut |conj, s2| {
                         let mut combined = prefix.clone();
                         combined.extend(conj.iter().cloned());
@@ -282,9 +279,13 @@ mod tests {
         let err = expand_atom(
             &i,
             &parse_atom("prior(A, B)").unwrap(),
-            &DescribeOptions::default().with_budget(2),
+            &DescribeOptions::default().with_work_budget(2),
         )
         .unwrap_err();
-        assert!(matches!(err, crate::DescribeError::BudgetExhausted { .. }));
+        let crate::DescribeError::Exhausted(e) = err else {
+            panic!("expected Exhausted, got {err:?}");
+        };
+        assert_eq!(e.resource, crate::governor::Resource::WorkBudget);
+        assert_eq!(e.limit, 2);
     }
 }

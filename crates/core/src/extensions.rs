@@ -103,9 +103,16 @@ pub fn describe_disjunctive(
             }
         }
     }
+    // The disjunction's answer is only complete if every disjunct's was;
+    // the first truncation diagnostic is carried through.
+    let completeness = per
+        .iter()
+        .find_map(|a| a.completeness.exhausted())
+        .map_or(crate::Completeness::Complete, crate::Completeness::Truncated);
     Ok(DescribeAnswer {
         hypothesis_contradicts_idb: all_contradict && kept.is_empty(),
         theorems: kept,
+        completeness,
     })
 }
 

@@ -1,0 +1,19 @@
+//! Resource governance for the describe pipeline — re-exported from
+//! [`qdk_logic::governor`].
+//!
+//! The governor's types are *defined* in `qdk-logic` (the dependency-free
+//! base crate) rather than here, because `qdk-engine` sits *below*
+//! `qdk-core` in the crate graph and must bound its strategies with the
+//! very same `Governor`/`Exhausted` types that `describe` reports. Placing
+//! the implementation in the shared base and re-exporting it here keeps a
+//! single type identity across both evaluation stacks while letting facade
+//! users reach everything through `qdk_core::governor` (or the root `qdk`
+//! crate).
+//!
+//! See [`ResourceLimits`] for the unified limit vocabulary, [`Governor`]
+//! for the amortized runtime accountant, [`CancelToken`] for cooperative
+//! cross-thread cancellation, and [`Exhausted`] for the structured
+//! diagnostic surfaced in [`crate::answer::Completeness::Truncated`]
+//! answers and [`crate::DescribeError::Exhausted`] errors.
+
+pub use qdk_logic::governor::{CancelToken, Exhausted, Governor, Resource, ResourceLimits};

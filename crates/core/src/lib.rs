@@ -50,11 +50,13 @@ pub mod describe;
 mod error;
 pub mod expand;
 pub mod extensions;
+pub mod governor;
 pub mod redundancy;
 pub mod transform;
 mod tree;
 
-pub use answer::{DescribeAnswer, Theorem};
+pub use answer::{Completeness, DescribeAnswer, Theorem};
 pub use config::{DescribeOptions, FallbackPolicy, TransformPolicy};
 pub use describe::{describe, Describe};
 pub use error::{DescribeError, Result};
+pub use governor::{CancelToken, Exhausted, Governor, Resource, ResourceLimits};

@@ -1,5 +1,6 @@
 //! Engine errors.
 
+use qdk_logic::governor::Exhausted;
 use qdk_storage::StorageError;
 use std::fmt;
 
@@ -32,12 +33,10 @@ pub enum EngineError {
     /// A query subject used a predicate that is neither stored, derived,
     /// nor defined by the query itself.
     UnknownSubject(String),
-    /// Evaluation exceeded the configured work budget (used by callers
-    /// that demonstrate non-termination, e.g. Example 8).
-    BudgetExhausted {
-        /// The budget that was exceeded (number of rule firings).
-        budget: u64,
-    },
+    /// Evaluation exceeded a configured resource limit (work budget,
+    /// deadline, fact count, or cooperative cancellation). Carries the
+    /// governor's structured diagnostic.
+    Exhausted(Exhausted),
 }
 
 impl fmt::Display for EngineError {
@@ -62,9 +61,7 @@ impl fmt::Display for EngineError {
                 f,
                 "subject predicate {p} is not stored, derived, or defined by the query"
             ),
-            EngineError::BudgetExhausted { budget } => {
-                write!(f, "evaluation exceeded work budget of {budget} rule firings")
-            }
+            EngineError::Exhausted(e) => write!(f, "evaluation stopped: {e}"),
         }
     }
 }
@@ -81,6 +78,12 @@ impl std::error::Error for EngineError {
 impl From<StorageError> for EngineError {
     fn from(e: StorageError) -> Self {
         EngineError::Storage(e)
+    }
+}
+
+impl From<Exhausted> for EngineError {
+    fn from(e: Exhausted) -> Self {
+        EngineError::Exhausted(e)
     }
 }
 

@@ -34,4 +34,6 @@ pub mod topdown;
 pub use bindings::{DerivedFacts, FactView};
 pub use error::{EngineError, Result};
 pub use idb::Idb;
-pub use query::{retrieve, DataAnswer, Retrieve, Strategy};
+pub use naive::EvalOptions;
+pub use qdk_logic::governor::{CancelToken, Exhausted, Governor, Resource, ResourceLimits};
+pub use query::{retrieve, retrieve_with, DataAnswer, Downgrade, Retrieve, Strategy};

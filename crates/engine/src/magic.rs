@@ -22,6 +22,8 @@
 //! relevant slice uses negation), with built-in comparisons passed
 //! through to the adorned bodies.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use crate::error::{EngineError, Result};
 use crate::idb::Idb;
 use qdk_logic::{Atom, Literal, Rule, Sym, Term, Var};

@@ -10,19 +10,34 @@ use crate::bindings::{fire_rule, DerivedFacts, FactView};
 use crate::error::Result;
 use crate::idb::Idb;
 use crate::stratify::stratify;
+use qdk_logic::governor::{CancelToken, Governor, ResourceLimits};
 use qdk_logic::Sym;
 use qdk_storage::Edb;
 
-/// Options controlling a bottom-up run.
-#[derive(Clone, Copy, Debug)]
-#[derive(Default)]
+/// Options controlling a bottom-up run: the unified [`ResourceLimits`]
+/// (work budget, deadline, fact count) plus an optional cooperative
+/// [`CancelToken`]. Exhaustion aborts with
+/// [`crate::EngineError::Exhausted`] carrying the governor's structured
+/// diagnostic.
+#[derive(Clone, Debug, Default)]
 pub struct EvalOptions {
-    /// Abort with [`crate::EngineError::BudgetExhausted`] after this many
-    /// rule firings (`None` = unlimited). Used to demonstrate runaway
-    /// evaluations without hanging the process.
-    pub budget: Option<u64>,
+    /// Resource limits enforced during evaluation (`Default` = unbounded).
+    pub limits: ResourceLimits,
+    /// Cooperative cancellation token, checkable from another thread.
+    pub cancel: Option<CancelToken>,
 }
 
+impl EvalOptions {
+    /// Options enforcing the given limits.
+    pub fn with_limits(limits: ResourceLimits) -> Self {
+        EvalOptions { limits, cancel: None }
+    }
+
+    /// Build the governor for one evaluation run.
+    pub(crate) fn governor(&self) -> Governor {
+        Governor::new(self.limits).with_cancel(self.cancel.clone())
+    }
+}
 
 /// Computes the least fixpoint of the IDB over the EDB naively, stratum by
 /// stratum. Returns all derived facts.
@@ -32,30 +47,7 @@ pub fn eval(edb: &Edb, idb: &Idb) -> Result<DerivedFacts> {
 
 /// [`eval`] with options.
 pub fn eval_with(edb: &Edb, idb: &Idb, opts: EvalOptions) -> Result<DerivedFacts> {
-    let strat = stratify(idb)?;
-    let mut derived = DerivedFacts::new();
-    let mut firings: u64 = 0;
-    for stratum in strat.strata() {
-        loop {
-            let mut added = 0;
-            for rule in idb.rules() {
-                if !stratum.contains(&rule.head.pred) {
-                    continue;
-                }
-                check_budget(&mut firings, opts)?;
-                let mut fresh = DerivedFacts::new();
-                {
-                    let view = FactView::total(edb, &derived);
-                    fire_rule(rule, &view, &mut fresh)?;
-                }
-                added += derived.absorb(&fresh);
-            }
-            if added == 0 {
-                break;
-            }
-        }
-    }
-    Ok(derived)
+    eval_governed(edb, idb, None, &mut opts.governor())
 }
 
 /// Like [`eval_with`], but restricted to the given predicates (used by the
@@ -66,23 +58,40 @@ pub fn eval_restricted(
     relevant: &[Sym],
     opts: EvalOptions,
 ) -> Result<DerivedFacts> {
+    eval_governed(edb, idb, Some(relevant), &mut opts.governor())
+}
+
+/// Shared fixpoint loop: one governor tick per rule firing, fact
+/// accounting per absorbed delta.
+fn eval_governed(
+    edb: &Edb,
+    idb: &Idb,
+    relevant: Option<&[Sym]>,
+    gov: &mut Governor,
+) -> Result<DerivedFacts> {
     let strat = stratify(idb)?;
     let mut derived = DerivedFacts::new();
-    let mut firings: u64 = 0;
     for stratum in strat.strata() {
         loop {
             let mut added = 0;
             for rule in idb.rules() {
-                if !stratum.contains(&rule.head.pred) || !relevant.contains(&rule.head.pred) {
+                if !stratum.contains(&rule.head.pred) {
                     continue;
                 }
-                check_budget(&mut firings, opts)?;
+                if let Some(preds) = relevant {
+                    if !preds.contains(&rule.head.pred) {
+                        continue;
+                    }
+                }
+                gov.tick()?;
                 let mut fresh = DerivedFacts::new();
                 {
                     let view = FactView::total(edb, &derived);
                     fire_rule(rule, &view, &mut fresh)?;
                 }
-                added += derived.absorb(&fresh);
+                let fresh_count = derived.absorb(&fresh);
+                gov.add_facts(fresh_count)?;
+                added += fresh_count;
             }
             if added == 0 {
                 break;
@@ -90,16 +99,6 @@ pub fn eval_restricted(
         }
     }
     Ok(derived)
-}
-
-fn check_budget(firings: &mut u64, opts: EvalOptions) -> Result<()> {
-    *firings += 1;
-    if let Some(b) = opts.budget {
-        if *firings > b {
-            return Err(crate::EngineError::BudgetExhausted { budget: b });
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -187,10 +186,56 @@ mod tests {
         let err = eval_with(
             &edb,
             &prior_idb(),
-            EvalOptions { budget: Some(3) },
+            EvalOptions::with_limits(ResourceLimits::default().with_work_budget(3)),
         )
         .unwrap_err();
-        assert!(matches!(err, crate::EngineError::BudgetExhausted { .. }));
+        match err {
+            crate::EngineError::Exhausted(e) => {
+                assert_eq!(e.resource, qdk_logic::governor::Resource::WorkBudget);
+                assert_eq!(e.limit, 3);
+                assert!(e.spent > e.limit);
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fact_limit_aborts_runaway() {
+        let edb = chain_edb(30);
+        let err = eval_with(
+            &edb,
+            &prior_idb(),
+            EvalOptions::with_limits(ResourceLimits::default().with_max_facts(10)),
+        )
+        .unwrap_err();
+        match err {
+            crate::EngineError::Exhausted(e) => {
+                assert_eq!(e.resource, qdk_logic::governor::Resource::Facts);
+                assert_eq!(e.limit, 10);
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_token_aborts_evaluation() {
+        let edb = chain_edb(30);
+        let token = CancelToken::new();
+        token.cancel();
+        // The governor polls on its first tick, so a pre-cancelled token
+        // stops evaluation before any work happens.
+        let err = eval_with(
+            &edb,
+            &prior_idb(),
+            EvalOptions { limits: ResourceLimits::default(), cancel: Some(token) },
+        )
+        .unwrap_err();
+        match err {
+            crate::EngineError::Exhausted(e) => {
+                assert_eq!(e.resource, qdk_logic::governor::Resource::Cancelled);
+            }
+            other => panic!("expected Exhausted(Cancelled), got {other:?}"),
+        }
     }
 
     #[test]

@@ -38,6 +38,26 @@ pub enum Strategy {
     Magic,
 }
 
+/// A recorded strategy degradation: the requested strategy could not
+/// complete (e.g. the magic-sets rewrite hit a non-stratified slice or
+/// exhausted its resource limits), and evaluation was retried with a
+/// simpler strategy instead of erroring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Downgrade {
+    /// The strategy that was requested.
+    pub from: Strategy,
+    /// The strategy that produced the answer.
+    pub to: Strategy,
+    /// Human-readable cause of the downgrade.
+    pub reason: String,
+}
+
+impl fmt::Display for Downgrade {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} degraded to {:?}: {}", self.from, self.to, self.reason)
+    }
+}
+
 /// A parsed `retrieve` statement.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Retrieve {
@@ -74,6 +94,9 @@ pub struct DataAnswer {
     pub columns: Vec<Var>,
     /// The retrieved rows, deduplicated.
     pub rows: Vec<Tuple>,
+    /// Strategy degradations recorded while answering (empty when the
+    /// requested strategy completed on its own).
+    pub downgrades: Vec<Downgrade>,
 }
 
 impl DataAnswer {
@@ -121,6 +144,9 @@ impl fmt::Display for DataAnswer {
         for row in &self.rows {
             let vals: Vec<String> = row.values().iter().map(ToString::to_string).collect();
             writeln!(f, "{}", vals.join("\t"))?;
+        }
+        for d in &self.downgrades {
+            writeln!(f, "-- note: {d}")?;
         }
         Ok(())
     }
@@ -175,11 +201,27 @@ pub fn retrieve_with(
             solver.solve_all(&goals)?
         }
         Strategy::Magic => {
-            match magic_substs(edb, idb, &columns, &goals, opts) {
+            match magic_substs(edb, idb, &columns, &goals, opts.clone()) {
                 Ok(s) => s,
-                // Negation in the relevant slice: fall back.
-                Err(EngineError::NotStratified(_)) => {
-                    return retrieve_with(edb, idb, query, Strategy::SemiNaive, opts)
+                // Graceful degradation: if the rewrite cannot apply
+                // (negation in the relevant slice) or the rewritten
+                // program exhausts its limits, retry with plain semi-naive
+                // and record the downgrade instead of erroring. The retry
+                // builds a fresh governor from the same limits, so a
+                // deadline restarts for the fallback attempt; if the
+                // fallback exhausts too, that error propagates.
+                Err(e @ (EngineError::NotStratified(_) | EngineError::Exhausted(_))) => {
+                    let mut answer =
+                        retrieve_with(edb, idb, query, Strategy::SemiNaive, opts)?;
+                    answer.downgrades.insert(
+                        0,
+                        Downgrade {
+                            from: Strategy::Magic,
+                            to: Strategy::SemiNaive,
+                            reason: e.to_string(),
+                        },
+                    );
+                    return Ok(answer);
                 }
                 Err(e) => return Err(e),
             }
@@ -207,18 +249,30 @@ pub fn retrieve_with(
         }
     };
 
+    project_answer(query, &columns, substs)
+}
+
+/// Projects satisfying substitutions onto the subject's variables,
+/// deduplicating rows.
+fn project_answer(
+    query: &Retrieve,
+    columns: &[Var],
+    substs: Vec<Subst>,
+) -> Result<DataAnswer> {
+
     // Project onto the subject's variables. Constants in the subject are
     // checked by the goal conjunction itself (p was a goal) or — for a new
     // predicate — are simply echoed.
     let mut answer = DataAnswer {
-        columns: columns.clone(),
+        columns: columns.to_vec(),
         rows: Vec::new(),
+        downgrades: Vec::new(),
     };
     let mut seen = std::collections::HashSet::new();
     for s in substs {
         let mut row: Vec<Value> = Vec::with_capacity(columns.len());
         let mut complete = true;
-        for v in &columns {
+        for v in columns {
             match s.apply_term(&Term::Var(v.clone())) {
                 Term::Const(c) => row.push(c),
                 Term::Var(_) => {

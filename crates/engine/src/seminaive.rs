@@ -7,6 +7,8 @@
 //! evaluation's rederivation of the entire fact set each round; the P1
 //! benchmark measures the separation growing with EDB size.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use crate::bindings::{fire_rule, DerivedFacts, FactView};
 use crate::error::Result;
 use crate::idb::Idb;
@@ -47,7 +49,7 @@ fn eval_strata(
     opts: EvalOptions,
 ) -> Result<DerivedFacts> {
     let mut derived = DerivedFacts::new();
-    let mut firings: u64 = 0;
+    let mut gov = opts.governor();
     for stratum in strata {
         let rules: Vec<&Rule> = idb
             .rules()
@@ -62,7 +64,7 @@ fn eval_strata(
         // lower strata and the EDB). The new facts form the first delta.
         let mut delta = DerivedFacts::new();
         for rule in &rules {
-            check_budget(&mut firings, opts)?;
+            gov.tick()?;
             let view = FactView::total(edb, &derived);
             let mut fresh = DerivedFacts::new();
             fire_rule(rule, &view, &mut fresh)?;
@@ -73,7 +75,7 @@ fn eval_strata(
             }
         }
         subtract(&mut delta, &derived);
-        derived.absorb(&delta);
+        gov.add_facts(derived.absorb(&delta))?;
 
         // Subsequent rounds: only instantiations touching the delta.
         while !delta.is_empty() {
@@ -91,7 +93,7 @@ fn eval_strata(
                     if delta.relation(lit.atom.pred.as_str()).is_none() {
                         continue; // no new facts for this occurrence
                     }
-                    check_budget(&mut firings, opts)?;
+                    gov.tick()?;
                     let view = FactView::with_delta(edb, &derived, &delta, i);
                     let mut fresh = DerivedFacts::new();
                     fire_rule(rule, &view, &mut fresh)?;
@@ -103,7 +105,7 @@ fn eval_strata(
                 }
             }
             subtract(&mut next, &derived);
-            derived.absorb(&next);
+            gov.add_facts(derived.absorb(&next))?;
             delta = next;
         }
     }
@@ -122,16 +124,6 @@ fn subtract(delta: &mut DerivedFacts, base: &DerivedFacts) {
         }
     }
     *delta = pruned;
-}
-
-fn check_budget(firings: &mut u64, opts: EvalOptions) -> Result<()> {
-    *firings += 1;
-    if let Some(b) = opts.budget {
-        if *firings > b {
-            return Err(crate::EngineError::BudgetExhausted { budget: b });
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]

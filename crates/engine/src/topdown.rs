@@ -24,6 +24,7 @@ use crate::graph::DependencyGraph;
 use crate::idb::Idb;
 use crate::naive::EvalOptions;
 use crate::seminaive;
+use qdk_logic::governor::Governor;
 use qdk_logic::{Atom, Literal, Rule, Subst, Sym, Term, VarGen};
 use qdk_storage::{builtins, Edb};
 
@@ -36,28 +37,30 @@ pub struct Solver<'a> {
     closed: DerivedFacts,
     gen: VarGen,
     opts: EvalOptions,
-    firings: u64,
+    /// Governs SLD resolution steps; the semi-naive pre-closure of
+    /// recursive SCCs builds its own governor from the same options, so
+    /// both phases answer to the same limits.
+    gov: Governor,
 }
 
 impl<'a> Solver<'a> {
     /// Creates a solver.
     pub fn new(edb: &'a Edb, idb: &'a Idb) -> Self {
+        Solver::with_options(edb, idb, EvalOptions::default())
+    }
+
+    /// Creates a solver with evaluation options.
+    pub fn with_options(edb: &'a Edb, idb: &'a Idb, opts: EvalOptions) -> Self {
+        let gov = opts.governor();
         Solver {
             edb,
             idb,
             graph: DependencyGraph::build(idb),
             closed: DerivedFacts::new(),
             gen: VarGen::new(),
-            opts: EvalOptions::default(),
-            firings: 0,
+            opts,
+            gov,
         }
-    }
-
-    /// Creates a solver with evaluation options.
-    pub fn with_options(edb: &'a Edb, idb: &'a Idb, opts: EvalOptions) -> Self {
-        let mut s = Solver::new(edb, idb);
-        s.opts = opts;
-        s
     }
 
     /// Finds all substitutions (restricted to the goal's variables) that
@@ -102,7 +105,8 @@ impl<'a> Solver<'a> {
             // Close the predicate together with everything it depends on
             // (its SCC and anything below it) semi-naively.
             let relevant = self.graph.reachable_from(p.as_str());
-            let facts = seminaive::eval_restricted(self.edb, self.idb, &relevant, self.opts)?;
+            let facts =
+                seminaive::eval_restricted(self.edb, self.idb, &relevant, self.opts.clone())?;
             self.closed.absorb(&facts);
         }
         Ok(())
@@ -242,12 +246,7 @@ impl<'a> Solver<'a> {
             return Ok(());
         }
         // Non-recursive IDB predicate: SLD-resolve through each rule.
-        self.firings += 1;
-        if let Some(b) = self.opts.budget {
-            if self.firings > b {
-                return Err(crate::EngineError::BudgetExhausted { budget: b });
-            }
-        }
+        self.gov.tick()?;
         let rules: Vec<Rule> = self.idb.rules_for(pred).cloned().collect();
         for rule in rules {
             let (renamed, _) = qdk_logic::rename_rule_apart(&rule, &mut self.gen);

@@ -1,6 +1,8 @@
 //! The knowledge base facade: one coherent instrument for data and
 //! knowledge.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use crate::answer::Answer;
 use crate::ast::Statement;
 use crate::error::Result;
@@ -120,6 +122,8 @@ impl KnowledgeBase {
             Statement::Show(kind) => {
                 use std::fmt::Write;
                 let mut out = String::new();
+                // Writing into a String cannot fail; the results are
+                // discarded rather than unwrapped.
                 match kind {
                     crate::ast::ShowKind::Predicates => {
                         for schema in self.edb.catalog().iter() {
@@ -127,21 +131,21 @@ impl KnowledgeBase {
                                 .edb
                                 .relation(schema.name.as_str())
                                 .map_or(0, |r| r.len());
-                            write!(out, "{schema}").unwrap();
+                            let _ = write!(out, "{schema}");
                             if let Some(k) = self.keys.get(&schema.name) {
-                                write!(out, " key {k}").unwrap();
+                                let _ = write!(out, " key {k}");
                             }
-                            writeln!(out, " — {count} facts").unwrap();
+                            let _ = writeln!(out, " — {count} facts");
                         }
                     }
                     crate::ast::ShowKind::Rules => {
                         for rule in self.idb.rules() {
-                            writeln!(out, "{rule}").unwrap();
+                            let _ = writeln!(out, "{rule}");
                         }
                     }
                     crate::ast::ShowKind::Constraints => {
                         for c in &self.constraints {
-                            writeln!(out, "{c}").unwrap();
+                            let _ = writeln!(out, "{c}");
                         }
                     }
                 }
@@ -202,9 +206,19 @@ impl KnowledgeBase {
         stmts.iter().map(|s| self.execute(s)).collect()
     }
 
-    /// Evaluates a `retrieve` statement (data query, §3.1).
+    /// Evaluates a `retrieve` statement (data query, §3.1). The same
+    /// resource limits (and cancellation token) that govern `describe`
+    /// bound the engine evaluation.
     pub fn retrieve(&self, r: &Retrieve) -> Result<qdk_engine::DataAnswer> {
-        Ok(query::retrieve(&self.edb, &self.idb, r, self.strategy)?)
+        let mut eval = qdk_engine::EvalOptions::with_limits(self.opts.limits);
+        eval.cancel = self.opts.cancel.clone();
+        Ok(query::retrieve_with(
+            &self.edb,
+            &self.idb,
+            r,
+            self.strategy,
+            eval,
+        )?)
     }
 
     /// Evaluates a `describe` statement (knowledge query, §3.2),
@@ -231,9 +245,9 @@ impl KnowledgeBase {
         use std::fmt::Write;
         let mut out = String::new();
         for schema in self.edb.catalog().iter() {
-            write!(out, "predicate {schema}").unwrap();
+            let _ = write!(out, "predicate {schema}");
             if let Some(k) = self.keys.get(&schema.name) {
-                write!(out, " key {k}").unwrap();
+                let _ = write!(out, " key {k}");
             }
             out.push_str(".\n");
         }
@@ -242,15 +256,15 @@ impl KnowledgeBase {
                 for tuple in rel.iter() {
                     let vals: Vec<String> =
                         tuple.values().iter().map(ToString::to_string).collect();
-                    writeln!(out, "{}({}).", schema.name, vals.join(", ")).unwrap();
+                    let _ = writeln!(out, "{}({}).", schema.name, vals.join(", "));
                 }
             }
         }
         for rule in self.idb.rules() {
-            writeln!(out, "{rule}").unwrap();
+            let _ = writeln!(out, "{rule}");
         }
         for c in &self.constraints {
-            writeln!(out, "{c}").unwrap();
+            let _ = writeln!(out, "{c}");
         }
         out
     }

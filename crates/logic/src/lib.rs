@@ -15,7 +15,11 @@
 //!   standardize rules apart during resolution;
 //! * θ-subsumption ([`subsume::rule_subsumes`]) used for redundancy
 //!   elimination of knowledge answers;
-//! * a text [`parser`] and paper-style [`pretty`] printing.
+//! * a text [`parser`] and paper-style [`pretty`] printing;
+//! * the shared resource [`governor`] ([`ResourceLimits`], [`Governor`],
+//!   [`CancelToken`], [`Exhausted`]) that bounds both evaluation stacks —
+//!   it lives here, in the dependency-free base crate, so `qdk-engine` and
+//!   `qdk-core` govern with the *same* types.
 //!
 //! The crate is dependency-free and purely functional: all structures are
 //! immutable values, which keeps the term-rewriting layers above it easy to
@@ -27,6 +31,7 @@
 mod atom;
 mod clause;
 mod error;
+pub mod governor;
 pub mod parser;
 pub mod pretty;
 mod rename;
@@ -37,6 +42,7 @@ mod term;
 mod unify;
 
 pub use atom::{Atom, Literal};
+pub use governor::{CancelToken, Exhausted, Governor, Resource, ResourceLimits};
 pub use clause::{Constraint, Program, Rule};
 pub use error::{ParseError, Result};
 pub use rename::{rename_atoms_apart, rename_rule_apart, VarGen};

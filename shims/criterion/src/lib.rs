@@ -1,0 +1,289 @@
+//! Minimal in-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the slice of criterion's API that the repository's
+//! benches use. Measurement is deliberately simple: each benchmark runs a
+//! short warm-up plus `sample_size` timed iterations and prints mean
+//! wall-clock time per iteration. That is enough for the repo's coarse
+//! before/after comparisons; it makes no claim to criterion's statistical
+//! rigor (no outlier analysis, no regression detection, no HTML reports).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work alongside
+/// `std::hint::black_box` users.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, measurement_time: Duration::from_secs(2) }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the per-benchmark measurement window (upper bound on timing work).
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), measurement_time: None }
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(self.sample_size, self.measurement_time, &mut f);
+        report(&id.to_string(), &stats);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the measurement window for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    /// Record the logical throughput of each iteration (printed only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let window = self.measurement_time.unwrap_or(self.criterion.measurement_time);
+        let stats = run_bench(self.criterion.sample_size, window, &mut f);
+        report(&format!("{}/{}", self.name, id), &stats);
+        self
+    }
+
+    /// Run one benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let window = self.measurement_time.unwrap_or(self.criterion.measurement_time);
+        let stats = run_bench(self.criterion.sample_size, window, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        report(&format!("{}/{}", self.name, id), &stats);
+        self
+    }
+
+    /// Finish the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Logical work per iteration, for throughput annotations.
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost; only the variants the repo uses.
+pub enum BatchSize {
+    /// Small per-iteration inputs: setup runs once per timed iteration.
+    SmallInput,
+    /// Large per-iteration inputs: treated the same as `SmallInput` here.
+    LargeInput,
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with fresh input from `setup` each iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+struct Stats {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+fn run_bench<F>(samples: usize, window: Duration, f: &mut F) -> Stats
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up and calibration: find an iteration count that keeps each
+    // sample fast while the whole run stays inside the measurement window.
+    let mut calib = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut calib);
+    let per_iter = calib.elapsed.max(Duration::from_nanos(1));
+    let budget_per_sample = window
+        .checked_div(samples as u32)
+        .unwrap_or(Duration::from_millis(10));
+    let iters = (budget_per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        times.push(b.elapsed / iters as u32);
+    }
+    let total: Duration = times.iter().sum();
+    Stats {
+        mean: total / samples as u32,
+        min: times.iter().min().copied().unwrap_or_default(),
+        max: times.iter().max().copied().unwrap_or_default(),
+    }
+}
+
+fn report(name: &str, stats: &Stats) {
+    println!(
+        "bench {name:<50} mean {:>12?}  min {:>12?}  max {:>12?}",
+        stats.mean, stats.min, stats.max
+    );
+}
+
+/// Define a benchmark group runner, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grouped");
+        group.measurement_time(Duration::from_millis(50));
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_function(BenchmarkId::from_parameter(7), |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(
+        name = benches;
+        config = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(60));
+        targets = sample_bench
+    );
+
+    criterion_group!(plain, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+        plain();
+    }
+}

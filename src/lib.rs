@@ -31,7 +31,9 @@
 //!
 //! The workspace layers:
 //!
-//! * [`logic`] — terms, Horn clauses, unification, θ-subsumption, parsing;
+//! * [`logic`] — terms, Horn clauses, unification, θ-subsumption, parsing,
+//!   and the shared resource [`Governor`] that bounds every evaluation
+//!   (deadline, work budget, depth, fact count, cancellation);
 //! * [`storage`] — the extensional database (indexed relations, built-in
 //!   comparisons, catalog);
 //! * [`engine`] — the deductive `retrieve` engine (dependency analysis,
@@ -53,8 +55,8 @@ pub use qdk_logic as logic;
 pub use qdk_storage as storage;
 
 pub use qdk_core::{
-    compare::CompareAnswer, Describe, DescribeAnswer, DescribeOptions, FallbackPolicy, Theorem,
-    TransformPolicy,
+    compare::CompareAnswer, CancelToken, Completeness, Describe, DescribeAnswer, DescribeOptions,
+    Exhausted, FallbackPolicy, Governor, Resource, ResourceLimits, Theorem, TransformPolicy,
 };
-pub use qdk_engine::{DataAnswer, Retrieve, Strategy};
+pub use qdk_engine::{DataAnswer, Downgrade, EvalOptions, Retrieve, Strategy};
 pub use qdk_lang::{datasets, Answer, KnowledgeBase, LangError};

@@ -194,7 +194,7 @@ fn describe_options_budget_is_respected_on_conforming_idb() {
     let budgeted = qdk::core::describe::describe(
         kb.idb(),
         &q,
-        &DescribeOptions::paper().with_budget(1_000_000),
+        &DescribeOptions::paper().with_work_budget(1_000_000),
     )
     .unwrap();
     assert_eq!(unlimited.rendered(), budgeted.rendered());

@@ -1,0 +1,220 @@
+//! The unified resource governor, end to end: the same [`ResourceLimits`]
+//! vocabulary bounds both evaluation stacks — every `retrieve` strategy
+//! aborts a runaway program with the same structured [`Exhausted`]
+//! diagnostic, and `describe` degrades gracefully into a
+//! [`Completeness::Truncated`] answer instead of erroring or silently
+//! under-answering.
+
+use qdk::engine::{retrieve_with, EngineError, EvalOptions};
+use qdk::logic::parser::{parse_atom, parse_body, parse_program};
+use qdk::{
+    CancelToken, Completeness, Describe, DescribeOptions, KnowledgeBase, Resource,
+    ResourceLimits, Retrieve, Strategy,
+};
+use std::time::Duration;
+
+fn kb_from(src: &str) -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    kb.load(src).unwrap();
+    kb
+}
+
+/// A transitive-closure workload whose fixpoint needs far more rule
+/// firings than the budget allows.
+fn chain_kb(n: usize) -> KnowledgeBase {
+    let mut src = String::from(
+        "predicate edge(From, To).\n\
+         reach(X, Y) :- edge(X, Y).\n\
+         reach(X, Y) :- edge(X, Z), reach(Z, Y).\n",
+    );
+    for i in 0..n {
+        src.push_str(&format!("edge(n{i}, n{}).\n", i + 1));
+    }
+    kb_from(&src)
+}
+
+#[test]
+fn all_four_strategies_report_the_same_exhaustion_diagnostic() {
+    let kb = chain_kb(40);
+    let query = Retrieve::new(
+        parse_atom("reach(X, Y)").unwrap(),
+        vec![],
+    );
+    let opts = EvalOptions::with_limits(ResourceLimits::default().with_work_budget(25));
+    let mut seen = Vec::new();
+    for strategy in [
+        Strategy::Naive,
+        Strategy::SemiNaive,
+        Strategy::Magic,
+        Strategy::TopDown,
+    ] {
+        let err = retrieve_with(kb.edb(), kb.idb(), &query, strategy, opts.clone())
+            .expect_err("budget must trip");
+        let EngineError::Exhausted(e) = err else {
+            panic!("{strategy:?}: expected Exhausted, got {err:?}");
+        };
+        assert_eq!(e.resource, Resource::WorkBudget, "{strategy:?}");
+        assert_eq!(e.limit, 25, "{strategy:?}");
+        assert!(e.spent > e.limit, "{strategy:?}");
+        seen.push(e.resource);
+    }
+    // One diagnostic vocabulary across all four engines.
+    assert!(seen.iter().all(|r| *r == seen[0]));
+}
+
+#[test]
+fn fact_limit_bounds_bottom_up_strategies() {
+    let kb = chain_kb(40);
+    let query = Retrieve::new(parse_atom("reach(X, Y)").unwrap(), vec![]);
+    let opts = EvalOptions::with_limits(ResourceLimits::default().with_max_facts(10));
+    for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+        let err = retrieve_with(kb.edb(), kb.idb(), &query, strategy, opts.clone())
+            .expect_err("fact limit must trip");
+        let EngineError::Exhausted(e) = err else {
+            panic!("{strategy:?}: expected Exhausted, got {err:?}");
+        };
+        assert_eq!(e.resource, Resource::Facts, "{strategy:?}");
+    }
+}
+
+#[test]
+fn cancellation_aborts_retrieve() {
+    let kb = chain_kb(40);
+    let query = Retrieve::new(parse_atom("reach(X, Y)").unwrap(), vec![]);
+    let token = CancelToken::new();
+    token.cancel();
+    let opts = EvalOptions {
+        cancel: Some(token),
+        ..EvalOptions::default()
+    };
+    let err = retrieve_with(kb.edb(), kb.idb(), &query, Strategy::SemiNaive, opts)
+        .expect_err("pre-cancelled token must abort");
+    let EngineError::Exhausted(e) = err else {
+        panic!("expected Exhausted, got {err:?}");
+    };
+    assert_eq!(e.resource, Resource::Cancelled);
+}
+
+/// Example 8's workload (§5.1): the indirectly recursive subject that made
+/// Algorithm 1 "hang". Under a 50ms deadline the describe returns promptly
+/// with a truncated answer and a populated diagnostic — no panic, no
+/// silent empty answer, no error.
+#[test]
+fn example8_describe_under_deadline_returns_truncated() {
+    let idb = qdk::engine::Idb::from_rules(
+        parse_program(
+            "p(X, Y) :- q(X, Z), r(Z, Y).\n\
+             q(X, Y) :- q(X, Z), s(Z, Y).\n\
+             q(X, Y) :- r(X, Y).",
+        )
+        .unwrap()
+        .rules,
+    )
+    .unwrap();
+    let query = Describe::new(
+        parse_atom("p(X, Y)").unwrap(),
+        parse_body("r(a, Y)").unwrap(),
+    );
+    let opts = DescribeOptions::paper().with_deadline(Duration::from_millis(50));
+    let start = std::time::Instant::now();
+    let answer = qdk::core::algo1::run_unchecked(&idb, &query, &opts)
+        .expect("deadline must truncate, not error");
+    // Prompt: the divergent walk is cut by the deadline or by the built-in
+    // recursion guard, whichever bites first — never a hang.
+    assert!(start.elapsed() < Duration::from_secs(5));
+    let e = answer
+        .completeness
+        .exhausted()
+        .expect("answer must be tagged truncated");
+    assert!(
+        matches!(e.resource, Resource::Deadline | Resource::Depth),
+        "unexpected diagnostic: {e}"
+    );
+    assert!(e.limit > 0, "diagnostic must be populated: {e}");
+    // Not silence: the theorems found before the cut are returned.
+    assert!(!answer.is_empty(), "{answer}");
+    // The rendering announces the truncation.
+    assert!(answer.to_string().contains("truncat"), "{answer}");
+}
+
+/// A doubling recursion (`p(X,Y) ← p(X,Z) ∧ p(Z,Y)`) enumerated
+/// untransformed has a walk far wider than any clock allows: the deadline
+/// itself trips, mid-walk, and the answer says so.
+#[test]
+fn deadline_trips_mid_walk_on_doubling_recursion() {
+    let idb = qdk::engine::Idb::from_rules(
+        parse_program(
+            "p(X, Y) :- e(X, Y).\n\
+             p(X, Y) :- p(X, Z), p(Z, Y).",
+        )
+        .unwrap()
+        .rules,
+    )
+    .unwrap();
+    let query = Describe::new(
+        parse_atom("p(X, Y)").unwrap(),
+        parse_body("p(a, Y)").unwrap(),
+    );
+    let opts = DescribeOptions::paper().with_deadline(Duration::from_millis(50));
+    let answer = qdk::core::algo1::run_unchecked(&idb, &query, &opts)
+        .expect("deadline must truncate, not error");
+    let e = answer
+        .completeness
+        .exhausted()
+        .expect("answer must be tagged truncated");
+    assert_eq!(e.resource, Resource::Deadline);
+    assert_eq!(e.limit, 50);
+    assert!(e.spent >= e.limit, "diagnostic must be populated: {e}");
+}
+
+#[test]
+fn example6_describe_budget_limited_returns_truncated_not_silent() {
+    let mut kb = kb_from(
+        "prior(X, Y) :- prereq(X, Y).\n\
+         prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
+    );
+    // Algorithm 1's divergence, bounded by a work budget: kb-level
+    // describe uses Algorithm 2 (terminating), so drive algo1 directly.
+    let idb = kb.idb().clone();
+    let query = Describe::new(
+        parse_atom("prior(X, Y)").unwrap(),
+        parse_body("prior(databases, Y)").unwrap(),
+    );
+    let budgeted = DescribeOptions::paper().with_work_budget(500);
+    let answer = qdk::core::algo1::run_unchecked(&idb, &query, &budgeted).unwrap();
+    assert!(answer.is_truncated());
+    assert_eq!(
+        answer.completeness.exhausted().unwrap().resource,
+        Resource::WorkBudget
+    );
+
+    // Depth-limited: the finite chain-family prefix, tagged truncated,
+    // with the theorems still present (not silence).
+    let deep = DescribeOptions::paper().with_max_depth(8);
+    let answer = qdk::core::algo1::run_unchecked(&idb, &query, &deep).unwrap();
+    assert!(answer.is_truncated());
+    assert!(answer.len() >= 3, "{answer}");
+    assert_eq!(
+        answer.completeness.exhausted().unwrap().resource,
+        Resource::Depth
+    );
+
+    // The terminating Algorithm 2 path stays Complete.
+    let full = kb.run("describe prior(X, Y) where prior(databases, Y).").unwrap();
+    let k = full.as_knowledge().unwrap();
+    assert_eq!(k.completeness, Completeness::Complete);
+    assert!(!k.is_truncated());
+}
+
+#[test]
+fn kb_describe_options_thread_limits_into_retrieve() {
+    // The facade's one options struct governs both statements: a
+    // work-budget too small for the transitive closure trips retrieve.
+    let kb = chain_kb(40).with_describe_options(
+        DescribeOptions::paper()
+            .with_limits(ResourceLimits::default().with_work_budget(25)),
+    );
+    let query = Retrieve::new(parse_atom("reach(X, Y)").unwrap(), vec![]);
+    let err = kb.retrieve(&query).expect_err("budget must trip");
+    assert!(err.to_string().contains("work budget"), "{err}");
+}

@@ -1,0 +1,76 @@
+//! Parser robustness: the logic and language parsers must never panic —
+//! any input, including arbitrary byte soup, yields `Ok` or a structured
+//! `Err`, never an abort. (A REPL that dies on a typo is not "one coherent
+//! instrument".)
+
+use proptest::prelude::*;
+use qdk::lang::parser::{parse_script, parse_statement};
+use qdk::logic::parser::{parse_atom, parse_body, parse_program, parse_rule, parse_term};
+
+/// Raw bytes, decoded lossily: exercises invalid UTF-8 boundaries turned
+/// into replacement characters, control characters, and embedded NULs.
+fn arb_byte_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec((0u16..256).prop_map(|b| b as u8), 0..80)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Printable soup biased toward the grammar's own punctuation, so the
+/// generated strings get past the tokenizer and stress the parser proper.
+fn arb_token_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("describe ".to_string()),
+            Just("retrieve ".to_string()),
+            Just("predicate ".to_string()),
+            Just("where ".to_string()),
+            Just("and ".to_string()),
+            Just("or ".to_string()),
+            Just("not ".to_string()),
+            Just(":-".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just(",".to_string()),
+            Just(".".to_string()),
+            Just("=".to_string()),
+            Just(">".to_string()),
+            Just("<".to_string()),
+            Just("!".to_string()),
+            Just("\"".to_string()),
+            Just("3.7".to_string()),
+            Just("X".to_string()),
+            Just("prior".to_string()),
+            "[ -~]{0,6}",
+        ],
+        0..24,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    /// The logic-layer parsers survive arbitrary byte soup.
+    #[test]
+    fn logic_parsers_never_panic_on_bytes(src in arb_byte_soup()) {
+        let _ = parse_program(&src);
+        let _ = parse_rule(&src);
+        let _ = parse_atom(&src);
+        let _ = parse_body(&src);
+        let _ = parse_term(&src);
+    }
+
+    /// The language-layer parsers survive arbitrary byte soup.
+    #[test]
+    fn lang_parsers_never_panic_on_bytes(src in arb_byte_soup()) {
+        let _ = parse_statement(&src);
+        let _ = parse_script(&src);
+    }
+
+    /// Near-grammatical token soup: past the tokenizer, into the grammar.
+    #[test]
+    fn parsers_never_panic_on_token_soup(src in arb_token_soup()) {
+        let _ = parse_program(&src);
+        let _ = parse_rule(&src);
+        let _ = parse_body(&src);
+        let _ = parse_statement(&src);
+        let _ = parse_script(&src);
+    }
+}
