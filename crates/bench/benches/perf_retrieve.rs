@@ -31,15 +31,9 @@ fn p1_full_closure_chain(c: &mut Criterion) {
         let edb = chain_edb(n);
         group.throughput(Throughput::Elements(n as u64));
         for (name, strategy) in strategies() {
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(query::retrieve(&edb, &idb, black_box(&q), strategy).unwrap())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| black_box(query::retrieve(&edb, &idb, black_box(&q), strategy).unwrap()))
+            });
         }
     }
     group.finish();
@@ -57,15 +51,9 @@ fn p1_bound_query_random(c: &mut Criterion) {
         let q = Retrieve::new(parse_atom("prior(c0, Y)").unwrap(), vec![]);
         group.throughput(Throughput::Elements(edges as u64));
         for (name, strategy) in strategies() {
-            group.bench_with_input(
-                BenchmarkId::new(name, edges),
-                &edges,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(query::retrieve(&edb, &idb, black_box(&q), strategy).unwrap())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, edges), &edges, |b, _| {
+                b.iter(|| black_box(query::retrieve(&edb, &idb, black_box(&q), strategy).unwrap()))
+            });
         }
     }
     group.finish();

@@ -1,12 +1,16 @@
 //! Prints the EXPERIMENTS.md series as compact markdown tables, using
 //! direct timing (median of repeated runs) rather than Criterion's full
-//! statistics — a quick reproduction check.
+//! statistics — a quick reproduction check — and writes the same series
+//! as machine-readable `BENCH_retrieve.json` / `BENCH_describe.json`.
 //!
 //! Run with `cargo run --release -p qdk-bench --bin report`.
 
-use qdk_bench::{chain_edb, prior_idb, random_graph_edb, redundant_idb, tower_hypothesis, tower_idb, university};
+use qdk_bench::{
+    chain_edb, example8_edb, example8_idb, prior_idb, random_graph_edb, redundant_idb,
+    tower_hypothesis, tower_idb, university,
+};
 use qdk_core::{algo1, algo2, describe, Describe, DescribeOptions, TransformPolicy};
-use qdk_engine::{query, Retrieve, Strategy};
+use qdk_engine::{query, EvalOptions, ProgramPlan, Retrieve, Strategy};
 use qdk_logic::parser::{parse_atom, parse_body};
 use std::time::Instant;
 
@@ -23,7 +27,46 @@ fn median_micros(runs: usize, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
-fn p1_full_closure() {
+fn strategy_name(s: Strategy) -> &'static str {
+    match s {
+        Strategy::Naive => "naive",
+        Strategy::SemiNaive => "semi-naive",
+        Strategy::TopDown => "top-down",
+        Strategy::Magic => "magic",
+    }
+}
+
+/// One flat JSON object from pre-rendered key/value pairs. Keys and
+/// string values here are ASCII identifiers, so no escaping is needed.
+fn json_record(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+fn json_str(s: &str) -> String {
+    format!("\"{s}\"")
+}
+
+/// Writes `{ "unit": ..., "series": [records...] }` to `path`.
+fn write_json(path: &str, records: &[String]) {
+    let mut out = String::from("{\n  \"unit\": \"microseconds (median wall time)\",\n");
+    out.push_str("  \"series\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!("    {r}{sep}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("wrote {path}");
+    }
+}
+
+fn p1_full_closure(records: &mut Vec<String>) {
     println!("## P1a — full transitive closure of a chain (µs, median of 5)\n");
     println!("| n (edges) | naive | semi-naive | top-down | magic |");
     println!("|-----------|-------|------------|----------|-------|");
@@ -42,13 +85,20 @@ fn p1_full_closure() {
                 query::retrieve(&edb, &idb, &q, strategy).unwrap();
             });
             row.push_str(&format!("| {us:.0} "));
+            records.push(json_record(&[
+                ("section", json_str("p1_full_closure")),
+                ("workload", json_str("chain")),
+                ("n", n.to_string()),
+                ("strategy", json_str(strategy_name(strategy))),
+                ("micros", format!("{us:.1}")),
+            ]));
         }
         println!("{row}|");
     }
     println!();
 }
 
-fn p1_bound_query() {
+fn p1_bound_query(records: &mut Vec<String>) {
     println!("## P1b — constant-bound prior(c0, Y) on random graphs (µs, median of 5)\n");
     println!("| edges | naive | semi-naive | top-down | magic |");
     println!("|-------|-------|------------|----------|-------|");
@@ -67,13 +117,80 @@ fn p1_bound_query() {
                 query::retrieve(&edb, &idb, &q, strategy).unwrap();
             });
             row.push_str(&format!("| {us:.0} "));
+            records.push(json_record(&[
+                ("section", json_str("p1_bound_query")),
+                ("workload", json_str("random_graph")),
+                ("n", edges.to_string()),
+                ("strategy", json_str(strategy_name(strategy))),
+                ("micros", format!("{us:.1}")),
+            ]));
         }
         println!("{row}|");
     }
     println!();
 }
 
-fn p2_sweeps() {
+/// The compile-then-execute comparison: `query::retrieve` recompiles the
+/// program plan on every call (the pre-refactor cost model, and still
+/// the one-shot API), while `query::retrieve_compiled` reuses a plan
+/// compiled once — the path the `KnowledgeBase` cache takes.
+fn compiled_vs_percall(records: &mut Vec<String>) {
+    println!("## C1 — cached compiled plan vs per-call compilation (µs, median of 9)\n");
+    println!("| workload | strategy | per-call compile | cached plan | cached/per-call |");
+    println!("|----------|----------|------------------|-------------|-----------------|");
+    let run = |workload: &str,
+               edb: &qdk_storage::Edb,
+               idb: &qdk_engine::Idb,
+               plan: &ProgramPlan,
+               q: &Retrieve,
+               records: &mut Vec<String>| {
+        for strategy in [
+            Strategy::Naive,
+            Strategy::SemiNaive,
+            Strategy::TopDown,
+            Strategy::Magic,
+        ] {
+            let per_call = median_micros(9, || {
+                query::retrieve(edb, idb, q, strategy).unwrap();
+            });
+            let cached = median_micros(9, || {
+                query::retrieve_compiled(edb, idb, plan, q, strategy, EvalOptions::default())
+                    .unwrap();
+            });
+            println!(
+                "| {workload} | {} | {per_call:.0} | {cached:.0} | {:.2} |",
+                strategy_name(strategy),
+                cached / per_call,
+            );
+            records.push(json_record(&[
+                ("section", json_str("compiled_vs_percall")),
+                ("workload", json_str(workload)),
+                ("strategy", json_str(strategy_name(strategy))),
+                ("per_call_micros", format!("{per_call:.1}")),
+                ("cached_micros", format!("{cached:.1}")),
+            ]));
+        }
+    };
+
+    let idb = prior_idb();
+    let plan = ProgramPlan::compile(&idb);
+    let q = Retrieve::new(parse_atom("prior(X, Y)").unwrap(), vec![]);
+    for n in [16usize, 64, 128] {
+        let edb = chain_edb(n);
+        run(&format!("chain-{n}"), &edb, &idb, &plan, &q, records);
+    }
+
+    let idb8 = example8_idb();
+    let plan8 = ProgramPlan::compile(&idb8);
+    let q8 = Retrieve::new(parse_atom("p(X, Y)").unwrap(), vec![]);
+    for n in [16usize, 48] {
+        let edb8 = example8_edb(n);
+        run(&format!("example8-{n}"), &edb8, &idb8, &plan8, &q8, records);
+    }
+    println!();
+}
+
+fn p2_sweeps(records: &mut Vec<String>) {
     println!("## P2a — describe latency vs rule-tower depth (fan-out 2)\n");
     println!("| depth | µs (median of 9) | theorems |");
     println!("|-------|------------------|----------|");
@@ -86,6 +203,13 @@ fn p2_sweeps() {
             describe::describe(&idb, &q, &opts).unwrap();
         });
         println!("| {depth} | {us:.0} | {} |", answers.len());
+        records.push(json_record(&[
+            ("section", json_str("p2_depth")),
+            ("depth", depth.to_string()),
+            ("fanout", "2".to_string()),
+            ("micros", format!("{us:.1}")),
+            ("theorems", answers.len().to_string()),
+        ]));
     }
     println!();
 
@@ -101,11 +225,18 @@ fn p2_sweeps() {
             describe::describe(&idb, &q, &opts).unwrap();
         });
         println!("| {fanout} | {us:.0} | {} |", answers.len());
+        records.push(json_record(&[
+            ("section", json_str("p2_fanout")),
+            ("depth", "4".to_string()),
+            ("fanout", fanout.to_string()),
+            ("micros", format!("{us:.1}")),
+            ("theorems", answers.len().to_string()),
+        ]));
     }
     println!();
 }
 
-fn e6_family() {
+fn e6_family(records: &mut Vec<String>) {
     println!("## E6 — Algorithm 1's infinite answer family vs depth bound\n");
     println!("| max depth | answers | µs (median of 5) |");
     println!("|-----------|---------|------------------|");
@@ -121,6 +252,12 @@ fn e6_family() {
             algo1::run_unchecked(&idb, &q, &opts).unwrap();
         });
         println!("| {depth} | {} | {us:.0} |", answers.len());
+        records.push(json_record(&[
+            ("section", json_str("e6_algo1")),
+            ("max_depth", depth.to_string()),
+            ("micros", format!("{us:.1}")),
+            ("answers", answers.len().to_string()),
+        ]));
     }
     let opts2 = DescribeOptions::paper();
     let a2 = algo2::run(&idb, &q, &opts2).unwrap();
@@ -128,10 +265,15 @@ fn e6_family() {
         algo2::run(&idb, &q, &opts2).unwrap();
     });
     println!("| Algorithm 2 | {} (finite) | {us2:.0} |", a2.len());
+    records.push(json_record(&[
+        ("section", json_str("e6_algo2")),
+        ("micros", format!("{us2:.1}")),
+        ("answers", a2.len().to_string()),
+    ]));
     println!();
 }
 
-fn p3_policies() {
+fn p3_policies(records: &mut Vec<String>) {
     println!("## P3 — Algorithm 2 transformation policies (E6 query)\n");
     println!("| policy | µs (median of 9) | answers |");
     println!("|--------|------------------|---------|");
@@ -150,6 +292,12 @@ fn p3_policies() {
             algo2::run(&idb, &q, &opts).unwrap();
         });
         println!("| {name} | {us:.0} | {} |", answers.len());
+        records.push(json_record(&[
+            ("section", json_str("p3_policies")),
+            ("policy", json_str(name)),
+            ("micros", format!("{us:.1}")),
+            ("answers", answers.len().to_string()),
+        ]));
     }
     println!();
 }
@@ -195,10 +343,15 @@ fn ablations() {
 
 fn main() {
     println!("# Experiment report (direct timings; see cargo bench for full statistics)\n");
-    p1_full_closure();
-    p1_bound_query();
-    p2_sweeps();
-    e6_family();
-    p3_policies();
+    let mut retrieve_records = Vec::new();
+    let mut describe_records = Vec::new();
+    p1_full_closure(&mut retrieve_records);
+    p1_bound_query(&mut retrieve_records);
+    compiled_vs_percall(&mut retrieve_records);
+    p2_sweeps(&mut describe_records);
+    e6_family(&mut describe_records);
+    p3_policies(&mut describe_records);
     ablations();
+    write_json("BENCH_retrieve.json", &retrieve_records);
+    write_json("BENCH_describe.json", &describe_records);
 }

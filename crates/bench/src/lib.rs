@@ -54,6 +54,37 @@ pub fn prior_idb() -> Idb {
     .unwrap()
 }
 
+/// The paper's Example 8 program: `p` joins the recursive `q` (a
+/// left-linear closure over `s` seeded by `r`) with one more `r` step.
+pub fn example8_idb() -> Idb {
+    Idb::from_rules(
+        parse_program(
+            "p(X, Y) :- q(X, Z), r(Z, Y).\n\
+             q(X, Y) :- q(X, Z), s(Z, Y).\n\
+             q(X, Y) :- r(X, Y).",
+        )
+        .unwrap()
+        .rules,
+    )
+    .unwrap()
+}
+
+/// An EDB for [`example8_idb`]: parallel `r` and `s` chains of `n` edges
+/// over the same `n + 1` nodes, so `q` walks the `s` chain from every
+/// `r` seed and `p` closes each walk with a final `r` hop.
+pub fn example8_edb(n: usize) -> Edb {
+    let mut edb = Edb::new();
+    edb.declare("r", &["From", "To"]).unwrap();
+    edb.declare("s", &["From", "To"]).unwrap();
+    for i in 0..n {
+        edb.insert_fact(&parse_atom(&format!("r(n{i}, n{})", i + 1)).unwrap())
+            .unwrap();
+        edb.insert_fact(&parse_atom(&format!("s(n{i}, n{})", i + 1)).unwrap())
+            .unwrap();
+    }
+    edb
+}
+
 /// A non-recursive rule tower of the given `depth` and `fanout`:
 /// `p0(X) ← p1(X) ∧ e0(X)`, …, with `fanout` alternative rules per level
 /// and EDB leaves `e{level}` plus a comparison at the bottom. Derivation
@@ -138,13 +169,20 @@ mod tests {
     }
 
     #[test]
+    fn example8_p_closes_every_s_walk() {
+        // Over parallel chains of n edges, q(i, j) holds for every i < j
+        // (n(n+1)/2 pairs) and p shifts each pair one r-hop further, so it
+        // holds exactly for the pairs at distance ≥ 2 ((n-1)n/2 pairs).
+        let derived = seminaive::eval(&example8_edb(6), &example8_idb()).unwrap();
+        assert_eq!(derived.relation("q").unwrap().len(), 21);
+        assert_eq!(derived.relation("p").unwrap().len(), 15);
+    }
+
+    #[test]
     fn tower_is_nonrecursive_and_describable() {
         let idb = tower_idb(4, 2);
         assert_eq!(idb.len(), 8);
-        let q = qdk_core::Describe::new(
-            parse_atom("p0(X)").unwrap(),
-            tower_hypothesis(4),
-        );
+        let q = qdk_core::Describe::new(parse_atom("p0(X)").unwrap(), tower_hypothesis(4));
         let a = qdk_core::describe(&idb, &q, &qdk_core::DescribeOptions::paper()).unwrap();
         assert!(!a.theorems.is_empty());
         // The hypothesis-using derivation reached the bottom of the tower.

@@ -37,7 +37,11 @@ pub fn run(idb: &Idb, query: &Describe, opts: &DescribeOptions) -> Result<Descri
 /// with a [`crate::Completeness::Truncated`] answer carrying the
 /// exhaustion diagnostic) or a depth bound (a finite prefix of the
 /// infinite answer family is returned, also tagged truncated) in `opts`.
-pub fn run_unchecked(idb: &Idb, query: &Describe, opts: &DescribeOptions) -> Result<DescribeAnswer> {
+pub fn run_unchecked(
+    idb: &Idb,
+    query: &Describe,
+    opts: &DescribeOptions,
+) -> Result<DescribeAnswer> {
     query.validate(idb)?;
     let tidb = TransformedIdb::untransformed(idb);
     describe::run(&tidb, query, false, opts)
@@ -53,10 +57,8 @@ mod tests {
     }
 
     fn prior_idb() -> Idb {
-        idb(
-            "prior(X, Y) :- prereq(X, Y).\n\
-             prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
-        )
+        idb("prior(X, Y) :- prereq(X, Y).\n\
+             prior(X, Y) :- prereq(X, Z), prior(Z, Y).")
     }
 
     #[test]
@@ -108,9 +110,14 @@ mod tests {
         assert!(a.contains_rendered("prior(X, Y) ← prereq(X, databases)"));
         // The depth bound cut the infinite family: the answer says so.
         assert!(a.is_truncated());
-        assert!(a.contains_rendered("prior(X, Y) ← prereq(X, Y1) ∧ prereq(Y1, databases)")
-            || a.rendered().iter().any(|s| s.matches("prereq").count() == 2),
-            "{:?}", a.rendered());
+        assert!(
+            a.contains_rendered("prior(X, Y) ← prereq(X, Y1) ∧ prereq(Y1, databases)")
+                || a.rendered()
+                    .iter()
+                    .any(|s| s.matches("prereq").count() == 2),
+            "{:?}",
+            a.rendered()
+        );
         // Deeper bound ⇒ strictly more answers: the family is infinite.
         let deeper = run_unchecked(
             &prior_idb(),
@@ -126,17 +133,14 @@ mod tests {
         // §5.1 Example 8: p depends on recursive q; Algorithm 1 "hangs"
         // constructing an infinite derivation tree. The budget converts
         // the hang into an observable truncation.
-        let i = idb(
-            "p(X, Y) :- q(X, Z), r(Z, Y).\n\
+        let i = idb("p(X, Y) :- q(X, Z), r(Z, Y).\n\
              q(X, Y) :- q(X, Z), s(Z, Y).\n\
-             q(X, Y) :- r(X, Y).",
-        );
+             q(X, Y) :- r(X, Y).");
         let q = Describe::new(
             parse_atom("p(X, Y)").unwrap(),
             parse_body("r(a, Y)").unwrap(),
         );
-        let a = run_unchecked(&i, &q, &DescribeOptions::default().with_work_budget(500))
-            .unwrap();
+        let a = run_unchecked(&i, &q, &DescribeOptions::default().with_work_budget(500)).unwrap();
         let e = a.completeness.exhausted().expect("must be truncated");
         assert_eq!(e.resource, crate::governor::Resource::WorkBudget);
         assert!(e.spent > e.limit);

@@ -34,10 +34,8 @@ mod tests {
     }
 
     fn prior_idb() -> Idb {
-        idb(
-            "prior(X, Y) :- prereq(X, Y).\n\
-             prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
-        )
+        idb("prior(X, Y) :- prereq(X, Y).\n\
+             prior(X, Y) :- prereq(X, Z), prior(Z, Y).")
     }
 
     #[test]
@@ -59,11 +57,9 @@ mod tests {
     #[test]
     fn example8_terminates() {
         // The query that made Algorithm 1 hang (Example 8) terminates.
-        let i = idb(
-            "p(X, Y) :- q(X, Z), r(Z, Y).\n\
+        let i = idb("p(X, Y) :- q(X, Z), r(Z, Y).\n\
              q(X, Y) :- q(X, Z), s(Z, Y).\n\
-             q(X, Y) :- r(X, Y).",
-        );
+             q(X, Y) :- r(X, Y).");
         let q = Describe::new(
             parse_atom("p(X, Y)").unwrap(),
             parse_body("r(a, Y)").unwrap(),
@@ -72,10 +68,13 @@ mod tests {
         assert!(!a.is_empty());
         // The direct derivation through q's exit rule identifies r(a, Y):
         // p(X, Y) ← … with X bound to a appears in some form.
-        assert!(a
-            .rendered()
-            .iter()
-            .any(|s| s.contains("(X = a)") || s.contains("r(a")), "{:?}", a.rendered());
+        assert!(
+            a.rendered()
+                .iter()
+                .any(|s| s.contains("(X = a)") || s.contains("r(a")),
+            "{:?}",
+            a.rendered()
+        );
     }
 
     #[test]
@@ -84,10 +83,8 @@ mod tests {
         // it guaranteed that y is also reachable from x?" With the
         // symmetric rule present, describe reach(X, Y) where reach(Y, X)
         // yields the unconditional theorem reach(X, Y) ← (empty body).
-        let i = idb(
-            "reach(X, Y) :- edge(X, Y).\n\
-             reach(X, Y) :- reach(Y, X).",
-        );
+        let i = idb("reach(X, Y) :- edge(X, Y).\n\
+             reach(X, Y) :- reach(Y, X).");
         let q = Describe::new(
             parse_atom("reach(X, Y)").unwrap(),
             parse_body("reach(Y, X)").unwrap(),
@@ -104,10 +101,8 @@ mod tests {
     fn symmetric_reachability_absent_without_rule() {
         // Without the symmetric rule the guarantee does not hold and no
         // unconditional theorem appears.
-        let i = idb(
-            "reach(X, Y) :- edge(X, Y).\n\
-             reach(X, Y) :- edge(X, Z), reach(Z, Y).",
-        );
+        let i = idb("reach(X, Y) :- edge(X, Y).\n\
+             reach(X, Y) :- edge(X, Z), reach(Z, Y).");
         let q = Describe::new(
             parse_atom("reach(X, Y)").unwrap(),
             parse_body("reach(Y, X)").unwrap(),

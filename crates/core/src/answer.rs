@@ -211,10 +211,7 @@ mod tests {
     #[test]
     fn rendered_is_sorted_and_stable() {
         let a = DescribeAnswer {
-            theorems: vec![
-                theorem("p(X) :- r(X).", &[]),
-                theorem("p(X) :- q(X).", &[]),
-            ],
+            theorems: vec![theorem("p(X) :- r(X).", &[]), theorem("p(X) :- q(X).", &[])],
             hypothesis_contradicts_idb: false,
             completeness: Completeness::Complete,
         };

@@ -87,7 +87,6 @@ pub fn audit_against(
     opts: &DescribeOptions,
     depth: usize,
 ) -> Result<CompletenessReport> {
-
     // Exhaustive candidate enumeration at bounded depth, over the same
     // (possibly transformed) program the official run used.
     let graph = DependencyGraph::build(idb);
@@ -100,15 +99,18 @@ pub fn audit_against(
     let mut audit_opts = opts.clone();
     audit_opts.limits.max_depth = Some(depth);
     audit_opts.remove_redundant = false;
-    let candidates =
-        describe::run_exhaustive(&tidb, query, recursive && opts.transform != TransformPolicy::None, &audit_opts)?;
+    let candidates = describe::run_exhaustive(
+        &tidb,
+        query,
+        recursive && opts.transform != TransformPolicy::None,
+        &audit_opts,
+    )?;
 
     let mut trans: Vec<qdk_logic::Sym> = tidb.step_preds.values().cloned().collect();
     trans.extend(tidb.modified.iter().cloned());
 
-    let covered = |candidate: &Rule| {
-        covers(official, candidate, &query.hypothesis, &tidb.idb, &trans)
-    };
+    let covered =
+        |candidate: &Rule| covers(official, candidate, &query.hypothesis, &tidb.idb, &trans);
     let missing: Vec<Rule> = candidates
         .theorems
         .iter()
@@ -255,8 +257,7 @@ mod tests {
         // what remains uncovered is exactly one transformation artifact:
         // the doubling rule's own definition (the transformed program's
         // recursion, not expressible from the official theorems).
-        let faithful =
-            audit_completeness(&idb, &query, &DescribeOptions::default(), 3).unwrap();
+        let faithful = audit_completeness(&idb, &query, &DescribeOptions::default(), 3).unwrap();
         assert_eq!(faithful.missing.len(), 1, "{faithful}");
         assert_eq!(
             qdk_logic::pretty::answer_rule(&faithful.missing[0]),
@@ -269,8 +270,7 @@ mod tests {
         let idb = university_idb();
         let query = q("can_ta(X, databases)", "student(X, math, V), V > 3.7");
         let empty = DescribeAnswer::default();
-        let report =
-            audit_against(&idb, &query, &empty, &DescribeOptions::paper(), 3).unwrap();
+        let report = audit_against(&idb, &query, &empty, &DescribeOptions::paper(), 3).unwrap();
         assert!(!report.complete(), "{report}");
         assert!(report.missing.len() >= 2, "{report}");
         assert!(report.to_string().contains("incomplete"));

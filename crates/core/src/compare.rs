@@ -262,8 +262,13 @@ mod tests {
         // The introduction's fourth query: the difference between an honor
         // student and a Dean's-List student. Dean's List requires a higher
         // GPA, so honor subsumes it.
-        let a = compare(&idb(), &d("honor(X)"), &d("deans_list(X)"), &DescribeOptions::default())
-            .unwrap();
+        let a = compare(
+            &idb(),
+            &d("honor(X)"),
+            &d("deans_list(X)"),
+            &DescribeOptions::default(),
+        )
+        .unwrap();
         assert_eq!(a.relationship, Relationship::FirstSubsumesSecond);
         // The shared concept is the student atom.
         assert!(a.shared.iter().any(|l| l.atom.pred == "student"));
@@ -273,22 +278,37 @@ mod tests {
 
     #[test]
     fn subsumption_direction_flips() {
-        let a = compare(&idb(), &d("deans_list(X)"), &d("honor(X)"), &DescribeOptions::default())
-            .unwrap();
+        let a = compare(
+            &idb(),
+            &d("deans_list(X)"),
+            &d("honor(X)"),
+            &DescribeOptions::default(),
+        )
+        .unwrap();
         assert_eq!(a.relationship, Relationship::SecondSubsumesFirst);
     }
 
     #[test]
     fn concept_is_equivalent_to_itself() {
-        let a = compare(&idb(), &d("honor(X)"), &d("honor(A)"), &DescribeOptions::default())
-            .unwrap();
+        let a = compare(
+            &idb(),
+            &d("honor(X)"),
+            &d("honor(A)"),
+            &DescribeOptions::default(),
+        )
+        .unwrap();
         assert_eq!(a.relationship, Relationship::Equivalent);
     }
 
     #[test]
     fn unrelated_concepts() {
-        let a = compare(&idb(), &d("honor(X)"), &d("athlete(X)"), &DescribeOptions::default())
-            .unwrap();
+        let a = compare(
+            &idb(),
+            &d("honor(X)"),
+            &d("athlete(X)"),
+            &DescribeOptions::default(),
+        )
+        .unwrap();
         assert_eq!(a.relationship, Relationship::Unrelated);
         assert!(a.shared.is_empty());
         assert!(a.to_string().contains("unrelated"));
@@ -339,10 +359,7 @@ mod tests {
                 parse_atom("athlete(X)").unwrap(),
                 qdk_logic::parser::parse_body("student(X, M, G)").unwrap(),
             ),
-            &Describe::new(
-                parse_atom("honor(X)").unwrap(),
-                vec![],
-            ),
+            &Describe::new(parse_atom("honor(X)").unwrap(), vec![]),
             &DescribeOptions::default(),
         )
         .unwrap();

@@ -250,10 +250,12 @@ fn region_disjoint(op1: Op, a: &Value, op2: Op, b: &Value) -> bool {
     match (op1, op2) {
         (Op::Eq, Op::Eq) => a != b,
         (Op::Eq, Op::Ne) | (Op::Ne, Op::Eq) => a == b,
-        (Op::Eq, o) => !region_subset(Op::Eq, a, o, b) && {
-            // A point is disjoint from a region iff it is not inside it.
-            true
-        },
+        (Op::Eq, o) => {
+            !region_subset(Op::Eq, a, o, b) && {
+                // A point is disjoint from a region iff it is not inside it.
+                true
+            }
+        }
         (o, Op::Eq) => region_disjoint(Op::Eq, b, o, a),
         // Two lower-bounded or two upper-bounded regions always overlap.
         (Op::Gt | Op::Ge, Op::Gt | Op::Ge) => false,
@@ -287,12 +289,28 @@ pub fn implies(alpha: &Comparison, beta: &Comparison) -> bool {
         (_, Comparison::Ground(Some(true))) | (_, Comparison::SameVar(true)) => true,
         (Comparison::Ground(Some(false)), _) | (Comparison::SameVar(false), _) => true,
         (
-            Comparison::VarConst { var: v1, op: o1, val: c1 },
-            Comparison::VarConst { var: v2, op: o2, val: c2 },
+            Comparison::VarConst {
+                var: v1,
+                op: o1,
+                val: c1,
+            },
+            Comparison::VarConst {
+                var: v2,
+                op: o2,
+                val: c2,
+            },
         ) => v1 == v2 && region_subset(*o1, c1, *o2, c2),
         (
-            Comparison::VarVar { left: l1, op: o1, right: r1 },
-            Comparison::VarVar { left: l2, op: o2, right: r2 },
+            Comparison::VarVar {
+                left: l1,
+                op: o1,
+                right: r1,
+            },
+            Comparison::VarVar {
+                left: l2,
+                op: o2,
+                right: r2,
+            },
         ) => l1 == l2 && r1 == r2 && (o1.relset() & !o2.relset()) == 0,
         _ => false,
     }
@@ -308,12 +326,28 @@ pub fn contradicts(alpha: &Comparison, beta: &Comparison) -> bool {
         | (Comparison::SameVar(false), _)
         | (_, Comparison::SameVar(false)) => true,
         (
-            Comparison::VarConst { var: v1, op: o1, val: c1 },
-            Comparison::VarConst { var: v2, op: o2, val: c2 },
+            Comparison::VarConst {
+                var: v1,
+                op: o1,
+                val: c1,
+            },
+            Comparison::VarConst {
+                var: v2,
+                op: o2,
+                val: c2,
+            },
         ) => v1 == v2 && region_disjoint(*o1, c1, *o2, c2),
         (
-            Comparison::VarVar { left: l1, op: o1, right: r1 },
-            Comparison::VarVar { left: l2, op: o2, right: r2 },
+            Comparison::VarVar {
+                left: l1,
+                op: o1,
+                right: r1,
+            },
+            Comparison::VarVar {
+                left: l2,
+                op: o2,
+                right: r2,
+            },
         ) => l1 == l2 && r1 == r2 && (o1.relset() & o2.relset()) == 0,
         _ => false,
     }
@@ -330,7 +364,10 @@ pub fn contradicts(alpha: &Comparison, beta: &Comparison) -> bool {
 /// direction for the hypothetical-possibility extension.
 pub fn satisfiable(comps: &[Comparison]) -> bool {
     for c in comps {
-        if matches!(c, Comparison::Ground(Some(false)) | Comparison::SameVar(false)) {
+        if matches!(
+            c,
+            Comparison::Ground(Some(false)) | Comparison::SameVar(false)
+        ) {
             return false;
         }
     }

@@ -10,7 +10,7 @@ use crate::transform::{transform_idb, TransformedIdb};
 use crate::tree::{Enumerator, RawAnswer};
 use qdk_engine::graph::DependencyGraph;
 use qdk_engine::Idb;
-use qdk_logic::{rename_rule_apart, unify_atoms, Atom, Literal, Subst, Sym, Term, VarGen};
+use qdk_logic::{unify_atoms, Atom, Literal, Subst, Sym, Term, VarGen};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -176,21 +176,16 @@ pub fn run(
     // a contradicted hypothesis must yield the special answer, not the
     // plain definitions.
     let any_productive = raw.iter().any(|r| !r.used.is_empty());
-    let rule_indexes: Vec<usize> = tidb
-        .idb
-        .rules()
-        .iter()
-        .enumerate()
-        .filter(|(_, r)| r.head.pred == query.subject.pred)
-        .map(|(i, _)| i)
-        .collect();
+    let rule_indexes = tidb.rule_indexes_for(&query.subject.pred);
     let emit_fallback_for = |ri: &usize| match opts.fallback {
         FallbackPolicy::PerRule => !productive.contains(ri),
         FallbackPolicy::Global => !any_productive,
     };
     let mut gen = VarGen::new();
     for ri in rule_indexes.iter().filter(|ri| emit_fallback_for(ri)) {
-        let (renamed, _) = rename_rule_apart(&tidb.idb.rules()[*ri], &mut gen);
+        // One-level answers rename through the same compiled slot maps the
+        // enumerator (and the retrieve executor) use.
+        let renamed = tidb.program.plans()[*ri].compiled.rename_apart(&mut gen);
         let Some(mgu) = unify_atoms(&query.subject, &renamed.head) else {
             continue;
         };
@@ -273,8 +268,7 @@ pub fn run_exhaustive(
     check_typing: bool,
     opts: &DescribeOptions,
 ) -> Result<DescribeAnswer> {
-    let mut enumerator =
-        Enumerator::new(tidb, &query.hypothesis, check_typing, opts).exhaustive();
+    let mut enumerator = Enumerator::new(tidb, &query.hypothesis, check_typing, opts).exhaustive();
     let (raw, _) = enumerator.enumerate(&query.subject);
     let truncation = enumerator.truncation();
     let hyp_comps: Vec<(usize, Atom)> = query
@@ -337,10 +331,7 @@ fn assemble(
     for v in &subject_vars {
         let t = subst.apply_term(&Term::Var(v.clone()));
         if t != Term::Var(v.clone()) {
-            body.push(Literal::pos(Atom::new(
-                "=",
-                vec![Term::Var(v.clone()), t],
-            )));
+            body.push(Literal::pos(Atom::new("=", vec![Term::Var(v.clone()), t])));
         }
     }
 
@@ -350,9 +341,7 @@ fn assemble(
     if opts.simplify_comparisons {
         let hyp: Vec<(usize, Comparison)> = hyp_comps
             .iter()
-            .filter_map(|(i, a)| {
-                Comparison::from_atom(&subst.apply_atom(a)).map(|c| (*i, c))
-            })
+            .filter_map(|(i, a)| Comparison::from_atom(&subst.apply_atom(a)).map(|c| (*i, c)))
             .collect();
         let mut kept: Vec<Literal> = Vec::with_capacity(body.len());
         for lit in body {
@@ -370,8 +359,7 @@ fn assemble(
                 | Comparison::Ground(None)
                 | Comparison::SameVar(false) => return Assembled::Vacuous,
                 ref c => {
-                    if let Some((i, _)) = hyp.iter().find(|(_, a)| constraints::contradicts(a, c))
-                    {
+                    if let Some((i, _)) = hyp.iter().find(|(_, a)| constraints::contradicts(a, c)) {
                         used.insert(*i);
                         return Assembled::Contradicts;
                     }
@@ -397,10 +385,7 @@ fn assemble(
             deduped.push(lit);
         }
     }
-    if deduped
-        .iter()
-        .any(|l| l.positive && l.atom == *subject)
-    {
+    if deduped.iter().any(|l| l.positive && l.atom == *subject) {
         return Assembled::Vacuous;
     }
 
@@ -464,10 +449,7 @@ mod tests {
         let idb = university_idb();
         let a = describe(
             &idb,
-            &q(
-                "can_ta(X, databases)",
-                "student(X, math, V), V > 3.7",
-            ),
+            &q("can_ta(X, databases)", "student(X, math, V), V > 3.7"),
             &DescribeOptions::paper(),
         )
         .unwrap();
@@ -616,7 +598,11 @@ mod tests {
     fn subject_must_be_idb() {
         let idb = university_idb();
         assert!(matches!(
-            describe(&idb, &q("student(X, Y, Z)", ""), &DescribeOptions::default()),
+            describe(
+                &idb,
+                &q("student(X, Y, Z)", ""),
+                &DescribeOptions::default()
+            ),
             Err(DescribeError::SubjectNotIdb(_))
         ));
         assert!(matches!(
@@ -642,7 +628,12 @@ mod tests {
             Err(DescribeError::EqualityInHypothesis(_))
         ));
         // Var = const equalities are fine.
-        assert!(describe(&idb, &q("honor(X)", "student(X, M, G), M = math"), &DescribeOptions::paper()).is_ok());
+        assert!(describe(
+            &idb,
+            &q("honor(X)", "student(X, M, G), M = math"),
+            &DescribeOptions::paper()
+        )
+        .is_ok());
     }
 
     #[test]

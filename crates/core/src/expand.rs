@@ -204,8 +204,12 @@ mod tests {
     #[test]
     fn edb_atom_expands_to_itself() {
         let i = idb("honor(X) :- student(X, Y, Z), Z > 3.7.");
-        let e = expand_atom(&i, &parse_atom("student(A, B, C)").unwrap(), &DescribeOptions::default())
-            .unwrap();
+        let e = expand_atom(
+            &i,
+            &parse_atom("student(A, B, C)").unwrap(),
+            &DescribeOptions::default(),
+        )
+        .unwrap();
         assert_eq!(e.len(), 1);
         assert_eq!(e[0].len(), 1);
     }
@@ -213,8 +217,12 @@ mod tests {
     #[test]
     fn single_rule_unfolds() {
         let i = idb("honor(X) :- student(X, Y, Z), Z > 3.7.");
-        let e = expand_atom(&i, &parse_atom("honor(A)").unwrap(), &DescribeOptions::default())
-            .unwrap();
+        let e = expand_atom(
+            &i,
+            &parse_atom("honor(A)").unwrap(),
+            &DescribeOptions::default(),
+        )
+        .unwrap();
         assert_eq!(e.len(), 1);
         let conj = &e[0];
         assert_eq!(conj.len(), 2);
@@ -225,13 +233,15 @@ mod tests {
 
     #[test]
     fn multiple_rules_give_disjuncts() {
-        let i = idb(
-            "can_ta(X, Y) :- honor(X), complete(X, Y, Z, U), U > 3.3.\n\
+        let i = idb("can_ta(X, Y) :- honor(X), complete(X, Y, Z, U), U > 3.3.\n\
              can_ta(X, Y) :- honor(X), complete(X, Y, Z, 4.0).\n\
-             honor(X) :- student(X, Y, Z), Z > 3.7.",
-        );
-        let e = expand_atom(&i, &parse_atom("can_ta(A, B)").unwrap(), &DescribeOptions::default())
-            .unwrap();
+             honor(X) :- student(X, Y, Z), Z > 3.7.");
+        let e = expand_atom(
+            &i,
+            &parse_atom("can_ta(A, B)").unwrap(),
+            &DescribeOptions::default(),
+        )
+        .unwrap();
         // Two rules × one honor expansion each.
         assert_eq!(e.len(), 2);
         for conj in &e {
@@ -242,12 +252,14 @@ mod tests {
 
     #[test]
     fn recursive_unfolding_is_capped() {
-        let i = idb(
-            "prior(X, Y) :- prereq(X, Y).\n\
-             prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
-        );
-        let e = expand_atom(&i, &parse_atom("prior(A, B)").unwrap(), &DescribeOptions::default())
-            .unwrap();
+        let i = idb("prior(X, Y) :- prereq(X, Y).\n\
+             prior(X, Y) :- prereq(X, Z), prior(Z, Y).");
+        let e = expand_atom(
+            &i,
+            &parse_atom("prior(A, B)").unwrap(),
+            &DescribeOptions::default(),
+        )
+        .unwrap();
         // Terminates; folded prior atoms mark the cap.
         assert!(!e.is_empty());
         assert!(e.iter().any(|c| c.iter().any(|l| l.atom.pred == "prior")));
@@ -272,10 +284,8 @@ mod tests {
 
     #[test]
     fn budget_applies() {
-        let i = idb(
-            "prior(X, Y) :- prereq(X, Y).\n\
-             prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
-        );
+        let i = idb("prior(X, Y) :- prereq(X, Y).\n\
+             prior(X, Y) :- prereq(X, Z), prior(Z, Y).");
         let err = expand_atom(
             &i,
             &parse_atom("prior(A, B)").unwrap(),

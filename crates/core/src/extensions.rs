@@ -62,11 +62,19 @@ pub fn describe_disjunctive(
         return describe(idb, &Describe::new(subject.clone(), vec![]), opts);
     }
     if disjuncts.len() == 1 {
-        return describe(idb, &Describe::new(subject.clone(), disjuncts[0].clone()), opts);
+        return describe(
+            idb,
+            &Describe::new(subject.clone(), disjuncts[0].clone()),
+            opts,
+        );
     }
     let mut per: Vec<DescribeAnswer> = Vec::with_capacity(disjuncts.len());
     for d in disjuncts {
-        per.push(describe(idb, &Describe::new(subject.clone(), d.clone()), opts)?);
+        per.push(describe(
+            idb,
+            &Describe::new(subject.clone(), d.clone()),
+            opts,
+        )?);
     }
     // A contradiction with any disjunct does not contradict the
     // disjunction; the whole query contradicts only if every disjunct did.
@@ -88,9 +96,10 @@ pub fn describe_disjunctive(
                 if i == j {
                     continue;
                 }
-                let entailed = other.theorems.iter().any(|o| {
-                    crate::redundancy::semantic_subsumes(&o.rule, &t.rule, &[])
-                });
+                let entailed = other
+                    .theorems
+                    .iter()
+                    .any(|o| crate::redundancy::semantic_subsumes(&o.rule, &t.rule, &[]));
                 if !entailed {
                     continue 'theorems;
                 }
@@ -105,10 +114,10 @@ pub fn describe_disjunctive(
     }
     // The disjunction's answer is only complete if every disjunct's was;
     // the first truncation diagnostic is carried through.
-    let completeness = per
-        .iter()
-        .find_map(|a| a.completeness.exhausted())
-        .map_or(crate::Completeness::Complete, crate::Completeness::Truncated);
+    let completeness = per.iter().find_map(|a| a.completeness.exhausted()).map_or(
+        crate::Completeness::Complete,
+        crate::Completeness::Truncated,
+    );
     Ok(DescribeAnswer {
         hypothesis_contradicts_idb: all_contradict && kept.is_empty(),
         theorems: kept,
@@ -250,7 +259,10 @@ impl std::fmt::Display for PossibilityAnswer {
         if self.possible {
             writeln!(f, "true — the hypothetical situation is possible")
         } else {
-            writeln!(f, "false — the hypothetical situation contradicts the knowledge")
+            writeln!(
+                f,
+                "false — the hypothetical situation contradicts the knowledge"
+            )
         }
     }
 }
@@ -436,13 +448,7 @@ mod tests {
         // make honor derivable, so can_ta's honor subtree discharges
         // under each.
         let d3 = parse_body("student(X, M, G), G > 3.8").unwrap();
-        let b = describe_disjunctive(
-            &idb,
-            &subject,
-            &[d1, d3],
-            &DescribeOptions::paper(),
-        )
-        .unwrap();
+        let b = describe_disjunctive(&idb, &subject, &[d1, d3], &DescribeOptions::paper()).unwrap();
         assert!(
             b.theorems.iter().any(|t| t.uses_hypothesis()),
             "{:?}",
@@ -493,7 +499,10 @@ mod tests {
         );
         let strict = describe_necessary(&idb, &q, &DescribeOptions::paper()).unwrap();
         assert_eq!(strict.len(), 2);
-        assert!(strict.theorems.iter().all(|t| t.used_hypothesis.contains(&0)));
+        assert!(strict
+            .theorems
+            .iter()
+            .all(|t| t.used_hypothesis.contains(&0)));
     }
 
     #[test]
@@ -569,8 +578,14 @@ mod tests {
             parse_atom("(Z < 3.5)").unwrap(),
             parse_atom("can_ta(X, U)").unwrap(),
         ];
-        let a = describe_possible(&idb, &hyp, &HashMap::new(), &[], &DescribeOptions::default())
-            .unwrap();
+        let a = describe_possible(
+            &idb,
+            &hyp,
+            &HashMap::new(),
+            &[],
+            &DescribeOptions::default(),
+        )
+        .unwrap();
         assert!(a.possible);
     }
 

@@ -41,8 +41,8 @@
 
 pub mod algo1;
 pub mod algo2;
-pub mod audit;
 mod answer;
+pub mod audit;
 pub mod compare;
 mod config;
 pub mod constraints;

@@ -53,11 +53,7 @@ fn transitive_closure(body: &[Literal], trans: &[Sym]) -> Vec<Literal> {
                 }
                 let composed = Atom::new(
                     a.pred.clone(),
-                    a.args[..m]
-                        .iter()
-                        .chain(&b.args[m..])
-                        .cloned()
-                        .collect(),
+                    a.args[..m].iter().chain(&b.args[m..]).cloned().collect(),
                 );
                 let lit = Literal::pos(composed);
                 if !atoms.contains(&lit) {
@@ -85,10 +81,8 @@ pub fn semantic_subsumes(general: &Rule, specific: &Rule, trans: &[Sym]) -> bool
         return false;
     }
     let closed = transitive_closure(&specific.body, trans);
-    let (db_lits, cmp_lits): (Vec<&Literal>, Vec<&Literal>) = general
-        .body
-        .iter()
-        .partition(|l| !l.is_builtin());
+    let (db_lits, cmp_lits): (Vec<&Literal>, Vec<&Literal>) =
+        general.body.iter().partition(|l| !l.is_builtin());
     let specific_comps: Vec<Comparison> = closed
         .iter()
         .filter(|l| l.positive && l.is_builtin())
@@ -112,9 +106,9 @@ fn map_db_literals(
                 Some(Comparison::Ground(Some(true))) | Some(Comparison::SameVar(true)) => {
                     l.positive
                 }
-                Some(c) if l.positive => specific_comps
-                    .iter()
-                    .any(|sc| constraints::implies(sc, &c)),
+                Some(c) if l.positive => {
+                    specific_comps.iter().any(|sc| constraints::implies(sc, &c))
+                }
                 _ => false,
             }
         });
@@ -190,9 +184,9 @@ fn collect_matches(
                 Some(Comparison::Ground(Some(true))) | Some(Comparison::SameVar(true)) => {
                     l.positive
                 }
-                Some(c) if l.positive => specific_comps
-                    .iter()
-                    .any(|sc| constraints::implies(sc, &c)),
+                Some(c) if l.positive => {
+                    specific_comps.iter().any(|sc| constraints::implies(sc, &c))
+                }
                 _ => false,
             }
         });
@@ -221,10 +215,8 @@ pub fn subsumes_modulo_idb(
     idb: &qdk_engine::Idb,
     trans: &[Sym],
 ) -> bool {
-    let saturated = Rule::with_literals(
-        specific.head.clone(),
-        saturate_body(&specific.body, idb, 3),
-    );
+    let saturated =
+        Rule::with_literals(specific.head.clone(), saturate_body(&specific.body, idb, 3));
     semantic_subsumes(general, &saturated, trans)
 }
 
@@ -335,10 +327,7 @@ mod tests {
             &[],
         );
         let rendered: Vec<String> = out.iter().map(|t| t.rule.to_string()).collect();
-        assert_eq!(
-            rendered,
-            vec!["p(X) :- q(X, Z), (Z > 3).", "p(X) :- r(X)."]
-        );
+        assert_eq!(rendered, vec!["p(X) :- q(X, Z), (Z > 3).", "p(X) :- r(X)."]);
     }
 
     #[test]

@@ -33,7 +33,7 @@ use crate::config::TransformPolicy;
 use crate::error::{DescribeError, Result};
 use qdk_engine::analysis::{classify_rule, RuleShape};
 use qdk_engine::graph::DependencyGraph;
-use qdk_engine::Idb;
+use qdk_engine::{Idb, ProgramPlan};
 use qdk_logic::{Atom, Rule, Sym, Term, Var};
 use std::collections::HashMap;
 
@@ -74,18 +74,60 @@ pub struct TransformedIdb {
     pub step_preds: HashMap<Sym, Sym>,
     /// Recursive predicates that received the modified transformation.
     pub modified: Vec<Sym>,
+    /// The rewritten IDB compiled once — the same program representation
+    /// the `retrieve` executor runs. The tree enumerator reuses its
+    /// per-rule head/body slot maps to standardize rules apart and to
+    /// decide which tree formulas are expandable (leaf identification),
+    /// instead of re-deriving both from the textual rules at every node.
+    pub program: ProgramPlan,
+    /// Rule indexes grouped by head predicate, derived from the compiled
+    /// heads (parallel to `idb.rules()` / `program.plans()` order).
+    by_head: HashMap<Sym, Vec<usize>>,
 }
 
 impl TransformedIdb {
     /// Wraps an IDB with no transformation (Algorithm 1 / policy None):
     /// every rule is Ordinary and recursion is unrestricted.
     pub fn untransformed(idb: &Idb) -> TransformedIdb {
-        TransformedIdb {
-            kinds: vec![RuleKind::Ordinary; idb.len()],
-            idb: idb.clone(),
-            step_preds: HashMap::new(),
-            modified: Vec::new(),
+        TransformedIdb::assemble(
+            idb.clone(),
+            vec![RuleKind::Ordinary; idb.len()],
+            HashMap::new(),
+            Vec::new(),
+        )
+    }
+
+    /// Compiles the (possibly rewritten) IDB and indexes its rules by
+    /// compiled head predicate.
+    fn assemble(
+        idb: Idb,
+        kinds: Vec<RuleKind>,
+        step_preds: HashMap<Sym, Sym>,
+        modified: Vec<Sym>,
+    ) -> TransformedIdb {
+        let program = ProgramPlan::compile(&idb);
+        let mut by_head: HashMap<Sym, Vec<usize>> = HashMap::new();
+        for (i, plan) in program.plans().iter().enumerate() {
+            by_head
+                .entry(plan.compiled.head.pred.clone())
+                .or_default()
+                .push(i);
         }
+        TransformedIdb {
+            idb,
+            kinds,
+            step_preds,
+            modified,
+            program,
+            by_head,
+        }
+    }
+
+    /// Indexes of the rules whose head predicate is `pred`, in source
+    /// order — read off the compiled program, not recomputed by scanning
+    /// the rule list.
+    pub fn rule_indexes_for(&self, pred: &Sym) -> &[usize] {
+        self.by_head.get(pred).map_or(&[], Vec::as_slice)
     }
 }
 
@@ -219,14 +261,12 @@ pub fn transform_idb(idb: &Idb, policy: TransformPolicy) -> Result<TransformedId
             continue;
         }
 
-        if policy == TransformPolicy::PreferModified && modified_applicable(pred.as_str(), &typed, &exits)
+        if policy == TransformPolicy::PreferModified
+            && modified_applicable(pred.as_str(), &typed, &exits)
         {
             // Modified transformation: a single doubling rule.
             let doubling = Rule::new(
-                Atom::new(
-                    pred.clone(),
-                    vec![Term::var("A"), Term::var("B")],
-                ),
+                Atom::new(pred.clone(), vec![Term::var("A"), Term::var("B")]),
                 vec![
                     Atom::new(pred.clone(), vec![Term::var("A"), Term::var("C")]),
                     Atom::new(pred.clone(), vec![Term::var("C"), Term::var("B")]),
@@ -251,12 +291,9 @@ pub fn transform_idb(idb: &Idb, policy: TransformPolicy) -> Result<TransformedId
         idb_out.add_rule(r).map_err(DescribeError::from)?;
         kinds.push(k);
     }
-    Ok(TransformedIdb {
-        idb: idb_out,
-        kinds,
-        step_preds,
-        modified,
-    })
+    Ok(TransformedIdb::assemble(
+        idb_out, kinds, step_preds, modified,
+    ))
 }
 
 /// The Imielinski transformation proper, for one predicate's typed,
@@ -290,7 +327,9 @@ fn imielinski(pred: &Sym, recursive: &[&Rule]) -> Result<(Vec<(Rule, RuleKind)>,
             }
         }
         let body_vars = body_vars.ok_or_else(|| {
-            DescribeError::UnsupportedIdb(format!("recursive rule lacks a {pred} body atom: {rule}"))
+            DescribeError::UnsupportedIdb(format!(
+                "recursive rule lacks a {pred} body atom: {rule}"
+            ))
         })?;
         parts.push(Parts {
             head_vars,
@@ -330,10 +369,7 @@ fn imielinski(pred: &Sym, recursive: &[&Rule]) -> Result<(Vec<(Rule, RuleKind)>,
     // r_T: p(X̄) ← p(Ȳ) ∧ t(Z̄, X̄_α), where Yᵢ = Xᵢ off α and Zᵢ on α.
     let xs: Vec<Var> = (0..n).map(|i| Var::new(&format!("X{i}"))).collect();
     let zs: Vec<Var> = alpha.iter().map(|i| Var::new(&format!("Z{i}"))).collect();
-    let head = Atom::new(
-        pred.clone(),
-        xs.iter().cloned().map(Term::Var).collect(),
-    );
+    let head = Atom::new(pred.clone(), xs.iter().cloned().map(Term::Var).collect());
     let body_p = Atom::new(
         pred.clone(),
         (0..n)
@@ -483,7 +519,10 @@ mod tests {
         let t = transform_idb(&idb(src), TransformPolicy::PreferModified).unwrap();
         assert!(t.step_preds.contains_key("q"));
         let rendered: Vec<String> = t.idb.rules().iter().map(ToString::to_string).collect();
-        assert!(rendered.contains(&"t_q(Z, Y) :- s(Z, Y).".to_string()), "{rendered:?}");
+        assert!(
+            rendered.contains(&"t_q(Z, Y) :- s(Z, Y).".to_string()),
+            "{rendered:?}"
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@
 use crate::config::DescribeOptions;
 use crate::governor::{Exhausted, Governor, Resource};
 use crate::transform::{RuleKind, TransformedIdb};
-use qdk_logic::{rename_rule_apart, unify_atoms, Atom, Subst, Term, Var, VarGen};
+use qdk_logic::{unify_atoms, Atom, Subst, Term, Var, VarGen};
 use std::collections::{BTreeSet, HashMap};
 
 /// Algorithm 2's node tags (§5.3): `None` is untagged; tag 0 prohibits
@@ -235,17 +235,10 @@ impl<'a> Enumerator<'a> {
             }
         }
 
-        // Root expansions, one per rule of the subject's predicate.
-        let rule_indexes: Vec<usize> = self
-            .tidb
-            .idb
-            .rules()
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.head.pred == subject.pred)
-            .map(|(i, _)| i)
-            .collect();
-        for ri in rule_indexes {
+        // Root expansions, one per rule of the subject's predicate (read
+        // off the compiled program's head index).
+        let tidb = self.tidb;
+        for &ri in tidb.rule_indexes_for(&subject.pred) {
             if self.stopped() {
                 break;
             }
@@ -310,7 +303,12 @@ impl<'a> Enumerator<'a> {
             .max_depth
             .map_or(MAX_TREE_DEPTH, |m| m.min(MAX_TREE_DEPTH));
         if depth >= depth_cap {
-            if self.opts.limits.max_depth.is_none_or(|m| m > MAX_TREE_DEPTH) {
+            if self
+                .opts
+                .limits
+                .max_depth
+                .is_none_or(|m| m > MAX_TREE_DEPTH)
+            {
                 self.guard_prune = true;
             }
             self.prune_depth(depth, depth_cap);
@@ -324,17 +322,20 @@ impl<'a> Enumerator<'a> {
                 }
             }
             RuleKind::UntypedControlled => {
-                if ctx.untyped_uses.get(&ri).copied().unwrap_or(0)
-                    >= self.opts.untyped_rule_limit
-                {
+                if ctx.untyped_uses.get(&ri).copied().unwrap_or(0) >= self.opts.untyped_rule_limit {
                     return Vec::new();
                 }
             }
             RuleKind::Ordinary => {}
         }
 
-        let rule = self.tidb.idb.rules()[ri].clone();
-        let (renamed, _) = rename_rule_apart(&rule, &mut self.gen);
+        // Standardize apart through the compiled rule's slot maps — the
+        // same per-rule metadata the retrieve executor runs — instead of
+        // re-collecting variables from the textual rule.
+        let tidb = self.tidb;
+        let compiled = &tidb.program.plans()[ri].compiled;
+        let rule = &compiled.source;
+        let renamed = compiled.rename_apart(&mut self.gen);
         let node_now = ctx.subst.apply_atom(node);
         let Some(mgu) = unify_atoms(&node_now, &renamed.head) else {
             return Vec::new();
@@ -436,13 +437,7 @@ impl<'a> Enumerator<'a> {
 
     /// Visits one tree formula: identification, leaf, or productive
     /// expansion.
-    fn visit(
-        &mut self,
-        node: &Atom,
-        tag: Tag,
-        ctx: &Branch,
-        depth: usize,
-    ) -> Vec<Branch> {
+    fn visit(&mut self, node: &Atom, tag: Tag, ctx: &Branch, depth: usize) -> Vec<Branch> {
         self.tick();
         if self.stopped() {
             return Vec::new();
@@ -487,18 +482,12 @@ impl<'a> Enumerator<'a> {
         }
 
         // (3) Expand with each rule of the node's predicate, keeping only
-        // subtrees that identified something (the cut of §4).
-        if self.tidb.idb.defines(node.pred.as_str()) {
-            let rule_indexes: Vec<usize> = self
-                .tidb
-                .idb
-                .rules()
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| r.head.pred == node.pred)
-                .map(|(i, _)| i)
-                .collect();
-            for ri in rule_indexes {
+        // subtrees that identified something (the cut of §4). A formula
+        // whose predicate has no entry in the compiled head index is
+        // necessarily a leaf — no rule scan needed to decide.
+        {
+            let tidb = self.tidb;
+            for &ri in tidb.rule_indexes_for(&node.pred) {
                 if self.stopped() {
                     return Vec::new();
                 }
@@ -822,8 +811,7 @@ mod tests {
         // The both-expanded derivation exists: leaves f and g only.
         assert!(
             answers.iter().any(|a| {
-                let preds: Vec<&str> =
-                    a.leaves.iter().map(|l| l.pred.as_str()).collect();
+                let preds: Vec<&str> = a.leaves.iter().map(|l| l.pred.as_str()).collect();
                 preds == ["f", "g"]
             }),
             "missing double-identification derivation"

@@ -78,7 +78,10 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Violation::NotStronglyLinear { rule, shape } => {
-                write!(f, "recursive rule is {shape:?}, not strongly linear: {rule}")
+                write!(
+                    f,
+                    "recursive rule is {shape:?}, not strongly linear: {rule}"
+                )
             }
             Violation::NotTyped { rule } => {
                 write!(f, "recursive rule is not typed w.r.t. its head: {rule}")
@@ -137,10 +140,8 @@ mod tests {
 
     #[test]
     fn prior_rules_classify_as_paper_says() {
-        let i = idb(
-            "prior(X, Y) :- prereq(X, Y).\n\
-             prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
-        );
+        let i = idb("prior(X, Y) :- prereq(X, Y).\n\
+             prior(X, Y) :- prereq(X, Z), prior(Z, Y).");
         let g = DependencyGraph::build(&i);
         assert_eq!(classify_rule(&i.rules()[0], &g), RuleShape::NonRecursive);
         assert_eq!(classify_rule(&i.rules()[1], &g), RuleShape::StronglyLinear);
@@ -149,11 +150,9 @@ mod tests {
 
     #[test]
     fn mutual_recursion_is_linear_not_strongly_linear() {
-        let i = idb(
-            "even(X) :- zero(X).\n\
+        let i = idb("even(X) :- zero(X).\n\
              even(X) :- succ(Y, X), odd(Y).\n\
-             odd(X) :- succ(Y, X), even(Y).",
-        );
+             odd(X) :- succ(Y, X), even(Y).");
         let g = DependencyGraph::build(&i);
         assert_eq!(classify_rule(&i.rules()[1], &g), RuleShape::Linear);
         let report = validate(&i);
@@ -163,10 +162,8 @@ mod tests {
 
     #[test]
     fn doubly_recursive_rule_is_nonlinear() {
-        let i = idb(
-            "prior(X, Y) :- prereq(X, Y).\n\
-             prior(X, Y) :- prior(X, Z), prior(Z, Y).",
-        );
+        let i = idb("prior(X, Y) :- prereq(X, Y).\n\
+             prior(X, Y) :- prior(X, Z), prior(Z, Y).");
         let g = DependencyGraph::build(&i);
         assert_eq!(classify_rule(&i.rules()[1], &g), RuleShape::NonLinear);
         assert!(!validate(&i).conforms());
@@ -176,10 +173,8 @@ mod tests {
     fn untyped_recursive_rule_is_flagged() {
         // reach(X, Y) :- reach(Y, X): strongly linear but not typed
         // (the §6 symmetric-reachability example).
-        let i = idb(
-            "reach(X, Y) :- edge(X, Y).\n\
-             reach(X, Y) :- reach(Y, X).",
-        );
+        let i = idb("reach(X, Y) :- edge(X, Y).\n\
+             reach(X, Y) :- reach(Y, X).");
         let report = validate(&i);
         assert_eq!(report.violations.len(), 1);
         assert!(matches!(report.violations[0], Violation::NotTyped { .. }));
@@ -194,11 +189,9 @@ mod tests {
 
     #[test]
     fn example8_q_rules() {
-        let i = idb(
-            "p(X, Y) :- q(X, Z), r(Z, Y).\n\
+        let i = idb("p(X, Y) :- q(X, Z), r(Z, Y).\n\
              q(X, Y) :- q(X, Z), s(Z, Y).\n\
-             q(X, Y) :- r(X, Y).",
-        );
+             q(X, Y) :- r(X, Y).");
         let g = DependencyGraph::build(&i);
         assert_eq!(classify_rule(&i.rules()[0], &g), RuleShape::NonRecursive);
         assert_eq!(classify_rule(&i.rules()[1], &g), RuleShape::StronglyLinear);

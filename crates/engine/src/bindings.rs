@@ -1,27 +1,34 @@
-//! Rule-body evaluation: scheduling and joining.
+//! Plan execution: scans, joins and derived-fact stores.
 //!
-//! Bottom-up evaluation fires a rule by finding every substitution that
-//! satisfies its body against the current facts. This module provides:
+//! Bottom-up evaluation fires a rule by finding every binding frame that
+//! satisfies its compiled body against the current facts. This module
+//! provides:
 //!
 //! * [`DerivedFacts`] — a store of derived (IDB) facts, one [`Relation`]
-//!   per predicate;
+//!   per predicate, with a cached running fact counter;
 //! * [`FactView`] — a composite read view over the EDB, the derived store,
 //!   and (for semi-naive evaluation) a delta override for one body
 //!   occurrence;
-//! * [`eval_body`] — the scheduler/join: orders body literals so that each
-//!   is evaluable when reached (positive database literals first by bound
-//!   count, comparisons as soon as ground, negations once ground), then
-//!   enumerates substitutions.
+//! * [`exec`] — the plan executor: walks a [`RulePlan`]'s linear step
+//!   schedule over a flat [`Frame`], probing relation indexes with
+//!   borrowed keys and undoing bindings in place on backtrack;
+//! * [`fire_plan`] — fires one compiled rule against a view, inserting
+//!   new head tuples.
+//!
+//! The literal *ordering* lives in [`crate::plan`]; by the time execution
+//! starts, every scheduling decision has already been made.
 
 use crate::error::{EngineError, Result};
-use qdk_logic::{Atom, Literal, Rule, Subst, Sym, Term};
-use qdk_storage::{builtins, Edb, Relation, Tuple, Value};
+use crate::plan::{Col, RulePlan, Step};
+use qdk_logic::{Atom, Frame, IrTerm, Subst, Sym, Term};
+use qdk_storage::{builtins, Edb, Relation, StorageError, Tuple, Value};
 use std::collections::HashMap;
 
 /// A store of derived facts for IDB predicates.
 #[derive(Clone, Debug, Default)]
 pub struct DerivedFacts {
     relations: HashMap<Sym, Relation>,
+    count: usize,
 }
 
 impl DerivedFacts {
@@ -30,13 +37,20 @@ impl DerivedFacts {
         DerivedFacts::default()
     }
 
-    /// Inserts a derived fact tuple; returns `true` if new.
-    pub fn insert(&mut self, pred: &Sym, tuple: Tuple) -> bool {
+    /// Inserts a derived fact tuple; returns `true` if new. Inserting a
+    /// tuple whose arity disagrees with earlier facts for the same
+    /// predicate is a [`StorageError::ArityMismatch`].
+    pub fn insert(&mut self, pred: &Sym, tuple: Tuple) -> Result<bool> {
         let arity = tuple.arity();
-        self.relations
+        let new = self
+            .relations
             .entry(pred.clone())
             .or_insert_with(|| Relation::new(pred.clone(), arity))
-            .insert(tuple)
+            .insert(tuple)?;
+        if new {
+            self.count += 1;
+        }
+        Ok(new)
     }
 
     /// The relation for a predicate, if any facts have been derived.
@@ -49,27 +63,27 @@ impl DerivedFacts {
         self.relations.iter()
     }
 
-    /// Total number of derived facts.
+    /// Total number of derived facts (a cached counter, not a re-sum).
     pub fn len(&self) -> usize {
-        self.relations.values().map(Relation::len).sum()
+        self.count
     }
 
     /// True if nothing has been derived.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.count == 0
     }
 
     /// Merges every fact of `other` into `self`, returning how many were new.
-    pub fn absorb(&mut self, other: &DerivedFacts) -> usize {
+    pub fn absorb(&mut self, other: &DerivedFacts) -> Result<usize> {
         let mut added = 0;
         for (pred, rel) in other.iter() {
             for t in rel.iter() {
-                if self.insert(pred, t.clone()) {
+                if self.insert(pred, t.clone())? {
                     added += 1;
                 }
             }
         }
-        added
+        Ok(added)
     }
 }
 
@@ -111,51 +125,89 @@ impl<'a> FactView<'a> {
         }
     }
 
-    /// Extends `subst` in all ways making `atom` (the body literal at
-    /// `occurrence`) true, appending to `out`.
-    fn match_atom(
+    /// The relation a positive scan at `occurrence` reads: the EDB
+    /// relation for declared predicates (wrong arity is an error), else
+    /// the delta or derived relation (absent or wrong arity means an
+    /// empty extension — nothing derived for that shape yet).
+    pub(crate) fn scan_target(
         &self,
         occurrence: usize,
-        atom: &Atom,
-        subst: &Subst,
-        out: &mut Vec<Subst>,
-    ) -> Result<()> {
-        if atom.is_builtin() {
-            self.edb.match_atom(atom, subst, out)?;
-            return Ok(());
+        pred: &Sym,
+        arity: usize,
+    ) -> Result<Option<&'a Relation>> {
+        if self.edb.is_edb_predicate(pred.as_str()) {
+            let Some(rel) = self.edb.relation(pred.as_str()) else {
+                return Ok(None);
+            };
+            if arity != rel.arity() {
+                return Err(StorageError::ArityMismatch {
+                    predicate: pred.to_string(),
+                    expected: rel.arity(),
+                    found: arity,
+                }
+                .into());
+            }
+            return Ok(Some(rel));
         }
-        if self.edb.is_edb_predicate(atom.pred.as_str()) {
-            self.edb.match_atom(atom, subst, out)?;
-            return Ok(());
-        }
-        // IDB predicate: read from delta or the derived store.
         let store = if self.delta_occurrence == Some(occurrence) {
             self.delta.expect("delta set with occurrence")
         } else {
             self.derived
         };
-        let Some(rel) = store.relation(atom.pred.as_str()) else {
-            return Ok(()); // nothing derived yet
-        };
-        match_relation(rel, atom, subst, out);
-        Ok(())
+        Ok(match store.relation(pred.as_str()) {
+            Some(rel) if rel.arity() == arity => Some(rel),
+            _ => None,
+        })
     }
 
-    /// True when a ground atom holds in this view (used for negation).
-    fn holds_ground(&self, atom: &Atom, subst: &Subst) -> Result<bool> {
-        let mut out = Vec::new();
-        self.match_atom(usize::MAX, atom, subst, &mut out)?;
-        Ok(!out.is_empty())
+    /// Closed-world membership test for a fully resolved negated atom.
+    /// Negation always reads the full derived store, never a delta.
+    pub(crate) fn neg_holds(&self, pred: &Sym, vals: &[Value]) -> Result<bool> {
+        let rel = if self.edb.is_edb_predicate(pred.as_str()) {
+            let Some(rel) = self.edb.relation(pred.as_str()) else {
+                return Ok(false);
+            };
+            if vals.len() != rel.arity() {
+                return Err(StorageError::ArityMismatch {
+                    predicate: pred.to_string(),
+                    expected: rel.arity(),
+                    found: vals.len(),
+                }
+                .into());
+            }
+            rel
+        } else {
+            match self.derived.relation(pred.as_str()) {
+                Some(rel) if rel.arity() == vals.len() => rel,
+                _ => return Ok(false),
+            }
+        };
+        let pattern: Vec<Option<&Value>> = vals.iter().map(Some).collect();
+        Ok(rel.select_ref(&pattern).next().is_some())
     }
 }
 
 /// Matches an atom against a relation, extending `subst` per tuple.
+///
+/// This is the residual substitution-based matcher, kept as the reference
+/// the compiled executor's tests compare against. When the resolved
+/// pattern is fully ground it skips the per-tuple clone entirely: the
+/// relation is deduplicated, so at most one tuple can match, and `subst`
+/// itself is the one answer.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn match_relation(rel: &Relation, atom: &Atom, subst: &Subst, out: &mut Vec<Subst>) {
     if atom.arity() != rel.arity() {
         return;
     }
     let resolved: Vec<Term> = atom.args.iter().map(|t| subst.apply_term(t)).collect();
     let pattern: Vec<Option<Value>> = resolved.iter().map(|t| t.as_const().cloned()).collect();
+    if pattern.iter().all(Option::is_some) {
+        // Fully ground: membership test, no binding and no clone-per-tuple.
+        if rel.select(&pattern).next().is_some() {
+            out.push(subst.clone());
+        }
+        return;
+    }
     'tuples: for tuple in rel.select(&pattern) {
         let mut s = subst.clone();
         for (term, value) in resolved.iter().zip(tuple.values()) {
@@ -181,187 +233,275 @@ pub(crate) fn match_relation(rel: &Relation, atom: &Atom, subst: &Subst, out: &m
     }
 }
 
-/// True if a term is ground after applying the substitution.
-fn ground_under(t: &Term, s: &Subst) -> bool {
-    s.apply_term(t).is_ground()
-}
-
-/// Scheduling state of one body literal.
-#[derive(Clone, Copy, PartialEq)]
-enum LitState {
-    Pending,
-    Done,
-}
-
-/// Evaluates a rule body, calling `emit` with every satisfying
-/// substitution (extending `start`).
-///
-/// Scheduling: repeatedly pick the next evaluable pending literal —
-/// an equality with at least one ground side, any other comparison with
-/// both sides ground, a negation with all arguments ground, or the
-/// positive database literal with the most bound arguments. If only
-/// never-evaluable literals remain, the rule is unsafe.
-pub fn eval_body(
-    rule: &Rule,
+/// Executes `plan` from step `step` under `frame`, calling `emit` for
+/// every frame that satisfies the remaining schedule. Bindings made while
+/// matching are undone in place before returning, so the caller's frame
+/// is unchanged on exit.
+pub(crate) fn exec(
+    plan: &RulePlan,
+    step: usize,
     view: &FactView<'_>,
-    start: &Subst,
-    emit: &mut dyn FnMut(Subst),
+    frame: &mut Frame,
+    emit: &mut dyn FnMut(&Frame) -> Result<()>,
 ) -> Result<()> {
-    let body = &rule.body;
-    let mut state = vec![LitState::Pending; body.len()];
-    eval_rec(rule, body, &mut state, view, start.clone(), emit)
-}
-
-fn eval_rec(
-    rule: &Rule,
-    body: &[Literal],
-    state: &mut Vec<LitState>,
-    view: &FactView<'_>,
-    subst: Subst,
-    emit: &mut dyn FnMut(Subst),
-) -> Result<()> {
-    // Find the next literal to evaluate.
-    let mut choice: Option<usize> = None;
-    let mut best_bound = usize::MAX;
-    for (i, lit) in body.iter().enumerate() {
-        if state[i] == LitState::Done {
-            continue;
-        }
-        if lit.is_builtin() {
-            let l = &lit.atom.args[0];
-            let r = &lit.atom.args[1];
-            let lg = ground_under(l, &subst);
-            let rg = ground_under(r, &subst);
-            let evaluable = if lit.positive && lit.atom.pred.as_str() == "=" {
-                lg || rg
-            } else {
-                lg && rg
-            };
-            if evaluable {
-                choice = Some(i);
-                break; // comparisons are cheap: do them first
-            }
-        } else if lit.positive {
-            let bound = lit
-                .atom
-                .args
-                .iter()
-                .filter(|t| ground_under(t, &subst))
-                .count();
-            let unbound = lit.atom.arity() - bound;
-            if choice.is_none() || unbound < best_bound {
-                // Prefer the literal with fewest unbound arguments; but a
-                // builtin chosen above short-circuits.
-                if body[i].is_builtin() {
-                    continue;
+    let Some(s) = plan.steps.get(step) else {
+        return emit(frame);
+    };
+    match s {
+        Step::Compare {
+            positive,
+            op,
+            lhs,
+            rhs,
+            literal,
+        } => {
+            let truth = match (lhs.resolve(frame), rhs.resolve(frame)) {
+                (Some(l), Some(r)) => builtins::eval(op.as_str(), l, r)?,
+                _ => {
+                    // Reachable only when a pre-bound slot arrives unbound
+                    // at run time (top-down call plans); same report the
+                    // dynamic scheduler gave for an unschedulable literal.
+                    return Err(EngineError::UnsafeRule {
+                        rule: plan.rule_str.clone(),
+                        literal: literal.clone(),
+                    });
                 }
-                choice = Some(i);
-                best_bound = unbound;
+            };
+            if truth == *positive {
+                exec(plan, step + 1, view, frame, emit)
+            } else {
+                Ok(())
             }
-        } else {
-            // Negative database literal: evaluable once ground.
-            let all_ground = lit.atom.args.iter().all(|t| ground_under(t, &subst));
-            if all_ground {
-                choice = Some(i);
-                break;
+        }
+        Step::EqBind { lhs, rhs, literal } => {
+            match (lhs.resolve(frame).cloned(), rhs.resolve(frame).cloned()) {
+                (Some(l), Some(r)) => {
+                    if l == r {
+                        exec(plan, step + 1, view, frame, emit)
+                    } else {
+                        Ok(())
+                    }
+                }
+                (Some(l), None) => bind_eq(plan, step, rhs, l, view, frame, emit),
+                (None, Some(r)) => bind_eq(plan, step, lhs, r, view, frame, emit),
+                (None, None) => Err(EngineError::UnsafeRule {
+                    rule: plan.rule_str.clone(),
+                    literal: literal.clone(),
+                }),
+            }
+        }
+        Step::NegCheck {
+            pred,
+            args,
+            literal,
+        } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                match a.resolve(frame) {
+                    Some(c) => vals.push(c.clone()),
+                    None => {
+                        return Err(EngineError::UnsafeRule {
+                            rule: plan.rule_str.clone(),
+                            literal: literal.clone(),
+                        })
+                    }
+                }
+            }
+            if view.neg_holds(pred, &vals)? {
+                Ok(())
+            } else {
+                exec(plan, step + 1, view, frame, emit)
+            }
+        }
+        Step::Scan {
+            occurrence,
+            pred,
+            cols,
+            ..
+        } => {
+            let Some(rel) = view.scan_target(*occurrence, pred, cols.len())? else {
+                return Ok(()); // nothing derived yet
+            };
+            scan_relation(rel, cols, frame, &mut |frame| {
+                exec(plan, step + 1, view, frame, emit)
+            })
+        }
+        Step::Unsafe { literal } => Err(EngineError::UnsafeRule {
+            rule: plan.rule_str.clone(),
+            literal: literal.clone(),
+        }),
+    }
+}
+
+/// Binds the unbound side of an equality and continues, unbinding on the
+/// way out.
+fn bind_eq(
+    plan: &RulePlan,
+    step: usize,
+    side: &IrTerm,
+    value: Value,
+    view: &FactView<'_>,
+    frame: &mut Frame,
+    emit: &mut dyn FnMut(&Frame) -> Result<()>,
+) -> Result<()> {
+    let IrTerm::Slot(slot) = side else {
+        // A constant always resolves, so an unresolved side is a slot.
+        return Ok(());
+    };
+    frame.set(*slot, value);
+    let res = exec(plan, step + 1, view, frame, emit);
+    frame.clear(*slot);
+    res
+}
+
+/// Picks the index bucket for a scan: among columns with a value
+/// available now (inline constants and bound slots), the one whose
+/// bucket is smallest — first minimum in column order, exactly the
+/// choice the pattern `select` made. Returns `None` when no column is
+/// bound (full scan). The probe borrows the key from the frame or the
+/// plan: no `Value` is cloned to look up the index.
+pub(crate) fn probe_ids<'r>(rel: &'r Relation, cols: &[Col], frame: &Frame) -> Option<&'r [u32]> {
+    let mut best: Option<(usize, usize)> = None; // (bucket len, column)
+    for (c, col) in cols.iter().enumerate() {
+        let v: Option<&Value> = match col {
+            Col::Const(v) => Some(v),
+            Col::Slot { slot, .. } => frame.get(*slot),
+        };
+        if let Some(v) = v {
+            let n = rel.probe(c, v).len();
+            if best.is_none_or(|(bn, _)| n < bn) {
+                best = Some((n, c));
             }
         }
     }
-
-    let Some(i) = choice else {
-        // No pending literal is evaluable. If none are pending, succeed.
-        if state.iter().all(|s| *s == LitState::Done) {
-            emit(subst);
-            return Ok(());
-        }
-        let stuck = body
-            .iter()
-            .zip(state.iter())
-            .find(|(_, s)| **s == LitState::Pending)
-            .map(|(l, _)| l.to_string())
-            .unwrap_or_default();
-        return Err(EngineError::UnsafeRule {
-            rule: rule.to_string(),
-            literal: stuck,
-        });
-    };
-
-    state[i] = LitState::Done;
-    let lit = &body[i];
-    let result = (|| -> Result<()> {
-        if lit.is_builtin() && lit.positive && lit.atom.pred.as_str() == "=" {
-            // Equality may bind: unify both sides under subst.
-            let l = subst.apply_term(&lit.atom.args[0]);
-            let r = subst.apply_term(&lit.atom.args[1]);
-            match qdk_logic::unify(&l, &r) {
-                Some(u) => {
-                    let combined = subst.compose(&u);
-                    eval_rec(rule, body, state, view, combined, emit)
-                }
-                None => Ok(()),
-            }
-        } else if lit.is_builtin() {
-            let res = builtins::eval_atom(&lit.atom, &subst).map_err(EngineError::from)?;
-            let truth = res.expect("scheduled comparison is ground");
-            let holds = if lit.positive { truth } else { !truth };
-            if holds {
-                eval_rec(rule, body, state, view, subst, emit)
-            } else {
-                Ok(())
-            }
-        } else if lit.positive {
-            let mut exts = Vec::new();
-            view.match_atom(i, &lit.atom, &subst, &mut exts)?;
-            for s in exts {
-                eval_rec(rule, body, state, view, s, emit)?;
-            }
-            Ok(())
-        } else {
-            // Ground negation: closed-world test against the view.
-            if view.holds_ground(&lit.atom, &subst)? {
-                Ok(())
-            } else {
-                eval_rec(rule, body, state, view, subst, emit)
-            }
-        }
-    })();
-    state[i] = LitState::Pending;
-    result
+    best.map(|(_, c)| {
+        let v = match &cols[c] {
+            Col::Const(v) => v,
+            Col::Slot { slot, .. } => frame.get(*slot).expect("probe column is bound"),
+        };
+        rel.probe(c, v)
+    })
 }
 
-/// Fires a rule once against a view: evaluates the body and instantiates
-/// the head for every satisfying substitution, inserting new head tuples
-/// into `out`. Returns the number of new tuples.
-pub(crate) fn fire_rule(
-    rule: &Rule,
+/// Matches one tuple against the scan columns, binding unbound slots as
+/// it goes. Newly bound slots are appended to `trail` (the caller undoes
+/// them); returns `false` on the first mismatched column.
+pub(crate) fn match_cols_into(
+    cols: &[Col],
+    values: &[Value],
+    frame: &mut Frame,
+    trail: &mut Vec<u32>,
+) -> bool {
+    for (col, value) in cols.iter().zip(values) {
+        let ok = match col {
+            Col::Const(c) => c == value,
+            Col::Slot { slot, .. } => match frame.get(*slot) {
+                Some(bound) => bound == value,
+                None => {
+                    frame.set(*slot, value.clone());
+                    trail.push(*slot);
+                    true
+                }
+            },
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Enumerates the tuples of `rel` matching `cols` under `frame`, calling
+/// `each` with the extended frame per match and undoing the bindings
+/// afterwards. Shared by the bottom-up executor ([`exec`] recurses into
+/// the rest of the plan here) and the top-down solver's EDB scans.
+pub(crate) fn scan_relation(
+    rel: &Relation,
+    cols: &[Col],
+    frame: &mut Frame,
+    each: &mut dyn FnMut(&mut Frame) -> Result<()>,
+) -> Result<()> {
+    let ids = probe_ids(rel, cols, frame);
+    // One trail for the whole scan, cleared per tuple: slots this scan
+    // binds are unbound again before the next tuple (and before return).
+    let mut trail: Vec<u32> = Vec::new();
+    let mut visit = |tuple: &Tuple, frame: &mut Frame| -> Result<()> {
+        trail.clear();
+        let res = if match_cols_into(cols, tuple.values(), frame, &mut trail) {
+            each(frame)
+        } else {
+            Ok(())
+        };
+        for &s in &trail {
+            frame.clear(s);
+        }
+        res
+    };
+    match ids {
+        Some(ids) => {
+            for &id in ids {
+                visit(rel.tuple_at(id), frame)?;
+            }
+        }
+        None => {
+            for t in rel.iter() {
+                visit(t, frame)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Converts a satisfying frame into a substitution over the plan's slot
+/// variables (unbound slots are simply absent). Used by the query layer
+/// and the top-down solver to surface answers in the term vocabulary.
+pub(crate) fn frame_subst(plan: &RulePlan, frame: &Frame) -> Subst {
+    let mut s = Subst::new();
+    for (i, v) in plan.compiled.slots.iter().enumerate() {
+        if let Some(c) = frame.get(i as u32) {
+            s.bind(v.clone(), Term::Const(c.clone()));
+        }
+    }
+    s
+}
+
+/// Fires a compiled rule once against a view: executes the plan and
+/// instantiates the head for every satisfying frame, inserting new head
+/// tuples into `out`. Returns the number of new tuples.
+///
+/// A frame that leaves a head variable unbound is a range-restriction
+/// violation; as in the dynamic evaluator, enumeration completes and the
+/// first such violation is then reported as an unsafe rule.
+pub(crate) fn fire_plan(
+    plan: &RulePlan,
     view: &FactView<'_>,
     out: &mut DerivedFacts,
 ) -> Result<usize> {
-    let mut added = 0;
-    let head = &rule.head;
+    let mut added = 0usize;
     let mut err: Option<EngineError> = None;
-    let mut emit = |s: Subst| {
-        let inst = s.apply_atom(head);
-        if !inst.is_ground() {
-            // Range-restriction violation surfaced as unsafety.
-            if err.is_none() {
-                err = Some(EngineError::UnsafeRule {
-                    rule: rule.to_string(),
-                    literal: inst.to_string(),
-                });
+    let head = &plan.compiled.head;
+    let mut frame = Frame::new(plan.compiled.num_slots());
+    exec(plan, 0, view, &mut frame, &mut |frame| {
+        let mut row: Vec<Value> = Vec::with_capacity(head.args.len());
+        for t in &head.args {
+            match t.resolve(frame) {
+                Some(c) => row.push(c.clone()),
+                None => {
+                    if err.is_none() {
+                        err = Some(EngineError::UnsafeRule {
+                            rule: plan.rule_str.clone(),
+                            literal: head.reify(frame, &plan.compiled.slots).to_string(),
+                        });
+                    }
+                    return Ok(());
+                }
             }
-            return;
         }
-        let tuple: Tuple = inst
-            .args
-            .iter()
-            .map(|t| t.as_const().expect("ground").clone())
-            .collect();
-        if out.insert(&head.pred, tuple) {
+        if out.insert(&head.pred, Tuple::new(row))? {
             added += 1;
         }
-    };
-    eval_body(rule, view, &Subst::new(), &mut emit)?;
+        Ok(())
+    })?;
     if let Some(e) = err {
         return Err(e);
     }
@@ -372,6 +512,7 @@ pub(crate) fn fire_rule(
 mod tests {
     use super::*;
     use qdk_logic::parser::{parse_atom, parse_rule};
+    use qdk_logic::Interner;
 
     fn edb() -> Edb {
         let mut edb = Edb::new();
@@ -390,9 +531,30 @@ mod tests {
         edb
     }
 
-    fn all_substs(rule: &Rule, view: &FactView<'_>) -> Vec<Subst> {
+    fn plan_of(src: &str) -> RulePlan {
+        let mut i = Interner::new();
+        RulePlan::new(&parse_rule(src).unwrap(), &mut i)
+    }
+
+    /// Runs a rule's plan and returns, per satisfying frame, the value
+    /// bound to variable `var` rendered as text.
+    fn bound_values(src: &str, view: &FactView<'_>, var: &str) -> Vec<String> {
+        let plan = plan_of(src);
+        let slot = plan
+            .compiled
+            .slot_of(&qdk_logic::Var::new(var))
+            .expect("variable occurs in rule");
+        let mut frame = Frame::new(plan.compiled.num_slots());
         let mut out = Vec::new();
-        eval_body(rule, view, &Subst::new(), &mut |s| out.push(s)).unwrap();
+        exec(&plan, 0, view, &mut frame, &mut |f| {
+            out.push(
+                f.get(slot)
+                    .expect("emitted frames bind head vars")
+                    .to_string(),
+            );
+            Ok(())
+        })
+        .unwrap();
         out
     }
 
@@ -401,13 +563,11 @@ mod tests {
         let edb = edb();
         let derived = DerivedFacts::new();
         let view = FactView::total(&edb, &derived);
-        let rule =
-            parse_rule("ans(X) :- student(X, math, G), enroll(X, C), G > 3.7.").unwrap();
-        let substs = all_substs(&rule, &view);
-        let names: Vec<String> = substs
-            .iter()
-            .map(|s| s.apply_term(&Term::var("X")).to_string())
-            .collect();
+        let names = bound_values(
+            "ans(X) :- student(X, math, G), enroll(X, C), G > 3.7.",
+            &view,
+            "X",
+        );
         assert_eq!(names.len(), 2);
         assert!(names.contains(&"ann".to_string()));
         assert!(names.contains(&"cara".to_string()));
@@ -419,8 +579,8 @@ mod tests {
         let edb = edb();
         let derived = DerivedFacts::new();
         let view = FactView::total(&edb, &derived);
-        let rule = parse_rule("ans(X) :- G > 3.7, student(X, math, G).").unwrap();
-        assert_eq!(all_substs(&rule, &view).len(), 2);
+        let names = bound_values("ans(X) :- G > 3.7, student(X, math, G).", &view, "X");
+        assert_eq!(names.len(), 2);
     }
 
     #[test]
@@ -428,8 +588,8 @@ mod tests {
         let edb = edb();
         let derived = DerivedFacts::new();
         let view = FactView::total(&edb, &derived);
-        let rule = parse_rule("ans(X, C) :- C = databases, enroll(X, C).").unwrap();
-        assert_eq!(all_substs(&rule, &view).len(), 2);
+        let names = bound_values("ans(X, C) :- C = databases, enroll(X, C).", &view, "X");
+        assert_eq!(names.len(), 2);
     }
 
     #[test]
@@ -438,9 +598,9 @@ mod tests {
         let derived = DerivedFacts::new();
         let view = FactView::total(&edb, &derived);
         // W never becomes bound.
-        let rule = parse_rule("ans(X) :- student(X, Y, Z), W > 3.7.").unwrap();
-        let mut out = Vec::new();
-        let err = eval_body(&rule, &view, &Subst::new(), &mut |s| out.push(s)).unwrap_err();
+        let plan = plan_of("ans(X) :- student(X, Y, Z), W > 3.7.");
+        let mut frame = Frame::new(plan.compiled.num_slots());
+        let err = exec(&plan, 0, &view, &mut frame, &mut |_| Ok(())).unwrap_err();
         assert!(matches!(err, EngineError::UnsafeRule { .. }));
     }
 
@@ -449,12 +609,11 @@ mod tests {
         let edb = edb();
         let derived = DerivedFacts::new();
         let view = FactView::total(&edb, &derived);
-        let rule = parse_rule("ans(X) :- student(X, Y, Z), not enroll(X, databases).").unwrap();
-        let substs = all_substs(&rule, &view);
-        let names: Vec<String> = substs
-            .iter()
-            .map(|s| s.apply_term(&Term::var("X")).to_string())
-            .collect();
+        let names = bound_values(
+            "ans(X) :- student(X, Y, Z), not enroll(X, databases).",
+            &view,
+            "X",
+        );
         assert_eq!(names, ["cara"]);
     }
 
@@ -462,71 +621,115 @@ mod tests {
     fn idb_atoms_read_from_derived_store() {
         let edb = edb();
         let mut derived = DerivedFacts::new();
-        derived.insert(
-            &Sym::new("honor"),
-            Tuple::new(vec![Value::sym("ann")]),
-        );
+        derived
+            .insert(&Sym::new("honor"), Tuple::new(vec![Value::sym("ann")]))
+            .unwrap();
         let view = FactView::total(&edb, &derived);
-        let rule = parse_rule("ans(X) :- honor(X), enroll(X, databases).").unwrap();
-        assert_eq!(all_substs(&rule, &view).len(), 1);
+        let names = bound_values("ans(X) :- honor(X), enroll(X, databases).", &view, "X");
+        assert_eq!(names, ["ann"]);
     }
 
     #[test]
     fn delta_override_restricts_one_occurrence() {
         let edb = edb();
         let mut derived = DerivedFacts::new();
-        derived.insert(&Sym::new("honor"), Tuple::new(vec![Value::sym("ann")]));
-        derived.insert(&Sym::new("honor"), Tuple::new(vec![Value::sym("cara")]));
+        derived
+            .insert(&Sym::new("honor"), Tuple::new(vec![Value::sym("ann")]))
+            .unwrap();
+        derived
+            .insert(&Sym::new("honor"), Tuple::new(vec![Value::sym("cara")]))
+            .unwrap();
         let mut delta = DerivedFacts::new();
-        delta.insert(&Sym::new("honor"), Tuple::new(vec![Value::sym("cara")]));
+        delta
+            .insert(&Sym::new("honor"), Tuple::new(vec![Value::sym("cara")]))
+            .unwrap();
         // Occurrence 0 is the honor atom.
         let view = FactView::with_delta(&edb, &derived, &delta, 0);
-        let rule = parse_rule("ans(X) :- honor(X), student(X, M, G).").unwrap();
-        let substs = all_substs(&rule, &view);
-        let names: Vec<String> = substs
-            .iter()
-            .map(|s| s.apply_term(&Term::var("X")).to_string())
-            .collect();
+        let names = bound_values("ans(X) :- honor(X), student(X, M, G).", &view, "X");
         assert_eq!(names, ["cara"]);
     }
 
     #[test]
-    fn fire_rule_inserts_head_tuples() {
+    fn fire_plan_inserts_head_tuples() {
         let edb = edb();
         let derived = DerivedFacts::new();
         let view = FactView::total(&edb, &derived);
-        let rule = parse_rule("honor(X) :- student(X, Y, Z), Z > 3.7.").unwrap();
+        let plan = plan_of("honor(X) :- student(X, Y, Z), Z > 3.7.");
         let mut out = DerivedFacts::new();
-        let added = fire_rule(&rule, &view, &mut out).unwrap();
+        let added = fire_plan(&plan, &view, &mut out).unwrap();
         assert_eq!(added, 2);
         assert_eq!(out.relation("honor").unwrap().len(), 2);
         // Firing again adds nothing new.
         let view2 = FactView::total(&edb, &derived);
-        assert_eq!(fire_rule(&rule, &view2, &mut out).unwrap(), 0);
+        assert_eq!(fire_plan(&plan, &view2, &mut out).unwrap(), 0);
     }
 
     #[test]
-    fn fire_rule_rejects_non_ground_head() {
+    fn fire_plan_rejects_non_ground_head() {
         let edb = edb();
         let derived = DerivedFacts::new();
         let view = FactView::total(&edb, &derived);
         // Head variable W not bound by body.
-        let rule = parse_rule("bad(X, W) :- student(X, Y, Z).").unwrap();
+        let plan = plan_of("bad(X, W) :- student(X, Y, Z).");
         let mut out = DerivedFacts::new();
         assert!(matches!(
-            fire_rule(&rule, &view, &mut out),
+            fire_plan(&plan, &view, &mut out),
             Err(EngineError::UnsafeRule { .. })
         ));
     }
 
     #[test]
-    fn absorb_merges_stores() {
+    fn absorb_merges_stores_and_len_is_cached() {
         let mut a = DerivedFacts::new();
-        a.insert(&Sym::new("p"), Tuple::new(vec![Value::Int(1)]));
+        a.insert(&Sym::new("p"), Tuple::new(vec![Value::Int(1)]))
+            .unwrap();
         let mut b = DerivedFacts::new();
-        b.insert(&Sym::new("p"), Tuple::new(vec![Value::Int(1)]));
-        b.insert(&Sym::new("p"), Tuple::new(vec![Value::Int(2)]));
-        assert_eq!(a.absorb(&b), 1);
-        assert_eq!(a.len(), 2);
+        b.insert(&Sym::new("p"), Tuple::new(vec![Value::Int(1)]))
+            .unwrap();
+        b.insert(&Sym::new("p"), Tuple::new(vec![Value::Int(2)]))
+            .unwrap();
+        b.insert(&Sym::new("q"), Tuple::new(vec![Value::sym("x")]))
+            .unwrap();
+        assert_eq!(a.absorb(&b).unwrap(), 2);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.iter().map(|(_, r)| r.len()).sum::<usize>(), a.len());
+    }
+
+    #[test]
+    fn derived_arity_mismatch_is_an_error() {
+        let mut a = DerivedFacts::new();
+        a.insert(&Sym::new("p"), Tuple::new(vec![Value::Int(1)]))
+            .unwrap();
+        assert!(a
+            .insert(
+                &Sym::new("p"),
+                Tuple::new(vec![Value::Int(1), Value::Int(2)])
+            )
+            .is_err());
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn match_relation_ground_pattern_skips_enumeration() {
+        let edb = edb();
+        let rel = edb.relation("enroll").unwrap();
+        let mut out = Vec::new();
+        let s: Subst = [
+            (qdk_logic::Var::new("X"), Term::sym("ann")),
+            (qdk_logic::Var::new("C"), Term::sym("databases")),
+        ]
+        .into_iter()
+        .collect();
+        match_relation(rel, &parse_atom("enroll(X, C)").unwrap(), &s, &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        let s2: Subst = [
+            (qdk_logic::Var::new("X"), Term::sym("ann")),
+            (qdk_logic::Var::new("C"), Term::sym("calculus")),
+        ]
+        .into_iter()
+        .collect();
+        match_relation(rel, &parse_atom("enroll(X, C)").unwrap(), &s2, &mut out);
+        assert!(out.is_empty());
     }
 }

@@ -50,7 +50,10 @@ impl fmt::Display for EngineError {
                 write!(f, "unsafe rule {rule}: cannot schedule literal {literal}")
             }
             EngineError::NotStratified(p) => {
-                write!(f, "program is not stratified: {p} depends on itself through negation")
+                write!(
+                    f,
+                    "program is not stratified: {p} depends on itself through negation"
+                )
             }
             EngineError::InconsistentArity { predicate, arities } => write!(
                 f,

@@ -133,7 +133,10 @@ mod tests {
     fn rejects_builtin_head() {
         let mut idb = Idb::new();
         let r = Rule::new(
-            qdk_logic::Atom::new("=", vec![qdk_logic::Term::var("X"), qdk_logic::Term::var("Y")]),
+            qdk_logic::Atom::new(
+                "=",
+                vec![qdk_logic::Term::var("X"), qdk_logic::Term::var("Y")],
+            ),
             vec![],
         );
         assert!(matches!(idb.add_rule(r), Err(EngineError::BuiltinHead(_))));

@@ -11,9 +11,13 @@
 //! * [`analysis`] — per-rule linearity / strong linearity / typedness
 //!   checks and whole-IDB validation of the paper's assumptions;
 //! * [`stratify`] — stratification for the (extension) negation support;
+//! * [`plan`] — compile-once rule planning: every rule's body schedule
+//!   (literal order, index probes, slot read/write sets) is computed one
+//!   time per program instead of once per recursion step, and executed
+//!   over flat positional frames;
 //! * evaluation strategies: [`naive`] and [`seminaive`] bottom-up, and
 //!   [`topdown`] goal-directed evaluation (relevance-restricted, per-SCC
-//!   fixpoints);
+//!   fixpoints) — all four run the compiled plans;
 //! * [`query`] — the `retrieve p where ψ` statement itself.
 
 #![forbid(unsafe_code)]
@@ -23,9 +27,10 @@ pub mod analysis;
 mod bindings;
 mod error;
 pub mod graph;
-pub mod magic;
 mod idb;
+pub mod magic;
 pub mod naive;
+pub mod plan;
 pub mod query;
 pub mod seminaive;
 pub mod stratify;
@@ -35,5 +40,8 @@ pub use bindings::{DerivedFacts, FactView};
 pub use error::{EngineError, Result};
 pub use idb::Idb;
 pub use naive::EvalOptions;
+pub use plan::{ProgramPlan, RulePlan};
 pub use qdk_logic::governor::{CancelToken, Exhausted, Governor, Resource, ResourceLimits};
-pub use query::{retrieve, retrieve_with, DataAnswer, Downgrade, Retrieve, Strategy};
+pub use query::{
+    retrieve, retrieve_compiled, retrieve_with, DataAnswer, Downgrade, Retrieve, Strategy,
+};

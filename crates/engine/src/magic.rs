@@ -171,7 +171,8 @@ pub fn rewrite(
                     let a = adorn_atom(atom, &bound);
                     // Magic propagation rule: m_q^a(bound args) ← magic
                     // guard ∧ literals seen so far.
-                    let magic_head = Atom::new(magic_name(atom.pred.as_str(), &a), bound_args(atom, &a));
+                    let magic_head =
+                        Atom::new(magic_name(atom.pred.as_str(), &a), bound_args(atom, &a));
                     out.add_rule(Rule::with_literals(magic_head, new_body.clone()))?;
                     // Queue q^a for adornment.
                     let key = (atom.pred.clone(), adornment_suffix(&a));
@@ -193,7 +194,8 @@ pub fn rewrite(
             }
 
             // The adorned rule itself.
-            let adorned_head = Atom::new(adorned_name(p.as_str(), &adornment), rule.head.args.clone());
+            let adorned_head =
+                Atom::new(adorned_name(p.as_str(), &adornment), rule.head.args.clone());
             out.add_rule(Rule::with_literals(adorned_head, new_body))?;
         }
     }
@@ -276,10 +278,11 @@ mod tests {
         // Adorned query predicate prior__bf exists; its rules are guarded
         // by m_prior__bf.
         assert_eq!(magic.query_pred.as_str(), "prior__bf");
-        let guarded = magic
-            .idb
-            .rules_for("prior__bf")
-            .all(|r| r.body.first().is_some_and(|l| l.atom.pred.as_str() == "m_prior__bf"));
+        let guarded = magic.idb.rules_for("prior__bf").all(|r| {
+            r.body
+                .first()
+                .is_some_and(|l| l.atom.pred.as_str() == "m_prior__bf")
+        });
         assert!(guarded);
         // The seed fact carries the constant.
         assert_eq!(magic.seed.to_string(), "m_prior__bf(c3)");
@@ -320,7 +323,10 @@ mod tests {
         assert_eq!(got, expected);
         // And the magic evaluation derived far fewer prior facts than the
         // full closure (5 vs 36 on an 8-chain).
-        assert!(magic_facts.relation("prior__bf").unwrap().len() < full.relation("prior").unwrap().len());
+        assert!(
+            magic_facts.relation("prior__bf").unwrap().len()
+                < full.relation("prior").unwrap().len()
+        );
     }
 
     #[test]
@@ -402,10 +408,7 @@ mod tests {
 
     #[test]
     fn negation_is_rejected() {
-        let idb = Idb::from_rules(
-            parse_program("p(X) :- q(X), not r(X).").unwrap().rules,
-        )
-        .unwrap();
+        let idb = Idb::from_rules(parse_program("p(X) :- q(X), not r(X).").unwrap().rules).unwrap();
         let subject = parse_atom("p(a)").unwrap();
         let (pattern, bindings) = query_pattern(&subject);
         assert!(matches!(

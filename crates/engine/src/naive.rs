@@ -6,9 +6,10 @@
 //! avoids. Kept both as the reference implementation the others are tested
 //! against and as the baseline for the P1 performance experiment.
 
-use crate::bindings::{fire_rule, DerivedFacts, FactView};
+use crate::bindings::{fire_plan, DerivedFacts, FactView};
 use crate::error::Result;
 use crate::idb::Idb;
+use crate::plan::ProgramPlan;
 use crate::stratify::stratify;
 use qdk_logic::governor::{CancelToken, Governor, ResourceLimits};
 use qdk_logic::Sym;
@@ -30,7 +31,10 @@ pub struct EvalOptions {
 impl EvalOptions {
     /// Options enforcing the given limits.
     pub fn with_limits(limits: ResourceLimits) -> Self {
-        EvalOptions { limits, cancel: None }
+        EvalOptions {
+            limits,
+            cancel: None,
+        }
     }
 
     /// Build the governor for one evaluation run.
@@ -45,9 +49,11 @@ pub fn eval(edb: &Edb, idb: &Idb) -> Result<DerivedFacts> {
     eval_with(edb, idb, EvalOptions::default())
 }
 
-/// [`eval`] with options.
+/// [`eval`] with options. Compiles the program first; callers evaluating
+/// the same IDB repeatedly should compile once and use [`eval_compiled`].
 pub fn eval_with(edb: &Edb, idb: &Idb, opts: EvalOptions) -> Result<DerivedFacts> {
-    eval_governed(edb, idb, None, &mut opts.governor())
+    let plan = ProgramPlan::compile(idb);
+    eval_governed(edb, idb, &plan, None, &mut opts.governor())
 }
 
 /// Like [`eval_with`], but restricted to the given predicates (used by the
@@ -58,7 +64,20 @@ pub fn eval_restricted(
     relevant: &[Sym],
     opts: EvalOptions,
 ) -> Result<DerivedFacts> {
-    eval_governed(edb, idb, Some(relevant), &mut opts.governor())
+    let plan = ProgramPlan::compile(idb);
+    eval_governed(edb, idb, &plan, Some(relevant), &mut opts.governor())
+}
+
+/// Naive evaluation of an already compiled program. `plan` must be the
+/// compilation of `idb` (the knowledge-base layer caches it).
+pub fn eval_compiled(
+    edb: &Edb,
+    idb: &Idb,
+    plan: &ProgramPlan,
+    relevant: Option<&[Sym]>,
+    opts: EvalOptions,
+) -> Result<DerivedFacts> {
+    eval_governed(edb, idb, plan, relevant, &mut opts.governor())
 }
 
 /// Shared fixpoint loop: one governor tick per rule firing, fact
@@ -66,6 +85,7 @@ pub fn eval_restricted(
 fn eval_governed(
     edb: &Edb,
     idb: &Idb,
+    plan: &ProgramPlan,
     relevant: Option<&[Sym]>,
     gov: &mut Governor,
 ) -> Result<DerivedFacts> {
@@ -74,12 +94,13 @@ fn eval_governed(
     for stratum in strat.strata() {
         loop {
             let mut added = 0;
-            for rule in idb.rules() {
-                if !stratum.contains(&rule.head.pred) {
+            for rp in plan.plans() {
+                let head_pred = &rp.compiled.head.pred;
+                if !stratum.contains(head_pred) {
                     continue;
                 }
                 if let Some(preds) = relevant {
-                    if !preds.contains(&rule.head.pred) {
+                    if !preds.contains(head_pred) {
                         continue;
                     }
                 }
@@ -87,9 +108,9 @@ fn eval_governed(
                 let mut fresh = DerivedFacts::new();
                 {
                     let view = FactView::total(edb, &derived);
-                    fire_rule(rule, &view, &mut fresh)?;
+                    fire_plan(rp, &view, &mut fresh)?;
                 }
-                let fresh_count = derived.absorb(&fresh);
+                let fresh_count = derived.absorb(&fresh)?;
                 gov.add_facts(fresh_count)?;
                 added += fresh_count;
             }
@@ -227,7 +248,10 @@ mod tests {
         let err = eval_with(
             &edb,
             &prior_idb(),
-            EvalOptions { limits: ResourceLimits::default(), cancel: Some(token) },
+            EvalOptions {
+                limits: ResourceLimits::default(),
+                cancel: Some(token),
+            },
         )
         .unwrap_err();
         match err {
@@ -251,13 +275,8 @@ mod tests {
             .rules,
         )
         .unwrap();
-        let derived = eval_restricted(
-            &edb,
-            &idb,
-            &[Sym::new("prior")],
-            EvalOptions::default(),
-        )
-        .unwrap();
+        let derived =
+            eval_restricted(&edb, &idb, &[Sym::new("prior")], EvalOptions::default()).unwrap();
         assert!(derived.relation("prior").is_some());
         assert!(derived.relation("noise").is_none());
     }

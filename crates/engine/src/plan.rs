@@ -1,0 +1,417 @@
+//! Compile-once rule planning.
+//!
+//! The original evaluator re-ran its literal scheduler on every recursion
+//! step of every rule firing: pick the next evaluable literal (equality
+//! with a ground side, other comparison once both sides are ground,
+//! negation once ground, otherwise the positive database literal with the
+//! fewest unbound arguments), evaluate it, recurse. Because groundness of
+//! a variable evolves identically on every branch of the enumeration — a
+//! positive database literal grounds *all* of its variables, an equality
+//! grounds both sides, and comparisons/negations ground nothing — the
+//! scheduler's choices are branch-invariant. That means the whole dynamic
+//! schedule can be replayed **once, at compile time**, yielding a linear
+//! [`Step`] sequence the executor walks with no per-branch decisions.
+//!
+//! [`RulePlan`] is that sequence for one rule (plus the rule's
+//! [`CompiledRule`] slot mapping); [`ProgramPlan`] compiles an entire
+//! [`Idb`] against one [`Interner`], and is what `KnowledgeBase` caches.
+//!
+//! Planning never fails: a rule whose remaining literals can never become
+//! evaluable compiles to a plan ending in [`Step::Unsafe`], which raises
+//! the same `EngineError::UnsafeRule` the dynamic scheduler raised — and
+//! only when execution actually reaches that point, preserving the
+//! data-dependent nature of the original diagnostic.
+
+use crate::idb::Idb;
+use qdk_logic::{CompiledRule, Interner, IrTerm, Rule, Sym, SymId};
+use qdk_storage::Value;
+
+/// One column of a [`Step::Scan`]: what the executor must match this
+/// tuple position against.
+#[derive(Clone, Debug)]
+pub enum Col {
+    /// An inline constant: the tuple value must equal it.
+    Const(Value),
+    /// A slot; `probe` records whether the planner proved the slot bound
+    /// before this scan (so it can drive an index probe).
+    Slot {
+        /// The frame slot for this column's variable.
+        slot: u32,
+        /// True if the slot is bound when the scan starts.
+        probe: bool,
+    },
+}
+
+/// One step of a compiled rule body, in execution order.
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// Enumerate matching tuples of a stored or derived relation,
+    /// binding unbound slot columns.
+    Scan {
+        /// Position of this literal in the rule body (drives the
+        /// semi-naive delta-occurrence rewrite).
+        occurrence: usize,
+        /// The predicate symbol, for relation lookup and diagnostics.
+        pred: Sym,
+        /// The predicate's dense id in the owning program's interner.
+        pred_id: SymId,
+        /// Per-column match obligations.
+        cols: Vec<Col>,
+    },
+    /// Evaluate a ground comparison (`=` with both sides bound, or any
+    /// other built-in); continue only if its truth matches `positive`.
+    Compare {
+        /// Polarity of the literal.
+        positive: bool,
+        /// The comparison operator (`=`, `!=`, `<`, `<=`, `>`, `>=`).
+        op: Sym,
+        /// Left operand.
+        lhs: IrTerm,
+        /// Right operand.
+        rhs: IrTerm,
+        /// The raw source literal, for diagnostics.
+        literal: String,
+    },
+    /// A positive `=` with exactly one side bound at plan time: bind the
+    /// unbound side's slot to the other side's value.
+    EqBind {
+        /// Left operand.
+        lhs: IrTerm,
+        /// Right operand.
+        rhs: IrTerm,
+        /// The raw source literal, for diagnostics.
+        literal: String,
+    },
+    /// A ground negated database literal: continue only if the fully
+    /// resolved atom is absent from the view (closed-world).
+    NegCheck {
+        /// The negated predicate.
+        pred: Sym,
+        /// The argument terms (all bound when this step runs).
+        args: Vec<IrTerm>,
+        /// The raw source literal, for diagnostics.
+        literal: String,
+    },
+    /// Terminator for an unschedulable tail: reaching this step raises
+    /// `EngineError::UnsafeRule` with the first stuck literal.
+    Unsafe {
+        /// The raw source literal that could never be scheduled.
+        literal: String,
+    },
+}
+
+/// A rule compiled to a slot mapping plus a linear step schedule.
+#[derive(Clone, Debug)]
+pub struct RulePlan {
+    /// The slot-mapped rule.
+    pub compiled: CompiledRule,
+    /// The body schedule, in execution order.
+    pub steps: Vec<Step>,
+    /// The rendered source rule, carried for `UnsafeRule` diagnostics.
+    pub rule_str: String,
+}
+
+impl RulePlan {
+    /// Compiles `rule` with all slots initially unbound.
+    pub fn new(rule: &Rule, interner: &mut Interner) -> Self {
+        let compiled = CompiledRule::compile(rule, interner);
+        let steps = compile_steps(&compiled, vec![false; compiled.num_slots()]);
+        RulePlan {
+            steps,
+            rule_str: rule.to_string(),
+            compiled,
+        }
+    }
+
+    /// Compiles a query conjunction as the body of a headless dummy rule.
+    ///
+    /// The plan's slots are the distinct goal variables in order of first
+    /// occurrence; `rule_str` is the text used in `UnsafeRule` reports
+    /// (the retrieval layer and the top-down solver render the stuck
+    /// query differently, so the caller supplies it).
+    pub(crate) fn for_query(
+        goals: &[qdk_logic::Literal],
+        rule_str: String,
+        interner: &mut Interner,
+    ) -> Self {
+        let dummy = Rule::with_literals(qdk_logic::Atom::new("_goal", Vec::new()), goals.to_vec());
+        let compiled = CompiledRule::compile(&dummy, interner);
+        let steps = compile_steps(&compiled, vec![false; compiled.num_slots()]);
+        RulePlan {
+            steps,
+            rule_str,
+            compiled,
+        }
+    }
+
+    /// Re-plans an already compiled rule under an adornment: `bound[s]`
+    /// marks slot `s` as pre-bound (the top-down solver binds head slots
+    /// from the call before executing the body).
+    pub(crate) fn with_bound(compiled: CompiledRule, rule_str: String, bound: Vec<bool>) -> Self {
+        let steps = compile_steps(&compiled, bound);
+        RulePlan {
+            steps,
+            rule_str,
+            compiled,
+        }
+    }
+}
+
+/// A whole IDB compiled against one interner: one [`RulePlan`] per rule,
+/// parallel to `Idb::rules()` order.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramPlan {
+    interner: Interner,
+    plans: Vec<RulePlan>,
+}
+
+impl ProgramPlan {
+    /// Compiles every rule of `idb`.
+    pub fn compile(idb: &Idb) -> Self {
+        let mut interner = Interner::new();
+        let plans = idb
+            .rules()
+            .iter()
+            .map(|r| RulePlan::new(r, &mut interner))
+            .collect();
+        ProgramPlan { interner, plans }
+    }
+
+    /// The rule plans, in `Idb::rules()` order.
+    pub fn plans(&self) -> &[RulePlan] {
+        &self.plans
+    }
+
+    /// The program's interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+}
+
+/// Replays the dynamic scheduler once over the body, starting from the
+/// given slot-boundness vector, and emits the resulting linear schedule.
+///
+/// The choice logic mirrors the recursive evaluator exactly: scan the
+/// body in source order; the first evaluable built-in (a positive `=`
+/// needs one ground side, everything else both) or ground negation wins
+/// immediately; otherwise the positive database literal with the fewest
+/// unbound arguments (first wins ties, counting repeated unbound
+/// variables once per occurrence). If literals remain but none can ever
+/// be scheduled, the plan ends in [`Step::Unsafe`] naming the first
+/// pending literal.
+pub(crate) fn compile_steps(compiled: &CompiledRule, mut bound: Vec<bool>) -> Vec<Step> {
+    let body = &compiled.body;
+    let src = &compiled.source.body;
+    let mut done = vec![false; body.len()];
+    let mut steps = Vec::new();
+    fn ground(t: &IrTerm, bound: &[bool]) -> bool {
+        match t {
+            IrTerm::Const(_) => true,
+            IrTerm::Slot(s) => bound.get(*s as usize).copied().unwrap_or(false),
+        }
+    }
+    loop {
+        let mut choice: Option<usize> = None;
+        let mut best_unbound = usize::MAX;
+        for (i, lit) in body.iter().enumerate() {
+            if done[i] {
+                continue;
+            }
+            if src[i].is_builtin() {
+                if lit.atom.args.len() != 2 {
+                    continue; // malformed built-in: never evaluable
+                }
+                let lg = ground(&lit.atom.args[0], &bound);
+                let rg = ground(&lit.atom.args[1], &bound);
+                let evaluable = if lit.positive && lit.atom.pred.as_str() == "=" {
+                    lg || rg
+                } else {
+                    lg && rg
+                };
+                if evaluable {
+                    choice = Some(i);
+                    break; // comparisons are cheap: do them first
+                }
+            } else if lit.positive {
+                let unbound = lit.atom.args.iter().filter(|t| !ground(t, &bound)).count();
+                if choice.is_none() || unbound < best_unbound {
+                    choice = Some(i);
+                    best_unbound = unbound;
+                }
+            } else if lit.atom.args.iter().all(|t| ground(t, &bound)) {
+                choice = Some(i);
+                break;
+            }
+        }
+        let Some(i) = choice else {
+            if let Some(stuck) = (0..body.len()).find(|&i| !done[i]) {
+                steps.push(Step::Unsafe {
+                    literal: src[stuck].to_string(),
+                });
+            }
+            break;
+        };
+        done[i] = true;
+        let lit = &body[i];
+        if src[i].is_builtin() {
+            let lhs = lit.atom.args[0].clone();
+            let rhs = lit.atom.args[1].clone();
+            let literal = src[i].to_string();
+            let lg = ground(&lhs, &bound);
+            let rg = ground(&rhs, &bound);
+            if lit.positive && lit.atom.pred.as_str() == "=" && !(lg && rg) {
+                // Exactly one side bound: the equality acts as a binder.
+                if !lg {
+                    if let IrTerm::Slot(s) = &lhs {
+                        bound[*s as usize] = true;
+                    }
+                }
+                if !rg {
+                    if let IrTerm::Slot(s) = &rhs {
+                        bound[*s as usize] = true;
+                    }
+                }
+                steps.push(Step::EqBind { lhs, rhs, literal });
+            } else {
+                steps.push(Step::Compare {
+                    positive: lit.positive,
+                    op: lit.atom.pred.clone(),
+                    lhs,
+                    rhs,
+                    literal,
+                });
+            }
+        } else if lit.positive {
+            let cols = lit
+                .atom
+                .args
+                .iter()
+                .map(|t| match t {
+                    IrTerm::Const(c) => Col::Const(c.clone()),
+                    IrTerm::Slot(s) => Col::Slot {
+                        slot: *s,
+                        probe: bound[*s as usize],
+                    },
+                })
+                .collect();
+            steps.push(Step::Scan {
+                occurrence: i,
+                pred: lit.atom.pred.clone(),
+                pred_id: lit.atom.pred_id,
+                cols,
+            });
+            for t in &lit.atom.args {
+                if let IrTerm::Slot(s) = t {
+                    bound[*s as usize] = true;
+                }
+            }
+        } else {
+            steps.push(Step::NegCheck {
+                pred: lit.atom.pred.clone(),
+                args: lit.atom.args.clone(),
+                literal: src[i].to_string(),
+            });
+        }
+        if done.iter().all(|d| *d) {
+            break;
+        }
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdk_logic::parser::parse_rule;
+
+    fn plan(src: &str) -> RulePlan {
+        let mut i = Interner::new();
+        RulePlan::new(&parse_rule(src).unwrap(), &mut i)
+    }
+
+    #[test]
+    fn comparison_scheduled_after_binding_scan() {
+        // Comparison first in source order, but the plan defers it until
+        // the scan of `student` has bound G.
+        let p = plan("ans(X) :- G > 3.7, student(X, math, G).");
+        assert!(matches!(p.steps[0], Step::Scan { occurrence: 1, .. }));
+        assert!(matches!(p.steps[1], Step::Compare { .. }));
+    }
+
+    #[test]
+    fn equality_with_one_bound_side_compiles_to_eqbind() {
+        let p = plan("ans(X, C) :- C = databases, enroll(X, C).");
+        assert!(matches!(p.steps[0], Step::EqBind { .. }));
+        // After the bind, C is bound, so the enroll scan probes column 1.
+        match &p.steps[1] {
+            Step::Scan { cols, .. } => {
+                assert!(matches!(cols[0], Col::Slot { probe: false, .. }));
+                assert!(matches!(cols[1], Col::Slot { probe: true, .. }));
+            }
+            s => panic!("expected scan, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn unschedulable_tail_ends_in_unsafe() {
+        let p = plan("ans(X) :- student(X, Y, Z), W > 3.7.");
+        assert!(matches!(p.steps[0], Step::Scan { .. }));
+        match &p.steps[1] {
+            Step::Unsafe { literal } => assert_eq!(literal, "(W > 3.7)"),
+            s => panic!("expected unsafe terminator, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn negation_waits_for_groundness() {
+        let p = plan("ans(X) :- not enroll(X, databases), student(X, Y, Z).");
+        assert!(matches!(p.steps[0], Step::Scan { occurrence: 1, .. }));
+        assert!(matches!(p.steps[1], Step::NegCheck { .. }));
+    }
+
+    #[test]
+    fn scan_order_prefers_most_bound() {
+        // enroll(X, databases) has one unbound argument against student's
+        // three, so the planner scans it first despite source order; the
+        // student scan then probes on the X it bound.
+        let p = plan("ans(X) :- student(X, M, G), enroll(X, databases).");
+        assert!(matches!(p.steps[0], Step::Scan { occurrence: 1, .. }));
+        match &p.steps[1] {
+            Step::Scan {
+                occurrence, cols, ..
+            } => {
+                assert_eq!(*occurrence, 0);
+                assert!(matches!(cols[0], Col::Slot { probe: true, .. }));
+            }
+            s => panic!("expected scan, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn program_plan_parallels_idb_rules() {
+        let idb = Idb::from_rules([
+            parse_rule("honor(X) :- student(X, Y, Z), Z > 3.7.").unwrap(),
+            parse_rule("prior(X, Y) :- prereq(X, Y).").unwrap(),
+        ])
+        .unwrap();
+        let pp = ProgramPlan::compile(&idb);
+        assert_eq!(pp.plans().len(), 2);
+        assert_eq!(pp.plans()[1].compiled.head.pred.as_str(), "prior");
+        assert!(pp.interner().lookup("student").is_some());
+    }
+
+    #[test]
+    fn adorned_plan_probes_prebound_head_slot() {
+        let mut i = Interner::new();
+        let r = parse_rule("p(X, Y) :- edge(X, Y).").unwrap();
+        let compiled = CompiledRule::compile(&r, &mut i);
+        let p = RulePlan::with_bound(compiled, r.to_string(), vec![true, false]);
+        match &p.steps[0] {
+            Step::Scan { cols, .. } => {
+                assert!(matches!(cols[0], Col::Slot { probe: true, .. }));
+                assert!(matches!(cols[1], Col::Slot { probe: false, .. }));
+            }
+            s => panic!("expected scan, got {s:?}"),
+        }
+    }
+}

@@ -11,14 +11,15 @@
 //! predicate altogether, in which case it is taken to be defined through
 //! `ψ` (the paper's Example 2 uses the fresh predicate `answer`).
 
-use crate::bindings::match_relation;
+use crate::bindings::{exec, frame_subst, FactView};
 use crate::error::{EngineError, Result};
 use crate::graph::DependencyGraph;
 use crate::idb::Idb;
 use crate::naive::{self, EvalOptions};
+use crate::plan::{ProgramPlan, RulePlan};
 use crate::seminaive;
 use crate::topdown::Solver;
-use qdk_logic::{Atom, Literal, Rule, Subst, Term, Var};
+use qdk_logic::{Atom, Frame, Interner, Literal, Rule, Subst, Term, Var};
 use qdk_storage::{Edb, Tuple, Value};
 use std::fmt;
 
@@ -54,7 +55,11 @@ pub struct Downgrade {
 
 impl fmt::Display for Downgrade {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:?} degraded to {:?}: {}", self.from, self.to, self.reason)
+        write!(
+            f,
+            "{:?} degraded to {:?}: {}",
+            self.from, self.to, self.reason
+        )
     }
 }
 
@@ -157,10 +162,26 @@ pub fn retrieve(edb: &Edb, idb: &Idb, query: &Retrieve, strategy: Strategy) -> R
     retrieve_with(edb, idb, query, strategy, EvalOptions::default())
 }
 
-/// [`retrieve`] with evaluation options.
+/// [`retrieve`] with evaluation options. Compiles the program first;
+/// callers issuing repeated queries over an unchanged IDB should compile
+/// once and use [`retrieve_compiled`] (the knowledge-base layer does).
 pub fn retrieve_with(
     edb: &Edb,
     idb: &Idb,
+    query: &Retrieve,
+    strategy: Strategy,
+    opts: EvalOptions,
+) -> Result<DataAnswer> {
+    let plan = ProgramPlan::compile(idb);
+    retrieve_compiled(edb, idb, &plan, query, strategy, opts)
+}
+
+/// [`retrieve_with`] over an already compiled program. `plan` must be the
+/// compilation of `idb`.
+pub fn retrieve_compiled(
+    edb: &Edb,
+    idb: &Idb,
+    plan: &ProgramPlan,
     query: &Retrieve,
     strategy: Strategy,
     opts: EvalOptions,
@@ -197,7 +218,7 @@ pub fn retrieve_with(
 
     let substs = match strategy {
         Strategy::TopDown => {
-            let mut solver = Solver::with_options(edb, idb, opts);
+            let mut solver = Solver::with_plan(edb, idb, plan, opts);
             solver.solve_all(&goals)?
         }
         Strategy::Magic => {
@@ -212,7 +233,7 @@ pub fn retrieve_with(
                 // fallback exhausts too, that error propagates.
                 Err(e @ (EngineError::NotStratified(_) | EngineError::Exhausted(_))) => {
                     let mut answer =
-                        retrieve_with(edb, idb, query, Strategy::SemiNaive, opts)?;
+                        retrieve_compiled(edb, idb, plan, query, Strategy::SemiNaive, opts)?;
                     answer.downgrades.insert(
                         0,
                         Downgrade {
@@ -242,8 +263,8 @@ pub fn retrieve_with(
                 }
             }
             let derived = match strategy {
-                Strategy::Naive => naive::eval_restricted(edb, idb, &relevant, opts)?,
-                _ => seminaive::eval_restricted(edb, idb, &relevant, opts)?,
+                Strategy::Naive => naive::eval_compiled(edb, idb, plan, Some(&relevant), opts)?,
+                _ => seminaive::eval_compiled(edb, idb, plan, Some(&relevant), opts)?,
             };
             solve_against(edb, &derived, &goals)?
         }
@@ -254,12 +275,7 @@ pub fn retrieve_with(
 
 /// Projects satisfying substitutions onto the subject's variables,
 /// deduplicating rows.
-fn project_answer(
-    query: &Retrieve,
-    columns: &[Var],
-    substs: Vec<Subst>,
-) -> Result<DataAnswer> {
-
+fn project_answer(query: &Retrieve, columns: &[Var], substs: Vec<Subst>) -> Result<DataAnswer> {
     // Project onto the subject's variables. Constants in the subject are
     // checked by the goal conjunction itself (p was a goal) or — for a new
     // predicate — are simply echoed.
@@ -349,24 +365,20 @@ fn solve_against(
     derived: &crate::bindings::DerivedFacts,
     goals: &[Literal],
 ) -> Result<Vec<Subst>> {
-    // Reuse the body scheduler by evaluating the goals as the body of a
-    // dummy rule against a total view.
+    // Compile the goals as the body of a headless query rule: the plan's
+    // slots are exactly the goal conjunction's distinct variables in
+    // first-occurrence order, so each satisfying frame *is* the answer
+    // substitution restricted to the goal variables.
     let dummy = Rule::with_literals(Atom::new("_goal", vec![]), goals.to_vec());
-    let view = crate::bindings::FactView::total(edb, derived);
+    let plan = RulePlan::for_query(goals, dummy.to_string(), &mut Interner::new());
+    let view = FactView::total(edb, derived);
+    let mut frame = Frame::new(plan.compiled.num_slots());
     let mut out = Vec::new();
-    crate::bindings::eval_body(&dummy, &view, &Subst::new(), &mut |s| out.push(s))?;
-    // Deduplicate on the goal variables.
-    let mut vars = Vec::new();
-    for g in goals {
-        g.atom.collect_vars(&mut vars);
-    }
-    let mut seen = Vec::new();
-    for v in vars {
-        if !seen.contains(&v) {
-            seen.push(v);
-        }
-    }
-    Ok(out.into_iter().map(|s| s.restrict(&seen)).collect())
+    exec(&plan, 0, &view, &mut frame, &mut |f| {
+        out.push(frame_subst(&plan, f));
+        Ok(())
+    })?;
+    Ok(out)
 }
 
 /// Looks up the full extension of a predicate after bottom-up evaluation —
@@ -378,11 +390,6 @@ pub fn extension(edb: &Edb, idb: &Idb, pred: &str) -> Result<Vec<Tuple>> {
     let derived = seminaive::eval(edb, idb)?;
     let mut out = Vec::new();
     if let Some(rel) = derived.relation(pred) {
-        let mut substs = Vec::new();
-        let vars: Vec<Term> = (0..rel.arity())
-            .map(|i| Term::var(&format!("C{i}")))
-            .collect();
-        match_relation(rel, &Atom::new(pred, vars), &Subst::new(), &mut substs);
         for t in rel.iter() {
             out.push(t.clone());
         }
@@ -474,7 +481,10 @@ mod tests {
             // susan currently teaches databases. bob: honor, completed with
             // 4.0. dan: grade 3.2 fails both rules.
             assert_eq!(a.len(), 2, "{st:?}");
-            assert!(a.contains_row(&["ann"]) && a.contains_row(&["bob"]), "{st:?}");
+            assert!(
+                a.contains_row(&["ann"]) && a.contains_row(&["bob"]),
+                "{st:?}"
+            );
         }
     }
 
@@ -576,8 +586,7 @@ mod tests {
             let mut renders: Vec<Vec<String>> = Vec::new();
             for st in strategies() {
                 let a = retrieve(&edb, &idb, &q, st).unwrap();
-                let mut rows: Vec<String> =
-                    a.sorted().iter().map(ToString::to_string).collect();
+                let mut rows: Vec<String> = a.sorted().iter().map(ToString::to_string).collect();
                 rows.dedup();
                 renders.push(rows);
             }
@@ -592,7 +601,10 @@ mod tests {
             parse_atom("honor(X)").unwrap(),
             parse_body("enroll(X, databases)").unwrap(),
         );
-        assert_eq!(q.to_string(), "retrieve honor(X) where enroll(X, databases)");
+        assert_eq!(
+            q.to_string(),
+            "retrieve honor(X) where enroll(X, databases)"
+        );
         let (edb, idb) = university();
         let a = retrieve(&edb, &idb, &q, Strategy::SemiNaive).unwrap();
         let s = a.to_string();

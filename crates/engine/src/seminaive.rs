@@ -9,12 +9,13 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-use crate::bindings::{fire_rule, DerivedFacts, FactView};
+use crate::bindings::{fire_plan, DerivedFacts, FactView};
 use crate::error::Result;
 use crate::idb::Idb;
 use crate::naive::EvalOptions;
+use crate::plan::{ProgramPlan, RulePlan};
 use crate::stratify::stratify;
-use qdk_logic::{Rule, Sym};
+use qdk_logic::Sym;
 use qdk_storage::Edb;
 
 /// Computes the least fixpoint of the IDB over the EDB semi-naively,
@@ -23,11 +24,11 @@ pub fn eval(edb: &Edb, idb: &Idb) -> Result<DerivedFacts> {
     eval_with(edb, idb, EvalOptions::default())
 }
 
-/// [`eval`] with options.
+/// [`eval`] with options. Compiles the program first; callers evaluating
+/// the same IDB repeatedly should compile once and use [`eval_compiled`].
 pub fn eval_with(edb: &Edb, idb: &Idb, opts: EvalOptions) -> Result<DerivedFacts> {
-    let strat = stratify(idb)?;
-    let all: Vec<Sym> = idb.predicates();
-    eval_strata(edb, idb, strat.strata(), &all, opts)
+    let plan = ProgramPlan::compile(idb);
+    eval_compiled(edb, idb, &plan, None, opts)
 }
 
 /// Semi-naive evaluation restricted to `relevant` predicates.
@@ -37,75 +38,105 @@ pub fn eval_restricted(
     relevant: &[Sym],
     opts: EvalOptions,
 ) -> Result<DerivedFacts> {
-    let strat = stratify(idb)?;
-    eval_strata(edb, idb, strat.strata(), relevant, opts)
+    let plan = ProgramPlan::compile(idb);
+    eval_compiled(edb, idb, &plan, Some(relevant), opts)
 }
 
-fn eval_strata(
+/// Semi-naive evaluation of an already compiled program. `plan` must be
+/// the compilation of `idb` (the knowledge-base layer caches it).
+pub fn eval_compiled(
     edb: &Edb,
     idb: &Idb,
-    strata: &[Vec<Sym>],
-    relevant: &[Sym],
+    plan: &ProgramPlan,
+    relevant: Option<&[Sym]>,
     opts: EvalOptions,
 ) -> Result<DerivedFacts> {
+    let strat = stratify(idb)?;
     let mut derived = DerivedFacts::new();
     let mut gov = opts.governor();
-    for stratum in strata {
-        let rules: Vec<&Rule> = idb
-            .rules()
+    for stratum in strat.strata() {
+        let rules: Vec<&RulePlan> = plan
+            .plans()
             .iter()
-            .filter(|r| stratum.contains(&r.head.pred) && relevant.contains(&r.head.pred))
+            .filter(|rp| {
+                let head = &rp.compiled.head.pred;
+                stratum.contains(head) && relevant.is_none_or(|r| r.contains(head))
+            })
             .collect();
         if rules.is_empty() {
             continue;
         }
 
+        // Per rule, the body occurrences that can read a delta: positive
+        // literals over predicates of this stratum. Computed once per
+        // stratum, not once per round.
+        let recursive_occurrences: Vec<Vec<usize>> = rules
+            .iter()
+            .map(|rp| {
+                rp.compiled
+                    .body
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, lit)| {
+                        lit.positive
+                            && !rp.compiled.source.body[*i].is_builtin()
+                            && stratum.contains(&lit.atom.pred)
+                    })
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+
         // Round 0: fire every rule against the current totals (facts from
         // lower strata and the EDB). The new facts form the first delta.
         let mut delta = DerivedFacts::new();
-        for rule in &rules {
+        for rp in &rules {
             gov.tick()?;
             let view = FactView::total(edb, &derived);
             let mut fresh = DerivedFacts::new();
-            fire_rule(rule, &view, &mut fresh)?;
+            fire_plan(rp, &view, &mut fresh)?;
             for (p, rel) in fresh.iter() {
                 for t in rel.iter() {
-                    delta.insert(p, t.clone());
+                    delta.insert(p, t.clone())?;
                 }
             }
         }
-        subtract(&mut delta, &derived);
-        gov.add_facts(derived.absorb(&delta))?;
+        subtract(&mut delta, &derived)?;
+        gov.add_facts(derived.absorb(&delta)?)?;
 
         // Subsequent rounds: only instantiations touching the delta.
         while !delta.is_empty() {
+            // Which predicates have new facts, as a dense bitmask over the
+            // program's interned ids: the per-occurrence check below is an
+            // index, not a string hash.
+            let mut delta_mask = vec![false; plan.interner().len()];
+            for (p, _) in delta.iter() {
+                if let Some(id) = plan.interner().lookup(p.as_str()) {
+                    delta_mask[id.index()] = true;
+                }
+            }
             let mut next = DerivedFacts::new();
-            for rule in &rules {
+            for (rp, occurrences) in rules.iter().zip(&recursive_occurrences) {
                 // For each body occurrence of a predicate in this stratum,
                 // fire with that occurrence reading the delta.
-                for (i, lit) in rule.body.iter().enumerate() {
-                    if !lit.positive || lit.is_builtin() {
-                        continue;
-                    }
-                    if !stratum.contains(&lit.atom.pred) {
-                        continue;
-                    }
-                    if delta.relation(lit.atom.pred.as_str()).is_none() {
+                for &i in occurrences {
+                    let pred_id = rp.compiled.body[i].atom.pred_id;
+                    if !delta_mask.get(pred_id.index()).copied().unwrap_or(false) {
                         continue; // no new facts for this occurrence
                     }
                     gov.tick()?;
                     let view = FactView::with_delta(edb, &derived, &delta, i);
                     let mut fresh = DerivedFacts::new();
-                    fire_rule(rule, &view, &mut fresh)?;
+                    fire_plan(rp, &view, &mut fresh)?;
                     for (p, rel) in fresh.iter() {
                         for t in rel.iter() {
-                            next.insert(p, t.clone());
+                            next.insert(p, t.clone())?;
                         }
                     }
                 }
             }
-            subtract(&mut next, &derived);
-            gov.add_facts(derived.absorb(&next))?;
+            subtract(&mut next, &derived)?;
+            gov.add_facts(derived.absorb(&next)?)?;
             delta = next;
         }
     }
@@ -113,17 +144,18 @@ fn eval_strata(
 }
 
 /// Removes from `delta` every tuple already present in `base`.
-fn subtract(delta: &mut DerivedFacts, base: &DerivedFacts) {
+fn subtract(delta: &mut DerivedFacts, base: &DerivedFacts) -> Result<()> {
     let mut pruned = DerivedFacts::new();
     for (p, rel) in delta.iter() {
         let old = base.relation(p.as_str());
         for t in rel.iter() {
             if old.is_none_or(|r| !r.contains(t)) {
-                pruned.insert(p, t.clone());
+                pruned.insert(p, t.clone())?;
             }
         }
     }
     *delta = pruned;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -269,13 +301,8 @@ mod tests {
         )
         .unwrap();
         let full = eval(&edb, &idb).unwrap();
-        let restricted = eval_restricted(
-            &edb,
-            &idb,
-            &[Sym::new("prior")],
-            EvalOptions::default(),
-        )
-        .unwrap();
+        let restricted =
+            eval_restricted(&edb, &idb, &[Sym::new("prior")], EvalOptions::default()).unwrap();
         assert_eq!(
             full.relation("prior").unwrap().len(),
             restricted.relation("prior").unwrap().len()

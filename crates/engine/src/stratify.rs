@@ -109,11 +109,9 @@ mod tests {
 
     #[test]
     fn positive_program_is_single_stratum() {
-        let s = stratify(&idb(
-            "honor(X) :- student(X, Y, Z), Z > 3.7.\n\
+        let s = stratify(&idb("honor(X) :- student(X, Y, Z), Z > 3.7.\n\
              prior(X, Y) :- prereq(X, Y).\n\
-             prior(X, Y) :- prereq(X, Z), prior(Z, Y).",
-        ))
+             prior(X, Y) :- prereq(X, Z), prior(Z, Y)."))
         .unwrap();
         assert_eq!(s.len(), 1);
         assert_eq!(s.stratum_of("honor"), Some(0));
@@ -123,10 +121,8 @@ mod tests {
 
     #[test]
     fn negation_pushes_to_higher_stratum() {
-        let s = stratify(&idb(
-            "honor(X) :- student(X, Y, Z), Z > 3.7.\n\
-             ordinary(X) :- student(X, Y, Z), not honor(X).",
-        ))
+        let s = stratify(&idb("honor(X) :- student(X, Y, Z), Z > 3.7.\n\
+             ordinary(X) :- student(X, Y, Z), not honor(X)."))
         .unwrap();
         assert_eq!(s.stratum_of("honor"), Some(0));
         assert_eq!(s.stratum_of("ordinary"), Some(1));
@@ -135,11 +131,9 @@ mod tests {
 
     #[test]
     fn chained_negation_stacks_strata() {
-        let s = stratify(&idb(
-            "a(X) :- e(X).\n\
+        let s = stratify(&idb("a(X) :- e(X).\n\
              b(X) :- e(X), not a(X).\n\
-             c(X) :- e(X), not b(X).",
-        ))
+             c(X) :- e(X), not b(X)."))
         .unwrap();
         assert_eq!(s.stratum_of("a"), Some(0));
         assert_eq!(s.stratum_of("b"), Some(1));
@@ -148,22 +142,18 @@ mod tests {
 
     #[test]
     fn negative_cycle_is_rejected() {
-        let err = stratify(&idb(
-            "win(X) :- move(X, Y), not win(Y).\n\
-             move(X, Y) :- edge(X, Y), win(X).",
-        ))
+        let err = stratify(&idb("win(X) :- move(X, Y), not win(Y).\n\
+             move(X, Y) :- edge(X, Y), win(X)."))
         .unwrap_err();
         assert!(matches!(err, EngineError::NotStratified(_)));
     }
 
     #[test]
     fn positive_recursion_with_negation_below_is_fine() {
-        let s = stratify(&idb(
-            "base(X) :- e(X), not excluded(X).\n\
+        let s = stratify(&idb("base(X) :- e(X), not excluded(X).\n\
              excluded(X) :- f(X).\n\
              closure(X) :- base(X).\n\
-             closure(X) :- g(X, Y), closure(Y).",
-        ))
+             closure(X) :- g(X, Y), closure(Y)."))
         .unwrap();
         assert_eq!(s.stratum_of("excluded"), Some(0));
         assert_eq!(s.stratum_of("base"), Some(1));

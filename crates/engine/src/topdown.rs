@@ -9,24 +9,51 @@
 //! 1. **Relevance restriction** — only the rules of predicates reachable
 //!    from the query in the dependency graph are evaluated (QSQ's
 //!    reachability component);
-//! 2. **Constant propagation for non-recursive goals** — a direct SLD-style
-//!    resolution that pushes the query's constant bindings into rule bodies,
-//!    so e.g. `enroll(X, databases)` never enumerates other courses. For
-//!    recursive predicates the SCC is closed bottom-up (semi-naively) first,
-//!    which keeps termination unconditional; SLD then reads the closed
+//! 2. **Constant propagation for non-recursive goals** — resolution that
+//!    pushes the query's constant bindings into rule bodies, so e.g.
+//!    `enroll(X, databases)` never enumerates other courses. For recursive
+//!    predicates the SCC is closed bottom-up (semi-naively) first, which
+//!    keeps termination unconditional; resolution then reads the closed
 //!    relation.
+//!
+//! The solver runs the same compiled plans as the bottom-up strategies.
+//! A call to a non-recursive IDB predicate specializes the predicate's
+//! rule plans to the call's binding pattern — which head argument slots
+//! arrive bound — and caches the specialization per (rule, adornment), so
+//! repeated calls with the same shape re-run a ready schedule instead of
+//! re-deriving literal order.
 //!
 //! This is the "top-down" comparator of the P1 experiment.
 
-use crate::bindings::{match_relation, DerivedFacts};
-use crate::error::Result;
+use crate::bindings::{frame_subst, match_cols_into, probe_ids, scan_relation, DerivedFacts};
+use crate::error::{EngineError, Result};
 use crate::graph::DependencyGraph;
 use crate::idb::Idb;
 use crate::naive::EvalOptions;
+use crate::plan::{Col, ProgramPlan, RulePlan, Step};
 use crate::seminaive;
 use qdk_logic::governor::Governor;
-use qdk_logic::{Atom, Literal, Rule, Subst, Sym, Term, VarGen};
-use qdk_storage::{builtins, Edb};
+use qdk_logic::{Frame, Interner, IrTerm, Literal, Subst, Sym};
+use qdk_storage::{builtins, Edb, StorageError, Tuple, Value};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The solver's view of the compiled program: owned when built from the
+/// IDB directly, borrowed when the caller (e.g. the knowledge base)
+/// already holds a cached compilation.
+enum PlanRef<'a> {
+    Owned(ProgramPlan),
+    Borrowed(&'a ProgramPlan),
+}
+
+impl PlanRef<'_> {
+    fn get(&self) -> &ProgramPlan {
+        match self {
+            PlanRef::Owned(p) => p,
+            PlanRef::Borrowed(p) => p,
+        }
+    }
+}
 
 /// A goal-directed solver for one (EDB, IDB) pair.
 pub struct Solver<'a> {
@@ -35,11 +62,17 @@ pub struct Solver<'a> {
     graph: DependencyGraph,
     /// Closed relations for recursive SCCs, computed lazily per query.
     closed: DerivedFacts,
-    gen: VarGen,
+    /// The compiled program shared with the bottom-up strategies.
+    program: PlanRef<'a>,
+    /// Rule indices into the program plan, grouped by head predicate.
+    rules_by_head: HashMap<Sym, Vec<usize>>,
+    /// Call plans: one specialization per (rule index, head-slot
+    /// adornment), reused across calls with the same binding pattern.
+    call_plans: HashMap<(usize, Vec<bool>), Rc<RulePlan>>,
     opts: EvalOptions,
-    /// Governs SLD resolution steps; the semi-naive pre-closure of
-    /// recursive SCCs builds its own governor from the same options, so
-    /// both phases answer to the same limits.
+    /// Governs resolution steps; the semi-naive pre-closure of recursive
+    /// SCCs builds its own governor from the same options, so both phases
+    /// answer to the same limits.
     gov: Governor,
 }
 
@@ -49,15 +82,34 @@ impl<'a> Solver<'a> {
         Solver::with_options(edb, idb, EvalOptions::default())
     }
 
-    /// Creates a solver with evaluation options.
+    /// Creates a solver with evaluation options, compiling the program.
     pub fn with_options(edb: &'a Edb, idb: &'a Idb, opts: EvalOptions) -> Self {
+        Solver::build(edb, idb, PlanRef::Owned(ProgramPlan::compile(idb)), opts)
+    }
+
+    /// Creates a solver over an already compiled program. `plan` must be
+    /// the compilation of `idb`.
+    pub fn with_plan(edb: &'a Edb, idb: &'a Idb, plan: &'a ProgramPlan, opts: EvalOptions) -> Self {
+        Solver::build(edb, idb, PlanRef::Borrowed(plan), opts)
+    }
+
+    fn build(edb: &'a Edb, idb: &'a Idb, program: PlanRef<'a>, opts: EvalOptions) -> Self {
         let gov = opts.governor();
+        let mut rules_by_head: HashMap<Sym, Vec<usize>> = HashMap::new();
+        for (i, rp) in program.get().plans().iter().enumerate() {
+            rules_by_head
+                .entry(rp.compiled.head.pred.clone())
+                .or_default()
+                .push(i);
+        }
         Solver {
             edb,
             idb,
             graph: DependencyGraph::build(idb),
             closed: DerivedFacts::new(),
-            gen: VarGen::new(),
+            program,
+            rules_by_head,
+            call_plans: HashMap::new(),
             opts,
             gov,
         }
@@ -72,25 +124,26 @@ impl<'a> Solver<'a> {
                 self.ensure_closed(&lit.atom.pred)?;
             }
         }
+        // Compile the conjunction as a headless query plan: its slots are
+        // the goals' distinct variables in first-occurrence order, so each
+        // satisfying frame is already restricted to the goal variables.
+        let rule_str = goals
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        let qplan = RulePlan::for_query(goals, rule_str, &mut Interner::new());
+        let mut frame = Frame::new(qplan.compiled.num_slots());
         let mut out = Vec::new();
-        let mut vars = Vec::new();
-        for g in goals {
-            g.atom.collect_vars(&mut vars);
-        }
-        let mut seen = Vec::new();
-        for v in vars {
-            if !seen.contains(&v) {
-                seen.push(v);
-            }
-        }
-        self.solve_conj(goals, Subst::new(), &mut |s| {
-            out.push(s.restrict(&seen));
+        self.exec_plan(&qplan, 0, &mut frame, &mut |f| {
+            out.push(frame_subst(&qplan, f));
+            Ok(())
         })?;
         Ok(out)
     }
 
     /// Closes (computes bottom-up) every recursive SCC that `pred`
-    /// transitively reaches, so SLD resolution never descends into a cycle.
+    /// transitively reaches, so resolution never descends into a cycle.
     fn ensure_closed(&mut self, pred: &Sym) -> Result<()> {
         let reach = self.graph.reachable_from(pred.as_str());
         let recursive: Vec<Sym> = reach
@@ -103,162 +156,341 @@ impl<'a> Solver<'a> {
                 continue;
             }
             // Close the predicate together with everything it depends on
-            // (its SCC and anything below it) semi-naively.
+            // (its SCC and anything below it) semi-naively, reusing the
+            // compiled program.
             let relevant = self.graph.reachable_from(p.as_str());
-            let facts =
-                seminaive::eval_restricted(self.edb, self.idb, &relevant, self.opts.clone())?;
-            self.closed.absorb(&facts);
+            let facts = seminaive::eval_compiled(
+                self.edb,
+                self.idb,
+                self.program.get(),
+                Some(&relevant),
+                self.opts.clone(),
+            )?;
+            self.closed.absorb(&facts)?;
         }
         Ok(())
     }
 
-    fn solve_conj(
+    /// Executes a plan's step schedule, routing each scan to the right
+    /// fact source: the EDB, a closed recursive relation, or — for
+    /// non-recursive IDB predicates — resolution through call plans.
+    fn exec_plan(
         &mut self,
-        goals: &[Literal],
-        subst: Subst,
-        emit: &mut dyn FnMut(Subst),
+        plan: &RulePlan,
+        step: usize,
+        frame: &mut Frame,
+        emit: &mut dyn FnMut(&Frame) -> Result<()>,
     ) -> Result<()> {
-        // Pick the next evaluable goal, mirroring the bottom-up scheduler:
-        // ground comparisons / bindable equalities first, ground negations
-        // next, then the most-bound positive literal. If nothing is
-        // evaluable, fall through to goal 0 so the builtin path reports the
-        // unsafe conjunction.
-        if goals.is_empty() {
-            emit(subst);
-            return Ok(());
-        }
-        let i = self.choose_goal(goals, &subst).unwrap_or(0);
-        let mut rest: Vec<Literal> = goals.to_vec();
-        let lit = &rest.remove(i);
-
-        if lit.is_builtin() {
-            if lit.positive && lit.atom.pred.as_str() == "=" {
-                let l = subst.apply_term(&lit.atom.args[0]);
-                let r = subst.apply_term(&lit.atom.args[1]);
-                if let Some(u) = qdk_logic::unify(&l, &r) {
-                    return self.solve_conj(&rest, subst.compose(&u), emit);
-                }
-                return Ok(());
-            }
-            let truth = builtins::eval_atom(&lit.atom, &subst)
-                .map_err(crate::EngineError::from)?
-                .ok_or_else(|| crate::EngineError::UnsafeRule {
-                    rule: goals
-                        .iter()
-                        .map(ToString::to_string)
-                        .collect::<Vec<_>>()
-                        .join(", "),
-                    literal: lit.to_string(),
-                })?;
-            let holds = if lit.positive { truth } else { !truth };
-            if holds {
-                return self.solve_conj(&rest, subst, emit);
-            }
-            return Ok(());
-        }
-
-        if !lit.positive {
-            // Ground closed-world negation.
-            if !lit.atom.args.iter().all(|t| subst.apply_term(t).is_ground()) {
-                return Err(crate::EngineError::UnsafeRule {
-                    rule: goals
-                        .iter()
-                        .map(ToString::to_string)
-                        .collect::<Vec<_>>()
-                        .join(", "),
-                    literal: lit.to_string(),
-                });
-            }
-            let mut probe = Vec::new();
-            self.solve_atom(&lit.atom, &subst, &mut |s| probe.push(s))?;
-            if probe.is_empty() {
-                return self.solve_conj(&rest, subst, emit);
-            }
-            return Ok(());
-        }
-
-        let mut solutions = Vec::new();
-        self.solve_atom(&lit.atom, &subst, &mut |s| solutions.push(s))?;
-        for s in solutions {
-            self.solve_conj(&rest, s, emit)?;
-        }
-        Ok(())
-    }
-
-    fn choose_goal(&self, goals: &[Literal], subst: &Subst) -> Option<usize> {
-        let ground = |t: &Term| subst.apply_term(t).is_ground();
-        let mut best: Option<(usize, usize)> = None;
-        for (i, lit) in goals.iter().enumerate() {
-            if lit.is_builtin() {
-                let lg = ground(&lit.atom.args[0]);
-                let rg = ground(&lit.atom.args[1]);
-                let evaluable = if lit.positive && lit.atom.pred.as_str() == "=" {
-                    lg || rg
-                } else {
-                    lg && rg
+        let Some(s) = plan.steps.get(step) else {
+            return emit(frame);
+        };
+        match s {
+            Step::Compare {
+                positive,
+                op,
+                lhs,
+                rhs,
+                literal,
+            } => {
+                let truth = match (lhs.resolve(frame), rhs.resolve(frame)) {
+                    (Some(l), Some(r)) => builtins::eval(op.as_str(), l, r)?,
+                    _ => {
+                        return Err(EngineError::UnsafeRule {
+                            rule: plan.rule_str.clone(),
+                            literal: literal.clone(),
+                        })
+                    }
                 };
-                if evaluable {
-                    return Some(i);
-                }
-            } else if !lit.positive {
-                if lit.atom.args.iter().all(&ground) {
-                    return Some(i);
-                }
-            } else {
-                let unbound = lit.atom.args.iter().filter(|t| !ground(t)).count();
-                if best.is_none_or(|(_, b)| unbound < b) {
-                    best = Some((i, unbound));
+                if truth == *positive {
+                    self.exec_plan(plan, step + 1, frame, emit)
+                } else {
+                    Ok(())
                 }
             }
+            Step::EqBind { lhs, rhs, literal } => {
+                match (lhs.resolve(frame).cloned(), rhs.resolve(frame).cloned()) {
+                    (Some(l), Some(r)) => {
+                        if l == r {
+                            self.exec_plan(plan, step + 1, frame, emit)
+                        } else {
+                            Ok(())
+                        }
+                    }
+                    (Some(l), None) => self.bind_eq(plan, step, rhs, l, frame, emit),
+                    (None, Some(r)) => self.bind_eq(plan, step, lhs, r, frame, emit),
+                    (None, None) => Err(EngineError::UnsafeRule {
+                        rule: plan.rule_str.clone(),
+                        literal: literal.clone(),
+                    }),
+                }
+            }
+            Step::NegCheck {
+                pred,
+                args,
+                literal,
+            } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    match a.resolve(frame) {
+                        Some(c) => vals.push(c.clone()),
+                        None => {
+                            return Err(EngineError::UnsafeRule {
+                                rule: plan.rule_str.clone(),
+                                literal: literal.clone(),
+                            })
+                        }
+                    }
+                }
+                if self.neg_holds(pred, &vals)? {
+                    Ok(())
+                } else {
+                    self.exec_plan(plan, step + 1, frame, emit)
+                }
+            }
+            Step::Scan { pred, cols, .. } => self.scan_pred(plan, step, pred, cols, frame, emit),
+            Step::Unsafe { literal } => Err(EngineError::UnsafeRule {
+                rule: plan.rule_str.clone(),
+                literal: literal.clone(),
+            }),
         }
-        best.map(|(i, _)| i)
     }
 
-    /// Solves a single positive database atom.
-    fn solve_atom(
+    /// Binds the unbound side of an equality and continues, unbinding on
+    /// the way out.
+    fn bind_eq(
         &mut self,
-        atom: &Atom,
-        subst: &Subst,
-        emit: &mut dyn FnMut(Subst),
+        plan: &RulePlan,
+        step: usize,
+        side: &IrTerm,
+        value: Value,
+        frame: &mut Frame,
+        emit: &mut dyn FnMut(&Frame) -> Result<()>,
     ) -> Result<()> {
-        let pred = atom.pred.as_str();
-        if self.edb.is_edb_predicate(pred) {
-            let mut out = Vec::new();
-            self.edb.match_atom(atom, subst, &mut out)?;
-            for s in out {
-                emit(s);
-            }
+        let IrTerm::Slot(slot) = side else {
+            // A constant always resolves, so an unresolved side is a slot.
             return Ok(());
-        }
-        if self.graph.is_recursive(pred) {
-            // Closed earlier: read the materialized relation.
-            if let Some(rel) = self.closed.relation(pred) {
-                let mut out = Vec::new();
-                match_relation(rel, atom, subst, &mut out);
-                for s in out {
-                    emit(s);
+        };
+        frame.set(*slot, value);
+        let res = self.exec_plan(plan, step + 1, frame, emit);
+        frame.clear(*slot);
+        res
+    }
+
+    /// A positive scan: enumerate the predicate's extension under the
+    /// current frame and recurse into the rest of the plan per match.
+    fn scan_pred(
+        &mut self,
+        plan: &RulePlan,
+        step: usize,
+        pred: &Sym,
+        cols: &[Col],
+        frame: &mut Frame,
+        emit: &mut dyn FnMut(&Frame) -> Result<()>,
+    ) -> Result<()> {
+        let pred_str = pred.as_str();
+        if self.edb.is_edb_predicate(pred_str) {
+            let edb = self.edb;
+            let Some(rel) = edb.relation(pred_str) else {
+                return Ok(());
+            };
+            if cols.len() != rel.arity() {
+                return Err(StorageError::ArityMismatch {
+                    predicate: pred.to_string(),
+                    expected: rel.arity(),
+                    found: cols.len(),
                 }
+                .into());
+            }
+            return scan_relation(rel, cols, frame, &mut |frame| {
+                self.exec_plan(plan, step + 1, frame, emit)
+            });
+        }
+        if self.graph.is_recursive(pred_str) {
+            // Closed earlier. Materialize the candidate tuples (cheap
+            // shared-buffer clones) so the recursion below can borrow the
+            // solver mutably.
+            let tuples: Vec<Tuple> = match self.closed.relation(pred_str) {
+                Some(rel) if rel.arity() == cols.len() => match probe_ids(rel, cols, frame) {
+                    Some(ids) => ids.iter().map(|&id| rel.tuple_at(id).clone()).collect(),
+                    None => rel.iter().cloned().collect(),
+                },
+                _ => Vec::new(),
+            };
+            let mut trail: Vec<u32> = Vec::new();
+            for t in tuples {
+                trail.clear();
+                let res = if match_cols_into(cols, t.values(), frame, &mut trail) {
+                    self.exec_plan(plan, step + 1, frame, emit)
+                } else {
+                    Ok(())
+                };
+                for &s in &trail {
+                    frame.clear(s);
+                }
+                res?;
             }
             return Ok(());
         }
-        if !self.idb.defines(pred) {
+        if !self.idb.defines(pred_str) {
             // Neither stored nor derived: empty extension.
             return Ok(());
         }
-        // Non-recursive IDB predicate: SLD-resolve through each rule.
-        self.gov.tick()?;
-        let rules: Vec<Rule> = self.idb.rules_for(pred).cloned().collect();
-        for rule in rules {
-            let (renamed, _) = qdk_logic::rename_rule_apart(&rule, &mut self.gen);
-            let Some(mgu) = qdk_logic::unify_atoms(&subst.apply_atom(atom), &renamed.head)
-            else {
-                continue;
+        // Non-recursive IDB predicate: resolve through the predicate's
+        // rule plans, specialized to this call's binding pattern.
+        let call_vals: Vec<Option<Value>> = cols
+            .iter()
+            .map(|col| match col {
+                Col::Const(v) => Some(v.clone()),
+                Col::Slot { slot, .. } => frame.get(*slot).cloned(),
+            })
+            .collect();
+        let rows = self.solve_pred(pred, &call_vals)?;
+        let mut trail: Vec<u32> = Vec::new();
+        for row in rows {
+            trail.clear();
+            let mut matched = true;
+            for (col, cell) in cols.iter().zip(&row) {
+                // A `None` cell is a head variable the rule left unbound;
+                // it constrains nothing on the caller's side.
+                let Some(value) = cell else { continue };
+                let ok = match col {
+                    Col::Const(c) => c == value,
+                    Col::Slot { slot, .. } => match frame.get(*slot) {
+                        Some(bound) => bound == value,
+                        None => {
+                            frame.set(*slot, value.clone());
+                            trail.push(*slot);
+                            true
+                        }
+                    },
+                };
+                if !ok {
+                    matched = false;
+                    break;
+                }
+            }
+            let res = if matched {
+                self.exec_plan(plan, step + 1, frame, emit)
+            } else {
+                Ok(())
             };
-            let combined = subst.compose(&mgu);
-            let body = renamed.body.clone();
-            self.solve_conj(&body, combined, emit)?;
+            for &s in &trail {
+                frame.clear(s);
+            }
+            res?;
         }
         Ok(())
+    }
+
+    /// Resolves a call to a non-recursive IDB predicate: for each of its
+    /// rules, pre-binds the head slots the call grounds, runs the rule's
+    /// call plan, and collects the head rows it emits (`None` marks a
+    /// head variable the body left unbound). One governor tick per call,
+    /// as the dynamic resolver charged one per goal expansion.
+    fn solve_pred(
+        &mut self,
+        pred: &Sym,
+        call_vals: &[Option<Value>],
+    ) -> Result<Vec<Vec<Option<Value>>>> {
+        self.gov.tick()?;
+        let indices = self.rules_by_head.get(pred).cloned().unwrap_or_default();
+        let mut rows: Vec<Vec<Option<Value>>> = Vec::new();
+        'rules: for idx in indices {
+            let head_args = self.program.get().plans()[idx].compiled.head.args.clone();
+            if head_args.len() != call_vals.len() {
+                continue; // the head cannot unify with the call
+            }
+            let num_slots = self.program.get().plans()[idx].compiled.num_slots();
+            let mut bound = vec![false; num_slots];
+            let mut frame = Frame::new(num_slots);
+            for (arg, cell) in head_args.iter().zip(call_vals) {
+                let Some(v) = cell else { continue };
+                match arg {
+                    IrTerm::Const(c) => {
+                        if c != v {
+                            continue 'rules; // head constant conflicts
+                        }
+                    }
+                    IrTerm::Slot(s) => match frame.get(*s) {
+                        Some(prev) => {
+                            if prev != v {
+                                continue 'rules; // repeated head var conflicts
+                            }
+                        }
+                        None => {
+                            frame.set(*s, v.clone());
+                            bound[*s as usize] = true;
+                        }
+                    },
+                }
+            }
+            let key = (idx, bound);
+            let cplan = match self.call_plans.get(&key) {
+                Some(p) => Rc::clone(p),
+                None => {
+                    let rp = &self.program.get().plans()[idx];
+                    let p = Rc::new(RulePlan::with_bound(
+                        rp.compiled.clone(),
+                        rp.rule_str.clone(),
+                        key.1.clone(),
+                    ));
+                    self.call_plans.insert(key, Rc::clone(&p));
+                    p
+                }
+            };
+            // Collect this rule's emissions eagerly (the dynamic resolver
+            // also materialized each expansion level) before the caller's
+            // remaining steps run.
+            let mut emitted: Vec<Vec<Option<Value>>> = Vec::new();
+            self.exec_plan(&cplan, 0, &mut frame, &mut |f| {
+                emitted.push(
+                    cplan
+                        .compiled
+                        .head
+                        .args
+                        .iter()
+                        .map(|t| t.resolve(f).cloned())
+                        .collect(),
+                );
+                Ok(())
+            })?;
+            rows.append(&mut emitted);
+        }
+        Ok(rows)
+    }
+
+    /// Closed-world membership test for a fully ground negated atom.
+    fn neg_holds(&mut self, pred: &Sym, vals: &[Value]) -> Result<bool> {
+        let pred_str = pred.as_str();
+        if self.edb.is_edb_predicate(pred_str) {
+            let Some(rel) = self.edb.relation(pred_str) else {
+                return Ok(false);
+            };
+            if vals.len() != rel.arity() {
+                return Err(StorageError::ArityMismatch {
+                    predicate: pred.to_string(),
+                    expected: rel.arity(),
+                    found: vals.len(),
+                }
+                .into());
+            }
+            let pattern: Vec<Option<&Value>> = vals.iter().map(Some).collect();
+            return Ok(rel.select_ref(&pattern).next().is_some());
+        }
+        if self.graph.is_recursive(pred_str) {
+            return Ok(match self.closed.relation(pred_str) {
+                Some(rel) if rel.arity() == vals.len() => {
+                    let pattern: Vec<Option<&Value>> = vals.iter().map(Some).collect();
+                    rel.select_ref(&pattern).next().is_some()
+                }
+                _ => false,
+            });
+        }
+        if !self.idb.defines(pred_str) {
+            return Ok(false);
+        }
+        let call_vals: Vec<Option<Value>> = vals.iter().cloned().map(Some).collect();
+        Ok(!self.solve_pred(pred, &call_vals)?.is_empty())
     }
 }
 
@@ -271,7 +503,9 @@ pub fn solve(edb: &Edb, idb: &Idb, goals: &[Literal]) -> Result<Vec<Subst>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bindings::match_relation;
     use qdk_logic::parser::{parse_atom, parse_body, parse_program};
+    use qdk_logic::Term;
 
     fn setup() -> (Edb, Idb) {
         let mut edb = Edb::new();
@@ -398,5 +632,21 @@ mod tests {
         let goals = parse_body("C = databases, enroll(X, C)").unwrap();
         let substs = solve(&edb, &idb, &goals).unwrap();
         assert_eq!(names(&substs, "X"), ["ann", "bob"]);
+    }
+
+    #[test]
+    fn call_plans_are_cached_per_adornment() {
+        let (edb, idb) = setup();
+        let mut solver = Solver::new(&edb, &idb);
+        // Two calls with the same binding shape share one specialization.
+        for goal in ["honor(ann)", "honor(bob)"] {
+            let goals = parse_body(goal).unwrap();
+            solver.solve_all(&goals).unwrap();
+        }
+        assert_eq!(solver.call_plans.len(), 1);
+        // A differently adorned call adds a second specialization.
+        let goals = parse_body("honor(X)").unwrap();
+        solver.solve_all(&goals).unwrap();
+        assert_eq!(solver.call_plans.len(), 2);
     }
 }

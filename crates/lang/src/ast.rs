@@ -100,7 +100,11 @@ impl fmt::Display for Statement {
             Statement::Show(ShowKind::Predicates) => write!(f, "show predicates."),
             Statement::Show(ShowKind::Rules) => write!(f, "show rules."),
             Statement::Show(ShowKind::Constraints) => write!(f, "show constraints."),
-            Statement::Explain(d) => write!(f, "explain {}.", d.to_string().trim_start_matches("describe ")),
+            Statement::Explain(d) => write!(
+                f,
+                "explain {}.",
+                d.to_string().trim_start_matches("describe ")
+            ),
             Statement::Retrieve(r) => write!(f, "{r}."),
             Statement::Describe(d) => write!(f, "{d}."),
             Statement::DescribeNecessary(d) => {

@@ -8,10 +8,64 @@ use crate::ast::Statement;
 use crate::error::Result;
 use crate::parser::{parse_script, parse_statement};
 use qdk_core::{compare, describe, extensions, Describe, DescribeOptions};
-use qdk_engine::{query, Idb, Retrieve, Strategy};
+use qdk_engine::{query, Idb, ProgramPlan, Retrieve, Strategy};
 use qdk_logic::{Constraint, Rule, Sym};
 use qdk_storage::Edb;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The cached compilation of the IDB (plans plus their interner),
+/// rebuilt lazily after any mutation. Interior-mutable so queries —
+/// which take `&self` — can fill it on first use.
+#[derive(Default)]
+struct PlanCache(Mutex<Option<Arc<ProgramPlan>>>);
+
+impl PlanCache {
+    /// Locks the slot; a poisoned lock only means another thread
+    /// panicked mid-access, and the cached plan (or `None`) is still
+    /// coherent, so recover the guard instead of propagating.
+    fn slot(&self) -> MutexGuard<'_, Option<Arc<ProgramPlan>>> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The cached plan, compiling `idb` if the cache is empty.
+    fn get_or_compile(&self, idb: &Idb) -> Arc<ProgramPlan> {
+        let mut slot = self.slot();
+        match &*slot {
+            Some(p) => Arc::clone(p),
+            None => {
+                let p = Arc::new(ProgramPlan::compile(idb));
+                *slot = Some(Arc::clone(&p));
+                p
+            }
+        }
+    }
+
+    /// Drops the cached plan; the next query recompiles.
+    fn invalidate(&self) {
+        *self.slot() = None;
+    }
+}
+
+impl Clone for PlanCache {
+    fn clone(&self) -> Self {
+        PlanCache(Mutex::new(self.slot().clone()))
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = if self.slot().is_some() {
+            "compiled"
+        } else {
+            "empty"
+        };
+        write!(f, "PlanCache({state})")
+    }
+}
 
 /// A knowledge-rich database: EDB facts, IDB rules, integrity
 /// constraints, and the unified query interface over them.
@@ -23,6 +77,8 @@ pub struct KnowledgeBase {
     keys: HashMap<Sym, usize>,
     strategy: Strategy,
     opts: DescribeOptions,
+    /// Compiled program shared by every retrieve until the KB mutates.
+    plan: PlanCache,
 }
 
 impl KnowledgeBase {
@@ -73,16 +129,19 @@ impl KnowledgeBase {
         if let Some(k) = key {
             self.keys.insert(Sym::new(name), k);
         }
+        self.plan.invalidate();
         Ok(())
     }
 
     /// Adds a fact (ground atom) to the EDB.
     pub fn add_fact(&mut self, atom: &qdk_logic::Atom) -> Result<bool> {
+        self.plan.invalidate();
         Ok(self.edb.insert_fact(atom)?)
     }
 
     /// Adds a rule to the IDB.
     pub fn add_rule(&mut self, rule: Rule) -> Result<()> {
+        self.plan.invalidate();
         Ok(self.idb.add_rule(rule)?)
     }
 
@@ -112,6 +171,7 @@ impl KnowledgeBase {
                 Ok(Answer::Ack(format!("added constraint {c}")))
             }
             Statement::Retract(atom) => {
+                self.plan.invalidate();
                 let removed = self.edb.remove_fact(atom)?;
                 Ok(Answer::Ack(if removed {
                     format!("retracted {atom}")
@@ -176,15 +236,15 @@ impl KnowledgeBase {
             Statement::DescribeWithout { subject, negated } => Ok(Answer::Necessity(
                 extensions::describe_without(&self.idb, subject, negated, &self.opts)?,
             )),
-            Statement::DescribePossible { hypothesis } => Ok(Answer::Possibility(
-                extensions::describe_possible(
+            Statement::DescribePossible { hypothesis } => {
+                Ok(Answer::Possibility(extensions::describe_possible(
                     &self.idb,
                     hypothesis,
                     &self.keys,
                     &self.constraints,
                     &self.opts,
-                )?,
-            )),
+                )?))
+            }
             Statement::DescribeWildcard { hypothesis } => Ok(Answer::Wildcard(
                 extensions::describe_wildcard(&self.idb, hypothesis, &self.opts)?,
             )),
@@ -212,13 +272,21 @@ impl KnowledgeBase {
     pub fn retrieve(&self, r: &Retrieve) -> Result<qdk_engine::DataAnswer> {
         let mut eval = qdk_engine::EvalOptions::with_limits(self.opts.limits);
         eval.cancel = self.opts.cancel.clone();
-        Ok(query::retrieve_with(
+        let plan = self.plan.get_or_compile(&self.idb);
+        Ok(query::retrieve_compiled(
             &self.edb,
             &self.idb,
+            &plan,
             r,
             self.strategy,
             eval,
         )?)
+    }
+
+    /// True if a compiled program is currently cached (test hook).
+    #[cfg(test)]
+    fn plan_cached(&self) -> bool {
+        self.plan.slot().is_some()
     }
 
     /// Evaluates a `describe` statement (knowledge query, §3.2),
@@ -362,7 +430,10 @@ mod tests {
 
         // Show lists the catalog, the rules and the constraints.
         let preds = kb.run("show predicates.").unwrap().to_string();
-        assert!(preds.contains("student(Sname, Major, Gpa) key 1"), "{preds}");
+        assert!(
+            preds.contains("student(Sname, Major, Gpa) key 1"),
+            "{preds}"
+        );
         assert!(preds.contains("facts"), "{preds}");
         let rules = kb.run("show rules.").unwrap().to_string();
         assert!(rules.contains("honor(X) :-"), "{rules}");
@@ -390,10 +461,7 @@ mod tests {
         let q = "retrieve honor(X) where enroll(X, databases).";
         let a = kb.run(q).unwrap();
         let b = restored.run(q).unwrap();
-        assert_eq!(
-            a.as_data().unwrap().sorted(),
-            b.as_data().unwrap().sorted()
-        );
+        assert_eq!(a.as_data().unwrap().sorted(), b.as_data().unwrap().sorted());
         let q = "describe can_ta(X, Y) where honor(X) and teach(susan, Y).";
         let a = kb.run(q).unwrap();
         let b = restored.run(q).unwrap();
@@ -403,6 +471,61 @@ mod tests {
         );
         // Dump is idempotent.
         assert_eq!(restored.dump(), dumped);
+    }
+
+    #[test]
+    fn plan_cache_fills_on_query_and_invalidates_on_mutation() {
+        let mut kb = mini_kb();
+        assert!(!kb.plan_cached());
+        kb.run("retrieve honor(X).").unwrap();
+        assert!(kb.plan_cached());
+        // Reads keep the cache; every mutation drops it.
+        kb.run("show rules.").unwrap();
+        assert!(kb.plan_cached());
+        kb.run("student(cara, math, 3.95).").unwrap();
+        assert!(!kb.plan_cached());
+        kb.run("retrieve honor(X).").unwrap();
+        assert!(kb.plan_cached());
+        kb.run("star(X) :- student(X, M, G), G > 3.8.").unwrap();
+        assert!(!kb.plan_cached());
+    }
+
+    #[test]
+    fn answers_track_mutations_through_the_cache() {
+        let mut kb = mini_kb();
+        // Fill the cache, then mutate facts and rules: answers must
+        // reflect every change, never a stale compilation.
+        assert_eq!(
+            kb.run("retrieve honor(X).")
+                .unwrap()
+                .as_data()
+                .unwrap()
+                .len(),
+            1
+        );
+        kb.run("student(cara, math, 3.95).").unwrap();
+        assert_eq!(
+            kb.run("retrieve honor(X).")
+                .unwrap()
+                .as_data()
+                .unwrap()
+                .len(),
+            2
+        );
+        kb.run("star(X) :- student(X, M, G), G > 3.8.").unwrap();
+        let stars = kb.run("retrieve star(X).").unwrap();
+        let stars = stars.as_data().unwrap();
+        assert_eq!(stars.len(), 2);
+        assert!(stars.contains_row(&["ann"]) && stars.contains_row(&["cara"]));
+        kb.run("retract student(cara, math, 3.95).").unwrap();
+        assert_eq!(
+            kb.run("retrieve star(X).")
+                .unwrap()
+                .as_data()
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! statement  := declaration | clause | retrieve | describe | compare
-//!             | "retract" atom "." | "show" kind "." | "explain" atom ("where" formula)? "." 
+//!             | "retract" atom "." | "show" kind "." | "explain" atom ("where" formula)? "."
 //! declaration:= "predicate" ident "(" name ("," name)* ")" ("key" INT)? "."
 //! retrieve   := "retrieve" atom ("where" formula)? "."
 //! describe   := "describe" "*" "where" formula "."
@@ -31,7 +31,9 @@ pub fn parse_statement(src: &str) -> Result<Statement> {
     let mut p = Parser::new(src)?;
     let s = statement(&mut p)?;
     if !p.at_end() {
-        return Err(LangError::from(p.error_here("trailing input after statement")));
+        return Err(LangError::from(
+            p.error_here("trailing input after statement"),
+        ));
     }
     Ok(s)
 }
@@ -104,7 +106,9 @@ fn statement(p: &mut Parser) -> Result<Statement> {
 fn declaration(p: &mut Parser) -> Result<Statement> {
     let name = p.identifier()?;
     if !p.eat_lparen() {
-        return Err(LangError::from(p.error_here("expected '(' after predicate name")));
+        return Err(LangError::from(
+            p.error_here("expected '(' after predicate name"),
+        ));
     }
     let mut attrs = vec![p.name()?];
     while p.eat_comma() {
@@ -116,9 +120,10 @@ fn declaration(p: &mut Parser) -> Result<Statement> {
     let key = if p.eat_keyword("key") {
         let k = p.integer()?;
         if k < 0 || k as usize > attrs.len() {
-            return Err(LangError::from(
-                p.error_here(format!("key length {k} out of range for arity {}", attrs.len())),
-            ));
+            return Err(LangError::from(p.error_here(format!(
+                "key length {k} out of range for arity {}",
+                attrs.len()
+            ))));
         }
         Some(k as usize)
     } else {
@@ -269,7 +274,9 @@ fn clause_via_program(p: &mut Parser) -> Result<Statement> {
         Vec::new()
     };
     p.expect_period()?;
-    Ok(Statement::Clause(qdk_logic::Rule::with_literals(head, body)))
+    Ok(Statement::Clause(qdk_logic::Rule::with_literals(
+        head, body,
+    )))
 }
 
 fn body_literals(p: &mut Parser) -> Result<Vec<Literal>> {
@@ -372,10 +379,8 @@ mod tests {
     #[test]
     fn parses_subjectless_describe() {
         // The paper's §6 example, verbatim modulo ASCII.
-        let s = parse_statement(
-            "describe where student(X, Y, Z) and (Z < 3.5) and can_ta(X, U).",
-        )
-        .unwrap();
+        let s = parse_statement("describe where student(X, Y, Z) and (Z < 3.5) and can_ta(X, U).")
+            .unwrap();
         let Statement::DescribePossible { hypothesis } = s else {
             panic!()
         };
@@ -390,11 +395,11 @@ mod tests {
 
     #[test]
     fn parses_compare() {
-        let s = parse_statement(
-            "compare (describe honor(X)) with (describe deans_list(X)).",
-        )
-        .unwrap();
-        let Statement::Compare { first, second } = s else { panic!() };
+        let s =
+            parse_statement("compare (describe honor(X)) with (describe deans_list(X)).").unwrap();
+        let Statement::Compare { first, second } = s else {
+            panic!()
+        };
         assert_eq!(first.subject.pred, "honor");
         assert_eq!(second.subject.pred, "deans_list");
     }
@@ -405,7 +410,9 @@ mod tests {
             "compare (describe can_ta(X, Y) where honor(X)) with (describe can_ta(X, Y) where teach(susan, Y)).",
         )
         .unwrap();
-        let Statement::Compare { first, .. } = s else { panic!() };
+        let Statement::Compare { first, .. } = s else {
+            panic!()
+        };
         assert_eq!(first.hypothesis.len(), 1);
     }
 

@@ -10,8 +10,17 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("reserved words", |s| {
         !matches!(
             s.as_str(),
-            "not" | "and" | "or" | "where" | "retrieve" | "describe" | "compare" | "with"
-                | "predicate" | "key" | "necessary"
+            "not"
+                | "and"
+                | "or"
+                | "where"
+                | "retrieve"
+                | "describe"
+                | "compare"
+                | "with"
+                | "predicate"
+                | "key"
+                | "necessary"
         )
     })
 }
@@ -64,12 +73,9 @@ fn statement_src() -> impl Strategy<Value = String> {
             .prop_map(|(a, f1, f2)| format!("describe {a} where {f1} or {f2}.")),
         (atom(), atom()).prop_map(|(a, h)| format!("describe {a} where not {h}.")),
         formula().prop_map(|f| format!("describe * where {f}.")),
-        (atom(), atom()).prop_map(|(a, b)| format!(
-            "compare (describe {a}) with (describe {b})."
-        )),
-        (ident(), proptest::collection::vec(variable(), 1..4)).prop_map(|(p, attrs)| {
-            format!("predicate {p}({}).", attrs.join(", "))
-        }),
+        (atom(), atom()).prop_map(|(a, b)| format!("compare (describe {a}) with (describe {b}).")),
+        (ident(), proptest::collection::vec(variable(), 1..4))
+            .prop_map(|(p, attrs)| { format!("predicate {p}({}).", attrs.join(", ")) }),
         (atom(), formula()).prop_map(|(h, b)| format!("{h} :- {b}.")),
     ]
 }

@@ -213,7 +213,10 @@ mod tests {
             atom("can_ta", vec![Term::var("X"), Term::var("Y")]),
             vec![
                 atom("honor", vec![Term::var("X")]),
-                atom("complete", vec![Term::var("X"), Term::var("Y"), Term::var("Z")]),
+                atom(
+                    "complete",
+                    vec![Term::var("X"), Term::var("Y"), Term::var("Z")],
+                ),
             ],
         );
         let names: Vec<String> = r.vars().iter().map(|v| v.to_string()).collect();

@@ -137,7 +137,11 @@ impl fmt::Display for Exhausted {
                 "deadline exhausted: {}ms spent of {}ms allowed",
                 self.spent, self.limit
             ),
-            r => write!(f, "{r} exhausted: {} spent of {} allowed", self.spent, self.limit),
+            r => write!(
+                f,
+                "{r} exhausted: {} spent of {} allowed",
+                self.spent, self.limit
+            ),
         }
     }
 }
@@ -306,7 +310,11 @@ impl Governor {
     }
 
     fn trip(&mut self, resource: Resource, spent: u64, limit: u64) -> Exhausted {
-        let e = Exhausted { resource, spent, limit };
+        let e = Exhausted {
+            resource,
+            spent,
+            limit,
+        };
         self.tripped = Some(e);
         e
     }
@@ -345,9 +353,8 @@ mod tests {
 
     #[test]
     fn deadline_trips_via_amortized_poll() {
-        let mut g = Governor::new(
-            ResourceLimits::default().with_deadline(Duration::from_millis(1)),
-        );
+        let mut g =
+            Governor::new(ResourceLimits::default().with_deadline(Duration::from_millis(1)));
         thread::sleep(Duration::from_millis(5));
         // The first tick polls, so an already-expired deadline is caught
         // immediately.
@@ -359,9 +366,8 @@ mod tests {
 
     #[test]
     fn deadline_polling_is_amortized() {
-        let mut g = Governor::new(
-            ResourceLimits::default().with_deadline(Duration::from_secs(3600)),
-        );
+        let mut g =
+            Governor::new(ResourceLimits::default().with_deadline(Duration::from_secs(3600)));
         // Ticks between poll boundaries must not consult the clock; this
         // just exercises the fast path for a large tick count.
         for _ in 0..10_000 {
@@ -401,9 +407,23 @@ mod tests {
 
     #[test]
     fn display_is_human_readable() {
-        let e = Exhausted { resource: Resource::WorkBudget, spent: 11, limit: 10 };
-        assert_eq!(e.to_string(), "work budget exhausted: 11 spent of 10 allowed");
-        let d = Exhausted { resource: Resource::Deadline, spent: 55, limit: 50 };
-        assert_eq!(d.to_string(), "deadline exhausted: 55ms spent of 50ms allowed");
+        let e = Exhausted {
+            resource: Resource::WorkBudget,
+            spent: 11,
+            limit: 10,
+        };
+        assert_eq!(
+            e.to_string(),
+            "work budget exhausted: 11 spent of 10 allowed"
+        );
+        let d = Exhausted {
+            resource: Resource::Deadline,
+            spent: 55,
+            limit: 50,
+        };
+        assert_eq!(
+            d.to_string(),
+            "deadline exhausted: 55ms spent of 50ms allowed"
+        );
     }
 }

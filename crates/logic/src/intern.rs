@@ -1,0 +1,120 @@
+//! Dense symbol interning.
+//!
+//! [`Sym`] equality hashes an `Arc<str>` by content: cheap to clone, but
+//! every hash-join probe and predicate-table lookup re-hashes the string
+//! bytes. The compiled evaluation path (see `qdk-logic::ir` and
+//! `qdk-engine::plan`) instead addresses predicates and symbolic constants
+//! by dense `u32` ids handed out by an [`Interner`].
+//!
+//! The interner is *local* — one per compiled program (and therefore, at
+//! the language layer, one per `KnowledgeBase`), never global. It sits
+//! entirely behind the existing [`Sym`] API: parsers, pretty-printers and
+//! the term/atom/rule vocabulary are untouched, and ids never leak into
+//! rendered output.
+
+use crate::symbol::Sym;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense id for an interned [`Sym`], valid only for the [`Interner`]
+/// that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymId(pub u32);
+
+impl SymId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SymId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Maps symbols to dense `u32` ids and back.
+///
+/// Interning the same text twice yields the same id; ids are handed out
+/// consecutively from zero, so they index the side tables the planner
+/// builds (`Vec`s instead of `HashMap<Sym, _>`s).
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    syms: Vec<Sym>,
+    map: HashMap<Sym, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a symbol, returning its dense id.
+    pub fn intern(&mut self, s: &Sym) -> SymId {
+        if let Some(&id) = self.map.get(s) {
+            return SymId(id);
+        }
+        let id = u32::try_from(self.syms.len()).unwrap_or(u32::MAX);
+        self.syms.push(s.clone());
+        self.map.insert(s.clone(), id);
+        SymId(id)
+    }
+
+    /// Interns a string slice, returning its dense id.
+    pub fn intern_str(&mut self, s: &str) -> SymId {
+        if let Some(&id) = self.map.get(s) {
+            return SymId(id);
+        }
+        self.intern(&Sym::new(s))
+    }
+
+    /// Resolves an id back to its symbol. Ids come only from this
+    /// interner's `intern`, so the lookup is a plain index.
+    pub fn resolve(&self, id: SymId) -> &Sym {
+        &self.syms[id.index()]
+    }
+
+    /// Looks up the id of an already interned symbol without inserting.
+    pub fn lookup(&self, s: &str) -> Option<SymId> {
+        self.map.get(s).copied().map(SymId)
+    }
+
+    /// Number of distinct symbols interned.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern(&Sym::new("student"));
+        let b = i.intern(&Sym::new("prereq"));
+        let a2 = i.intern_str("student");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let mut i = Interner::new();
+        let id = i.intern_str("honor");
+        assert_eq!(i.resolve(id).as_str(), "honor");
+        assert_eq!(i.lookup("honor"), Some(id));
+        assert_eq!(i.lookup("absent"), None);
+    }
+}

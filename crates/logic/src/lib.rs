@@ -16,6 +16,10 @@
 //! * θ-subsumption ([`subsume::rule_subsumes`]) used for redundancy
 //!   elimination of knowledge answers;
 //! * a text [`parser`] and paper-style [`pretty`] printing;
+//! * the compiled-evaluation substrate: a per-program [`Interner`] mapping
+//!   symbols to dense ids and an [`ir`] module ([`CompiledRule`],
+//!   [`Frame`]) that maps rule variables to positional slots — the
+//!   program representation `qdk-engine` plans over and executes;
 //! * the shared resource [`governor`] ([`ResourceLimits`], [`Governor`],
 //!   [`CancelToken`], [`Exhausted`]) that bounds both evaluation stacks —
 //!   it lives here, in the dependency-free base crate, so `qdk-engine` and
@@ -32,6 +36,8 @@ mod atom;
 mod clause;
 mod error;
 pub mod governor;
+pub mod intern;
+pub mod ir;
 pub mod parser;
 pub mod pretty;
 mod rename;
@@ -42,9 +48,11 @@ mod term;
 mod unify;
 
 pub use atom::{Atom, Literal};
-pub use governor::{CancelToken, Exhausted, Governor, Resource, ResourceLimits};
 pub use clause::{Constraint, Program, Rule};
 pub use error::{ParseError, Result};
+pub use governor::{CancelToken, Exhausted, Governor, Resource, ResourceLimits};
+pub use intern::{Interner, SymId};
+pub use ir::{CompiledRule, Frame, IrAtom, IrLiteral, IrTerm};
 pub use rename::{rename_atoms_apart, rename_rule_apart, VarGen};
 pub use subst::Subst;
 pub use symbol::Sym;

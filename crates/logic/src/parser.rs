@@ -465,9 +465,9 @@ impl Parser {
                 let op = match self.bump().map(|s| s.tok) {
                     Some(Tok::Op(op)) => op,
                     other => {
-                        return Err(self.error(format!(
-                            "expected comparison operator, found {other:?}"
-                        )))
+                        return Err(
+                            self.error(format!("expected comparison operator, found {other:?}"))
+                        )
                     }
                 };
                 let r = self.term()?;
@@ -497,9 +497,9 @@ impl Parser {
                 let op = match self.bump().map(|s| s.tok) {
                     Some(Tok::Op(op)) => op,
                     other => {
-                        return Err(self.error(format!(
-                            "expected comparison operator, found {other:?}"
-                        )))
+                        return Err(
+                            self.error(format!("expected comparison operator, found {other:?}"))
+                        )
                     }
                 };
                 let r = self.term()?;
@@ -594,7 +594,9 @@ pub fn parse_rule(src: &str) -> Result<Rule> {
     }
     match c {
         ClauseKind::Rule(r) => Ok(r),
-        ClauseKind::Constraint(_) => Err(ParseError::new("expected a rule, found constraint", 1, 1)),
+        ClauseKind::Constraint(_) => {
+            Err(ParseError::new("expected a rule, found constraint", 1, 1))
+        }
     }
 }
 

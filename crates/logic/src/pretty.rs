@@ -110,7 +110,10 @@ mod tests {
     fn canonicalize_renames_fresh_vars_in_order() {
         // `_`-prefixed variables cannot be parsed; build the rule directly.
         let rule = Rule::new(
-            Atom::new("can_ta", vec![Term::Var(Var::new("_3")), Term::sym("databases")]),
+            Atom::new(
+                "can_ta",
+                vec![Term::Var(Var::new("_3")), Term::sym("databases")],
+            ),
             vec![Atom::new(
                 "complete",
                 vec![

@@ -112,10 +112,7 @@ mod tests {
 
     #[test]
     fn renaming_is_injective() {
-        let r = Rule::new(
-            Atom::new("p", vec![Term::var("X"), Term::var("Y")]),
-            vec![],
-        );
+        let r = Rule::new(Atom::new("p", vec![Term::var("X"), Term::var("Y")]), vec![]);
         let mut g = VarGen::new();
         let (r2, _) = rename_rule_apart(&r, &mut g);
         assert_ne!(r2.head.args[0], r2.head.args[1]);

@@ -218,12 +218,9 @@ mod tests {
 
     #[test]
     fn restrict_keeps_only_listed_vars() {
-        let s: Subst = [
-            (Var::new("X"), Term::int(1)),
-            (Var::new("Y"), Term::int(2)),
-        ]
-        .into_iter()
-        .collect();
+        let s: Subst = [(Var::new("X"), Term::int(1)), (Var::new("Y"), Term::int(2))]
+            .into_iter()
+            .collect();
         let r = s.restrict(&[Var::new("X")]);
         assert_eq!(r.len(), 1);
         assert_eq!(r.get(&Var::new("X")), Some(&Term::int(1)));
@@ -232,12 +229,9 @@ mod tests {
 
     #[test]
     fn display_is_sorted() {
-        let s: Subst = [
-            (Var::new("Y"), Term::int(2)),
-            (Var::new("X"), Term::int(1)),
-        ]
-        .into_iter()
-        .collect();
+        let s: Subst = [(Var::new("Y"), Term::int(2)), (Var::new("X"), Term::int(1))]
+            .into_iter()
+            .collect();
         assert_eq!(s.to_string(), "{X ↦ 1, Y ↦ 2}");
     }
 }

@@ -147,7 +147,10 @@ mod tests {
     #[test]
     fn shorter_body_subsumes_longer() {
         // p(X) :- q(X)  subsumes  p(X) :- q(X), r(X).
-        let short = r(a("p", vec![Term::var("X")]), vec![a("q", vec![Term::var("X")])]);
+        let short = r(
+            a("p", vec![Term::var("X")]),
+            vec![a("q", vec![Term::var("X")])],
+        );
         let long = r(
             a("p", vec![Term::var("X")]),
             vec![a("q", vec![Term::var("X")]), a("r", vec![Term::var("X")])],
@@ -177,7 +180,10 @@ mod tests {
             a("p", vec![Term::var("X")]),
             vec![Literal::neg(a("q", vec![Term::var("X")]))],
         );
-        let pos = r(a("p", vec![Term::var("X")]), vec![a("q", vec![Term::var("X")])]);
+        let pos = r(
+            a("p", vec![Term::var("X")]),
+            vec![a("q", vec![Term::var("X")])],
+        );
         assert!(!rule_subsumes(&neg, &pos));
         assert!(!rule_subsumes(&pos, &neg));
         assert!(rule_subsumes(&neg, &neg));
@@ -193,7 +199,10 @@ mod tests {
             a("p", vec![Term::var("X")]),
             vec![a("q", vec![Term::var("X"), Term::sym("db")])],
         );
-        let other = r(a("p", vec![Term::var("X")]), vec![a("r", vec![Term::var("X")])]);
+        let other = r(
+            a("p", vec![Term::var("X")]),
+            vec![a("r", vec![Term::var("X")])],
+        );
         let out = remove_subsumed(vec![spec.clone(), gen.clone(), other.clone()]);
         assert_eq!(out.len(), 2);
         assert!(out.contains(&gen));

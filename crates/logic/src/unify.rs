@@ -84,10 +84,7 @@ mod tests {
     fn unify_two_vars_is_mgu() {
         let s = unify(&Term::var("X"), &Term::var("Y")).unwrap();
         // One variable mapped to the other; applying makes them equal.
-        assert_eq!(
-            s.apply_term(&Term::var("X")),
-            s.apply_term(&Term::var("Y"))
-        );
+        assert_eq!(s.apply_term(&Term::var("X")), s.apply_term(&Term::var("Y")));
         assert_eq!(s.len(), 1);
     }
 
@@ -99,8 +96,14 @@ mod tests {
 
     #[test]
     fn unify_atoms_full() {
-        let g = a("complete", vec![Term::var("X"), Term::sym("db"), Term::var("Z")]);
-        let h = a("complete", vec![Term::sym("ann"), Term::var("W"), Term::int(3)]);
+        let g = a(
+            "complete",
+            vec![Term::var("X"), Term::sym("db"), Term::var("Z")],
+        );
+        let h = a(
+            "complete",
+            vec![Term::sym("ann"), Term::var("W"), Term::int(3)],
+        );
         let s = unify_atoms(&g, &h).unwrap();
         assert_eq!(s.apply_atom(&g), s.apply_atom(&h));
     }
@@ -168,12 +171,9 @@ mod tests {
         let g = a("p", vec![Term::var("X")]);
         let h = a("p", vec![Term::var("Y")]);
         let mgu = unify_atoms(&g, &h).unwrap();
-        let ground: Subst = [
-            (Var::new("X"), Term::int(1)),
-            (Var::new("Y"), Term::int(1)),
-        ]
-        .into_iter()
-        .collect();
+        let ground: Subst = [(Var::new("X"), Term::int(1)), (Var::new("Y"), Term::int(1))]
+            .into_iter()
+            .collect();
         let composed = mgu.compose(&ground);
         assert_eq!(composed.apply_atom(&g), ground.apply_atom(&g));
         assert_eq!(composed.apply_atom(&h), ground.apply_atom(&h));

@@ -68,7 +68,7 @@ impl Edb {
             .iter()
             .map(|t| t.as_const().expect("ground").clone())
             .collect();
-        Ok(rel.insert(tuple))
+        rel.insert(tuple)
     }
 
     /// Inserts a tuple directly into a declared relation.
@@ -84,7 +84,7 @@ impl Edb {
                 found: tuple.arity(),
             });
         }
-        Ok(rel.insert(tuple))
+        rel.insert(tuple)
     }
 
     /// Removes a ground fact; returns `true` if it was stored.
@@ -154,10 +154,7 @@ impl Edb {
         }
         // Build the selection pattern from the bound positions.
         let resolved: Vec<Term> = atom.args.iter().map(|t| subst.apply_term(t)).collect();
-        let pattern: Vec<Option<Value>> = resolved
-            .iter()
-            .map(|t| t.as_const().cloned())
-            .collect();
+        let pattern: Vec<Option<Value>> = resolved.iter().map(|t| t.as_const().cloned()).collect();
         'tuples: for tuple in rel.select(&pattern) {
             let mut s = subst.clone();
             for (term, value) in resolved.iter().zip(tuple.values()) {
@@ -272,10 +269,7 @@ mod tests {
         edb.match_atom(&parse_atom("enroll(X, C)").unwrap(), &s, &mut out)
             .unwrap();
         assert_eq!(out.len(), 1);
-        assert_eq!(
-            out[0].apply_term(&Term::var("C")),
-            Term::sym("databases")
-        );
+        assert_eq!(out[0].apply_term(&Term::var("C")), Term::sym("databases"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Indexed fact relations.
 
+use crate::error::{Result, StorageError};
 use crate::tuple::Tuple;
 use crate::Value;
 use qdk_logic::Sym;
@@ -54,20 +55,21 @@ impl Relation {
         self.tuples.is_empty()
     }
 
-    /// Inserts a tuple; returns `true` if it was not already present.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the tuple's arity does not match the relation's.
-    pub fn insert(&mut self, t: Tuple) -> bool {
-        assert_eq!(
-            t.arity(),
-            self.arity,
-            "arity mismatch inserting into {}",
-            self.name
-        );
+    /// Inserts a tuple; returns `Ok(true)` if it was not already present,
+    /// or [`StorageError::ArityMismatch`] if the tuple's arity does not
+    /// match the relation's (no panic — derived relations receive tuples
+    /// from user programs, where a predicate defined at two arities is a
+    /// reachable input, not a bug).
+    pub fn insert(&mut self, t: Tuple) -> Result<bool> {
+        if t.arity() != self.arity {
+            return Err(StorageError::ArityMismatch {
+                predicate: self.name.to_string(),
+                expected: self.arity,
+                found: t.arity(),
+            });
+        }
         if self.present.contains_key(&t) {
-            return false;
+            return Ok(false);
         }
         let id = self.tuples.len() as u32;
         for (c, v) in t.values().iter().enumerate() {
@@ -75,7 +77,7 @@ impl Relation {
         }
         self.present.insert(t.clone(), id);
         self.tuples.push(t);
-        true
+        Ok(true)
     }
 
     /// True if the tuple is stored.
@@ -116,14 +118,67 @@ impl Relation {
             Some((_, c, v)) => {
                 let rows = self.indexes[c].get(v).map(Vec::as_slice).unwrap_or(&[]);
                 let pattern = pattern.to_vec();
-                Box::new(rows.iter().map(|&id| &self.tuples[id as usize]).filter(
-                    move |t| {
-                        t.values()
-                            .iter()
-                            .zip(&pattern)
-                            .all(|(tv, pv)| pv.as_ref().is_none_or(|p| p == tv))
-                    },
-                ))
+                Box::new(
+                    rows.iter()
+                        .map(|&id| &self.tuples[id as usize])
+                        .filter(move |t| {
+                            t.values()
+                                .iter()
+                                .zip(&pattern)
+                                .all(|(tv, pv)| pv.as_ref().is_none_or(|p| p == tv))
+                        }),
+                )
+            }
+        }
+    }
+
+    /// Borrowed-key index probe: the row ids whose column `col` equals
+    /// `v`, without cloning the probe value. Returns an empty slice when
+    /// the value is absent (or the relation has no column `col`).
+    ///
+    /// Together with [`tuple_at`](Relation::tuple_at) this is the
+    /// primitive the compiled plan executor scans with: the planner picks
+    /// the probe column, probes once per frame, and verifies the remaining
+    /// positions against the candidate rows.
+    pub fn probe(&self, col: usize, v: &Value) -> &[u32] {
+        self.indexes
+            .get(col)
+            .and_then(|ix| ix.get(v))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The tuple stored at row id `id` (as handed out by
+    /// [`probe`](Relation::probe)).
+    pub fn tuple_at(&self, id: u32) -> &Tuple {
+        &self.tuples[id as usize]
+    }
+
+    /// Slot-pattern selection over borrowed values: like
+    /// [`select`](Relation::select) but the pattern borrows its probe
+    /// values instead of owning clones. Picks the most selective bound
+    /// column (first minimum in column order) and verifies the rest.
+    pub fn select_ref<'a>(
+        &'a self,
+        pattern: &[Option<&'a Value>],
+    ) -> Box<dyn Iterator<Item = &'a Tuple> + 'a> {
+        debug_assert_eq!(pattern.len(), self.arity, "pattern arity mismatch");
+        let best = pattern
+            .iter()
+            .enumerate()
+            .filter_map(|(c, p)| p.map(|v| (self.probe(c, v).len(), c, v)))
+            .min_by_key(|(n, _, _)| *n);
+        match best {
+            None => Box::new(self.tuples.iter()),
+            Some((_, c, v)) => {
+                let rows = self.probe(c, v);
+                let pattern = pattern.to_vec();
+                Box::new(rows.iter().map(|&id| self.tuple_at(id)).filter(move |t| {
+                    t.values()
+                        .iter()
+                        .zip(&pattern)
+                        .all(|(tv, pv)| pv.is_none_or(|p| p == tv))
+                }))
             }
         }
     }
@@ -143,7 +198,10 @@ impl Relation {
         for (row, tuple) in self.tuples.iter().enumerate() {
             self.present.insert(tuple.clone(), row as u32);
             for (c, v) in tuple.values().iter().enumerate() {
-                self.indexes[c].entry(v.clone()).or_default().push(row as u32);
+                self.indexes[c]
+                    .entry(v.clone())
+                    .or_default()
+                    .push(row as u32);
             }
         }
         true
@@ -174,37 +232,41 @@ mod tests {
 
     fn sample() -> Relation {
         let mut r = Relation::new("complete", 3);
-        r.insert(Tuple::new(vec![
-            Value::sym("ann"),
-            Value::sym("databases"),
-            Value::Num(4.0),
-        ]));
-        r.insert(Tuple::new(vec![
-            Value::sym("bob"),
-            Value::sym("databases"),
-            Value::Num(3.5),
-        ]));
-        r.insert(Tuple::new(vec![
-            Value::sym("ann"),
-            Value::sym("calculus"),
-            Value::Num(3.9),
-        ]));
+        for t in [
+            vec![Value::sym("ann"), Value::sym("databases"), Value::Num(4.0)],
+            vec![Value::sym("bob"), Value::sym("databases"), Value::Num(3.5)],
+            vec![Value::sym("ann"), Value::sym("calculus"), Value::Num(3.9)],
+        ] {
+            r.insert(Tuple::new(t)).unwrap();
+        }
         r
     }
 
     #[test]
     fn insert_deduplicates() {
         let mut r = Relation::new("p", 1);
-        assert!(r.insert(Tuple::new(vec![Value::Int(1)])));
-        assert!(!r.insert(Tuple::new(vec![Value::Int(1)])));
+        assert!(r.insert(Tuple::new(vec![Value::Int(1)])).unwrap());
+        assert!(!r.insert(Tuple::new(vec![Value::Int(1)])).unwrap());
         assert_eq!(r.len(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "arity mismatch")]
-    fn insert_checks_arity() {
+    fn insert_arity_mismatch_is_an_error_not_a_panic() {
         let mut r = Relation::new("p", 2);
-        r.insert(Tuple::new(vec![Value::Int(1)]));
+        let err = r.insert(Tuple::new(vec![Value::Int(1)])).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::ArityMismatch {
+                predicate: "p".to_string(),
+                expected: 2,
+                found: 1,
+            }
+        );
+        // Nothing was stored and the relation remains usable.
+        assert!(r.is_empty());
+        assert!(r
+            .insert(Tuple::new(vec![Value::Int(1), Value::Int(2)]))
+            .unwrap());
     }
 
     #[test]
@@ -234,18 +296,38 @@ mod tests {
     #[test]
     fn select_absent_value_is_empty() {
         let r = sample();
-        assert_eq!(
-            r.select(&[Some(Value::sym("zoe")), None, None]).count(),
-            0
-        );
+        assert_eq!(r.select(&[Some(Value::sym("zoe")), None, None]).count(), 0);
     }
 
     #[test]
     fn select_numeric_equality_across_kinds() {
         let mut r = Relation::new("units", 1);
-        r.insert(Tuple::new(vec![Value::Int(4)]));
+        r.insert(Tuple::new(vec![Value::Int(4)])).unwrap();
         // Num(4.0) equals Int(4) (and hashes identically).
         assert_eq!(r.select(&[Some(Value::Num(4.0))]).count(), 1);
+    }
+
+    #[test]
+    fn probe_and_select_ref_agree_with_select() {
+        let r = sample();
+        let ann = Value::sym("ann");
+        let db = Value::sym("databases");
+        assert_eq!(r.probe(0, &ann).len(), 2);
+        assert_eq!(r.probe(0, &Value::sym("zoe")).len(), 0);
+        assert_eq!(r.probe(9, &ann).len(), 0);
+        for id in r.probe(0, &ann) {
+            assert_eq!(r.tuple_at(*id).get(0), Some(&ann));
+        }
+        let owned: Vec<_> = r
+            .select(&[Some(ann.clone()), Some(db.clone()), None])
+            .cloned()
+            .collect();
+        let borrowed: Vec<_> = r
+            .select_ref(&[Some(&ann), Some(&db), None])
+            .cloned()
+            .collect();
+        assert_eq!(owned, borrowed);
+        assert_eq!(r.select_ref(&[None, None, None]).count(), 3);
     }
 
     #[test]
@@ -273,7 +355,8 @@ mod tests {
         // Index lookups remain consistent after the rebuild.
         assert_eq!(r.select(&[Some(Value::sym("ann")), None, None]).count(), 1);
         assert_eq!(
-            r.select(&[None, Some(Value::sym("databases")), None]).count(),
+            r.select(&[None, Some(Value::sym("databases")), None])
+                .count(),
             1
         );
     }
@@ -289,7 +372,8 @@ mod tests {
             Value::sym("cara"),
             Value::sym("databases"),
             Value::Num(3.8),
-        ]));
+        ]))
+        .unwrap();
         assert_eq!(r.select(&[Some(Value::sym("cara")), None, None]).count(), 1);
     }
 }

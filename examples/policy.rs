@@ -50,13 +50,13 @@ fn main() -> Result<(), qdk::LangError> {
     println!("{}", kb.run("describe can_write(X, R).")?);
 
     println!("── When can a *senior* employee write?  (knowledge under a hypothesis)");
-    println!(
-        "{}",
-        kb.run("describe can_write(X, R) where senior(X).")?
-    );
+    println!("{}", kb.run("describe can_write(X, R) where senior(X).")?);
 
     println!("── Is trust necessary for write access?");
-    println!("{}", kb.run("describe can_write(X, R) where not trusted(X).")?);
+    println!(
+        "{}",
+        kb.run("describe can_write(X, R) where not trusted(X).")?
+    );
 
     println!("── Could someone with clearance 1 become an admin?");
     println!(

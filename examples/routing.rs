@@ -24,9 +24,7 @@ fn main() -> Result<(), qdk::LangError> {
         .as_knowledge()
         .map(|k| k.theorems.iter().any(|t| t.rule.body.is_empty()))
         .unwrap_or(false);
-    println!(
-        "   guaranteed: {guaranteed}  (no unconditional theorem was derived)\n{a}"
-    );
+    println!("   guaranteed: {guaranteed}  (no unconditional theorem was derived)\n{a}");
 
     // Now the symmetric network: the symmetric rule is knowledge, and the
     // same describe query detects the guarantee.

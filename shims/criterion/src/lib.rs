@@ -25,7 +25,10 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20, measurement_time: Duration::from_secs(2) }
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
     }
 }
 
@@ -45,7 +48,11 @@ impl Criterion {
 
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), measurement_time: None }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time: None,
+        }
     }
 
     /// Run a single benchmark.
@@ -83,26 +90,27 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let window = self.measurement_time.unwrap_or(self.criterion.measurement_time);
+        let window = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
         let stats = run_bench(self.criterion.sample_size, window, &mut f);
         report(&format!("{}/{}", self.name, id), &stats);
         self
     }
 
     /// Run one benchmark parameterized by an input value.
-    pub fn bench_with_input<I, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let window = self.measurement_time.unwrap_or(self.criterion.measurement_time);
-        let stats = run_bench(self.criterion.sample_size, window, &mut |b: &mut Bencher| {
-            f(b, input)
-        });
+        let window = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        let stats = run_bench(
+            self.criterion.sample_size,
+            window,
+            &mut |b: &mut Bencher| f(b, input),
+        );
         report(&format!("{}/{}", self.name, id), &stats);
         self
     }
@@ -119,12 +127,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter` identifier.
     pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { label: format!("{name}/{parameter}") }
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
     }
 
     /// Identifier that is just the parameter.
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -199,7 +211,10 @@ where
 {
     // Warm-up and calibration: find an iteration count that keeps each
     // sample fast while the whole run stays inside the measurement window.
-    let mut calib = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let mut calib = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
     f(&mut calib);
     let per_iter = calib.elapsed.max(Duration::from_nanos(1));
     let budget_per_sample = window
@@ -209,7 +224,10 @@ where
 
     let mut times = Vec::with_capacity(samples);
     for _ in 0..samples {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         times.push(b.elapsed / iters as u32);
     }

@@ -26,7 +26,9 @@ pub struct TestCaseError {
 impl TestCaseError {
     /// Build a failure with the given message.
     pub fn fail(message: impl Into<String>) -> Self {
-        TestCaseError { message: message.into() }
+        TestCaseError {
+            message: message.into(),
+        }
     }
 }
 
@@ -128,7 +130,11 @@ pub mod strategy {
             Self: Sized,
             F: Fn(&Self::Value) -> bool,
         {
-            Filter { inner: self, reason, f }
+            Filter {
+                inner: self,
+                reason,
+                f,
+            }
         }
 
         /// Erase the concrete strategy type.
@@ -392,7 +398,6 @@ pub mod strategy {
             None => panic!("dangling escape in pattern {pat:?}"),
         }
     }
-
 }
 
 /// Collection strategies.

@@ -1,0 +1,309 @@
+//! Differential testing of the compiled query core.
+//!
+//! The compile-then-execute refactor replaced the per-recursion-step
+//! scheduler with plans computed once per (rule, adornment). These tests
+//! pin its semantics against an independent reference:
+//!
+//! * a tiny substitution-based naive evaluator (the pre-refactor
+//!   semantics, reimplemented here with nothing but `unify_atoms` and
+//!   `Subst`) must derive exactly the facts the four compiled strategies
+//!   derive, on randomly generated safe programs and random EDBs;
+//! * `describe`'s derivation-tree enumeration renames rules through the
+//!   compiled slot maps — standardizing apart via
+//!   [`qdk::logic::CompiledRule::rename_apart`] must be indistinguishable
+//!   from the substitution-based [`qdk::logic::rename_rule_apart`], and
+//!   one-level theorems must mirror the textual rules they came from.
+
+use proptest::prelude::*;
+use qdk::core::{describe, Describe, DescribeOptions};
+use qdk::engine::{query, Idb};
+use qdk::logic::parser::parse_atom;
+use qdk::logic::{
+    rename_rule_apart, unify_atoms, Atom, CompiledRule, Interner, Rule, Subst, Term, VarGen,
+};
+use qdk::storage::Edb;
+use qdk::{Retrieve, Strategy};
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------
+// Reference semantics: naive fixpoint with substitution-based matching.
+// ---------------------------------------------------------------------
+
+/// Enumerates every substitution that grounds `goals` against `facts`.
+fn join(goals: &[Atom], facts: &[Atom], subst: &Subst, out: &mut Vec<Subst>) {
+    let Some((goal, rest)) = goals.split_first() else {
+        out.push(subst.clone());
+        return;
+    };
+    let goal_now = subst.apply_atom(goal);
+    for fact in facts {
+        if let Some(mgu) = unify_atoms(&goal_now, fact) {
+            join(rest, facts, &subst.compose(&mgu), out);
+        }
+    }
+}
+
+/// Naive bottom-up fixpoint over positive rules, returning every fact
+/// (EDB and derived) as its rendered string.
+fn reference_eval(edb_facts: &[Atom], rules: &[Rule]) -> BTreeSet<String> {
+    let mut facts: Vec<Atom> = edb_facts.to_vec();
+    let mut seen: BTreeSet<String> = facts.iter().map(ToString::to_string).collect();
+    loop {
+        let mut fresh = Vec::new();
+        for rule in rules {
+            let goals: Vec<Atom> = rule.body.iter().map(|l| l.atom.clone()).collect();
+            let mut substs = Vec::new();
+            join(&goals, &facts, &Subst::new(), &mut substs);
+            for s in substs {
+                let head = s.apply_atom(&rule.head);
+                if seen.insert(head.to_string()) {
+                    fresh.push(head);
+                }
+            }
+        }
+        if fresh.is_empty() {
+            return seen;
+        }
+        facts.extend(fresh);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random safe programs.
+// ---------------------------------------------------------------------
+
+/// Predicate universe: fixed arities so every occurrence agrees with the
+/// declaration. e* are extensional, p* intensional candidates.
+const PREDS: [(&str, usize); 5] = [("e0", 2), ("e1", 1), ("p0", 2), ("p1", 1), ("p2", 2)];
+
+fn term_for(spec: u8, pool: &[&str]) -> Term {
+    if (spec as usize) < 5 && !pool.is_empty() {
+        Term::var(pool[spec as usize % pool.len()])
+    } else {
+        Term::sym(&format!("c{}", spec % 5))
+    }
+}
+
+/// Builds a safe rule from raw specs: body first, then a head whose
+/// variable arguments are drawn only from variables the body binds.
+fn build_rule(head_pred: u8, head_args: &[u8], body: &[(u8, Vec<u8>)]) -> Rule {
+    let vars = ["V0", "V1", "V2", "V3", "V4"];
+    let mut atoms = Vec::new();
+    let mut bound: Vec<&str> = Vec::new();
+    for (p, args) in body {
+        let (name, arity) = PREDS[*p as usize % PREDS.len()];
+        let args: Vec<Term> = args
+            .iter()
+            .take(arity)
+            .map(|a| {
+                let t = term_for(*a, &vars);
+                if let Term::Var(v) = &t {
+                    if !bound.contains(&v.name()) {
+                        bound.push(vars[*a as usize % vars.len()]);
+                    }
+                }
+                t
+            })
+            .collect();
+        atoms.push(Atom::new(name, args));
+    }
+    let (head_name, head_arity) = PREDS[2 + (head_pred as usize % 3)];
+    let head_args: Vec<Term> = head_args
+        .iter()
+        .take(head_arity)
+        .map(|a| {
+            if bound.is_empty() || *a >= 5 {
+                Term::sym(&format!("c{}", a % 5))
+            } else {
+                Term::var(bound[*a as usize % bound.len()])
+            }
+        })
+        .collect();
+    Rule::new(Atom::new(head_name, head_args), atoms)
+}
+
+/// Declares every predicate the program mentions that no rule defines,
+/// and loads the random facts.
+fn build_edb(rules: &[Rule], e0: &[(u8, u8)], e1: &[u8]) -> Edb {
+    let defined: BTreeSet<&str> = rules.iter().map(|r| r.head.pred.as_str()).collect();
+    let mut edb = Edb::new();
+    for (name, arity) in PREDS {
+        if !defined.contains(name) {
+            let attrs: Vec<String> = (0..arity).map(|i| format!("A{i}")).collect();
+            let attrs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            edb.declare(name, &attrs).unwrap();
+        }
+    }
+    for (a, b) in e0 {
+        let _ = edb.insert_fact(&parse_atom(&format!("e0(c{}, c{})", a % 5, b % 5)).unwrap());
+    }
+    for a in e1 {
+        let _ = edb.insert_fact(&parse_atom(&format!("e1(c{})", a % 5)).unwrap());
+    }
+    edb
+}
+
+/// The extension of `pred` according to a compiled strategy, rendered.
+fn strategy_rows(
+    edb: &Edb,
+    idb: &Idb,
+    pred: &str,
+    arity: usize,
+    strategy: Strategy,
+) -> BTreeSet<String> {
+    let vars: Vec<&str> = ["X", "Y", "Z"][..arity].to_vec();
+    let subject = parse_atom(&format!("{pred}({})", vars.join(", "))).unwrap();
+    let answer = query::retrieve(edb, idb, &Retrieve::new(subject, vec![]), strategy).unwrap();
+    answer
+        .rows
+        .iter()
+        .map(|row| {
+            let vals: Vec<String> = row.values().iter().map(ToString::to_string).collect();
+            format!("{pred}({})", vals.join(", "))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random safe programs + random EDBs: all four compiled strategies
+    /// derive exactly the facts the substitution-based reference derives.
+    #[test]
+    fn compiled_strategies_match_reference_semantics(
+        specs in proptest::collection::vec(
+            (
+                0u8..3,
+                proptest::collection::vec(0u8..10, 2..3),
+                proptest::collection::vec(
+                    (0u8..5, proptest::collection::vec(0u8..10, 2..3)),
+                    1..3,
+                ),
+            ),
+            1..5,
+        ),
+        e0 in proptest::collection::vec((0u8..5, 0u8..5), 0..10),
+        e1 in proptest::collection::vec(0u8..5, 0..5),
+    ) {
+        let rules: Vec<Rule> = specs
+            .iter()
+            .map(|(h, ha, body)| build_rule(*h, ha, body))
+            .collect();
+        let idb = Idb::from_rules(rules.clone()).unwrap();
+        let edb = build_edb(&rules, &e0, &e1);
+
+        let edb_facts: Vec<Atom> = e0
+            .iter()
+            .filter(|_| !idb.defines("e0"))
+            .map(|(a, b)| parse_atom(&format!("e0(c{}, c{})", a % 5, b % 5)).unwrap())
+            .chain(
+                e1.iter()
+                    .filter(|_| !idb.defines("e1"))
+                    .map(|a| parse_atom(&format!("e1(c{})", a % 5)).unwrap()),
+            )
+            .collect();
+        let reference = reference_eval(&edb_facts, idb.rules());
+
+        for (pred, arity) in PREDS.iter().skip(2) {
+            if !idb.defines(pred) {
+                continue;
+            }
+            let expected: BTreeSet<String> = reference
+                .iter()
+                .filter(|f| f.starts_with(&format!("{pred}(")))
+                .cloned()
+                .collect();
+            for strategy in [Strategy::Naive, Strategy::SemiNaive, Strategy::Magic, Strategy::TopDown] {
+                let got = strategy_rows(&edb, &idb, pred, *arity, strategy);
+                prop_assert_eq!(
+                    &got,
+                    &expected,
+                    "{:?} disagrees with the reference on {} over {:?}",
+                    strategy,
+                    pred,
+                    idb.rules()
+                );
+            }
+        }
+    }
+
+    /// Standardizing apart through the compiled slot maps is byte-for-byte
+    /// the substitution-based renaming — `describe`'s theorems (whose
+    /// rendering depends on fresh-name assignment order) cannot drift.
+    #[test]
+    fn compiled_rename_matches_substitution_rename(
+        specs in proptest::collection::vec(
+            (
+                0u8..3,
+                proptest::collection::vec(0u8..10, 2..3),
+                proptest::collection::vec(
+                    (0u8..5, proptest::collection::vec(0u8..10, 2..3)),
+                    1..4,
+                ),
+            ),
+            1..6,
+        ),
+    ) {
+        let mut interner = Interner::new();
+        let mut gen_ref = VarGen::new();
+        let mut gen_ir = VarGen::new();
+        for (h, ha, body) in &specs {
+            let rule = build_rule(*h, ha, body);
+            let compiled = CompiledRule::compile(&rule, &mut interner);
+            let (reference, _) = rename_rule_apart(&rule, &mut gen_ref);
+            prop_assert_eq!(compiled.rename_apart(&mut gen_ir), reference);
+        }
+    }
+
+    /// One-level `describe` theorems mirror the textual rules: on random
+    /// non-recursive programs with an empty hypothesis, each subject rule
+    /// yields one theorem whose body predicates are the rule's own.
+    #[test]
+    fn describe_one_level_theorems_mirror_rules(
+        specs in proptest::collection::vec(
+            (
+                proptest::collection::vec(0u8..10, 2..3),
+                proptest::collection::vec(
+                    (0u8..2, proptest::collection::vec(0u8..10, 2..3)),
+                    1..3,
+                ),
+            ),
+            1..4,
+        ),
+    ) {
+        // Head fixed to p0; bodies restricted to EDB predicates, so the
+        // program is trivially non-recursive and every derivation is
+        // one-level.
+        let rules: Vec<Rule> = specs
+            .iter()
+            .map(|(ha, body)| build_rule(0, ha, body))
+            .collect();
+        let idb = Idb::from_rules(rules.clone()).unwrap();
+        let q = Describe::new(parse_atom("p0(X, Y)").unwrap(), vec![]);
+        let mut opts = DescribeOptions::paper();
+        opts.remove_redundant = false;
+        let answer = describe::describe(&idb, &q, &opts).unwrap();
+        prop_assert_eq!(answer.theorems.len(), rules.len());
+        for theorem in &answer.theorems {
+            let ri = theorem.root_rule.expect("one-level theorems carry their rule");
+            // Theorem bodies drop exact-duplicate conjuncts; mirror that.
+            let mut seen_atoms = BTreeSet::new();
+            let mut expected: Vec<&str> = rules[ri]
+                .body
+                .iter()
+                .filter(|l| seen_atoms.insert(l.atom.to_string()))
+                .map(|l| l.atom.pred.as_str())
+                .collect();
+            let mut got: Vec<&str> = theorem
+                .rule
+                .body
+                .iter()
+                .filter(|l| l.atom.pred.as_str() != "=")
+                .map(|l| l.atom.pred.as_str())
+                .collect();
+            expected.sort_unstable();
+            got.sort_unstable();
+            prop_assert_eq!(got, expected, "theorem {} vs rule {}", theorem.rule, rules[ri]);
+        }
+    }
+}

@@ -22,7 +22,10 @@ fn describe_with_constant_subject_argument() {
     );
     let a = kb.run("describe honor(ann).").unwrap();
     let k = a.as_knowledge().unwrap();
-    assert_eq!(k.rendered(), vec!["honor(ann) ← student(ann, X, Y) ∧ (Y > 3.7)"]);
+    assert_eq!(
+        k.rendered(),
+        vec!["honor(ann) ← student(ann, X, Y) ∧ (Y > 3.7)"]
+    );
 }
 
 #[test]
@@ -160,7 +163,8 @@ fn long_chain_recursion_depths() {
     let mut kb = KnowledgeBase::new();
     kb.run("predicate e(A, B).").unwrap();
     for i in 0..200 {
-        kb.run(&format!("e(n{i}, n{})", i + 1).replace(')', ").")).unwrap();
+        kb.run(&format!("e(n{i}, n{})", i + 1).replace(')', ")."))
+            .unwrap();
     }
     kb.load(
         "tc(X, Y) :- e(X, Y).
@@ -185,12 +189,7 @@ fn describe_options_budget_is_respected_on_conforming_idb() {
         parse_atom("prior(X, Y)").unwrap(),
         parse_body("prior(databases, Y)").unwrap(),
     );
-    let unlimited = qdk::core::describe::describe(
-        kb.idb(),
-        &q,
-        &DescribeOptions::paper(),
-    )
-    .unwrap();
+    let unlimited = qdk::core::describe::describe(kb.idb(), &q, &DescribeOptions::paper()).unwrap();
     let budgeted = qdk::core::describe::describe(
         kb.idb(),
         &q,

@@ -8,8 +8,8 @@
 use qdk::engine::{retrieve_with, EngineError, EvalOptions};
 use qdk::logic::parser::{parse_atom, parse_body, parse_program};
 use qdk::{
-    CancelToken, Completeness, Describe, DescribeOptions, KnowledgeBase, Resource,
-    ResourceLimits, Retrieve, Strategy,
+    CancelToken, Completeness, Describe, DescribeOptions, KnowledgeBase, Resource, ResourceLimits,
+    Retrieve, Strategy,
 };
 use std::time::Duration;
 
@@ -36,10 +36,7 @@ fn chain_kb(n: usize) -> KnowledgeBase {
 #[test]
 fn all_four_strategies_report_the_same_exhaustion_diagnostic() {
     let kb = chain_kb(40);
-    let query = Retrieve::new(
-        parse_atom("reach(X, Y)").unwrap(),
-        vec![],
-    );
+    let query = Retrieve::new(parse_atom("reach(X, Y)").unwrap(), vec![]);
     let opts = EvalOptions::with_limits(ResourceLimits::default().with_work_budget(25));
     let mut seen = Vec::new();
     for strategy in [
@@ -200,7 +197,9 @@ fn example6_describe_budget_limited_returns_truncated_not_silent() {
     );
 
     // The terminating Algorithm 2 path stays Complete.
-    let full = kb.run("describe prior(X, Y) where prior(databases, Y).").unwrap();
+    let full = kb
+        .run("describe prior(X, Y) where prior(databases, Y).")
+        .unwrap();
     let k = full.as_knowledge().unwrap();
     assert_eq!(k.completeness, Completeness::Complete);
     assert!(!k.is_truncated());
@@ -211,8 +210,7 @@ fn kb_describe_options_thread_limits_into_retrieve() {
     // The facade's one options struct governs both statements: a
     // work-budget too small for the transitive closure trips retrieve.
     let kb = chain_kb(40).with_describe_options(
-        DescribeOptions::paper()
-            .with_limits(ResourceLimits::default().with_work_budget(25)),
+        DescribeOptions::paper().with_limits(ResourceLimits::default().with_work_budget(25)),
     );
     let query = Retrieve::new(parse_atom("reach(X, Y)").unwrap(), vec![]);
     let err = kb.retrieve(&query).expect_err("budget must trip");

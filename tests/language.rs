@@ -89,7 +89,10 @@ fn execution_errors_are_informative() {
     // Unsafe retrieve.
     kb.run("honor(X) :- student(X, Y, Z), Z > 3.7.").unwrap();
     let e = kb.run("retrieve answer(W) where honor(X).").unwrap_err();
-    assert!(e.to_string().contains("unsafe") || e.to_string().contains("W"), "{e}");
+    assert!(
+        e.to_string().contains("unsafe") || e.to_string().contains("W"),
+        "{e}"
+    );
 }
 
 #[test]

@@ -43,13 +43,7 @@ fn prior_idb() -> Idb {
 
 /// Checks the soundness of every theorem of `describe subject where hyp`
 /// against a materialized model.
-fn check_soundness(
-    edb: &Edb,
-    idb: &Idb,
-    subject: &str,
-    hypothesis: &str,
-    opts: &DescribeOptions,
-) {
+fn check_soundness(edb: &Edb, idb: &Idb, subject: &str, hypothesis: &str, opts: &DescribeOptions) {
     let query = Describe::new(
         parse_atom(subject).unwrap(),
         if hypothesis.is_empty() {

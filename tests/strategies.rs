@@ -32,9 +32,18 @@ fn assert_agree(kb: &qdk::KnowledgeBase, subject: &str, qualifier: &str) {
     let semi = rows(kb, subject, qualifier, Strategy::SemiNaive);
     let top = rows(kb, subject, qualifier, Strategy::TopDown);
     let magic = rows(kb, subject, qualifier, Strategy::Magic);
-    assert_eq!(naive, semi, "naive vs semi-naive on {subject} / {qualifier}");
-    assert_eq!(semi, top, "semi-naive vs top-down on {subject} / {qualifier}");
-    assert_eq!(semi, magic, "semi-naive vs magic on {subject} / {qualifier}");
+    assert_eq!(
+        naive, semi,
+        "naive vs semi-naive on {subject} / {qualifier}"
+    );
+    assert_eq!(
+        semi, top,
+        "semi-naive vs top-down on {subject} / {qualifier}"
+    );
+    assert_eq!(
+        semi, magic,
+        "semi-naive vs magic on {subject} / {qualifier}"
+    );
 }
 
 #[test]
