@@ -10,8 +10,9 @@ use qdk_bench::{
     tower_hypothesis, tower_idb, university,
 };
 use qdk_core::{algo1, algo2, describe, Describe, DescribeOptions, TransformPolicy};
-use qdk_engine::{query, EvalOptions, ProgramPlan, Retrieve, Strategy};
+use qdk_engine::{query, retrieve_with, EvalOptions, ProgramPlan, Retrieve, Strategy};
 use qdk_logic::parser::{parse_atom, parse_body};
+use qdk_logic::Parallelism;
 use std::time::Instant;
 
 /// Median wall time of `runs` executions, in microseconds.
@@ -190,6 +191,70 @@ fn compiled_vs_percall(records: &mut Vec<String>) {
     println!();
 }
 
+/// Worker-count sweep for the fixpoint engines: the chain-128 full
+/// closure (the PR 2 baseline workload) at 1/2/4/8 workers. Answers are
+/// byte-identical at every count; only latency moves.
+fn t1_retrieve_threads(records: &mut Vec<String>) {
+    println!("## T1 — retrieve threads sweep, chain-128 full closure (µs, median of 5)\n");
+    println!("| workers | naive | semi-naive | top-down | magic |");
+    println!("|---------|-------|------------|----------|-------|");
+    let idb = prior_idb();
+    let edb = chain_edb(128);
+    let q = Retrieve::new(parse_atom("prior(X, Y)").unwrap(), vec![]);
+    for workers in [1usize, 2, 4, 8] {
+        let mut row = format!("| {workers} ");
+        for strategy in [
+            Strategy::Naive,
+            Strategy::SemiNaive,
+            Strategy::TopDown,
+            Strategy::Magic,
+        ] {
+            let opts = EvalOptions::default().with_parallelism(Parallelism::workers(workers));
+            let us = median_micros(5, || {
+                retrieve_with(&edb, &idb, &q, strategy, opts.clone()).unwrap();
+            });
+            row.push_str(&format!("| {us:.0} "));
+            records.push(json_record(&[
+                ("section", json_str("t1_threads_sweep")),
+                ("workload", json_str("chain")),
+                ("n", "128".to_string()),
+                ("workers", workers.to_string()),
+                ("strategy", json_str(strategy_name(strategy))),
+                ("micros", format!("{us:.1}")),
+            ]));
+        }
+        println!("{row}|");
+    }
+    println!();
+}
+
+/// Worker-count sweep for derivation-tree enumeration: the depth-8
+/// fan-out-2 rule tower (the PR 2 baseline workload) at 1/2/4/8 workers.
+fn t2_describe_threads(records: &mut Vec<String>) {
+    println!("## T2 — describe threads sweep, tower depth 8 fan-out 2 (µs, median of 9)\n");
+    println!("| workers | µs | theorems |");
+    println!("|---------|----|----------|");
+    let idb = tower_idb(8, 2);
+    let q = Describe::new(parse_atom("p0(X)").unwrap(), tower_hypothesis(8));
+    for workers in [1usize, 2, 4, 8] {
+        let opts = DescribeOptions::paper().with_parallelism(Parallelism::workers(workers));
+        let answers = describe::describe(&idb, &q, &opts).unwrap();
+        let us = median_micros(9, || {
+            describe::describe(&idb, &q, &opts).unwrap();
+        });
+        println!("| {workers} | {us:.0} | {} |", answers.len());
+        records.push(json_record(&[
+            ("section", json_str("t2_threads_sweep")),
+            ("depth", "8".to_string()),
+            ("fanout", "2".to_string()),
+            ("workers", workers.to_string()),
+            ("micros", format!("{us:.1}")),
+            ("theorems", answers.len().to_string()),
+        ]));
+    }
+    println!();
+}
+
 fn p2_sweeps(records: &mut Vec<String>) {
     println!("## P2a — describe latency vs rule-tower depth (fan-out 2)\n");
     println!("| depth | µs (median of 9) | theorems |");
@@ -348,7 +413,9 @@ fn main() {
     p1_full_closure(&mut retrieve_records);
     p1_bound_query(&mut retrieve_records);
     compiled_vs_percall(&mut retrieve_records);
+    t1_retrieve_threads(&mut retrieve_records);
     p2_sweeps(&mut describe_records);
+    t2_describe_threads(&mut describe_records);
     e6_family(&mut describe_records);
     p3_policies(&mut describe_records);
     ablations();

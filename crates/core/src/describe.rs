@@ -229,18 +229,29 @@ pub fn run(
         // from the same root rule subsumes it once the hypothesis is
         // conjoined — the less-identified variant says nothing the
         // identified one plus the hypothesis does not.
+        // Both subsumption sides are pure functions of one theorem, so
+        // prepare each side once instead of once per pair.
+        let generals: Vec<_> = theorems
+            .iter()
+            .map(|b| redundancy::prepare_general(&b.rule))
+            .collect();
+        let augmented: Vec<_> = theorems
+            .iter()
+            .map(|a| {
+                let mut aug = a.rule.clone();
+                aug.body.extend(query.hypothesis.iter().cloned());
+                redundancy::prepare_specific(&aug, &[])
+            })
+            .collect();
         let dominated: Vec<bool> = theorems
             .iter()
-            .map(|b| {
-                theorems.iter().any(|a| {
+            .enumerate()
+            .map(|(bi, b)| {
+                theorems.iter().enumerate().any(|(ai, a)| {
                     a.root_rule == b.root_rule
                         && a.used_hypothesis.len() > b.used_hypothesis.len()
                         && a.used_hypothesis.is_superset(&b.used_hypothesis)
-                        && {
-                            let mut augmented = a.rule.clone();
-                            augmented.body.extend(query.hypothesis.iter().cloned());
-                            redundancy::semantic_subsumes(&b.rule, &augmented, &[])
-                        }
+                        && redundancy::subsumes_prepared(&generals[bi], &augmented[ai])
                 })
             })
             .collect();

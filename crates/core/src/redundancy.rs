@@ -68,6 +68,52 @@ fn transitive_closure(body: &[Literal], trans: &[Sym]) -> Vec<Literal> {
     }
 }
 
+/// The general side of a subsumption test, preprocessed: standardized
+/// apart, with the body partitioned into database and comparison literals.
+/// Pure function of the rule, so N×N subsumption sweeps prepare each rule
+/// once instead of once per pair.
+pub struct PreparedGeneral {
+    head: Atom,
+    db_lits: Vec<Literal>,
+    cmp_lits: Vec<Literal>,
+}
+
+/// The specific side of a subsumption test, preprocessed: the body closed
+/// under transitivity with its comparisons extracted. Pure function of the
+/// rule and `trans`.
+pub struct PreparedSpecific {
+    head: Atom,
+    closed: Vec<Literal>,
+    comps: Vec<Comparison>,
+}
+
+/// Preprocesses a rule for use as the general side of [`subsumes_prepared`].
+pub fn prepare_general(rule: &Rule) -> PreparedGeneral {
+    let std = standardize(rule);
+    let (db_lits, cmp_lits): (Vec<Literal>, Vec<Literal>) =
+        std.body.iter().cloned().partition(|l| !l.is_builtin());
+    PreparedGeneral {
+        head: std.head,
+        db_lits,
+        cmp_lits,
+    }
+}
+
+/// Preprocesses a rule for use as the specific side of [`subsumes_prepared`].
+pub fn prepare_specific(rule: &Rule, trans: &[Sym]) -> PreparedSpecific {
+    let closed = transitive_closure(&rule.body, trans);
+    let comps = closed
+        .iter()
+        .filter(|l| l.positive && l.is_builtin())
+        .filter_map(|l| Comparison::from_atom(&l.atom))
+        .collect();
+    PreparedSpecific {
+        head: rule.head.clone(),
+        closed,
+        comps,
+    }
+}
+
 /// Semantic θ-subsumption: `general` subsumes `specific` when a
 /// substitution σ (binding only `general`'s variables) maps its head onto
 /// `specific`'s head, maps every non-builtin body literal onto some
@@ -75,30 +121,52 @@ fn transitive_closure(body: &[Literal], trans: &[Sym]) -> Vec<Literal> {
 /// comparison literal either ground-true or entailed by some comparison
 /// of `specific`'s body.
 pub fn semantic_subsumes(general: &Rule, specific: &Rule, trans: &[Sym]) -> bool {
-    let general = standardize(general);
+    subsumes_prepared(
+        &prepare_general(general),
+        &prepare_specific(specific, trans),
+    )
+}
+
+/// [`semantic_subsumes`] over preprocessed sides — the form the O(n²)
+/// reduction passes call.
+pub fn subsumes_prepared(general: &PreparedGeneral, specific: &PreparedSpecific) -> bool {
     let mut s = Subst::new();
     if !match_atom(&general.head, &specific.head, &mut s) {
         return false;
     }
-    let closed = transitive_closure(&specific.body, trans);
-    let (db_lits, cmp_lits): (Vec<&Literal>, Vec<&Literal>) =
-        general.body.iter().partition(|l| !l.is_builtin());
-    let specific_comps: Vec<Comparison> = closed
-        .iter()
-        .filter(|l| l.positive && l.is_builtin())
-        .filter_map(|l| Comparison::from_atom(&l.atom))
-        .collect();
-    map_db_literals(&db_lits, &closed, s, &cmp_lits, &specific_comps)
+    // Resolve each general literal's candidate targets (same predicate,
+    // sign, and arity) up front: an empty candidate list refutes the test
+    // without any backtracking, and trying the most-constrained literal
+    // first prunes the search. Neither changes the decision — a match the
+    // full scan would have found is found here and vice versa.
+    let mut cands: Vec<(&Literal, Vec<&Literal>)> = Vec::with_capacity(general.db_lits.len());
+    for g in &general.db_lits {
+        let c: Vec<&Literal> = specific
+            .closed
+            .iter()
+            .filter(|l| {
+                l.positive == g.positive
+                    && !l.is_builtin()
+                    && l.atom.pred == g.atom.pred
+                    && l.atom.arity() == g.atom.arity()
+            })
+            .collect();
+        if c.is_empty() {
+            return false;
+        }
+        cands.push((g, c));
+    }
+    cands.sort_by_key(|(_, c)| c.len());
+    map_db_literals(&cands, s, &general.cmp_lits, &specific.comps)
 }
 
 fn map_db_literals(
-    remaining: &[&Literal],
-    specific: &[Literal],
+    remaining: &[(&Literal, Vec<&Literal>)],
     s: Subst,
-    comparisons: &[&Literal],
+    comparisons: &[Literal],
     specific_comps: &[Comparison],
 ) -> bool {
-    let Some((first, rest)) = remaining.split_first() else {
+    let Some(((first, cands), rest)) = remaining.split_first() else {
         // All database literals mapped; now the comparisons must follow.
         return comparisons.iter().all(|l| {
             let inst = s.apply_atom(&l.atom);
@@ -113,13 +181,10 @@ fn map_db_literals(
             }
         });
     };
-    for lit in specific {
-        if lit.positive != first.positive || lit.is_builtin() {
-            continue;
-        }
+    for lit in cands {
         let mut s2 = s.clone();
         if match_atom(&first.atom, &lit.atom, &mut s2)
-            && map_db_literals(rest, specific, s2, comparisons, specific_comps)
+            && map_db_literals(rest, s2, comparisons, specific_comps)
         {
             return true;
         }
@@ -225,17 +290,28 @@ pub fn subsumes_modulo_idb(
 /// transitively-closed predicates (step predicates and modified recursive
 /// predicates).
 pub fn remove_redundant(theorems: Vec<Theorem>, trans: &[Sym]) -> Vec<Theorem> {
-    let mut kept: Vec<Theorem> = Vec::with_capacity(theorems.len());
+    struct Entry {
+        theorem: Theorem,
+        general: PreparedGeneral,
+        specific: PreparedSpecific,
+    }
+    let mut kept: Vec<Entry> = Vec::with_capacity(theorems.len());
     'outer: for t in theorems {
+        let general = prepare_general(&t.rule);
+        let specific = prepare_specific(&t.rule, trans);
         for k in &kept {
-            if semantic_subsumes(&k.rule, &t.rule, trans) {
+            if subsumes_prepared(&k.general, &specific) {
                 continue 'outer;
             }
         }
-        kept.retain(|k| !semantic_subsumes(&t.rule, &k.rule, trans));
-        kept.push(t);
+        kept.retain(|k| !subsumes_prepared(&general, &k.specific));
+        kept.push(Entry {
+            theorem: t,
+            general,
+            specific,
+        });
     }
-    kept
+    kept.into_iter().map(|e| e.theorem).collect()
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ use crate::governor::{Exhausted, Governor, Resource};
 use crate::transform::{RuleKind, TransformedIdb};
 use qdk_logic::{unify_atoms, Atom, Subst, Term, Var, VarGen};
 use std::collections::{BTreeSet, HashMap};
+use threadpool::Pool;
 
 /// Algorithm 2's node tags (§5.3): `None` is untagged; tag 0 prohibits
 /// applying a recursive rule to the node; tags 1 and 2 permit it and bound
@@ -114,6 +115,9 @@ pub(crate) struct Enumerator<'a> {
     /// the guard-length chain answers are pathological — post-processing
     /// must be skipped on them.
     guard_prune: bool,
+    /// Worker pool for root-expansion fan-out (see [`DescribeOptions::pool`];
+    /// sequential when a deterministic-truncation limit is configured).
+    pool: Pool,
 }
 
 impl<'a> Enumerator<'a> {
@@ -143,6 +147,7 @@ impl<'a> Enumerator<'a> {
             gov: opts.governor(),
             depth_trunc: None,
             guard_prune: false,
+            pool: opts.pool(),
         }
     }
 
@@ -150,6 +155,28 @@ impl<'a> Enumerator<'a> {
     pub fn exhaustive(mut self) -> Self {
         self.exhaustive = true;
         self
+    }
+
+    /// A worker for one root-expansion task: shares the governor (one
+    /// budget, one deadline, one sticky trip across all workers) but owns a
+    /// fresh [`VarGen`] and its own soft-prune flags. Fresh-variable names
+    /// are only required to be distinct *within* one derivation, and every
+    /// rendering canonicalizes them, so per-task numbering makes each
+    /// task's output independent of the others — identical whether the
+    /// tasks ran inline in order or on worker threads.
+    fn worker(&self) -> Enumerator<'a> {
+        Enumerator {
+            tidb: self.tidb,
+            hyp_atoms: self.hyp_atoms.clone(),
+            check_typing: self.check_typing,
+            exhaustive: self.exhaustive,
+            opts: self.opts,
+            gen: VarGen::new(),
+            gov: self.gov.clone(),
+            depth_trunc: None,
+            guard_prune: false,
+            pool: Pool::new(1),
+        }
     }
 
     /// Records one unit of work. The governor's trip (if any) is sticky,
@@ -235,22 +262,42 @@ impl<'a> Enumerator<'a> {
             }
         }
 
-        // Root expansions, one per rule of the subject's predicate (read
-        // off the compiled program's head index).
+        // Root expansions, one independent task per rule of the subject's
+        // predicate (read off the compiled program's head index). Each task
+        // runs on its own worker — fresh `VarGen`, shared governor — so the
+        // frontier fans out on the pool and the merged result, assembled in
+        // task order below, is identical for every worker count. A worker
+        // that observes the sticky governor trip drains immediately, which
+        // is the parallel form of the sequential loop's early `break`.
         let tidb = self.tidb;
-        for &ri in tidb.rule_indexes_for(&subject.pred) {
-            if self.stopped() {
-                break;
+        let rule_idxs: Vec<usize> = tidb.rule_indexes_for(&subject.pred).to_vec();
+        let tasks: Vec<_> = rule_idxs
+            .iter()
+            .map(|&ri| {
+                let mut w = self.worker();
+                let base = Branch {
+                    subst: Subst::new(),
+                    occurrences: base_occurrences.clone(),
+                    untyped_uses: HashMap::new(),
+                    leaves: Vec::new(),
+                    used: BTreeSet::new(),
+                    trace: Vec::new(),
+                };
+                move || {
+                    let branches = w.apply_rule(subject, ri, Tag::Untagged, &base, 0);
+                    (branches, w.depth_trunc, w.guard_prune)
+                }
+            })
+            .collect();
+        let results = self.pool.join_all(tasks);
+        for (&ri, (branches, depth_trunc, guard_prune)) in rule_idxs.iter().zip(results) {
+            // Soft-prune state merges in task order: the first recorded
+            // depth prune wins (matching the sequential walk's first-prune
+            // rule), guard prunes accumulate.
+            if self.depth_trunc.is_none() {
+                self.depth_trunc = depth_trunc;
             }
-            let base = Branch {
-                subst: Subst::new(),
-                occurrences: base_occurrences.clone(),
-                untyped_uses: HashMap::new(),
-                leaves: Vec::new(),
-                used: BTreeSet::new(),
-                trace: Vec::new(),
-            };
-            let branches = self.apply_rule(subject, ri, Tag::Untagged, &base, 0);
+            self.guard_prune |= guard_prune;
             for b in branches {
                 // Root context is empty, so subtree-only equals total here.
                 if b.used.is_empty() && !self.exhaustive {

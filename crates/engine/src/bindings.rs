@@ -20,14 +20,16 @@
 
 use crate::error::{EngineError, Result};
 use crate::plan::{Col, RulePlan, Step};
+use qdk_logic::fasthash::FxHashMap;
+use qdk_logic::governor::Governor;
 use qdk_logic::{Atom, Frame, IrTerm, Subst, Sym, Term};
 use qdk_storage::{builtins, Edb, Relation, StorageError, Tuple, Value};
-use std::collections::HashMap;
+use threadpool::Pool;
 
 /// A store of derived facts for IDB predicates.
 #[derive(Clone, Debug, Default)]
 pub struct DerivedFacts {
-    relations: HashMap<Sym, Relation>,
+    relations: FxHashMap<Sym, Relation>,
     count: usize,
 }
 
@@ -85,18 +87,56 @@ impl DerivedFacts {
         }
         Ok(added)
     }
+
+    /// Inserts a batch of tuples for one predicate, resolving the relation
+    /// entry once instead of per tuple. Returns how many were new.
+    pub(crate) fn insert_all(&mut self, pred: &Sym, tuples: Vec<Tuple>) -> Result<usize> {
+        let Some(first) = tuples.first() else {
+            return Ok(0);
+        };
+        let arity = first.arity();
+        let rel = self
+            .relations
+            .entry(pred.clone())
+            .or_insert_with(|| Relation::new(pred.clone(), arity));
+        let mut added = 0;
+        for t in tuples {
+            if rel.insert(t)? {
+                added += 1;
+            }
+        }
+        self.count += added;
+        Ok(added)
+    }
 }
+
+/// Per-predicate half-open tuple-id ranges into a [`DerivedFacts`] store,
+/// marking the facts derived in the previous fixpoint round. Because the
+/// store only ever appends, "the delta" never needs its own relations (or
+/// indexes): it is the tail slice of each relation, and a delta scan is a
+/// windowed scan of the full derived relation.
+pub(crate) type DeltaRanges = FxHashMap<Sym, (usize, usize)>;
+
+/// What a positive scan reads: the relation plus an optional tuple-id
+/// window (the delta range assigned to this occurrence), or nothing when
+/// the predicate has no extension yet.
+pub(crate) type ScanTarget<'a> = Option<(&'a Relation, Option<(usize, usize)>)>;
 
 /// A read view combining the EDB, a derived-facts store, and (optionally)
 /// a delta override: when `delta_occurrence` is `Some(i)`, the body atom at
-/// position `i` of the rule under evaluation reads from `delta` instead of
-/// the full derived store (the semi-naive "one occurrence reads the delta"
-/// rewrite).
+/// position `i` of the rule under evaluation reads only the derived tuples
+/// in the previous round's [`DeltaRanges`] window (the semi-naive "one
+/// occurrence reads the delta" rewrite). The delta is never a separate
+/// store — just an id window over the append-only derived relations.
 pub struct FactView<'a> {
     edb: &'a Edb,
     derived: &'a DerivedFacts,
-    delta: Option<&'a DerivedFacts>,
+    delta: Option<&'a DeltaRanges>,
     delta_occurrence: Option<usize>,
+    /// When set, the delta occurrence's scan only visits the tuples whose
+    /// ids fall in this half-open sub-range of the delta — how a parallel
+    /// round splits one large delta scan across workers.
+    delta_window: Option<(usize, usize)>,
 }
 
 impl<'a> FactView<'a> {
@@ -107,14 +147,16 @@ impl<'a> FactView<'a> {
             derived,
             delta: None,
             delta_occurrence: None,
+            delta_window: None,
         }
     }
 
-    /// A view where body occurrence `occurrence` reads from `delta`.
-    pub fn with_delta(
+    /// A view where body occurrence `occurrence` reads only the derived
+    /// tuples inside the per-predicate `delta` id ranges.
+    pub(crate) fn with_delta(
         edb: &'a Edb,
         derived: &'a DerivedFacts,
-        delta: &'a DerivedFacts,
+        delta: &'a DeltaRanges,
         occurrence: usize,
     ) -> Self {
         FactView {
@@ -122,19 +164,50 @@ impl<'a> FactView<'a> {
             derived,
             delta: Some(delta),
             delta_occurrence: Some(occurrence),
+            delta_window: None,
         }
     }
 
-    /// The relation a positive scan at `occurrence` reads: the EDB
-    /// relation for declared predicates (wrong arity is an error), else
-    /// the delta or derived relation (absent or wrong arity means an
-    /// empty extension — nothing derived for that shape yet).
+    /// Like [`FactView::with_delta`], but the delta occurrence only scans
+    /// the ids in `window` (an absolute sub-range of the delta range).
+    /// Sound for order-preserving partitioning only when that occurrence is
+    /// the plan's outermost scan; the semi-naive driver checks this before
+    /// windowing.
+    pub(crate) fn with_delta_window(
+        edb: &'a Edb,
+        derived: &'a DerivedFacts,
+        delta: &'a DeltaRanges,
+        occurrence: usize,
+        window: (usize, usize),
+    ) -> Self {
+        FactView {
+            edb,
+            derived,
+            delta: Some(delta),
+            delta_occurrence: Some(occurrence),
+            delta_window: Some(window),
+        }
+    }
+
+    /// The derived relation for a rule's head predicate, used to filter
+    /// already-known facts at the emit site. Hoisted out of the per-emission
+    /// path by [`fire_plan_buffered`]: the store is frozen while firing.
+    pub(crate) fn derived_relation(&self, pred: &Sym) -> Option<&'a Relation> {
+        self.derived.relation(pred.as_str())
+    }
+
+    /// The relation a positive scan at `occurrence` reads, plus the tuple-id
+    /// window the scan must respect: the EDB relation for declared
+    /// predicates (wrong arity is an error), else the derived relation —
+    /// windowed to the delta range (or its assigned sub-range) when this is
+    /// the delta occurrence. Absent relation or wrong arity means an empty
+    /// extension — nothing derived for that shape yet.
     pub(crate) fn scan_target(
         &self,
         occurrence: usize,
         pred: &Sym,
         arity: usize,
-    ) -> Result<Option<&'a Relation>> {
+    ) -> Result<ScanTarget<'a>> {
         if self.edb.is_edb_predicate(pred.as_str()) {
             let Some(rel) = self.edb.relation(pred.as_str()) else {
                 return Ok(None);
@@ -147,15 +220,19 @@ impl<'a> FactView<'a> {
                 }
                 .into());
             }
-            return Ok(Some(rel));
+            return Ok(Some((rel, None)));
         }
-        let store = if self.delta_occurrence == Some(occurrence) {
-            self.delta.expect("delta set with occurrence")
+        let window = if self.delta_occurrence == Some(occurrence) {
+            let ranges = self.delta.expect("delta set with occurrence");
+            let Some(&range) = ranges.get(pred) else {
+                return Ok(None); // no new facts for this predicate last round
+            };
+            Some(self.delta_window.unwrap_or(range))
         } else {
-            self.derived
+            None
         };
-        Ok(match store.relation(pred.as_str()) {
-            Some(rel) if rel.arity() == arity => Some(rel),
+        Ok(match self.derived.relation(pred.as_str()) {
+            Some(rel) if rel.arity() == arity => Some((rel, window)),
             _ => None,
         })
     }
@@ -319,10 +396,10 @@ pub(crate) fn exec(
             cols,
             ..
         } => {
-            let Some(rel) = view.scan_target(*occurrence, pred, cols.len())? else {
+            let Some((rel, window)) = view.scan_target(*occurrence, pred, cols.len())? else {
                 return Ok(()); // nothing derived yet
             };
-            scan_relation(rel, cols, frame, &mut |frame| {
+            scan_relation_windowed(rel, cols, frame, window, &mut |frame| {
                 exec(plan, step + 1, view, frame, emit)
             })
         }
@@ -421,6 +498,19 @@ pub(crate) fn scan_relation(
     frame: &mut Frame,
     each: &mut dyn FnMut(&mut Frame) -> Result<()>,
 ) -> Result<()> {
+    scan_relation_windowed(rel, cols, frame, None, each)
+}
+
+/// [`scan_relation`] restricted to tuples with ids in `window` (when set).
+/// Index buckets store ids in ascending insertion order, so visiting each
+/// window of a partition in turn reproduces the unwindowed visit order.
+pub(crate) fn scan_relation_windowed(
+    rel: &Relation,
+    cols: &[Col],
+    frame: &mut Frame,
+    window: Option<(usize, usize)>,
+    each: &mut dyn FnMut(&mut Frame) -> Result<()>,
+) -> Result<()> {
     let ids = probe_ids(rel, cols, frame);
     // One trail for the whole scan, cleared per tuple: slots this scan
     // binds are unbound again before the next tuple (and before return).
@@ -439,12 +529,23 @@ pub(crate) fn scan_relation(
     };
     match ids {
         Some(ids) => {
+            // Bucket ids are ascending, so a window is a contiguous slice:
+            // binary-search its bounds instead of filtering every id.
+            let ids = match window {
+                Some((lo, hi)) => {
+                    let s = ids.partition_point(|&id| (id as usize) < lo);
+                    let e = s + ids[s..].partition_point(|&id| (id as usize) < hi);
+                    &ids[s..e]
+                }
+                None => ids,
+            };
             for &id in ids {
                 visit(rel.tuple_at(id), frame)?;
             }
         }
         None => {
-            for t in rel.iter() {
+            let (lo, hi) = window.unwrap_or((0, rel.len()));
+            for t in rel.iter().skip(lo).take(hi.saturating_sub(lo)) {
                 visit(t, frame)?;
             }
         }
@@ -472,6 +573,7 @@ pub(crate) fn frame_subst(plan: &RulePlan, frame: &Frame) -> Subst {
 /// A frame that leaves a head variable unbound is a range-restriction
 /// violation; as in the dynamic evaluator, enumeration completes and the
 /// first such violation is then reported as an unsafe rule.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn fire_plan(
     plan: &RulePlan,
     view: &FactView<'_>,
@@ -504,6 +606,216 @@ pub(crate) fn fire_plan(
     })?;
     if let Some(e) = err {
         return Err(e);
+    }
+    Ok(added)
+}
+
+/// How often a firing polls the governor for cancellation/deadline, in
+/// emitted frames. Emission-based so the check is free for rules that
+/// produce nothing; the coordinator's per-task ticks still bound work.
+const FIRE_POLL_EMISSIONS: u64 = 4096;
+
+/// Like [`fire_plan`], but instead of inserting, collects the head tuples
+/// not already in the view's derived store into a buffer the coordinator
+/// inserts after the whole round has fired. The buffered content and order
+/// are exactly `fire_plan`'s emission order minus the already-known facts;
+/// the buffer may repeat a tuple (projections), which insertion dedups.
+///
+/// Buffering is what lets the derived store be the *only* store: firings
+/// read a frozen snapshot while new facts wait in the buffer, so the store
+/// needs no per-round copy, subtract pass, or second set of indexes.
+///
+/// When `gov` is set, the firing polls it every [`FIRE_POLL_EMISSIONS`]
+/// emissions so worker threads observe a cancel or deadline promptly
+/// without contributing coordinator work ticks.
+pub(crate) fn fire_plan_buffered(
+    plan: &RulePlan,
+    view: &FactView<'_>,
+    gov: Option<&Governor>,
+) -> Result<Vec<Tuple>> {
+    let mut out: Vec<Tuple> = Vec::new();
+    let mut emitted = 0u64;
+    let mut err: Option<EngineError> = None;
+    let head = &plan.compiled.head;
+    let known = view.derived_relation(&head.pred);
+    let mut frame = Frame::new(plan.compiled.num_slots());
+    exec(plan, 0, view, &mut frame, &mut |frame| {
+        if let Some(g) = gov {
+            emitted += 1;
+            if emitted == FIRE_POLL_EMISSIONS {
+                emitted = 0;
+                g.poll()?;
+            }
+        }
+        let mut row: Vec<Value> = Vec::with_capacity(head.args.len());
+        for t in &head.args {
+            match t.resolve(frame) {
+                Some(c) => row.push(c.clone()),
+                None => {
+                    if err.is_none() {
+                        err = Some(EngineError::UnsafeRule {
+                            rule: plan.rule_str.clone(),
+                            literal: head.reify(frame, &plan.compiled.slots).to_string(),
+                        });
+                    }
+                    return Ok(());
+                }
+            }
+        }
+        let tuple = Tuple::new(row);
+        if !known.is_some_and(|r| r.contains(&tuple)) {
+            out.push(tuple);
+        }
+        Ok(())
+    })?;
+    if let Some(e) = err {
+        return Err(e);
+    }
+    Ok(out)
+}
+
+/// One unit of a fixpoint round: a rule to fire, with an optional delta
+/// occurrence and an optional delta-scan window. `ticks` records whether
+/// this task owes the governor a work tick — continuation chunks of a
+/// windowed scan share the tick of their first chunk, so windowing never
+/// changes work accounting.
+pub(crate) struct RuleTask<'p> {
+    plan: &'p RulePlan,
+    occurrence: Option<usize>,
+    window: Option<(usize, usize)>,
+    ticks: bool,
+}
+
+impl<'p> RuleTask<'p> {
+    /// Fire `plan` against the total view (round 0 / naive iteration).
+    pub(crate) fn total(plan: &'p RulePlan) -> Self {
+        RuleTask {
+            plan,
+            occurrence: None,
+            window: None,
+            ticks: true,
+        }
+    }
+
+    /// Fire `plan` with body occurrence `occurrence` reading the delta.
+    pub(crate) fn delta(plan: &'p RulePlan, occurrence: usize) -> Self {
+        RuleTask {
+            plan,
+            occurrence: Some(occurrence),
+            window: None,
+            ticks: true,
+        }
+    }
+
+    /// One window of a partitioned delta scan. Only the first chunk of a
+    /// partition passes `ticks = true`.
+    pub(crate) fn delta_chunk(
+        plan: &'p RulePlan,
+        occurrence: usize,
+        window: (usize, usize),
+        ticks: bool,
+    ) -> Self {
+        RuleTask {
+            plan,
+            occurrence: Some(occurrence),
+            window: Some(window),
+            ticks,
+        }
+    }
+
+    fn view<'a>(
+        &self,
+        edb: &'a Edb,
+        derived: &'a DerivedFacts,
+        delta: Option<&'a DeltaRanges>,
+    ) -> FactView<'a> {
+        match (self.occurrence, self.window) {
+            (Some(i), Some(w)) => FactView::with_delta_window(
+                edb,
+                derived,
+                delta.expect("delta task requires delta ranges"),
+                i,
+                w,
+            ),
+            (Some(i), None) => FactView::with_delta(
+                edb,
+                derived,
+                delta.expect("delta task requires delta ranges"),
+                i,
+            ),
+            (None, _) => FactView::total(edb, derived),
+        }
+    }
+}
+
+/// Fires a batch of independent rule tasks against the frozen derived
+/// store, then inserts the buffered new facts in task order. Returns how
+/// many facts were new. The store is read-only until every task has fired
+/// (jacobi-style), so the batch can run on worker threads.
+///
+/// The governor contract makes the parallel path observationally identical
+/// to the sequential one: the *coordinator* performs every work tick, in
+/// task order (workers only poll for cancellation/deadline), and the
+/// per-task buffers are inserted in task order, so the insertion order
+/// equals the order a single thread firing task-by-task would have
+/// produced. On a tick trip the whole round's output is discarded either
+/// way; the preceding tasks are replayed sequentially first so a rule
+/// error they would have raised before the trip still takes precedence.
+pub(crate) fn fire_rule_batch(
+    pool: &Pool,
+    gov: &Governor,
+    edb: &Edb,
+    derived: &mut DerivedFacts,
+    delta: Option<&DeltaRanges>,
+    tasks: &[RuleTask<'_>],
+) -> Result<usize> {
+    let snapshot: &DerivedFacts = derived;
+    let buffers: Vec<Vec<Tuple>> = if pool.is_sequential() || tasks.len() <= 1 {
+        // Exact sequential path: tick and fire interleaved.
+        let mut bufs = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            if task.ticks {
+                gov.tick()?;
+            }
+            let view = task.view(edb, snapshot, delta);
+            bufs.push(fire_plan_buffered(task.plan, &view, Some(gov))?);
+        }
+        bufs
+    } else {
+        // Coordinator ticks up front, in task order. A trip replays the
+        // fires that sequential execution would have completed before it
+        // (results discarded, governor not consulted: its trip is already
+        // sticky).
+        for (k, task) in tasks.iter().enumerate() {
+            if !task.ticks {
+                continue;
+            }
+            if let Err(trip) = gov.tick() {
+                for done in &tasks[..k] {
+                    let view = done.view(edb, snapshot, delta);
+                    fire_plan_buffered(done.plan, &view, None)?;
+                }
+                return Err(trip.into());
+            }
+        }
+        let results: Vec<Result<Vec<Tuple>>> = pool.join_all(
+            tasks
+                .iter()
+                .map(|task| {
+                    let view = task.view(edb, snapshot, delta);
+                    move || fire_plan_buffered(task.plan, &view, Some(gov))
+                })
+                .collect(),
+        );
+        let mut bufs = Vec::with_capacity(tasks.len());
+        for r in results {
+            bufs.push(r?);
+        }
+        bufs
+    };
+    let mut added = 0;
+    for (task, buf) in tasks.iter().zip(buffers) {
+        added += derived.insert_all(&task.plan.compiled.head.pred, buf)?;
     }
     Ok(added)
 }
@@ -639,10 +951,10 @@ mod tests {
         derived
             .insert(&Sym::new("honor"), Tuple::new(vec![Value::sym("cara")]))
             .unwrap();
-        let mut delta = DerivedFacts::new();
-        delta
-            .insert(&Sym::new("honor"), Tuple::new(vec![Value::sym("cara")]))
-            .unwrap();
+        // cara was inserted second, so the previous round's delta is the
+        // id range [1, 2) of the honor relation.
+        let mut delta = DeltaRanges::default();
+        delta.insert(Sym::new("honor"), (1, 2));
         // Occurrence 0 is the honor atom.
         let view = FactView::with_delta(&edb, &derived, &delta, 0);
         let names = bound_values("ans(X) :- honor(X), student(X, M, G).", &view, "X");

@@ -6,26 +6,30 @@
 //! avoids. Kept both as the reference implementation the others are tested
 //! against and as the baseline for the P1 performance experiment.
 
-use crate::bindings::{fire_plan, DerivedFacts, FactView};
+use crate::bindings::{fire_rule_batch, DerivedFacts, RuleTask};
 use crate::error::Result;
 use crate::idb::Idb;
 use crate::plan::ProgramPlan;
 use crate::stratify::stratify;
 use qdk_logic::governor::{CancelToken, Governor, ResourceLimits};
-use qdk_logic::Sym;
+use qdk_logic::{Parallelism, Sym};
 use qdk_storage::Edb;
+use threadpool::Pool;
 
 /// Options controlling a bottom-up run: the unified [`ResourceLimits`]
-/// (work budget, deadline, fact count) plus an optional cooperative
-/// [`CancelToken`]. Exhaustion aborts with
-/// [`crate::EngineError::Exhausted`] carrying the governor's structured
-/// diagnostic.
+/// (work budget, deadline, fact count), an optional cooperative
+/// [`CancelToken`], and the worker count for parallel fixpoints.
+/// Exhaustion aborts with [`crate::EngineError::Exhausted`] carrying the
+/// governor's structured diagnostic.
 #[derive(Clone, Debug, Default)]
 pub struct EvalOptions {
     /// Resource limits enforced during evaluation (`Default` = unbounded).
     pub limits: ResourceLimits,
     /// Cooperative cancellation token, checkable from another thread.
     pub cancel: Option<CancelToken>,
+    /// Worker count for the parallel fixpoints (`Default` = available
+    /// cores; [`Parallelism::SEQUENTIAL`] pins the exact sequential path).
+    pub parallelism: Parallelism,
 }
 
 impl EvalOptions {
@@ -33,13 +37,32 @@ impl EvalOptions {
     pub fn with_limits(limits: ResourceLimits) -> Self {
         EvalOptions {
             limits,
-            cancel: None,
+            ..EvalOptions::default()
         }
+    }
+
+    /// Set the worker count.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Set a cooperative cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// Build the governor for one evaluation run.
     pub(crate) fn governor(&self) -> Governor {
         Governor::new(self.limits).with_cancel(self.cancel.clone())
+    }
+
+    /// Build the worker pool for one evaluation run.
+    pub(crate) fn pool(&self) -> Pool {
+        Pool::new(self.parallelism.get())
     }
 }
 
@@ -53,7 +76,7 @@ pub fn eval(edb: &Edb, idb: &Idb) -> Result<DerivedFacts> {
 /// the same IDB repeatedly should compile once and use [`eval_compiled`].
 pub fn eval_with(edb: &Edb, idb: &Idb, opts: EvalOptions) -> Result<DerivedFacts> {
     let plan = ProgramPlan::compile(idb);
-    eval_governed(edb, idb, &plan, None, &mut opts.governor())
+    eval_governed(edb, idb, &plan, None, &opts)
 }
 
 /// Like [`eval_with`], but restricted to the given predicates (used by the
@@ -65,7 +88,7 @@ pub fn eval_restricted(
     opts: EvalOptions,
 ) -> Result<DerivedFacts> {
     let plan = ProgramPlan::compile(idb);
-    eval_governed(edb, idb, &plan, Some(relevant), &mut opts.governor())
+    eval_governed(edb, idb, &plan, Some(relevant), &opts)
 }
 
 /// Naive evaluation of an already compiled program. `plan` must be the
@@ -77,43 +100,44 @@ pub fn eval_compiled(
     relevant: Option<&[Sym]>,
     opts: EvalOptions,
 ) -> Result<DerivedFacts> {
-    eval_governed(edb, idb, plan, relevant, &mut opts.governor())
+    eval_governed(edb, idb, plan, relevant, &opts)
 }
 
 /// Shared fixpoint loop: one governor tick per rule firing, fact
-/// accounting per absorbed delta.
+/// accounting per absorbed iteration delta.
+///
+/// Each iteration fires every rule of the stratum against the facts known
+/// at the iteration's start (jacobi-style, so rule batches are independent
+/// and can run on worker threads) and merges the batches in rule order —
+/// the merged insertion order is identical whether the batches ran on one
+/// thread or many.
 fn eval_governed(
     edb: &Edb,
     idb: &Idb,
     plan: &ProgramPlan,
     relevant: Option<&[Sym]>,
-    gov: &mut Governor,
+    opts: &EvalOptions,
 ) -> Result<DerivedFacts> {
     let strat = stratify(idb)?;
     let mut derived = DerivedFacts::new();
+    let gov = opts.governor();
+    let pool = opts.pool();
     for stratum in strat.strata() {
+        let rules: Vec<&crate::plan::RulePlan> = plan
+            .plans()
+            .iter()
+            .filter(|rp| {
+                let head = &rp.compiled.head.pred;
+                stratum.contains(head) && relevant.is_none_or(|r| r.contains(head))
+            })
+            .collect();
+        if rules.is_empty() {
+            continue;
+        }
         loop {
-            let mut added = 0;
-            for rp in plan.plans() {
-                let head_pred = &rp.compiled.head.pred;
-                if !stratum.contains(head_pred) {
-                    continue;
-                }
-                if let Some(preds) = relevant {
-                    if !preds.contains(head_pred) {
-                        continue;
-                    }
-                }
-                gov.tick()?;
-                let mut fresh = DerivedFacts::new();
-                {
-                    let view = FactView::total(edb, &derived);
-                    fire_plan(rp, &view, &mut fresh)?;
-                }
-                let fresh_count = derived.absorb(&fresh)?;
-                gov.add_facts(fresh_count)?;
-                added += fresh_count;
-            }
+            let tasks: Vec<RuleTask<'_>> = rules.iter().map(|&rp| RuleTask::total(rp)).collect();
+            let added = fire_rule_batch(&pool, &gov, edb, &mut derived, None, &tasks)?;
+            gov.add_facts(added)?;
             if added == 0 {
                 break;
             }
@@ -248,10 +272,7 @@ mod tests {
         let err = eval_with(
             &edb,
             &prior_idb(),
-            EvalOptions {
-                limits: ResourceLimits::default(),
-                cancel: Some(token),
-            },
+            EvalOptions::default().with_cancel(token),
         )
         .unwrap_err();
         match err {

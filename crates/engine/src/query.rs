@@ -11,7 +11,7 @@
 //! predicate altogether, in which case it is taken to be defined through
 //! `ψ` (the paper's Example 2 uses the fresh predicate `answer`).
 
-use crate::bindings::{exec, frame_subst, FactView};
+use crate::bindings::{exec, FactView};
 use crate::error::{EngineError, Result};
 use crate::graph::DependencyGraph;
 use crate::idb::Idb;
@@ -19,7 +19,7 @@ use crate::naive::{self, EvalOptions};
 use crate::plan::{ProgramPlan, RulePlan};
 use crate::seminaive;
 use crate::topdown::Solver;
-use qdk_logic::{Atom, Frame, Interner, Literal, Rule, Subst, Term, Var};
+use qdk_logic::{Atom, Frame, FxHashSet, Interner, Literal, Rule, Subst, Term, Var};
 use qdk_storage::{Edb, Tuple, Value};
 use std::fmt;
 
@@ -266,11 +266,62 @@ pub fn retrieve_compiled(
                 Strategy::Naive => naive::eval_compiled(edb, idb, plan, Some(&relevant), opts)?,
                 _ => seminaive::eval_compiled(edb, idb, plan, Some(&relevant), opts)?,
             };
-            solve_against(edb, &derived, &goals)?
+            return solve_projected(edb, &derived, &goals, query, &columns);
         }
     };
 
     project_answer(query, &columns, substs)
+}
+
+/// Solves a goal conjunction against the EDB plus a materialized derived
+/// store and projects each satisfying frame straight onto the subject's
+/// columns. Row content, order, and deduplication are identical to
+/// solving into substitutions and then projecting with
+/// [`project_answer`]; skipping the per-row substitution map is the
+/// bottom-up answer fast path.
+fn solve_projected(
+    edb: &Edb,
+    derived: &crate::bindings::DerivedFacts,
+    goals: &[Literal],
+    query: &Retrieve,
+    columns: &[Var],
+) -> Result<DataAnswer> {
+    let dummy = Rule::with_literals(Atom::new("_goal", vec![]), goals.to_vec());
+    let plan = RulePlan::for_query(goals, dummy.to_string(), &mut Interner::new());
+    let view = FactView::total(edb, derived);
+    let slots: Vec<Option<u32>> = columns.iter().map(|v| plan.compiled.slot_of(v)).collect();
+    let mut frame = Frame::new(plan.compiled.num_slots());
+    let mut rows: Vec<Tuple> = Vec::new();
+    let mut seen: FxHashSet<Tuple> = FxHashSet::default();
+    let mut unbound = false;
+    exec(&plan, 0, &view, &mut frame, &mut |f| {
+        let mut row: Vec<Value> = Vec::with_capacity(columns.len());
+        for slot in &slots {
+            match slot.and_then(|s| f.get(s)) {
+                Some(c) => row.push(c.clone()),
+                None => {
+                    unbound = true;
+                    return Ok(());
+                }
+            }
+        }
+        let t = Tuple::new(row);
+        if seen.insert(t.clone()) {
+            rows.push(t);
+        }
+        Ok(())
+    })?;
+    if unbound {
+        return Err(EngineError::UnsafeRule {
+            rule: query.to_string(),
+            literal: "free variable not bound by query".to_string(),
+        });
+    }
+    Ok(DataAnswer {
+        columns: columns.to_vec(),
+        rows,
+        downgrades: Vec::new(),
+    })
 }
 
 /// Projects satisfying substitutions onto the subject's variables,
@@ -355,29 +406,6 @@ fn magic_substs(
             out.push(s);
         }
     }
-    Ok(out)
-}
-
-/// Solves a goal conjunction against the EDB plus a materialized derived
-/// store (no further rule application).
-fn solve_against(
-    edb: &Edb,
-    derived: &crate::bindings::DerivedFacts,
-    goals: &[Literal],
-) -> Result<Vec<Subst>> {
-    // Compile the goals as the body of a headless query rule: the plan's
-    // slots are exactly the goal conjunction's distinct variables in
-    // first-occurrence order, so each satisfying frame *is* the answer
-    // substitution restricted to the goal variables.
-    let dummy = Rule::with_literals(Atom::new("_goal", vec![]), goals.to_vec());
-    let plan = RulePlan::for_query(goals, dummy.to_string(), &mut Interner::new());
-    let view = FactView::total(edb, derived);
-    let mut frame = Frame::new(plan.compiled.num_slots());
-    let mut out = Vec::new();
-    exec(&plan, 0, &view, &mut frame, &mut |f| {
-        out.push(frame_subst(&plan, f));
-        Ok(())
-    })?;
     Ok(out)
 }
 

@@ -9,14 +9,18 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-use crate::bindings::{fire_plan, DerivedFacts, FactView};
+use crate::bindings::{fire_rule_batch, DeltaRanges, DerivedFacts, RuleTask};
 use crate::error::Result;
 use crate::idb::Idb;
 use crate::naive::EvalOptions;
-use crate::plan::{ProgramPlan, RulePlan};
+use crate::plan::{ProgramPlan, RulePlan, Step};
 use crate::stratify::stratify;
 use qdk_logic::Sym;
-use qdk_storage::Edb;
+use qdk_storage::{Edb, Relation};
+
+/// A delta scan is split across workers only when the delta relation has at
+/// least this many tuples; smaller scans are not worth a second task.
+const DELTA_CHUNK_MIN: usize = 64;
 
 /// Computes the least fixpoint of the IDB over the EDB semi-naively,
 /// stratum by stratum.
@@ -53,7 +57,8 @@ pub fn eval_compiled(
 ) -> Result<DerivedFacts> {
     let strat = stratify(idb)?;
     let mut derived = DerivedFacts::new();
-    let mut gov = opts.governor();
+    let gov = opts.governor();
+    let pool = opts.pool();
     for stratum in strat.strata() {
         let rules: Vec<&RulePlan> = plan
             .plans()
@@ -87,75 +92,90 @@ pub fn eval_compiled(
             })
             .collect();
 
-        // Round 0: fire every rule against the current totals (facts from
-        // lower strata and the EDB). The new facts form the first delta.
-        let mut delta = DerivedFacts::new();
+        // The head predicates of this stratum's rules, deduplicated: the
+        // delta after each round is the set of id ranges by which their
+        // relations grew. The derived store only appends, so "the facts new
+        // last round" is always a tail window of each relation — no second
+        // store, subtract pass, or per-round index build is ever needed.
+        let mut head_preds: Vec<&Sym> = Vec::new();
         for rp in &rules {
-            gov.tick()?;
-            let view = FactView::total(edb, &derived);
-            let mut fresh = DerivedFacts::new();
-            fire_plan(rp, &view, &mut fresh)?;
-            for (p, rel) in fresh.iter() {
-                for t in rel.iter() {
-                    delta.insert(p, t.clone())?;
-                }
+            let p = &rp.compiled.head.pred;
+            if !head_preds.contains(&p) {
+                head_preds.push(p);
             }
         }
-        subtract(&mut delta, &derived)?;
-        gov.add_facts(derived.absorb(&delta)?)?;
+
+        // Round 0: fire every rule against the current totals (facts from
+        // lower strata and the EDB). The new facts form the first delta;
+        // firings exclude already-derived tuples at the emit site.
+        let before = head_lens(&derived, &head_preds);
+        let tasks: Vec<RuleTask<'_>> = rules.iter().map(|&rp| RuleTask::total(rp)).collect();
+        let added = fire_rule_batch(&pool, &gov, edb, &mut derived, None, &tasks)?;
+        gov.add_facts(added)?;
+        let mut delta = delta_ranges(&derived, &head_preds, &before);
 
         // Subsequent rounds: only instantiations touching the delta.
         while !delta.is_empty() {
-            // Which predicates have new facts, as a dense bitmask over the
-            // program's interned ids: the per-occurrence check below is an
-            // index, not a string hash.
-            let mut delta_mask = vec![false; plan.interner().len()];
-            for (p, _) in delta.iter() {
-                if let Some(id) = plan.interner().lookup(p.as_str()) {
-                    delta_mask[id.index()] = true;
-                }
-            }
-            let mut next = DerivedFacts::new();
+            let mut tasks: Vec<RuleTask<'_>> = Vec::new();
             for (rp, occurrences) in rules.iter().zip(&recursive_occurrences) {
-                // For each body occurrence of a predicate in this stratum,
-                // fire with that occurrence reading the delta.
+                // For each body occurrence of a predicate in this stratum
+                // with new facts, fire with that occurrence reading the
+                // delta window — split across workers when the scan is
+                // large and outermost (so chunk concatenation preserves
+                // scan order).
                 for &i in occurrences {
-                    let pred_id = rp.compiled.body[i].atom.pred_id;
-                    if !delta_mask.get(pred_id.index()).copied().unwrap_or(false) {
+                    let Some(&(start, end)) = delta.get(&rp.compiled.body[i].atom.pred) else {
                         continue; // no new facts for this occurrence
-                    }
-                    gov.tick()?;
-                    let view = FactView::with_delta(edb, &derived, &delta, i);
-                    let mut fresh = DerivedFacts::new();
-                    fire_plan(rp, &view, &mut fresh)?;
-                    for (p, rel) in fresh.iter() {
-                        for t in rel.iter() {
-                            next.insert(p, t.clone())?;
+                    };
+                    let len = end - start;
+                    if len >= DELTA_CHUNK_MIN && !pool.is_sequential() && outermost_scan(rp, i) {
+                        for (k, (lo, hi)) in pool.chunk_ranges(len).into_iter().enumerate() {
+                            tasks.push(RuleTask::delta_chunk(
+                                rp,
+                                i,
+                                (start + lo, start + hi),
+                                k == 0,
+                            ));
                         }
+                    } else {
+                        tasks.push(RuleTask::delta(rp, i));
                     }
                 }
             }
-            subtract(&mut next, &derived)?;
-            gov.add_facts(derived.absorb(&next)?)?;
-            delta = next;
+            let before = head_lens(&derived, &head_preds);
+            let added = fire_rule_batch(&pool, &gov, edb, &mut derived, Some(&delta), &tasks)?;
+            gov.add_facts(added)?;
+            delta = delta_ranges(&derived, &head_preds, &before);
         }
     }
     Ok(derived)
 }
 
-/// Removes from `delta` every tuple already present in `base`.
-fn subtract(delta: &mut DerivedFacts, base: &DerivedFacts) -> Result<()> {
-    let mut pruned = DerivedFacts::new();
-    for (p, rel) in delta.iter() {
-        let old = base.relation(p.as_str());
-        for t in rel.iter() {
-            if old.is_none_or(|r| !r.contains(t)) {
-                pruned.insert(p, t.clone())?;
-            }
+/// Current length of each head predicate's derived relation (0 if absent).
+fn head_lens(derived: &DerivedFacts, head_preds: &[&Sym]) -> Vec<usize> {
+    head_preds
+        .iter()
+        .map(|p| derived.relation(p.as_str()).map_or(0, Relation::len))
+        .collect()
+}
+
+/// The id ranges by which each head relation grew past its recorded
+/// `before` length — the next round's delta.
+fn delta_ranges(derived: &DerivedFacts, head_preds: &[&Sym], before: &[usize]) -> DeltaRanges {
+    let mut ranges = DeltaRanges::default();
+    for (p, &b) in head_preds.iter().zip(before) {
+        let now = derived.relation(p.as_str()).map_or(0, Relation::len);
+        if now > b {
+            ranges.insert((*p).clone(), (b, now));
         }
     }
-    *delta = pruned;
-    Ok(())
+    ranges
+}
+
+/// True when occurrence `i` is the plan's outermost scan, so chunking its
+/// window across workers concatenates to the sequential visit order.
+fn outermost_scan(rp: &RulePlan, i: usize) -> bool {
+    matches!(rp.steps.first(), Some(Step::Scan { occurrence, .. }) if *occurrence == i)
 }
 
 #[cfg(test)]

@@ -123,6 +123,11 @@ impl KnowledgeBase {
         &self.opts
     }
 
+    /// The retrieve evaluation strategy in effect.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
     /// Declares an EDB predicate.
     pub fn declare(&mut self, name: &str, attrs: &[&str], key: Option<usize>) -> Result<()> {
         self.edb.declare(name, attrs)?;
@@ -267,19 +272,27 @@ impl KnowledgeBase {
     }
 
     /// Evaluates a `retrieve` statement (data query, §3.1). The same
-    /// resource limits (and cancellation token) that govern `describe`
-    /// bound the engine evaluation.
+    /// resource limits, cancellation token and worker count that govern
+    /// `describe` bound the engine evaluation.
     pub fn retrieve(&self, r: &Retrieve) -> Result<qdk_engine::DataAnswer> {
         let mut eval = qdk_engine::EvalOptions::with_limits(self.opts.limits);
         eval.cancel = self.opts.cancel.clone();
+        eval.parallelism = self.opts.parallelism;
+        self.retrieve_with_options(r, self.strategy, eval)
+    }
+
+    /// [`Self::retrieve`] with per-query strategy and evaluation options
+    /// (the hook the `Session` facade's request overrides go through). The
+    /// cached compiled program is reused.
+    pub fn retrieve_with_options(
+        &self,
+        r: &Retrieve,
+        strategy: Strategy,
+        eval: qdk_engine::EvalOptions,
+    ) -> Result<qdk_engine::DataAnswer> {
         let plan = self.plan.get_or_compile(&self.idb);
         Ok(query::retrieve_compiled(
-            &self.edb,
-            &self.idb,
-            &plan,
-            r,
-            self.strategy,
-            eval,
+            &self.edb, &self.idb, &plan, r, strategy, eval,
         )?)
     }
 
@@ -293,11 +306,22 @@ impl KnowledgeBase {
     /// respecting declared integrity constraints: theorems whose bodies
     /// the constraints forbid are discarded.
     pub fn describe(&self, d: &Describe) -> Result<qdk_core::DescribeAnswer> {
+        self.describe_with_options(d, &self.opts)
+    }
+
+    /// [`Self::describe`] with per-query options (the hook the `Session`
+    /// facade's request overrides go through). Declared integrity
+    /// constraints are still respected.
+    pub fn describe_with_options(
+        &self,
+        d: &Describe,
+        opts: &DescribeOptions,
+    ) -> Result<qdk_core::DescribeAnswer> {
         Ok(describe::describe_with_constraints(
             &self.idb,
             &self.constraints,
             d,
-            &self.opts,
+            opts,
         )?)
     }
 

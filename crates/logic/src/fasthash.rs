@@ -1,0 +1,120 @@
+//! A fast, deterministic hasher for the evaluation hot paths.
+//!
+//! Fact storage hashes every tuple several times per insert (dedup set
+//! plus one index per column), and `std`'s default SipHash is the single
+//! largest constant factor in bottom-up rounds. This is the classic
+//! multiply-rotate hash used by rustc ("Fx"): not DoS-resistant, which is
+//! fine for derived-fact working sets, and seed-free, so map iteration
+//! order is reproducible across runs — evaluation diagnostics don't
+//! depend on a per-process hash seed.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher over 64-bit words.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(c);
+            self.add(u64::from_le_bytes(w));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rest.len()].copy_from_slice(rest);
+            // Length-tag the tail so "a" and "a\0" hash differently.
+            w[7] = w[7].wrapping_add(rest.len() as u8);
+            self.add(u64::from_le_bytes(w));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(b"prereq"), hash_of(b"prereq"));
+    }
+
+    #[test]
+    fn distinguishes_tail_lengths() {
+        assert_ne!(hash_of(b"a"), hash_of(b"a\0"));
+        assert_ne!(hash_of(b""), hash_of(b"\0"));
+    }
+
+    #[test]
+    fn maps_work_with_composite_keys() {
+        let mut m: FxHashMap<(String, i64), usize> = FxHashMap::default();
+        m.insert(("x".into(), 1), 10);
+        m.insert(("x".into(), 2), 20);
+        assert_eq!(m.get(&("x".to_string(), 2)), Some(&20));
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -23,8 +23,8 @@
 //! `qdk-core::governor` module re-exports everything for facade users.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Declarative bounds on one evaluation. All limits default to `None`
@@ -177,14 +177,28 @@ impl CancelToken {
 /// [`Governor::tick`] from inner loops, and report the returned
 /// [`Exhausted`] diagnostic. The first trip wins and is sticky: after any
 /// limit trips, every subsequent check returns the same diagnostic.
+///
+/// Governors are *share-safe*: the counters and the sticky trip live in
+/// atomics behind an `Arc`, so `Clone` hands out another handle onto the
+/// **same** accounting — one deadline, one work budget and one fact bound
+/// govern every worker thread of a parallel evaluation, and the first trip
+/// observed by any worker is the diagnostic all of them report. Spend is
+/// aggregated across threads (`spent` in the diagnostic is the global
+/// total, not one worker's share).
 #[derive(Clone, Debug)]
 pub struct Governor {
     limits: ResourceLimits,
     cancel: Option<CancelToken>,
     start: Instant,
-    ticks: u64,
-    facts: u64,
-    tripped: Option<Exhausted>,
+    shared: Arc<GovernorState>,
+}
+
+/// The cross-thread accounting cell shared by every clone of a governor.
+#[derive(Debug, Default)]
+struct GovernorState {
+    ticks: AtomicU64,
+    facts: AtomicU64,
+    tripped: OnceLock<Exhausted>,
 }
 
 impl Governor {
@@ -198,9 +212,7 @@ impl Governor {
             limits,
             cancel: None,
             start: Instant::now(),
-            ticks: 0,
-            facts: 0,
-            tripped: None,
+            shared: Arc::new(GovernorState::default()),
         }
     }
 
@@ -221,34 +233,34 @@ impl Governor {
         &self.limits
     }
 
-    /// Units of work spent so far.
+    /// Units of work spent so far (across every clone of this governor).
     pub fn work_spent(&self) -> u64 {
-        self.ticks
+        self.shared.ticks.load(Ordering::Relaxed)
     }
 
     /// The first limit that tripped, if any.
     pub fn tripped(&self) -> Option<Exhausted> {
-        self.tripped
+        self.shared.tripped.get().copied()
     }
 
     /// Record one unit of work. Returns the sticky exhaustion diagnostic if
     /// any limit has tripped. Cheap: the work counter is exact, while the
     /// clock and cancel flag are consulted only every
     /// [`Governor::POLL_INTERVAL`] ticks.
-    pub fn tick(&mut self) -> Result<(), Exhausted> {
-        if let Some(e) = self.tripped {
+    pub fn tick(&self) -> Result<(), Exhausted> {
+        if let Some(e) = self.tripped() {
             return Err(e);
         }
-        self.ticks += 1;
+        let ticks = self.shared.ticks.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(budget) = self.limits.work_budget {
-            if self.ticks > budget {
-                return Err(self.trip(Resource::WorkBudget, self.ticks, budget));
+            if ticks > budget {
+                return Err(self.trip(Resource::WorkBudget, ticks, budget));
             }
         }
         // Poll on the first tick (so pre-expired deadlines and already
         // cancelled tokens are caught immediately) and then once per
         // interval.
-        if self.ticks % Self::POLL_INTERVAL == 1 {
+        if ticks % Self::POLL_INTERVAL == 1 {
             self.poll()?;
         }
         Ok(())
@@ -256,14 +268,14 @@ impl Governor {
 
     /// Record `n` newly derived facts. Returns the sticky diagnostic if the
     /// fact limit (or a previously tripped limit) is exceeded.
-    pub fn add_facts(&mut self, n: usize) -> Result<(), Exhausted> {
-        if let Some(e) = self.tripped {
+    pub fn add_facts(&self, n: usize) -> Result<(), Exhausted> {
+        if let Some(e) = self.tripped() {
             return Err(e);
         }
-        self.facts += n as u64;
+        let facts = self.shared.facts.fetch_add(n as u64, Ordering::Relaxed) + n as u64;
         if let Some(max) = self.limits.max_facts {
-            if self.facts > max as u64 {
-                return Err(self.trip(Resource::Facts, self.facts, max as u64));
+            if facts > max as u64 {
+                return Err(self.trip(Resource::Facts, facts, max as u64));
             }
         }
         Ok(())
@@ -273,8 +285,8 @@ impl Governor {
     /// recording work. Returns the diagnostic the *caller* should attach if
     /// `depth` is at or beyond the bound (the governor also records it as
     /// its sticky trip so the truncation is reported, not silent).
-    pub fn check_depth(&mut self, depth: usize) -> Result<(), Exhausted> {
-        if let Some(e) = self.tripped {
+    pub fn check_depth(&self, depth: usize) -> Result<(), Exhausted> {
+        if let Some(e) = self.tripped() {
             return Err(e);
         }
         if let Some(max) = self.limits.max_depth {
@@ -286,9 +298,11 @@ impl Governor {
     }
 
     /// Force the clock/cancellation poll regardless of tick phase. Useful
-    /// before expensive non-tick work (e.g. a post-processing pass).
-    pub fn poll(&mut self) -> Result<(), Exhausted> {
-        if let Some(e) = self.tripped {
+    /// before expensive non-tick work (e.g. a post-processing pass) and as
+    /// the cancellation check of worker threads, which observe a deadline
+    /// or cancel promptly without contributing coordinator work ticks.
+    pub fn poll(&self) -> Result<(), Exhausted> {
+        if let Some(e) = self.tripped() {
             return Err(e);
         }
         if let Some(token) = &self.cancel {
@@ -309,14 +323,16 @@ impl Governor {
         Ok(())
     }
 
-    fn trip(&mut self, resource: Resource, spent: u64, limit: u64) -> Exhausted {
+    fn trip(&self, resource: Resource, spent: u64, limit: u64) -> Exhausted {
         let e = Exhausted {
             resource,
             spent,
             limit,
         };
-        self.tripped = Some(e);
-        e
+        // First trip wins, racing clones included: if another thread has
+        // already tripped, its diagnostic is the sticky one.
+        let _ = self.shared.tripped.set(e);
+        *self.shared.tripped.get().unwrap_or(&e)
     }
 }
 
@@ -327,7 +343,7 @@ mod tests {
 
     #[test]
     fn unbounded_never_trips() {
-        let mut g = Governor::unbounded();
+        let g = Governor::unbounded();
         for _ in 0..100_000 {
             g.tick().unwrap();
         }
@@ -337,7 +353,7 @@ mod tests {
 
     #[test]
     fn work_budget_is_exact_and_sticky() {
-        let mut g = Governor::new(ResourceLimits::default().with_work_budget(10));
+        let g = Governor::new(ResourceLimits::default().with_work_budget(10));
         for _ in 0..10 {
             g.tick().unwrap();
         }
@@ -353,8 +369,7 @@ mod tests {
 
     #[test]
     fn deadline_trips_via_amortized_poll() {
-        let mut g =
-            Governor::new(ResourceLimits::default().with_deadline(Duration::from_millis(1)));
+        let g = Governor::new(ResourceLimits::default().with_deadline(Duration::from_millis(1)));
         thread::sleep(Duration::from_millis(5));
         // The first tick polls, so an already-expired deadline is caught
         // immediately.
@@ -366,8 +381,7 @@ mod tests {
 
     #[test]
     fn deadline_polling_is_amortized() {
-        let mut g =
-            Governor::new(ResourceLimits::default().with_deadline(Duration::from_secs(3600)));
+        let g = Governor::new(ResourceLimits::default().with_deadline(Duration::from_secs(3600)));
         // Ticks between poll boundaries must not consult the clock; this
         // just exercises the fast path for a large tick count.
         for _ in 0..10_000 {
@@ -378,7 +392,7 @@ mod tests {
 
     #[test]
     fn fact_limit_trips() {
-        let mut g = Governor::new(ResourceLimits::default().with_max_facts(100));
+        let g = Governor::new(ResourceLimits::default().with_max_facts(100));
         g.add_facts(60).unwrap();
         let e = g.add_facts(60).unwrap_err();
         assert_eq!(e.resource, Resource::Facts);
@@ -388,7 +402,7 @@ mod tests {
 
     #[test]
     fn depth_check_trips_at_bound() {
-        let mut g = Governor::new(ResourceLimits::default().with_max_depth(4));
+        let g = Governor::new(ResourceLimits::default().with_max_depth(4));
         g.check_depth(3).unwrap();
         let e = g.check_depth(4).unwrap_err();
         assert_eq!(e.resource, Resource::Depth);
@@ -398,11 +412,49 @@ mod tests {
     #[test]
     fn cancel_token_observed_cross_thread() {
         let token = CancelToken::new();
-        let mut g = Governor::new(ResourceLimits::default()).with_cancel(Some(token.clone()));
+        let g = Governor::new(ResourceLimits::default()).with_cancel(Some(token.clone()));
         let handle = thread::spawn(move || token.cancel());
         handle.join().unwrap();
         let e = g.poll().unwrap_err();
         assert_eq!(e.resource, Resource::Cancelled);
+    }
+
+    #[test]
+    fn clones_share_accounting_across_threads() {
+        // One budget governs all workers: clones aggregate spend, and the
+        // first trip is the sticky diagnostic for every clone.
+        let g = Governor::new(ResourceLimits::default().with_work_budget(1000));
+        let workers: Vec<_> = (0..4).map(|_| g.clone()).collect();
+        thread::scope(|s| {
+            for w in &workers {
+                s.spawn(move || {
+                    for _ in 0..300 {
+                        if w.tick().is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        // 4 × 300 = 1200 attempted ticks against a budget of 1000.
+        let e = g.tick().unwrap_err();
+        assert_eq!(e.resource, Resource::WorkBudget);
+        assert_eq!(e.limit, 1000);
+        assert!(e.spent > 1000);
+        for w in &workers {
+            assert_eq!(w.tripped(), Some(e));
+        }
+    }
+
+    #[test]
+    fn clones_share_fact_accounting() {
+        let g = Governor::new(ResourceLimits::default().with_max_facts(10));
+        let h = g.clone();
+        g.add_facts(6).unwrap();
+        let e = h.add_facts(6).unwrap_err();
+        assert_eq!(e.resource, Resource::Facts);
+        assert_eq!(e.spent, 12);
+        assert_eq!(g.tripped(), Some(e));
     }
 
     #[test]

@@ -35,9 +35,11 @@
 mod atom;
 mod clause;
 mod error;
+pub mod fasthash;
 pub mod governor;
 pub mod intern;
 pub mod ir;
+pub mod parallel;
 pub mod parser;
 pub mod pretty;
 mod rename;
@@ -50,9 +52,11 @@ mod unify;
 pub use atom::{Atom, Literal};
 pub use clause::{Constraint, Program, Rule};
 pub use error::{ParseError, Result};
+pub use fasthash::{FxHashMap, FxHashSet, FxHasher};
 pub use governor::{CancelToken, Exhausted, Governor, Resource, ResourceLimits};
 pub use intern::{Interner, SymId};
 pub use ir::{CompiledRule, Frame, IrAtom, IrLiteral, IrTerm};
+pub use parallel::Parallelism;
 pub use rename::{rename_atoms_apart, rename_rule_apart, VarGen};
 pub use subst::Subst;
 pub use symbol::Sym;

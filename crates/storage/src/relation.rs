@@ -3,8 +3,8 @@
 use crate::error::{Result, StorageError};
 use crate::tuple::Tuple;
 use crate::Value;
+use qdk_logic::fasthash::FxHashMap;
 use qdk_logic::Sym;
-use std::collections::HashMap;
 
 /// A deduplicated, insertion-ordered set of tuples with a hash index on
 /// every column.
@@ -18,9 +18,9 @@ pub struct Relation {
     name: Sym,
     arity: usize,
     tuples: Vec<Tuple>,
-    present: HashMap<Tuple, u32>,
+    present: FxHashMap<Tuple, u32>,
     /// `indexes[c][v]` = row ids whose column `c` equals `v`.
-    indexes: Vec<HashMap<Value, Vec<u32>>>,
+    indexes: Vec<FxHashMap<Value, Vec<u32>>>,
 }
 
 impl Relation {
@@ -30,8 +30,8 @@ impl Relation {
             name: name.into(),
             arity,
             tuples: Vec::new(),
-            present: HashMap::new(),
-            indexes: vec![HashMap::new(); arity],
+            present: FxHashMap::default(),
+            indexes: vec![FxHashMap::default(); arity],
         }
     }
 

@@ -1,14 +1,15 @@
-//! Quickstart: the twin statements on a small knowledge base.
+//! Quickstart: the twin statements on a small knowledge base, asked
+//! through the [`qdk::Session`] facade — one request shape for both.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use qdk::KnowledgeBase;
+use qdk::{Request, Session};
 
-fn main() -> Result<(), qdk::LangError> {
-    let mut kb = KnowledgeBase::new();
+fn main() -> qdk::Result<()> {
+    let mut session = Session::new();
 
     // Declare the extensional schema, store facts, define knowledge.
-    kb.load(
+    session.load(
         "predicate student(Sname, Major, Gpa) key 1.
          predicate enroll(Sname, Ctitle).
 
@@ -26,13 +27,13 @@ fn main() -> Result<(), qdk::LangError> {
     //   "Who are the honor students?"        — a data query.
     //   "What does it take to be an honor student?" — a knowledge query.
     //
-    // Both are asked through the same instrument; they differ only in the
-    // initial keyword.
+    // Both are asked through the same instrument; the twin calls differ
+    // only in the method name.
     println!("retrieve honor(X).");
-    println!("{}", kb.run("retrieve honor(X).")?);
+    println!("{}", session.retrieve(Request::subject("honor(X)"))?);
 
     println!("describe honor(X).");
-    println!("{}", kb.run("describe honor(X).")?);
+    println!("{}", session.describe(Request::subject("honor(X)"))?);
 
     // A knowledge query with a hypothesis: what does honor status mean
     // *for math students with GPA above 3.8*? The implied comparison is
@@ -40,7 +41,8 @@ fn main() -> Result<(), qdk::LangError> {
     println!("describe honor(X) where student(X, math, V) and V > 3.8.");
     println!(
         "{}",
-        kb.run("describe honor(X) where student(X, math, V) and V > 3.8.")?
+        session
+            .describe(Request::subject("honor(X)").where_clause("student(X, math, V), V > 3.8"))?
     );
 
     // And one that contradicts the knowledge: honor students with a GPA
@@ -48,7 +50,8 @@ fn main() -> Result<(), qdk::LangError> {
     println!("describe honor(X) where student(X, math, V) and V < 3.5.");
     println!(
         "{}",
-        kb.run("describe honor(X) where student(X, math, V) and V < 3.5.")?
+        session
+            .describe(Request::subject("honor(X)").where_clause("student(X, math, V), V < 3.5"))?
     );
 
     Ok(())

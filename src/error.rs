@@ -1,0 +1,86 @@
+//! The consolidated crate-level error surface.
+//!
+//! Every layer keeps its own precise error type (`EngineError`,
+//! `DescribeError`, `ParseError`, `StorageError` — all still public for
+//! layer-level callers and tests), but [`Session`](crate::Session) callers
+//! match on this one enum. `#[non_exhaustive]` so future layers can add
+//! variants without a breaking release.
+
+use std::fmt;
+
+/// Any error the `qdk` facade can raise.
+#[non_exhaustive]
+#[derive(Clone, Debug, PartialEq)]
+pub enum Error {
+    /// A parse error (statements, atoms, hypothesis conjunctions).
+    Parse(qdk_logic::ParseError),
+    /// A storage error (declarations, facts, arity mismatches).
+    Storage(qdk_storage::StorageError),
+    /// A retrieve-engine error (evaluation, stratification, exhaustion).
+    Engine(qdk_engine::EngineError),
+    /// A describe-engine error (knowledge queries, transformation).
+    Describe(qdk_core::DescribeError),
+}
+
+impl Error {
+    /// The structured exhaustion diagnostic, when the error is a resource
+    /// trip from either evaluation stack.
+    pub fn exhausted(&self) -> Option<qdk_logic::Exhausted> {
+        match self {
+            Error::Engine(qdk_engine::EngineError::Exhausted(e)) => Some(*e),
+            Error::Describe(qdk_core::DescribeError::Exhausted(e)) => Some(*e),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Storage(e) => write!(f, "{e}"),
+            Error::Engine(e) => write!(f, "{e}"),
+            Error::Describe(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<qdk_logic::ParseError> for Error {
+    fn from(e: qdk_logic::ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<qdk_storage::StorageError> for Error {
+    fn from(e: qdk_storage::StorageError) -> Self {
+        Error::Storage(e)
+    }
+}
+
+impl From<qdk_engine::EngineError> for Error {
+    fn from(e: qdk_engine::EngineError) -> Self {
+        Error::Engine(e)
+    }
+}
+
+impl From<qdk_core::DescribeError> for Error {
+    fn from(e: qdk_core::DescribeError) -> Self {
+        Error::Describe(e)
+    }
+}
+
+impl From<qdk_lang::LangError> for Error {
+    fn from(e: qdk_lang::LangError) -> Self {
+        match e {
+            qdk_lang::LangError::Parse(e) => Error::Parse(e),
+            qdk_lang::LangError::Storage(e) => Error::Storage(e),
+            qdk_lang::LangError::Engine(e) => Error::Engine(e),
+            qdk_lang::LangError::Describe(e) => Error::Describe(e),
+        }
+    }
+}
+
+/// Result alias for facade operations.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -44,9 +44,29 @@
 //!   extensions and `compare`;
 //! * [`lang`] — the unified statement language and [`KnowledgeBase`]
 //!   facade re-exported at the top level.
+//!
+//! For programmatic use, the [`Session`] facade wraps a [`KnowledgeBase`]
+//! behind twin calls with one [`Request`] shape (subject, hypothesis,
+//! strategy, limits, parallelism) and one [`Error`] surface:
+//!
+//! ```
+//! use qdk::{Request, Session};
+//!
+//! let mut session = Session::new();
+//! session.load(
+//!     "predicate student(Sname, Major, Gpa) key 1.
+//!      student(ann, math, 3.9).
+//!      honor(X) :- student(X, Y, Z), Z > 3.7.",
+//! ).unwrap();
+//! let data = session.retrieve(Request::subject("honor(X)")).unwrap();
+//! assert!(data.as_data().unwrap().contains_row(&["ann"]));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod error;
+mod session;
 
 pub use qdk_core as core;
 pub use qdk_engine as engine;
@@ -54,9 +74,13 @@ pub use qdk_lang as lang;
 pub use qdk_logic as logic;
 pub use qdk_storage as storage;
 
+pub use error::{Error, Result};
+pub use session::{Request, Response, Session};
+
 pub use qdk_core::{
     compare::CompareAnswer, CancelToken, Completeness, Describe, DescribeAnswer, DescribeOptions,
     Exhausted, FallbackPolicy, Governor, Resource, ResourceLimits, Theorem, TransformPolicy,
 };
 pub use qdk_engine::{DataAnswer, Downgrade, EvalOptions, Retrieve, Strategy};
 pub use qdk_lang::{datasets, Answer, KnowledgeBase, LangError};
+pub use qdk_logic::Parallelism;

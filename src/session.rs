@@ -1,0 +1,388 @@
+//! The unified `Session` facade: both statements, one request shape.
+//!
+//! The paper's instrument has twin statements that differ only in their
+//! initial keyword; this module gives them twin *calls* that differ only
+//! in the method name. A [`Session`] wraps a [`KnowledgeBase`]; a
+//! [`Request`] carries everything one evaluation needs — subject, optional
+//! hypothesis/qualifier, strategy, resource limits, cancellation and
+//! worker count — as a builder; a [`Response`] is either data rows or
+//! theorems, tagged. Errors consolidate into [`crate::Error`].
+//!
+//! ```
+//! use qdk::{Request, Session};
+//!
+//! let mut session = Session::new();
+//! session.load(
+//!     "predicate student(Sname, Major, Gpa) key 1.
+//!      student(ann, math, 3.9).
+//!      student(bob, math, 3.5).
+//!      honor(X) :- student(X, Y, Z), Z > 3.7.",
+//! ).unwrap();
+//!
+//! let data = session.retrieve(Request::subject("honor(X)")).unwrap();
+//! assert!(data.as_data().unwrap().contains_row(&["ann"]));
+//!
+//! let knowledge = session.describe(Request::subject("honor(X)")).unwrap();
+//! assert_eq!(
+//!     knowledge.as_knowledge().unwrap().rendered(),
+//!     vec!["honor(X) ← student(X, Y, Z) ∧ (Z > 3.7)"],
+//! );
+//! ```
+
+use crate::error::Result;
+use qdk_core::{Describe, DescribeAnswer};
+use qdk_engine::{DataAnswer, EvalOptions, Retrieve, Strategy};
+use qdk_lang::{Answer, KnowledgeBase};
+use qdk_logic::parser::{parse_atom, parse_body};
+use qdk_logic::{CancelToken, Parallelism, ResourceLimits};
+use std::fmt;
+
+/// One query, fully specified: the subject, an optional hypothesis (for
+/// `describe`) or qualifier (for `retrieve`), and the per-request
+/// evaluation knobs. Build with [`Request::subject`] and chain the
+/// builder methods; anything left unset inherits the session's defaults.
+#[derive(Clone, Debug)]
+pub struct Request {
+    subject: String,
+    hypothesis: Option<String>,
+    strategy: Option<Strategy>,
+    limits: Option<ResourceLimits>,
+    cancel: Option<CancelToken>,
+    parallelism: Option<Parallelism>,
+}
+
+impl Request {
+    /// A request for the given subject atom, e.g. `"honor(X)"`.
+    pub fn subject(subject: impl Into<String>) -> Self {
+        Request {
+            subject: subject.into(),
+            hypothesis: None,
+            strategy: None,
+            limits: None,
+            cancel: None,
+            parallelism: None,
+        }
+    }
+
+    /// The `where` conjunction: the hypothesis of a `describe`, the
+    /// qualifier of a `retrieve`. E.g. `"student(X, math, V), V > 3.7"`.
+    #[must_use]
+    pub fn where_clause(mut self, hypothesis: impl Into<String>) -> Self {
+        self.hypothesis = Some(hypothesis.into());
+        self
+    }
+
+    /// The retrieve evaluation strategy (ignored by `describe`).
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Resource limits for this request only.
+    #[must_use]
+    pub fn limits(mut self, limits: ResourceLimits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// A cooperative cancellation token for this request only.
+    #[must_use]
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Worker count for this request only ([`Parallelism::SEQUENTIAL`]
+    /// pins the exact sequential path).
+    #[must_use]
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = Some(parallelism);
+        self
+    }
+
+    /// The parsed `where` conjunction (empty when none was given).
+    fn parsed_hypothesis(&self) -> Result<Vec<qdk_logic::Literal>> {
+        match &self.hypothesis {
+            Some(h) => Ok(parse_body(h)?),
+            None => Ok(Vec::new()),
+        }
+    }
+}
+
+/// The answer to one [`Request`]: data rows for `retrieve`, theorems for
+/// `describe`.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// Rows (a `retrieve` answer).
+    Data(DataAnswer),
+    /// Theorems (a `describe` answer).
+    Knowledge(DescribeAnswer),
+}
+
+impl Response {
+    /// The data answer, if this was a `retrieve`.
+    pub fn as_data(&self) -> Option<&DataAnswer> {
+        match self {
+            Response::Data(d) => Some(d),
+            Response::Knowledge(_) => None,
+        }
+    }
+
+    /// The knowledge answer, if this was a `describe`.
+    pub fn as_knowledge(&self) -> Option<&DescribeAnswer> {
+        match self {
+            Response::Data(_) => None,
+            Response::Knowledge(k) => Some(k),
+        }
+    }
+
+    /// Consumes the response into its data answer.
+    pub fn into_data(self) -> Option<DataAnswer> {
+        match self {
+            Response::Data(d) => Some(d),
+            Response::Knowledge(_) => None,
+        }
+    }
+
+    /// Consumes the response into its knowledge answer.
+    pub fn into_knowledge(self) -> Option<DescribeAnswer> {
+        match self {
+            Response::Data(_) => None,
+            Response::Knowledge(k) => Some(k),
+        }
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Data(d) => write!(f, "{d}"),
+            Response::Knowledge(k) => write!(f, "{k}"),
+        }
+    }
+}
+
+/// A stateful facade over one [`KnowledgeBase`]: load schema and clauses,
+/// then ask either statement with one [`Request`] shape. Session-level
+/// defaults (strategy, limits, parallelism) come from the wrapped
+/// knowledge base; each request may override any of them.
+#[derive(Clone, Debug, Default)]
+pub struct Session {
+    kb: KnowledgeBase,
+}
+
+impl Session {
+    /// A session over an empty knowledge base with paper-style defaults.
+    pub fn new() -> Self {
+        Session {
+            kb: KnowledgeBase::new(),
+        }
+    }
+
+    /// Wraps an existing knowledge base.
+    pub fn over(kb: KnowledgeBase) -> Self {
+        Session { kb }
+    }
+
+    /// The wrapped knowledge base.
+    pub fn knowledge_base(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// Mutable access to the wrapped knowledge base.
+    pub fn knowledge_base_mut(&mut self) -> &mut KnowledgeBase {
+        &mut self.kb
+    }
+
+    /// Parses and executes a script (declarations, facts, rules,
+    /// constraints, queries), returning every answer.
+    pub fn load(&mut self, src: &str) -> Result<Vec<Answer>> {
+        Ok(self.kb.load(src)?)
+    }
+
+    /// Parses and executes one statement of the unified language.
+    pub fn run(&mut self, src: &str) -> Result<Answer> {
+        Ok(self.kb.run(src)?)
+    }
+
+    /// Evaluates a data query: `retrieve subject where qualifier`.
+    pub fn retrieve(&self, request: Request) -> Result<Response> {
+        let subject = parse_atom(&request.subject)?;
+        let qualifier = request.parsed_hypothesis()?;
+        let defaults = self.kb.describe_options();
+        let mut eval = EvalOptions::with_limits(request.limits.unwrap_or(defaults.limits))
+            .with_parallelism(request.parallelism.unwrap_or(defaults.parallelism));
+        if let Some(token) = request.cancel.clone().or_else(|| defaults.cancel.clone()) {
+            eval = eval.with_cancel(token);
+        }
+        let strategy = request.strategy.unwrap_or(self.kb.strategy());
+        let answer =
+            self.kb
+                .retrieve_with_options(&Retrieve::new(subject, qualifier), strategy, eval)?;
+        Ok(Response::Data(answer))
+    }
+
+    /// Evaluates a knowledge query: `describe subject where hypothesis`.
+    pub fn describe(&self, request: Request) -> Result<Response> {
+        let subject = parse_atom(&request.subject)?;
+        let hypothesis = request.parsed_hypothesis()?;
+        let mut opts = self.kb.describe_options().clone();
+        if let Some(limits) = request.limits {
+            opts.limits = limits;
+        }
+        if let Some(token) = request.cancel.clone() {
+            opts.cancel = Some(token);
+        }
+        if let Some(parallelism) = request.parallelism {
+            opts.parallelism = parallelism;
+        }
+        let answer = self
+            .kb
+            .describe_with_options(&Describe::new(subject, hypothesis), &opts)?;
+        Ok(Response::Knowledge(answer))
+    }
+}
+
+impl From<KnowledgeBase> for Session {
+    fn from(kb: KnowledgeBase) -> Self {
+        Session::over(kb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+    use qdk_logic::Resource;
+
+    fn session() -> Session {
+        let mut s = Session::new();
+        s.load(
+            "predicate student(Sname, Major, Gpa) key 1.\n\
+             predicate enroll(Sname, Ctitle).\n\
+             student(ann, math, 3.9).\n\
+             student(bob, math, 3.5).\n\
+             enroll(ann, databases).\n\
+             honor(X) :- student(X, Y, Z), Z > 3.7.",
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn twin_statements_one_request_shape() {
+        let s = session();
+        let data = s.retrieve(Request::subject("honor(X)")).unwrap();
+        assert!(data.as_data().unwrap().contains_row(&["ann"]));
+        assert!(data.as_knowledge().is_none());
+        let knowledge = s.describe(Request::subject("honor(X)")).unwrap();
+        assert_eq!(
+            knowledge.as_knowledge().unwrap().rendered(),
+            vec!["honor(X) ← student(X, Y, Z) ∧ (Z > 3.7)"]
+        );
+        assert!(knowledge.as_data().is_none());
+    }
+
+    #[test]
+    fn where_clause_feeds_both_statements() {
+        let s = session();
+        let data = s
+            .retrieve(Request::subject("honor(X)").where_clause("enroll(X, databases)"))
+            .unwrap();
+        let d = data.into_data().unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(d.contains_row(&["ann"]));
+        let knowledge = s
+            .describe(Request::subject("honor(X)").where_clause("student(X, math, V), V > 3.8"))
+            .unwrap();
+        let k = knowledge.into_knowledge().unwrap();
+        // The hypothesis implies the whole definition: the student leaf
+        // identifies and the GPA comparison is implied, leaving the
+        // unconditional theorem.
+        assert_eq!(k.rendered(), vec!["honor(X)"]);
+    }
+
+    #[test]
+    fn per_request_strategy_and_parallelism() {
+        let s = session();
+        for strategy in [
+            Strategy::Naive,
+            Strategy::SemiNaive,
+            Strategy::Magic,
+            Strategy::TopDown,
+        ] {
+            for workers in [1, 4] {
+                let r = s
+                    .retrieve(
+                        Request::subject("honor(X)")
+                            .strategy(strategy)
+                            .parallelism(Parallelism::workers(workers)),
+                    )
+                    .unwrap();
+                assert!(r.as_data().unwrap().contains_row(&["ann"]), "{strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_request_limits_override_session_defaults() {
+        let mut s = Session::new();
+        s.load(
+            "predicate edge(F, T).\n\
+             reach(X, Y) :- edge(X, Y).\n\
+             reach(X, Y) :- edge(X, Z), reach(Z, Y).\n\
+             edge(a, b). edge(b, c). edge(c, d). edge(d, e).",
+        )
+        .unwrap();
+        let err = s
+            .retrieve(
+                Request::subject("reach(X, Y)")
+                    .limits(ResourceLimits::default().with_work_budget(1)),
+            )
+            .expect_err("budget must trip");
+        assert_eq!(err.exhausted().unwrap().resource, Resource::WorkBudget);
+        // The session default (unbounded) is untouched.
+        assert!(s.retrieve(Request::subject("reach(X, Y)")).is_ok());
+    }
+
+    #[test]
+    fn cancelled_request_reports_cancellation() {
+        let s = session();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = s
+            .retrieve(Request::subject("honor(X)").cancel(token.clone()))
+            .expect_err("pre-cancelled token must abort");
+        assert_eq!(err.exhausted().unwrap().resource, Resource::Cancelled);
+        // `describe` degrades gracefully: a cancelled enumeration returns
+        // the (empty) prefix tagged Truncated rather than erroring.
+        let resp = s
+            .describe(Request::subject("honor(X)").cancel(token))
+            .unwrap();
+        let k = resp.into_knowledge().unwrap();
+        assert_eq!(
+            k.completeness.exhausted().unwrap().resource,
+            Resource::Cancelled
+        );
+    }
+
+    #[test]
+    fn parse_errors_consolidate() {
+        let s = session();
+        let err = s.retrieve(Request::subject("honor(")).unwrap_err();
+        assert!(matches!(err, Error::Parse(_)), "{err:?}");
+        let err = s
+            .describe(Request::subject("honor(X)").where_clause("student("))
+            .unwrap_err();
+        assert!(matches!(err, Error::Parse(_)), "{err:?}");
+    }
+
+    #[test]
+    fn session_wraps_and_exposes_the_kb() {
+        let kb = KnowledgeBase::new();
+        let mut s = Session::from(kb);
+        s.knowledge_base_mut().declare("p", &["A"], None).unwrap();
+        assert!(s.knowledge_base().edb().is_edb_predicate("p"));
+    }
+}

@@ -16,13 +16,13 @@
 
 use proptest::prelude::*;
 use qdk::core::{describe, Describe, DescribeOptions};
-use qdk::engine::{query, Idb};
+use qdk::engine::{query, retrieve_with, EngineError, EvalOptions, Idb};
 use qdk::logic::parser::parse_atom;
 use qdk::logic::{
     rename_rule_apart, unify_atoms, Atom, CompiledRule, Interner, Rule, Subst, Term, VarGen,
 };
 use qdk::storage::Edb;
-use qdk::{Retrieve, Strategy};
+use qdk::{Parallelism, ResourceLimits, Retrieve, Strategy};
 use std::collections::BTreeSet;
 
 // ---------------------------------------------------------------------
@@ -304,6 +304,118 @@ proptest! {
             expected.sort_unstable();
             got.sort_unstable();
             prop_assert_eq!(got, expected, "theorem {} vs rule {}", theorem.rule, rules[ri]);
+        }
+    }
+
+    /// Worker-count invariance for `retrieve`: on random safe programs,
+    /// every strategy is observationally identical at 1, 2, 4 and 8
+    /// workers — same ordered answer rows when the evaluation completes,
+    /// and the same structured [`Exhausted`] diagnostic when a work
+    /// budget trips it mid-fixpoint.
+    #[test]
+    fn retrieve_workers_match_sequential(
+        specs in proptest::collection::vec(
+            (
+                0u8..3,
+                proptest::collection::vec(0u8..10, 2..3),
+                proptest::collection::vec(
+                    (0u8..5, proptest::collection::vec(0u8..10, 2..3)),
+                    1..3,
+                ),
+            ),
+            1..5,
+        ),
+        e0 in proptest::collection::vec((0u8..5, 0u8..5), 0..10),
+        e1 in proptest::collection::vec(0u8..5, 0..5),
+        // 0 means unbounded; anything else is a work budget, often small
+        // enough to trip mid-fixpoint.
+        budget in 0u64..60,
+    ) {
+        let rules: Vec<Rule> = specs
+            .iter()
+            .map(|(h, ha, body)| build_rule(*h, ha, body))
+            .collect();
+        let idb = Idb::from_rules(rules.clone()).unwrap();
+        let edb = build_edb(&rules, &e0, &e1);
+        let mut limits = ResourceLimits::default();
+        if budget > 0 {
+            limits = limits.with_work_budget(budget);
+        }
+
+        for (pred, arity) in PREDS.iter().skip(2) {
+            if !idb.defines(pred) {
+                continue;
+            }
+            let vars: Vec<&str> = ["X", "Y", "Z"][..*arity].to_vec();
+            let q = Retrieve::new(
+                parse_atom(&format!("{pred}({})", vars.join(", "))).unwrap(),
+                vec![],
+            );
+            for strategy in [Strategy::Naive, Strategy::SemiNaive, Strategy::Magic, Strategy::TopDown] {
+                let outcome = |workers: usize| -> Result<Vec<String>, EngineError> {
+                    let opts = EvalOptions::with_limits(limits)
+                        .with_parallelism(Parallelism::workers(workers));
+                    let answer = retrieve_with(&edb, &idb, &q, strategy, opts)?;
+                    Ok(answer.rows.iter().map(ToString::to_string).collect())
+                };
+                let sequential = outcome(1);
+                for workers in [2, 4, 8] {
+                    prop_assert_eq!(
+                        &outcome(workers),
+                        &sequential,
+                        "{:?} at {} workers drifts from sequential over {:?}",
+                        strategy,
+                        workers,
+                        idb.rules()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Worker-count invariance for `describe`: the enumerated theorems,
+    /// their order, and the completeness tag are identical at every
+    /// worker count — both unbounded and under a work budget (which pins
+    /// the exact sequential truncation point).
+    #[test]
+    fn describe_workers_match_sequential(
+        specs in proptest::collection::vec(
+            (
+                proptest::collection::vec(0u8..10, 2..3),
+                proptest::collection::vec(
+                    (0u8..2, proptest::collection::vec(0u8..10, 2..3)),
+                    1..3,
+                ),
+            ),
+            1..4,
+        ),
+        // 0 means unbounded; anything else is a work budget.
+        budget in 0u64..40,
+    ) {
+        let rules: Vec<Rule> = specs
+            .iter()
+            .map(|(ha, body)| build_rule(0, ha, body))
+            .collect();
+        let idb = Idb::from_rules(rules.clone()).unwrap();
+        let q = Describe::new(parse_atom("p0(X, Y)").unwrap(), vec![]);
+        let outcome = |workers: usize| {
+            let mut opts =
+                DescribeOptions::paper().with_parallelism(Parallelism::workers(workers));
+            if budget > 0 {
+                opts = opts.with_work_budget(budget);
+            }
+            let answer = describe::describe(&idb, &q, &opts).unwrap();
+            (answer.rendered(), answer.completeness)
+        };
+        let sequential = outcome(1);
+        for workers in [2, 4, 8] {
+            prop_assert_eq!(
+                &outcome(workers),
+                &sequential,
+                "describe at {} workers drifts from sequential over {:?}",
+                workers,
+                idb.rules()
+            );
         }
     }
 }

@@ -5,11 +5,10 @@
 //! [`Completeness::Truncated`] answer instead of erroring or silently
 //! under-answering.
 
-use qdk::engine::{retrieve_with, EngineError, EvalOptions};
 use qdk::logic::parser::{parse_atom, parse_body, parse_program};
 use qdk::{
-    CancelToken, Completeness, Describe, DescribeOptions, KnowledgeBase, Resource, ResourceLimits,
-    Retrieve, Strategy,
+    CancelToken, Completeness, Describe, DescribeOptions, KnowledgeBase, Parallelism, Request,
+    Resource, ResourceLimits, Retrieve, Session, Strategy,
 };
 use std::time::Duration;
 
@@ -35,9 +34,8 @@ fn chain_kb(n: usize) -> KnowledgeBase {
 
 #[test]
 fn all_four_strategies_report_the_same_exhaustion_diagnostic() {
-    let kb = chain_kb(40);
-    let query = Retrieve::new(parse_atom("reach(X, Y)").unwrap(), vec![]);
-    let opts = EvalOptions::with_limits(ResourceLimits::default().with_work_budget(25));
+    let session = Session::over(chain_kb(40));
+    let limits = ResourceLimits::default().with_work_budget(25);
     let mut seen = Vec::new();
     for strategy in [
         Strategy::Naive,
@@ -45,11 +43,16 @@ fn all_four_strategies_report_the_same_exhaustion_diagnostic() {
         Strategy::Magic,
         Strategy::TopDown,
     ] {
-        let err = retrieve_with(kb.edb(), kb.idb(), &query, strategy, opts.clone())
+        let err = session
+            .retrieve(
+                Request::subject("reach(X, Y)")
+                    .strategy(strategy)
+                    .limits(limits),
+            )
             .expect_err("budget must trip");
-        let EngineError::Exhausted(e) = err else {
-            panic!("{strategy:?}: expected Exhausted, got {err:?}");
-        };
+        let e = err
+            .exhausted()
+            .unwrap_or_else(|| panic!("{strategy:?}: expected Exhausted, got {err:?}"));
         assert_eq!(e.resource, Resource::WorkBudget, "{strategy:?}");
         assert_eq!(e.limit, 25, "{strategy:?}");
         assert!(e.spent > e.limit, "{strategy:?}");
@@ -61,35 +64,73 @@ fn all_four_strategies_report_the_same_exhaustion_diagnostic() {
 
 #[test]
 fn fact_limit_bounds_bottom_up_strategies() {
-    let kb = chain_kb(40);
-    let query = Retrieve::new(parse_atom("reach(X, Y)").unwrap(), vec![]);
-    let opts = EvalOptions::with_limits(ResourceLimits::default().with_max_facts(10));
+    let session = Session::over(chain_kb(40));
+    let limits = ResourceLimits::default().with_max_facts(10);
     for strategy in [Strategy::Naive, Strategy::SemiNaive] {
-        let err = retrieve_with(kb.edb(), kb.idb(), &query, strategy, opts.clone())
+        let err = session
+            .retrieve(
+                Request::subject("reach(X, Y)")
+                    .strategy(strategy)
+                    .limits(limits),
+            )
             .expect_err("fact limit must trip");
-        let EngineError::Exhausted(e) = err else {
-            panic!("{strategy:?}: expected Exhausted, got {err:?}");
-        };
+        let e = err
+            .exhausted()
+            .unwrap_or_else(|| panic!("{strategy:?}: expected Exhausted, got {err:?}"));
         assert_eq!(e.resource, Resource::Facts, "{strategy:?}");
     }
 }
 
 #[test]
 fn cancellation_aborts_retrieve() {
-    let kb = chain_kb(40);
-    let query = Retrieve::new(parse_atom("reach(X, Y)").unwrap(), vec![]);
+    let session = Session::over(chain_kb(40));
     let token = CancelToken::new();
     token.cancel();
-    let opts = EvalOptions {
-        cancel: Some(token),
-        ..EvalOptions::default()
-    };
-    let err = retrieve_with(kb.edb(), kb.idb(), &query, Strategy::SemiNaive, opts)
+    let err = session
+        .retrieve(
+            Request::subject("reach(X, Y)")
+                .strategy(Strategy::SemiNaive)
+                .cancel(token),
+        )
         .expect_err("pre-cancelled token must abort");
-    let EngineError::Exhausted(e) = err else {
-        panic!("expected Exhausted, got {err:?}");
-    };
+    let e = err.exhausted().expect("expected Exhausted");
     assert_eq!(e.resource, Resource::Cancelled);
+}
+
+/// Cancellation arriving *mid-fixpoint* from another thread stops the
+/// parallel workers promptly: the shared governor trips once, every
+/// worker observes it at its next poll, and the evaluation returns the
+/// Cancelled diagnostic long before the workload could have finished.
+#[test]
+fn mid_fixpoint_cancel_stops_parallel_workers() {
+    // Naive evaluation of a 400-node transitive closure re-derives the
+    // whole relation every iteration — seconds of work when left alone.
+    let session = Session::over(chain_kb(400));
+    let token = CancelToken::new();
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            token.cancel();
+        })
+    };
+    let start = std::time::Instant::now();
+    let err = session
+        .retrieve(
+            Request::subject("reach(X, Y)")
+                .strategy(Strategy::Naive)
+                .parallelism(Parallelism::workers(4))
+                .cancel(token),
+        )
+        .expect_err("mid-flight cancellation must abort the fixpoint");
+    canceller.join().unwrap();
+    let e = err.exhausted().expect("expected Exhausted");
+    assert_eq!(e.resource, Resource::Cancelled);
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "workers kept running for {:?} after the cancel",
+        start.elapsed()
+    );
 }
 
 /// Example 8's workload (§5.1): the indirectly recursive subject that made

@@ -3,35 +3,25 @@
 //! on the paper's database and on randomized workloads.
 
 use proptest::prelude::*;
-use qdk::logic::parser::{parse_atom, parse_body};
-use qdk::{datasets, Retrieve, Strategy};
+use qdk::{datasets, Request, Session, Strategy};
 
-fn rows(
-    kb: &qdk::KnowledgeBase,
-    subject: &str,
-    qualifier: &str,
-    strategy: Strategy,
-) -> Vec<String> {
-    let q = Retrieve::new(
-        parse_atom(subject).unwrap(),
-        if qualifier.is_empty() {
-            vec![]
-        } else {
-            parse_body(qualifier).unwrap()
-        },
-    );
-    let kb = kb.clone().with_strategy(strategy);
-    let a = kb.retrieve(&q).unwrap();
+fn rows(session: &Session, subject: &str, qualifier: &str, strategy: Strategy) -> Vec<String> {
+    let mut request = Request::subject(subject).strategy(strategy);
+    if !qualifier.is_empty() {
+        request = request.where_clause(qualifier);
+    }
+    let a = session.retrieve(request).unwrap().into_data().unwrap();
     let mut rows: Vec<String> = a.sorted().iter().map(ToString::to_string).collect();
     rows.dedup();
     rows
 }
 
 fn assert_agree(kb: &qdk::KnowledgeBase, subject: &str, qualifier: &str) {
-    let naive = rows(kb, subject, qualifier, Strategy::Naive);
-    let semi = rows(kb, subject, qualifier, Strategy::SemiNaive);
-    let top = rows(kb, subject, qualifier, Strategy::TopDown);
-    let magic = rows(kb, subject, qualifier, Strategy::Magic);
+    let session = Session::over(kb.clone());
+    let naive = rows(&session, subject, qualifier, Strategy::Naive);
+    let semi = rows(&session, subject, qualifier, Strategy::SemiNaive);
+    let top = rows(&session, subject, qualifier, Strategy::TopDown);
+    let magic = rows(&session, subject, qualifier, Strategy::Magic);
     assert_eq!(
         naive, semi,
         "naive vs semi-naive on {subject} / {qualifier}"
