@@ -1,7 +1,10 @@
 //! Prints the EXPERIMENTS.md series as compact markdown tables, using
 //! direct timing (median of repeated runs) rather than Criterion's full
 //! statistics — a quick reproduction check — and writes the same series
-//! as machine-readable `BENCH_retrieve.json` / `BENCH_describe.json`.
+//! as machine-readable `BENCH_retrieve.json` / `BENCH_describe.json` /
+//! `BENCH_obs.json` (the observability overhead guard). Every row of
+//! every artifact carries the same `run_id`, so rows from one invocation
+//! can be joined across files.
 //!
 //! Run with `cargo run --release -p qdk-bench --bin report`.
 
@@ -11,8 +14,10 @@ use qdk_bench::{
 };
 use qdk_core::{algo1, algo2, describe, Describe, DescribeOptions, TransformPolicy};
 use qdk_engine::{query, retrieve_with, EvalOptions, ProgramPlan, Retrieve, Strategy};
+use qdk_logic::obs::{NullSink, ObsSink};
 use qdk_logic::parser::{parse_atom, parse_body};
 use qdk_logic::Parallelism;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Median wall time of `runs` executions, in microseconds.
@@ -51,13 +56,18 @@ fn json_str(s: &str) -> String {
     format!("\"{s}\"")
 }
 
-/// Writes `{ "unit": ..., "series": [records...] }` to `path`.
-fn write_json(path: &str, records: &[String]) {
+/// Writes `{ "unit": ..., "run_id": ..., "series": [records...] }` to
+/// `path`, tagging every series row with the shared `run_id`.
+fn write_json(path: &str, records: &[String], run_id: &str) {
     let mut out = String::from("{\n  \"unit\": \"microseconds (median wall time)\",\n");
+    out.push_str(&format!("  \"run_id\": \"{run_id}\",\n"));
     out.push_str("  \"series\": [\n");
     for (i, r) in records.iter().enumerate() {
         let sep = if i + 1 < records.len() { "," } else { "" };
-        out.push_str(&format!("    {r}{sep}\n"));
+        // Each record is a rendered `{...}` object; splice the run_id in
+        // as its first field.
+        let tagged = format!("{{\"run_id\": \"{run_id}\", {}", &r[1..]);
+        out.push_str(&format!("    {tagged}{sep}\n"));
     }
     out.push_str("  ]\n}\n");
     if let Err(e) = std::fs::write(path, out) {
@@ -406,10 +416,71 @@ fn ablations() {
     println!();
 }
 
+/// The observability overhead guard: chain-128 semi-naive full closure
+/// with the default disabled sink vs an installed [`NullSink`]. The
+/// NullSink pays the full span/counter plumbing (clock reads, event
+/// construction) but discards every event — its overhead is the cost of
+/// *enabled* instrumentation, and the zero-cost claim for the *disabled*
+/// default is that `baseline` equals the pre-observability engine. The
+/// budget is ≤2% (DESIGN.md §12).
+fn o1_obs_overhead(records: &mut Vec<String>) {
+    println!("## O1 — observability overhead, chain-128 semi-naive (µs, median of 31)\n");
+    println!("| sink | µs | overhead |");
+    println!("|------|----|----------|");
+    let idb = prior_idb();
+    let edb = chain_edb(128);
+    let plan = ProgramPlan::compile(&idb);
+    let q = Retrieve::new(parse_atom("prior(X, Y)").unwrap(), vec![]);
+    let baseline = median_micros(31, || {
+        query::retrieve_compiled(
+            &edb,
+            &idb,
+            &plan,
+            &q,
+            Strategy::SemiNaive,
+            EvalOptions::default(),
+        )
+        .unwrap();
+    });
+    let null_opts = EvalOptions::default().with_sink(ObsSink::new(Arc::new(NullSink)));
+    let with_null = median_micros(31, || {
+        query::retrieve_compiled(
+            &edb,
+            &idb,
+            &plan,
+            &q,
+            Strategy::SemiNaive,
+            null_opts.clone(),
+        )
+        .unwrap();
+    });
+    let overhead_pct = (with_null - baseline) / baseline * 100.0;
+    println!("| disabled (default) | {baseline:.0} | — |");
+    println!("| NullSink installed | {with_null:.0} | {overhead_pct:.2}% |");
+    records.push(json_record(&[
+        ("section", json_str("o1_null_sink_overhead")),
+        ("workload", json_str("chain")),
+        ("n", "128".to_string()),
+        ("strategy", json_str("semi-naive")),
+        ("baseline_micros", format!("{baseline:.1}")),
+        ("null_sink_micros", format!("{with_null:.1}")),
+        ("overhead_pct", format!("{overhead_pct:.2}")),
+    ]));
+    println!();
+}
+
 fn main() {
     println!("# Experiment report (direct timings; see cargo bench for full statistics)\n");
+    let run_id = format!(
+        "{:x}",
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0)
+    );
     let mut retrieve_records = Vec::new();
     let mut describe_records = Vec::new();
+    let mut obs_records = Vec::new();
     p1_full_closure(&mut retrieve_records);
     p1_bound_query(&mut retrieve_records);
     compiled_vs_percall(&mut retrieve_records);
@@ -419,6 +490,8 @@ fn main() {
     e6_family(&mut describe_records);
     p3_policies(&mut describe_records);
     ablations();
-    write_json("BENCH_retrieve.json", &retrieve_records);
-    write_json("BENCH_describe.json", &describe_records);
+    o1_obs_overhead(&mut obs_records);
+    write_json("BENCH_retrieve.json", &retrieve_records, &run_id);
+    write_json("BENCH_describe.json", &describe_records, &run_id);
+    write_json("BENCH_obs.json", &obs_records, &run_id);
 }

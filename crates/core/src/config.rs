@@ -1,6 +1,7 @@
 //! Describe-engine configuration.
 
 use crate::governor::{CancelToken, Governor, ResourceLimits};
+use qdk_logic::obs::ObsSink;
 use qdk_logic::Parallelism;
 use std::time::Duration;
 use threadpool::Pool;
@@ -74,6 +75,10 @@ pub struct DescribeOptions {
     /// θ-subsumption and redundancy post-passes stay sequential, so the
     /// answer set is identical for every worker count.
     pub parallelism: Parallelism,
+    /// Observability sink; Algorithm 1/2 spans and counters are emitted
+    /// here (the default disabled sink records nothing and costs one
+    /// branch).
+    pub sink: ObsSink,
 }
 
 impl Default for DescribeOptions {
@@ -87,6 +92,7 @@ impl Default for DescribeOptions {
             simplify_comparisons: true,
             remove_redundant: true,
             parallelism: Parallelism::default(),
+            sink: ObsSink::disabled(),
         }
     }
 }
@@ -146,6 +152,13 @@ impl DescribeOptions {
     #[must_use]
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Installs an observability sink.
+    #[must_use]
+    pub fn with_sink(mut self, sink: ObsSink) -> Self {
+        self.sink = sink;
         self
     }
 

@@ -77,10 +77,13 @@ pub fn describe(idb: &Idb, query: &Describe, opts: &DescribeOptions) -> Result<D
     query.validate(idb)?;
     let graph = DependencyGraph::build(idb);
     let recursive = graph.involves_recursion(query.subject.pred.as_str());
-    let tidb = if recursive {
-        transform_idb(idb, opts.transform)?
-    } else {
-        TransformedIdb::untransformed(idb)
+    let tidb = {
+        let _span = opts.sink.span("transform", u64::from(recursive));
+        if recursive {
+            transform_idb(idb, opts.transform)?
+        } else {
+            TransformedIdb::untransformed(idb)
+        }
     };
     let check_typing = recursive && opts.transform != TransformPolicy::None;
     run(&tidb, query, check_typing, opts)
@@ -127,10 +130,23 @@ pub fn run(
     check_typing: bool,
     opts: &DescribeOptions,
 ) -> Result<DescribeAnswer> {
+    let obs = opts.sink.clone();
     let mut enumerator = Enumerator::new(tidb, &query.hypothesis, check_typing, opts);
-    let (raw, productive) = enumerator.enumerate(&query.subject);
+    let (raw, productive) = {
+        let _span = obs.span("enumerate", 0);
+        enumerator.enumerate(&query.subject)
+    };
     let truncation = enumerator.truncation();
     let hard_truncation = enumerator.hard_stop();
+    if obs.enabled() {
+        let stats = enumerator.stats();
+        obs.counter("trees_expanded", stats.trees_expanded);
+        obs.counter("leaves_identified", stats.leaves_identified);
+        obs.counter("cuts", stats.cuts);
+        if truncation.is_some() {
+            obs.counter("governor_spend_at_truncation", enumerator.ops());
+        }
+    }
 
     let hyp_comps: Vec<(usize, Atom)> = query
         .hypothesis
@@ -159,6 +175,7 @@ pub fn run(
     let mut theorems = Vec::new();
     let mut discarded_contradictory = 0usize;
 
+    let assemble_span = obs.span("assemble", raw.len() as u64);
     for r in &raw {
         if tainted(r) {
             continue;
@@ -211,6 +228,7 @@ pub fn run(
             Assembled::Vacuous => {}
         }
     }
+    drop(assemble_span);
 
     // Redundancy elimination (§3.2). When the enumerator hard-stopped —
     // a hard limit (deadline, budget, facts, cancellation) tripped, or the
@@ -223,6 +241,9 @@ pub fn run(
     // depth-bounded demonstrations (Example 6 under Algorithm 1) rely on
     // the reduced form.
     if opts.remove_redundant && !hard_truncation {
+        // This span is the θ-subsumption pass timing: dominance plus the
+        // remove_redundant reduction below.
+        let _span = obs.span("reduce", theorems.len() as u64);
         // Hypothesis-aware dominance (the Example 5 behaviour; cf. §6's
         // remark that identification "may reduce the generality of the
         // answer"): a theorem is dropped when a more-identified theorem

@@ -38,6 +38,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::print_stderr, clippy::print_stdout)]
 
 pub mod algo1;
 pub mod algo2;

@@ -48,6 +48,28 @@ pub(crate) enum Tag {
     Two,
 }
 
+/// Work counters accumulated during one enumeration, reported through the
+/// observability layer (`trees_expanded`, `leaves_identified`, `cuts`).
+/// Plain integers: workers each count their own task and the coordinator
+/// sums in task order, so the totals are identical at every worker count.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct EnumStats {
+    /// Successful rule applications (a tree formula expanded, boxes 8–9).
+    pub trees_expanded: u64,
+    /// Successful identifications with a hypothesis formula (boxes 2–5).
+    pub leaves_identified: u64,
+    /// Expansion branches discarded by the §4 productivity cut.
+    pub cuts: u64,
+}
+
+impl EnumStats {
+    fn merge(&mut self, other: EnumStats) {
+        self.trees_expanded += other.trees_expanded;
+        self.leaves_identified += other.leaves_identified;
+        self.cuts += other.cuts;
+    }
+}
+
 /// One enumerated derivation: everything the driver needs to assemble a
 /// theorem.
 #[derive(Clone, Debug)]
@@ -118,6 +140,8 @@ pub(crate) struct Enumerator<'a> {
     /// Worker pool for root-expansion fan-out (see [`DescribeOptions::pool`];
     /// sequential when a deterministic-truncation limit is configured).
     pool: Pool,
+    /// Observability counters for this enumeration.
+    stats: EnumStats,
 }
 
 impl<'a> Enumerator<'a> {
@@ -148,6 +172,7 @@ impl<'a> Enumerator<'a> {
             depth_trunc: None,
             guard_prune: false,
             pool: opts.pool(),
+            stats: EnumStats::default(),
         }
     }
 
@@ -176,6 +201,7 @@ impl<'a> Enumerator<'a> {
             depth_trunc: None,
             guard_prune: false,
             pool: Pool::new(1),
+            stats: EnumStats::default(),
         }
     }
 
@@ -220,10 +246,15 @@ impl<'a> Enumerator<'a> {
         self.gov.tripped().is_some() || self.guard_prune
     }
 
-    /// Number of tree operations performed (work metric for experiments).
-    #[allow(dead_code)]
+    /// Number of tree operations performed (work metric for experiments;
+    /// also reported as the governor spend at truncation).
     pub fn ops(&self) -> u64 {
         self.gov.work_spent()
+    }
+
+    /// Observability counters accumulated so far (coordinator totals).
+    pub fn stats(&self) -> EnumStats {
+        self.stats
     }
 
     /// Enumerates all derivations for `subject`. Also returns the set of
@@ -250,6 +281,7 @@ impl<'a> Enumerator<'a> {
             }
             if let Some(mgu) = unify_atoms(subject, &h) {
                 if self.typing_ok(&base_occurrences, &Subst::new(), &mgu) {
+                    self.stats.leaves_identified += 1;
                     answers.push(RawAnswer {
                         subst: mgu,
                         leaves: Vec::new(),
@@ -285,24 +317,26 @@ impl<'a> Enumerator<'a> {
                 };
                 move || {
                     let branches = w.apply_rule(subject, ri, Tag::Untagged, &base, 0);
-                    (branches, w.depth_trunc, w.guard_prune)
+                    (branches, w.depth_trunc, w.guard_prune, w.stats)
                 }
             })
             .collect();
         let results = self.pool.join_all(tasks);
-        for (&ri, (branches, depth_trunc, guard_prune)) in rule_idxs.iter().zip(results) {
+        for (&ri, (branches, depth_trunc, guard_prune, stats)) in rule_idxs.iter().zip(results) {
             // Soft-prune state merges in task order: the first recorded
             // depth prune wins (matching the sequential walk's first-prune
-            // rule), guard prunes accumulate.
+            // rule), guard prunes accumulate, counters sum.
             if self.depth_trunc.is_none() {
                 self.depth_trunc = depth_trunc;
             }
             self.guard_prune |= guard_prune;
+            self.stats.merge(stats);
             for b in branches {
                 // Root context is empty, so subtree-only equals total here.
                 if b.used.is_empty() && !self.exhaustive {
                     // Tracked separately: the rule's unproductive branches
                     // are represented by its one-level answer (driver).
+                    self.stats.cuts += 1;
                     continue;
                 }
                 if !b.used.is_empty() {
@@ -392,6 +426,7 @@ impl<'a> Enumerator<'a> {
         let children: Vec<&Atom> = renamed.body.iter().map(|l| &l.atom).collect();
         let child_tags = self.child_tags(kind, node_tag, &children);
 
+        self.stats.trees_expanded += 1;
         let mut start = ctx.clone();
         start.subst = ctx.subst.compose(&mgu);
         start.trace.push(format!(
@@ -508,6 +543,7 @@ impl<'a> Enumerator<'a> {
             let h_now = ctx.subst.apply_atom(&h);
             if let Some(mgu) = unify_atoms(&node_now, &h_now) {
                 if self.typing_ok(&ctx.occurrences, &ctx.subst, &mgu) {
+                    self.stats.leaves_identified += 1;
                     let mut b = ctx.clone();
                     b.subst = ctx.subst.compose(&mgu);
                     b.used.insert(i);
@@ -546,6 +582,7 @@ impl<'a> Enumerator<'a> {
                     // apply_rule returns subtree-only leaves/used: the §4
                     // cut tests exactly the subtree's identifications.
                     if b.used.is_empty() && !self.exhaustive {
+                        self.stats.cuts += 1;
                         continue;
                     }
                     let mut leaves = ctx.leaves.clone();

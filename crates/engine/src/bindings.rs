@@ -723,6 +723,12 @@ impl<'p> RuleTask<'p> {
         }
     }
 
+    /// True when this task is one window of a partitioned delta scan
+    /// (observability: the `delta_chunks` counter).
+    pub(crate) fn is_chunk(&self) -> bool {
+        self.window.is_some()
+    }
+
     fn view<'a>(
         &self,
         edb: &'a Edb,

@@ -22,6 +22,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::print_stderr, clippy::print_stdout)]
 
 pub mod analysis;
 mod bindings;

@@ -12,6 +12,7 @@ use crate::idb::Idb;
 use crate::plan::ProgramPlan;
 use crate::stratify::stratify;
 use qdk_logic::governor::{CancelToken, Governor, ResourceLimits};
+use qdk_logic::obs::ObsSink;
 use qdk_logic::{Parallelism, Sym};
 use qdk_storage::Edb;
 use threadpool::Pool;
@@ -30,6 +31,9 @@ pub struct EvalOptions {
     /// Worker count for the parallel fixpoints (`Default` = available
     /// cores; [`Parallelism::SEQUENTIAL`] pins the exact sequential path).
     pub parallelism: Parallelism,
+    /// Observability sink; spans and counters are emitted here (the
+    /// default disabled sink records nothing and costs one branch).
+    pub sink: ObsSink,
 }
 
 impl EvalOptions {
@@ -52,6 +56,13 @@ impl EvalOptions {
     #[must_use]
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Install an observability sink.
+    #[must_use]
+    pub fn with_sink(mut self, sink: ObsSink) -> Self {
+        self.sink = sink;
         self
     }
 
@@ -122,7 +133,13 @@ fn eval_governed(
     let mut derived = DerivedFacts::new();
     let gov = opts.governor();
     let pool = opts.pool();
-    for stratum in strat.strata() {
+    let obs = &opts.sink;
+    let probes0 = if obs.enabled() {
+        edb.access_stats()
+    } else {
+        (0, 0)
+    };
+    for (si, stratum) in strat.strata().iter().enumerate() {
         let rules: Vec<&crate::plan::RulePlan> = plan
             .plans()
             .iter()
@@ -134,14 +151,31 @@ fn eval_governed(
         if rules.is_empty() {
             continue;
         }
+        let _stratum_span = obs.span("stratum", si as u64);
+        let mut iteration = 0u64;
         loop {
+            let _iter_span = obs.span("iteration", iteration);
+            let firings0 = gov.work_spent();
             let tasks: Vec<RuleTask<'_>> = rules.iter().map(|&rp| RuleTask::total(rp)).collect();
             let added = fire_rule_batch(&pool, &gov, edb, &mut derived, None, &tasks)?;
             gov.add_facts(added)?;
+            if obs.enabled() {
+                obs.counter("rule_firings", gov.work_spent().saturating_sub(firings0));
+                obs.counter("delta_facts", added as u64);
+            }
+            iteration += 1;
             if added == 0 {
                 break;
             }
         }
+    }
+    if obs.enabled() {
+        let (p, s) = edb.access_stats();
+        let (dp, ds) = derived.iter().fold((0, 0), |(p, s), (_, r)| {
+            (p + r.index_probes(), s + r.full_scans())
+        });
+        obs.counter("index_probes", p.saturating_sub(probes0.0) + dp);
+        obs.counter("full_scans", s.saturating_sub(probes0.1) + ds);
     }
     Ok(derived)
 }

@@ -155,6 +155,135 @@ impl RulePlan {
             compiled,
         }
     }
+
+    /// Renders the plan as a human-readable EXPLAIN: one header line with
+    /// the source rule, then one numbered line per step showing the chosen
+    /// literal order, the access path (`probe on` the bound columns the
+    /// executor can drive an index with — the most selective is chosen at
+    /// run time — or `full scan`), and the step's slot read/write sets.
+    ///
+    /// The grammar is pinned by a golden test and documented in DESIGN.md
+    /// §12.
+    pub fn explain(&self) -> String {
+        let name = |s: u32| {
+            self.compiled
+                .slots
+                .get(s as usize)
+                .map_or_else(|| format!("_{s}"), ToString::to_string)
+        };
+        let term = |t: &IrTerm| match t {
+            IrTerm::Const(c) => c.to_string(),
+            IrTerm::Slot(s) => name(*s),
+        };
+        let term_slots = |t: &IrTerm, out: &mut Vec<String>| {
+            if let IrTerm::Slot(s) = t {
+                let n = name(*s);
+                if !out.contains(&n) {
+                    out.push(n);
+                }
+            }
+        };
+        let sets = |reads: &[String], writes: &[String]| -> String {
+            let mut parts = Vec::new();
+            if !reads.is_empty() {
+                parts.push(format!("reads {}", reads.join(", ")));
+            }
+            if !writes.is_empty() {
+                parts.push(format!("writes {}", writes.join(", ")));
+            }
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("  ({})", parts.join("; "))
+            }
+        };
+        let mut out = format!("plan {}\n", self.rule_str);
+        // Slots known bound so far, for attributing EqBind's write side.
+        let mut bound = vec![false; self.compiled.num_slots()];
+        for (n, step) in self.steps.iter().enumerate() {
+            let line = match step {
+                Step::Scan { pred, cols, .. } => {
+                    let args: Vec<String> = cols
+                        .iter()
+                        .map(|c| match c {
+                            Col::Const(v) => v.to_string(),
+                            Col::Slot { slot, .. } => name(*slot),
+                        })
+                        .collect();
+                    let mut probes = Vec::new();
+                    let mut reads = Vec::new();
+                    let mut writes: Vec<String> = Vec::new();
+                    for c in cols {
+                        match c {
+                            Col::Const(v) => probes.push(v.to_string()),
+                            Col::Slot { slot, probe: true } => {
+                                let v = name(*slot);
+                                probes.push(v.clone());
+                                if !reads.contains(&v) {
+                                    reads.push(v);
+                                }
+                                bound[*slot as usize] = true;
+                            }
+                            Col::Slot { slot, probe: false } => {
+                                let v = name(*slot);
+                                if !writes.contains(&v) {
+                                    writes.push(v);
+                                }
+                                bound[*slot as usize] = true;
+                            }
+                        }
+                    }
+                    let access = if probes.is_empty() {
+                        "full scan".to_string()
+                    } else {
+                        format!("probe on {}", probes.join(", "))
+                    };
+                    format!(
+                        "scan {pred}({})  {access}{}",
+                        args.join(", "),
+                        sets(&reads, &writes)
+                    )
+                }
+                Step::EqBind { lhs, rhs, .. } => {
+                    // Exactly one side was unbound at plan time: that side
+                    // is the write, the other the read.
+                    let lhs_unbound = matches!(lhs, IrTerm::Slot(s) if !bound[*s as usize]);
+                    let (dst, src) = if lhs_unbound { (lhs, rhs) } else { (rhs, lhs) };
+                    if let IrTerm::Slot(s) = dst {
+                        bound[*s as usize] = true;
+                    }
+                    let mut reads = Vec::new();
+                    term_slots(src, &mut reads);
+                    format!(
+                        "bind {} := {}{}",
+                        term(dst),
+                        term(src),
+                        sets(&reads, &[term(dst)])
+                    )
+                }
+                Step::Compare {
+                    literal, lhs, rhs, ..
+                } => {
+                    let mut reads = Vec::new();
+                    term_slots(lhs, &mut reads);
+                    term_slots(rhs, &mut reads);
+                    format!("check {literal}{}", sets(&reads, &[]))
+                }
+                Step::NegCheck { literal, args, .. } => {
+                    let mut reads = Vec::new();
+                    for a in args {
+                        term_slots(a, &mut reads);
+                    }
+                    format!("check {literal}{}", sets(&reads, &[]))
+                }
+                Step::Unsafe { literal } => {
+                    format!("unsafe {literal}  (never schedulable)")
+                }
+            };
+            out.push_str(&format!("  {}. {line}\n", n + 1));
+        }
+        out
+    }
 }
 
 /// A whole IDB compiled against one interner: one [`RulePlan`] per rule,
@@ -185,6 +314,16 @@ impl ProgramPlan {
     /// The program's interner.
     pub fn interner(&self) -> &Interner {
         &self.interner
+    }
+
+    /// Renders every rule's [`RulePlan::explain`] in `Idb::rules()` order,
+    /// separated by blank lines — the whole program's EXPLAIN.
+    pub fn explain(&self) -> String {
+        self.plans
+            .iter()
+            .map(RulePlan::explain)
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 }
 
@@ -398,6 +537,45 @@ mod tests {
         assert_eq!(pp.plans().len(), 2);
         assert_eq!(pp.plans()[1].compiled.head.pred.as_str(), "prior");
         assert!(pp.interner().lookup("student").is_some());
+    }
+
+    #[test]
+    fn explain_is_pinned() {
+        // Golden rendering of the EXPLAIN grammar: literal order, access
+        // path, read/write sets. Update DESIGN.md §12 if this changes.
+        let p = plan("ans(X, C) :- C = databases, enroll(X, C), G > 3.7, student(X, M, G).");
+        assert_eq!(
+            p.explain(),
+            "plan ans(X, C) :- (C = databases), enroll(X, C), (G > 3.7), student(X, M, G).\n\
+             \x20 1. bind C := databases  (writes C)\n\
+             \x20 2. scan enroll(X, C)  probe on C  (reads C; writes X)\n\
+             \x20 3. scan student(X, M, G)  probe on X  (reads X; writes M, G)\n\
+             \x20 4. check (G > 3.7)  (reads G)\n"
+        );
+    }
+
+    #[test]
+    fn explain_full_scan_and_negation() {
+        let p = plan("ans(X) :- student(X, M, G), not enroll(X, databases).");
+        assert_eq!(
+            p.explain(),
+            "plan ans(X) :- student(X, M, G), not enroll(X, databases).\n\
+             \x20 1. scan student(X, M, G)  full scan  (writes X, M, G)\n\
+             \x20 2. check not enroll(X, databases)  (reads X)\n"
+        );
+    }
+
+    #[test]
+    fn program_explain_joins_rules() {
+        let idb = Idb::from_rules([
+            parse_rule("honor(X) :- student(X, Y, Z), Z > 3.7.").unwrap(),
+            parse_rule("prior(X, Y) :- prereq(X, Y).").unwrap(),
+        ])
+        .unwrap();
+        let text = ProgramPlan::compile(&idb).explain();
+        assert!(text.contains("plan honor(X)"));
+        assert!(text.contains("plan prior(X, Y)"));
+        assert!(text.contains("full scan"));
     }
 
     #[test]

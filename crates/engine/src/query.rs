@@ -216,14 +216,20 @@ pub fn retrieve_compiled(
     }
     goals.extend(query.qualifier.iter().cloned());
 
+    let obs = opts.sink.clone();
     let substs = match strategy {
         Strategy::TopDown => {
+            let _span = obs.span("topdown", 0);
             let mut solver = Solver::with_plan(edb, idb, plan, opts);
             solver.solve_all(&goals)?
         }
         Strategy::Magic => {
+            let magic_span = obs.span("magic", 0);
             match magic_substs(edb, idb, &columns, &goals, opts.clone()) {
-                Ok(s) => s,
+                Ok(s) => {
+                    drop(magic_span);
+                    s
+                }
                 // Graceful degradation: if the rewrite cannot apply
                 // (negation in the relevant slice) or the rewritten
                 // program exhausts its limits, retry with plain semi-naive
@@ -232,6 +238,8 @@ pub fn retrieve_compiled(
                 // deadline restarts for the fallback attempt; if the
                 // fallback exhausts too, that error propagates.
                 Err(e @ (EngineError::NotStratified(_) | EngineError::Exhausted(_))) => {
+                    drop(magic_span);
+                    obs.counter("downgrade", 1);
                     let mut answer =
                         retrieve_compiled(edb, idb, plan, query, Strategy::SemiNaive, opts)?;
                     answer.downgrades.insert(
@@ -250,6 +258,13 @@ pub fn retrieve_compiled(
         Strategy::Naive | Strategy::SemiNaive => {
             // Bottom-up: materialize the relevant predicates, then solve the
             // goal conjunction against EDB + materialized facts.
+            let strategy_span = obs.span(
+                match strategy {
+                    Strategy::Naive => "naive",
+                    _ => "seminaive",
+                },
+                0,
+            );
             let graph = DependencyGraph::build(idb);
             let mut relevant = Vec::new();
             for g in &goals {
@@ -266,10 +281,13 @@ pub fn retrieve_compiled(
                 Strategy::Naive => naive::eval_compiled(edb, idb, plan, Some(&relevant), opts)?,
                 _ => seminaive::eval_compiled(edb, idb, plan, Some(&relevant), opts)?,
             };
+            drop(strategy_span);
+            let _project_span = obs.span("project", 0);
             return solve_projected(edb, &derived, &goals, query, &columns);
         }
     };
 
+    let _project_span = obs.span("project", 0);
     project_answer(query, &columns, substs)
 }
 

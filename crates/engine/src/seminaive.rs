@@ -59,7 +59,13 @@ pub fn eval_compiled(
     let mut derived = DerivedFacts::new();
     let gov = opts.governor();
     let pool = opts.pool();
-    for stratum in strat.strata() {
+    let obs = &opts.sink;
+    let probes0 = if obs.enabled() {
+        edb.access_stats()
+    } else {
+        (0, 0)
+    };
+    for (si, stratum) in strat.strata().iter().enumerate() {
         let rules: Vec<&RulePlan> = plan
             .plans()
             .iter()
@@ -105,17 +111,28 @@ pub fn eval_compiled(
             }
         }
 
+        let _stratum_span = obs.span("stratum", si as u64);
+
         // Round 0: fire every rule against the current totals (facts from
         // lower strata and the EDB). The new facts form the first delta;
         // firings exclude already-derived tuples at the emit site.
         let before = head_lens(&derived, &head_preds);
+        let round0_span = obs.span("iteration", 0);
+        let firings0 = gov.work_spent();
         let tasks: Vec<RuleTask<'_>> = rules.iter().map(|&rp| RuleTask::total(rp)).collect();
         let added = fire_rule_batch(&pool, &gov, edb, &mut derived, None, &tasks)?;
         gov.add_facts(added)?;
+        if obs.enabled() {
+            obs.counter("rule_firings", gov.work_spent().saturating_sub(firings0));
+            obs.counter("delta_facts", added as u64);
+        }
+        drop(round0_span);
         let mut delta = delta_ranges(&derived, &head_preds, &before);
+        let mut round = 1u64;
 
         // Subsequent rounds: only instantiations touching the delta.
         while !delta.is_empty() {
+            let _iter_span = obs.span("iteration", round);
             let mut tasks: Vec<RuleTask<'_>> = Vec::new();
             for (rp, occurrences) in rules.iter().zip(&recursive_occurrences) {
                 // For each body occurrence of a predicate in this stratum
@@ -143,10 +160,31 @@ pub fn eval_compiled(
                 }
             }
             let before = head_lens(&derived, &head_preds);
+            let firings0 = gov.work_spent();
+            if obs.enabled() {
+                let chunked = tasks.iter().filter(|t| t.is_chunk()).count();
+                obs.counter("delta_tasks", tasks.len() as u64);
+                obs.counter("delta_chunks", chunked as u64);
+                let delta_size: usize = delta.values().map(|(lo, hi)| hi - lo).sum();
+                obs.counter("delta_size", delta_size as u64);
+            }
             let added = fire_rule_batch(&pool, &gov, edb, &mut derived, Some(&delta), &tasks)?;
             gov.add_facts(added)?;
+            if obs.enabled() {
+                obs.counter("rule_firings", gov.work_spent().saturating_sub(firings0));
+                obs.counter("delta_facts", added as u64);
+            }
             delta = delta_ranges(&derived, &head_preds, &before);
+            round += 1;
         }
+    }
+    if obs.enabled() {
+        let (p, s) = edb.access_stats();
+        let (dp, ds) = derived.iter().fold((0, 0), |(p, s), (_, r)| {
+            (p + r.index_probes(), s + r.full_scans())
+        });
+        obs.counter("index_probes", p.saturating_sub(probes0.0) + dp);
+        obs.counter("full_scans", s.saturating_sub(probes0.1) + ds);
     }
     Ok(derived)
 }

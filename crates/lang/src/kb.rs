@@ -31,15 +31,16 @@ impl PlanCache {
         }
     }
 
-    /// The cached plan, compiling `idb` if the cache is empty.
-    fn get_or_compile(&self, idb: &Idb) -> Arc<ProgramPlan> {
+    /// The cached plan, compiling `idb` if the cache is empty. The flag
+    /// reports whether this call was a cache hit (for observability).
+    fn get_or_compile(&self, idb: &Idb) -> (Arc<ProgramPlan>, bool) {
         let mut slot = self.slot();
         match &*slot {
-            Some(p) => Arc::clone(p),
+            Some(p) => (Arc::clone(p), true),
             None => {
                 let p = Arc::new(ProgramPlan::compile(idb));
                 *slot = Some(Arc::clone(&p));
-                p
+                (p, false)
             }
         }
     }
@@ -83,10 +84,13 @@ pub struct KnowledgeBase {
 
 impl KnowledgeBase {
     /// Creates an empty knowledge base with default options (paper-style
-    /// answers: global one-level fallback, modified transformation).
+    /// answers: global one-level fallback, modified transformation). The
+    /// observability sink defaults from the `QDK_TRACE` environment
+    /// variable (unset/empty means disabled — see
+    /// [`qdk_logic::obs::env_sink`]).
     pub fn new() -> Self {
         KnowledgeBase {
-            opts: DescribeOptions::paper(),
+            opts: DescribeOptions::paper().with_sink(qdk_logic::obs::env_sink()),
             ..KnowledgeBase::default()
         }
     }
@@ -278,6 +282,7 @@ impl KnowledgeBase {
         let mut eval = qdk_engine::EvalOptions::with_limits(self.opts.limits);
         eval.cancel = self.opts.cancel.clone();
         eval.parallelism = self.opts.parallelism;
+        eval.sink = self.opts.sink.clone();
         self.retrieve_with_options(r, self.strategy, eval)
     }
 
@@ -290,7 +295,21 @@ impl KnowledgeBase {
         strategy: Strategy,
         eval: qdk_engine::EvalOptions,
     ) -> Result<qdk_engine::DataAnswer> {
-        let plan = self.plan.get_or_compile(&self.idb);
+        let obs = eval.sink.clone();
+        let plan = {
+            let _span = obs.span("plan", 0);
+            let (plan, hit) = self.plan.get_or_compile(&self.idb);
+            if obs.enabled() {
+                let name = if hit {
+                    "plan_cache_hit"
+                } else {
+                    "plan_cache_miss"
+                };
+                obs.counter(name, 1);
+            }
+            plan
+        };
+        let _span = obs.span("execute", 0);
         Ok(query::retrieve_compiled(
             &self.edb, &self.idb, &plan, r, strategy, eval,
         )?)
@@ -317,6 +336,7 @@ impl KnowledgeBase {
         d: &Describe,
         opts: &DescribeOptions,
     ) -> Result<qdk_core::DescribeAnswer> {
+        let _span = opts.sink.span("execute", 0);
         Ok(describe::describe_with_constraints(
             &self.idb,
             &self.constraints,

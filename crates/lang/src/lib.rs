@@ -17,6 +17,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::print_stderr, clippy::print_stdout)]
 
 mod answer;
 pub mod ast;

@@ -23,7 +23,10 @@
 //! * the shared resource [`governor`] ([`ResourceLimits`], [`Governor`],
 //!   [`CancelToken`], [`Exhausted`]) that bounds both evaluation stacks —
 //!   it lives here, in the dependency-free base crate, so `qdk-engine` and
-//!   `qdk-core` govern with the *same* types.
+//!   `qdk-core` govern with the *same* types;
+//! * the structured [`obs`] event layer ([`ObsSink`], [`Sink`], [`Event`])
+//!   both evaluation stacks report spans and counters through — disabled
+//!   by default and zero-cost when disabled.
 //!
 //! The crate is dependency-free and purely functional: all structures are
 //! immutable values, which keeps the term-rewriting layers above it easy to
@@ -31,6 +34,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::print_stderr, clippy::print_stdout)]
 
 mod atom;
 mod clause;
@@ -39,6 +43,7 @@ pub mod fasthash;
 pub mod governor;
 pub mod intern;
 pub mod ir;
+pub mod obs;
 pub mod parallel;
 pub mod parser;
 pub mod pretty;
@@ -56,6 +61,7 @@ pub use fasthash::{FxHashMap, FxHashSet, FxHasher};
 pub use governor::{CancelToken, Exhausted, Governor, Resource, ResourceLimits};
 pub use intern::{Interner, SymId};
 pub use ir::{CompiledRule, Frame, IrAtom, IrLiteral, IrTerm};
+pub use obs::{Event, ObsSink, Sink};
 pub use parallel::Parallelism;
 pub use rename::{rename_atoms_apart, rename_rule_apart, VarGen};
 pub use subst::Subst;

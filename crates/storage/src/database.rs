@@ -121,6 +121,15 @@ impl Edb {
         self.relations.values().map(Relation::len).sum()
     }
 
+    /// Aggregate access-path counters over all relations:
+    /// `(index_probes, full_scans)`. The engine reports deltas of these
+    /// as the `index_probes` / `full_scans` observability counters.
+    pub fn access_stats(&self) -> (u64, u64) {
+        self.relations.values().fold((0, 0), |(p, s), r| {
+            (p + r.index_probes(), s + r.full_scans())
+        })
+    }
+
     /// Extends `subst` in all ways that make `atom` true against the stored
     /// facts, appending each extension to `out`.
     ///

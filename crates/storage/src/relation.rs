@@ -5,6 +5,7 @@ use crate::tuple::Tuple;
 use crate::Value;
 use qdk_logic::fasthash::FxHashMap;
 use qdk_logic::Sym;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A deduplicated, insertion-ordered set of tuples with a hash index on
 /// every column.
@@ -13,7 +14,15 @@ use qdk_logic::Sym;
 /// working sets (totals and deltas) of bottom-up evaluation in the engine
 /// crate. Selection by a partial binding pattern uses the most selective
 /// available column index and verifies the remaining positions.
-#[derive(Clone, Debug)]
+///
+/// Every access-path decision is metered: [`probe`](Relation::probe) and
+/// indexed selections bump [`index_probes`](Relation::index_probes), while
+/// selections with no bound column bump [`full_scans`](Relation::full_scans).
+/// The counters use relaxed atomics so the read paths stay `&self` (the
+/// engine shares relations across worker threads); they survive
+/// [`remove`](Relation::remove)/re-insert and reset only with
+/// [`clear`](Relation::clear).
+#[derive(Debug)]
 pub struct Relation {
     name: Sym,
     arity: usize,
@@ -21,6 +30,22 @@ pub struct Relation {
     present: FxHashMap<Tuple, u32>,
     /// `indexes[c][v]` = row ids whose column `c` equals `v`.
     indexes: Vec<FxHashMap<Value, Vec<u32>>>,
+    probes: AtomicU64,
+    scans: AtomicU64,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Relation {
+            name: self.name.clone(),
+            arity: self.arity,
+            tuples: self.tuples.clone(),
+            present: self.present.clone(),
+            indexes: self.indexes.clone(),
+            probes: AtomicU64::new(self.probes.load(Ordering::Relaxed)),
+            scans: AtomicU64::new(self.scans.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Relation {
@@ -32,7 +57,22 @@ impl Relation {
             tuples: Vec::new(),
             present: FxHashMap::default(),
             indexes: vec![FxHashMap::default(); arity],
+            probes: AtomicU64::new(0),
+            scans: AtomicU64::new(0),
         }
+    }
+
+    /// How many index probes this relation has answered (via
+    /// [`probe`](Relation::probe) or an indexed selection) since creation
+    /// or the last [`clear`](Relation::clear).
+    pub fn index_probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// How many full scans this relation has served (selections with no
+    /// bound column) since creation or the last [`clear`](Relation::clear).
+    pub fn full_scans(&self) -> u64 {
+        self.scans.load(Ordering::Relaxed)
     }
 
     /// The relation's (predicate) name.
@@ -114,8 +154,12 @@ impl Relation {
             })
             .min_by_key(|(n, _, _)| *n);
         match best {
-            None => Box::new(self.tuples.iter()),
+            None => {
+                self.scans.fetch_add(1, Ordering::Relaxed);
+                Box::new(self.tuples.iter())
+            }
             Some((_, c, v)) => {
+                self.probes.fetch_add(1, Ordering::Relaxed);
                 let rows = self.indexes[c].get(v).map(Vec::as_slice).unwrap_or(&[]);
                 let pattern = pattern.to_vec();
                 Box::new(
@@ -141,6 +185,7 @@ impl Relation {
     /// the probe column, probes once per frame, and verifies the remaining
     /// positions against the candidate rows.
     pub fn probe(&self, col: usize, v: &Value) -> &[u32] {
+        self.probes.fetch_add(1, Ordering::Relaxed);
         self.indexes
             .get(col)
             .and_then(|ix| ix.get(v))
@@ -169,7 +214,10 @@ impl Relation {
             .filter_map(|(c, p)| p.map(|v| (self.probe(c, v).len(), c, v)))
             .min_by_key(|(n, _, _)| *n);
         match best {
-            None => Box::new(self.tuples.iter()),
+            None => {
+                self.scans.fetch_add(1, Ordering::Relaxed);
+                Box::new(self.tuples.iter())
+            }
             Some((_, c, v)) => {
                 let rows = self.probe(c, v);
                 let pattern = pattern.to_vec();
@@ -207,13 +255,15 @@ impl Relation {
         true
     }
 
-    /// Removes all tuples.
+    /// Removes all tuples and resets the probe/scan counters.
     pub fn clear(&mut self) {
         self.tuples.clear();
         self.present.clear();
         for ix in &mut self.indexes {
             ix.clear();
         }
+        self.probes.store(0, Ordering::Relaxed);
+        self.scans.store(0, Ordering::Relaxed);
     }
 }
 
@@ -359,6 +409,60 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn counters_track_probes_and_scans() {
+        let r = sample();
+        assert_eq!(r.index_probes(), 0);
+        assert_eq!(r.full_scans(), 0);
+        r.select(&[None, None, None]).count();
+        assert_eq!(r.full_scans(), 1);
+        assert_eq!(r.index_probes(), 0);
+        r.select(&[Some(Value::sym("ann")), None, None]).count();
+        assert_eq!(r.index_probes(), 1);
+        r.probe(0, &Value::sym("ann"));
+        assert_eq!(r.index_probes(), 2);
+        // select_ref probes the index both to score bound columns and to
+        // fetch the winner's rows.
+        let ann = Value::sym("ann");
+        r.select_ref(&[Some(&ann), None, None]).count();
+        assert!(r.index_probes() >= 3);
+        r.select_ref(&[None, None, None]).count();
+        assert_eq!(r.full_scans(), 2);
+    }
+
+    #[test]
+    fn counters_survive_remove_and_reinsert() {
+        let mut r = sample();
+        r.select(&[Some(Value::sym("ann")), None, None]).count();
+        r.select(&[None, None, None]).count();
+        let (p, s) = (r.index_probes(), r.full_scans());
+        assert!(p > 0 && s > 0);
+        let gone = Tuple::new(vec![
+            Value::sym("ann"),
+            Value::sym("databases"),
+            Value::Num(4.0),
+        ]);
+        assert!(r.remove(&gone));
+        assert_eq!((r.index_probes(), r.full_scans()), (p, s));
+        r.insert(gone).unwrap();
+        assert_eq!((r.index_probes(), r.full_scans()), (p, s));
+        // Clones carry the current totals forward independently.
+        let c = r.clone();
+        c.probe(0, &Value::sym("bob"));
+        assert_eq!(c.index_probes(), p + 1);
+        assert_eq!(r.index_probes(), p);
+    }
+
+    #[test]
+    fn clear_resets_counters() {
+        let mut r = sample();
+        r.select(&[Some(Value::sym("ann")), None, None]).count();
+        r.select(&[None, None, None]).count();
+        r.clear();
+        assert_eq!(r.index_probes(), 0);
+        assert_eq!(r.full_scans(), 0);
     }
 
     #[test]

@@ -64,9 +64,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::print_stderr, clippy::print_stdout)]
 
 mod error;
 mod session;
+mod trace;
 
 pub use qdk_core as core;
 pub use qdk_engine as engine;
@@ -76,6 +78,10 @@ pub use qdk_storage as storage;
 
 pub use error::{Error, Result};
 pub use session::{Request, Response, Session};
+pub use trace::{QueryTrace, TraceSpan};
+
+pub use qdk_logic::obs;
+pub use qdk_logic::obs::{CollectSink, Event, ObsSink, Sink};
 
 pub use qdk_core::{
     compare::CompareAnswer, CancelToken, Completeness, Describe, DescribeAnswer, DescribeOptions,

@@ -30,12 +30,16 @@
 //! ```
 
 use crate::error::Result;
+use crate::trace::QueryTrace;
 use qdk_core::{Describe, DescribeAnswer};
-use qdk_engine::{DataAnswer, EvalOptions, Retrieve, Strategy};
+use qdk_engine::{DataAnswer, Downgrade, EvalOptions, Retrieve, Strategy};
 use qdk_lang::{Answer, KnowledgeBase};
+use qdk_logic::obs::{CollectSink, ObsSink};
 use qdk_logic::parser::{parse_atom, parse_body};
 use qdk_logic::{CancelToken, Parallelism, ResourceLimits};
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One query, fully specified: the subject, an optional hypothesis (for
 /// `describe`) or qualifier (for `retrieve`), and the per-request
@@ -49,6 +53,7 @@ pub struct Request {
     limits: Option<ResourceLimits>,
     cancel: Option<CancelToken>,
     parallelism: Option<Parallelism>,
+    trace: bool,
 }
 
 impl Request {
@@ -61,6 +66,7 @@ impl Request {
             limits: None,
             cancel: None,
             parallelism: None,
+            trace: false,
         }
     }
 
@@ -101,6 +107,16 @@ impl Request {
         self
     }
 
+    /// Requests a structured profile of the evaluation: the response's
+    /// [`Response::trace`] returns a [`QueryTrace`] with stage timings,
+    /// engine counters and any strategy downgrades. Tracing never changes
+    /// the answer — only observes it (see DESIGN.md §12).
+    #[must_use]
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// The parsed `where` conjunction (empty when none was given).
     fn parsed_hypothesis(&self) -> Result<Vec<qdk_logic::Literal>> {
         match &self.hypothesis {
@@ -111,54 +127,92 @@ impl Request {
 }
 
 /// The answer to one [`Request`]: data rows for `retrieve`, theorems for
-/// `describe`.
+/// `describe`, plus the optional [`QueryTrace`] profile when the request
+/// asked for one with [`Request::with_trace`].
 #[derive(Clone, Debug)]
-pub enum Response {
-    /// Rows (a `retrieve` answer).
+pub struct Response {
+    payload: Payload,
+    trace: Option<QueryTrace>,
+}
+
+#[derive(Clone, Debug)]
+enum Payload {
     Data(DataAnswer),
-    /// Theorems (a `describe` answer).
     Knowledge(DescribeAnswer),
 }
 
 impl Response {
+    fn data(answer: DataAnswer, trace: Option<QueryTrace>) -> Self {
+        Response {
+            payload: Payload::Data(answer),
+            trace,
+        }
+    }
+
+    fn knowledge(answer: DescribeAnswer, trace: Option<QueryTrace>) -> Self {
+        Response {
+            payload: Payload::Knowledge(answer),
+            trace,
+        }
+    }
+
     /// The data answer, if this was a `retrieve`.
     pub fn as_data(&self) -> Option<&DataAnswer> {
-        match self {
-            Response::Data(d) => Some(d),
-            Response::Knowledge(_) => None,
+        match &self.payload {
+            Payload::Data(d) => Some(d),
+            Payload::Knowledge(_) => None,
         }
     }
 
     /// The knowledge answer, if this was a `describe`.
     pub fn as_knowledge(&self) -> Option<&DescribeAnswer> {
-        match self {
-            Response::Data(_) => None,
-            Response::Knowledge(k) => Some(k),
+        match &self.payload {
+            Payload::Data(_) => None,
+            Payload::Knowledge(k) => Some(k),
         }
     }
 
     /// Consumes the response into its data answer.
     pub fn into_data(self) -> Option<DataAnswer> {
-        match self {
-            Response::Data(d) => Some(d),
-            Response::Knowledge(_) => None,
+        match self.payload {
+            Payload::Data(d) => Some(d),
+            Payload::Knowledge(_) => None,
         }
     }
 
     /// Consumes the response into its knowledge answer.
     pub fn into_knowledge(self) -> Option<DescribeAnswer> {
-        match self {
-            Response::Data(_) => None,
-            Response::Knowledge(k) => Some(k),
+        match self.payload {
+            Payload::Data(_) => None,
+            Payload::Knowledge(k) => Some(k),
+        }
+    }
+
+    /// The structured profile of this evaluation, when the request asked
+    /// for one with [`Request::with_trace`].
+    pub fn trace(&self) -> Option<&QueryTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Strategy downgrades recorded while answering: the requested
+    /// strategy could not complete and a simpler one produced the answer
+    /// (e.g. magic-sets degrading to semi-naive on a non-stratified
+    /// slice). Empty for `describe` answers and for retrieves that ran as
+    /// requested — check this to detect silent degradation without
+    /// enabling tracing.
+    pub fn downgrades(&self) -> &[Downgrade] {
+        match &self.payload {
+            Payload::Data(d) => &d.downgrades,
+            Payload::Knowledge(_) => &[],
         }
     }
 }
 
 impl fmt::Display for Response {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Response::Data(d) => write!(f, "{d}"),
-            Response::Knowledge(k) => write!(f, "{k}"),
+        match &self.payload {
+            Payload::Data(d) => write!(f, "{d}"),
+            Payload::Knowledge(k) => write!(f, "{k}"),
         }
     }
 }
@@ -206,27 +260,55 @@ impl Session {
         Ok(self.kb.run(src)?)
     }
 
+    /// The sink for one request: a fresh collector when the request asks
+    /// for a trace, the session default (usually `QDK_TRACE`) otherwise.
+    fn request_sink(&self, request: &Request) -> (ObsSink, Option<Arc<CollectSink>>) {
+        if request.trace {
+            let collector = Arc::new(CollectSink::new());
+            (ObsSink::new(collector.clone()), Some(collector))
+        } else {
+            (self.kb.describe_options().sink.clone(), None)
+        }
+    }
+
     /// Evaluates a data query: `retrieve subject where qualifier`.
     pub fn retrieve(&self, request: Request) -> Result<Response> {
-        let subject = parse_atom(&request.subject)?;
-        let qualifier = request.parsed_hypothesis()?;
+        let (obs, collector) = self.request_sink(&request);
+        let started = Instant::now();
+        let (subject, qualifier) = {
+            let _span = obs.span("parse", 0);
+            (parse_atom(&request.subject)?, request.parsed_hypothesis()?)
+        };
         let defaults = self.kb.describe_options();
         let mut eval = EvalOptions::with_limits(request.limits.unwrap_or(defaults.limits))
             .with_parallelism(request.parallelism.unwrap_or(defaults.parallelism));
         if let Some(token) = request.cancel.clone().or_else(|| defaults.cancel.clone()) {
             eval = eval.with_cancel(token);
         }
+        eval.sink = obs;
         let strategy = request.strategy.unwrap_or(self.kb.strategy());
-        let answer =
-            self.kb
-                .retrieve_with_options(&Retrieve::new(subject, qualifier), strategy, eval)?;
-        Ok(Response::Data(answer))
+        let query = Retrieve::new(subject, qualifier);
+        let answer = self.kb.retrieve_with_options(&query, strategy, eval)?;
+        let wall = started.elapsed().as_micros() as u64;
+        let trace = collector.map(|c| {
+            QueryTrace::from_events(
+                &c.take(),
+                query.to_string(),
+                wall,
+                answer.downgrades.clone(),
+            )
+        });
+        Ok(Response::data(answer, trace))
     }
 
     /// Evaluates a knowledge query: `describe subject where hypothesis`.
     pub fn describe(&self, request: Request) -> Result<Response> {
-        let subject = parse_atom(&request.subject)?;
-        let hypothesis = request.parsed_hypothesis()?;
+        let (obs, collector) = self.request_sink(&request);
+        let started = Instant::now();
+        let (subject, hypothesis) = {
+            let _span = obs.span("parse", 0);
+            (parse_atom(&request.subject)?, request.parsed_hypothesis()?)
+        };
         let mut opts = self.kb.describe_options().clone();
         if let Some(limits) = request.limits {
             opts.limits = limits;
@@ -237,10 +319,13 @@ impl Session {
         if let Some(parallelism) = request.parallelism {
             opts.parallelism = parallelism;
         }
-        let answer = self
-            .kb
-            .describe_with_options(&Describe::new(subject, hypothesis), &opts)?;
-        Ok(Response::Knowledge(answer))
+        opts.sink = obs;
+        let query = Describe::new(subject, hypothesis);
+        let answer = self.kb.describe_with_options(&query, &opts)?;
+        let wall = started.elapsed().as_micros() as u64;
+        let trace = collector
+            .map(|c| QueryTrace::from_events(&c.take(), query.to_string(), wall, Vec::new()));
+        Ok(Response::knowledge(answer, trace))
     }
 }
 

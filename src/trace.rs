@@ -1,0 +1,238 @@
+//! Structured per-query profiles assembled from observability events.
+//!
+//! When a [`crate::Request`] asks for tracing, the [`crate::Session`]
+//! installs a [`qdk_logic::obs::CollectSink`] for the duration of the
+//! evaluation and folds the captured event stream into a [`QueryTrace`]:
+//! the span tree (stage and sub-stage timings), the engine counters, and
+//! any strategy downgrades — one self-contained profile per query, with a
+//! human-readable [`std::fmt::Display`].
+
+use qdk_engine::Downgrade;
+use qdk_logic::obs::Event;
+use std::fmt;
+
+/// One completed span of a query evaluation: a named, timed section.
+/// Spans form a tree; `depth` 0 is a top-level *stage* (`parse`, `plan`,
+/// `execute`), deeper spans break a stage down (strategy, strata,
+/// fixpoint iterations, enumeration phases).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Span name (see DESIGN.md §12 for the taxonomy).
+    pub name: &'static str,
+    /// Span argument (stratum index, iteration number, item count, …;
+    /// 0 when the span carries no argument).
+    pub arg: u64,
+    /// Wall-clock duration in microseconds.
+    pub micros: u64,
+    /// Nesting depth (0 = stage).
+    pub depth: usize,
+}
+
+/// A structured profile of one query evaluation, returned by
+/// [`crate::Response::trace`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// The statement that was evaluated, rendered.
+    pub statement: String,
+    /// Total wall-clock time of the evaluation in microseconds (measured
+    /// around parse + plan + execute).
+    pub wall_micros: u64,
+    /// Completed spans in start order (pre-order over the span tree).
+    pub spans: Vec<TraceSpan>,
+    /// Counters summed by name, in first-emission order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Strategy downgrades recorded while answering (surfaced here as
+    /// well as on the answer itself).
+    pub downgrades: Vec<Downgrade>,
+}
+
+impl QueryTrace {
+    /// Folds a captured event stream into a trace. Unmatched span starts
+    /// (possible only when a sink overflowed mid-query) are kept with a
+    /// zero duration; unmatched ends are ignored.
+    pub fn from_events(
+        events: &[Event],
+        statement: String,
+        wall_micros: u64,
+        downgrades: Vec<Downgrade>,
+    ) -> Self {
+        let mut spans: Vec<TraceSpan> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        let mut counters: Vec<(&'static str, u64)> = Vec::new();
+        for ev in events {
+            match *ev {
+                Event::SpanStart { name, arg } => {
+                    spans.push(TraceSpan {
+                        name,
+                        arg,
+                        micros: 0,
+                        depth: stack.len(),
+                    });
+                    stack.push(spans.len() - 1);
+                }
+                Event::SpanEnd { name, micros, .. } => {
+                    if let Some(i) = stack.pop() {
+                        if spans[i].name == name {
+                            spans[i].micros = micros;
+                        }
+                    }
+                }
+                Event::Counter { name, value } => {
+                    match counters.iter_mut().find(|(n, _)| *n == name) {
+                        Some((_, v)) => *v += value,
+                        None => counters.push((name, value)),
+                    }
+                }
+            }
+        }
+        QueryTrace {
+            statement,
+            wall_micros,
+            spans,
+            counters,
+            downgrades,
+        }
+    }
+
+    /// The top-level stages (depth-0 spans): `parse`, `plan` (retrieve
+    /// only) and `execute`. Their durations tile the query's wall time.
+    pub fn stages(&self) -> impl Iterator<Item = &TraceSpan> {
+        self.spans.iter().filter(|s| s.depth == 0)
+    }
+
+    /// The summed value of a counter, if it was emitted.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The duration of the first span with the given name, if any.
+    pub fn span_micros(&self, name: &str) -> Option<u64> {
+        self.spans.iter().find(|s| s.name == name).map(|s| s.micros)
+    }
+}
+
+impl fmt::Display for QueryTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace: {}  (wall {} µs)",
+            self.statement, self.wall_micros
+        )?;
+        for s in &self.spans {
+            let label = if s.arg == 0 {
+                s.name.to_string()
+            } else {
+                format!("{}[{}]", s.name, s.arg)
+            };
+            writeln!(
+                f,
+                "  {:indent$}{label:<width$} {:>8} µs",
+                "",
+                s.micros,
+                indent = s.depth * 2,
+                width = 24usize.saturating_sub(s.depth * 2),
+            )?;
+        }
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (name, value) in &self.counters {
+                writeln!(f, "  {name} = {value}")?;
+            }
+        }
+        for d in &self.downgrades {
+            writeln!(f, "-- note: {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_events_into_a_span_tree() {
+        let events = [
+            Event::SpanStart {
+                name: "parse",
+                arg: 0,
+            },
+            Event::SpanEnd {
+                name: "parse",
+                arg: 0,
+                micros: 5,
+            },
+            Event::SpanStart {
+                name: "execute",
+                arg: 0,
+            },
+            Event::SpanStart {
+                name: "seminaive",
+                arg: 0,
+            },
+            Event::SpanStart {
+                name: "stratum",
+                arg: 1,
+            },
+            Event::Counter {
+                name: "rule_firings",
+                value: 3,
+            },
+            Event::SpanEnd {
+                name: "stratum",
+                arg: 1,
+                micros: 7,
+            },
+            Event::Counter {
+                name: "rule_firings",
+                value: 4,
+            },
+            Event::SpanEnd {
+                name: "seminaive",
+                arg: 0,
+                micros: 9,
+            },
+            Event::SpanEnd {
+                name: "execute",
+                arg: 0,
+                micros: 11,
+            },
+        ];
+        let t = QueryTrace::from_events(&events, "retrieve p(X)".into(), 20, Vec::new());
+        let depths: Vec<(&str, usize, u64)> = t
+            .spans
+            .iter()
+            .map(|s| (s.name, s.depth, s.micros))
+            .collect();
+        assert_eq!(
+            depths,
+            vec![
+                ("parse", 0, 5),
+                ("execute", 0, 11),
+                ("seminaive", 1, 9),
+                ("stratum", 2, 7),
+            ]
+        );
+        assert_eq!(t.stages().count(), 2);
+        assert_eq!(t.counter("rule_firings"), Some(7));
+        assert_eq!(t.counter("absent"), None);
+        assert_eq!(t.span_micros("seminaive"), Some(9));
+        let rendered = t.to_string();
+        assert!(rendered.contains("stratum[1]"), "{rendered}");
+        assert!(rendered.contains("rule_firings = 7"), "{rendered}");
+    }
+
+    #[test]
+    fn unmatched_span_start_keeps_zero_duration() {
+        let events = [Event::SpanStart {
+            name: "execute",
+            arg: 0,
+        }];
+        let t = QueryTrace::from_events(&events, "q".into(), 1, Vec::new());
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.spans[0].micros, 0);
+    }
+}
