@@ -7,9 +7,18 @@
 //! can be joined across files.
 //!
 //! Run with `cargo run --release -p qdk-bench --bin report`.
+//!
+//! `-- --check` runs the same series and, instead of writing artifacts,
+//! compares every fresh median against the committed baselines in
+//! `crates/bench/baselines/` (25% tolerance). A fresh median more than
+//! 25% slower than its baseline row fails the process — the CI
+//! regression guard. To refresh the baselines after intentional
+//! performance changes, run the report normally and copy the artifacts:
+//! `cp BENCH_retrieve.json crates/bench/baselines/retrieve.json` (same
+//! for describe).
 
 use qdk_bench::{
-    chain_edb, example8_edb, example8_idb, prior_idb, random_graph_edb, redundant_idb,
+    chain_edb, example8_edb, example8_idb, join_idb, prior_idb, random_graph_edb, redundant_idb,
     tower_hypothesis, tower_idb, university,
 };
 use qdk_core::{algo1, algo2, describe, Describe, DescribeOptions, TransformPolicy};
@@ -137,6 +146,54 @@ fn p1_bound_query(records: &mut Vec<String>) {
             ]));
         }
         println!("{row}|");
+    }
+    println!();
+}
+
+/// Join-heavy workloads on random graphs: the `triangle` 3-cycle query
+/// (an unbound 3-way self-join) and the 3-literal `path3(c0, W)` bound
+/// query. Both stress the selectivity-ordered planner and the composite
+/// indexes rather than fixpoint depth.
+fn j1_join_heavy(records: &mut Vec<String>) {
+    println!("## J1 — join-heavy queries on random graphs (µs, median of 5)\n");
+    println!("| edges | query | naive | semi-naive | top-down | magic |");
+    println!("|-------|-------|-------|------------|----------|-------|");
+    let idb = join_idb();
+    for edges in [64usize, 128, 256] {
+        let edb = random_graph_edb(edges / 2, edges, 42);
+        for (label, section, q) in [
+            (
+                "triangle(X,Y,Z)",
+                "j1_triangle",
+                Retrieve::new(parse_atom("triangle(X, Y, Z)").unwrap(), vec![]),
+            ),
+            (
+                "path3(c0,W)",
+                "j1_bound_path3",
+                Retrieve::new(parse_atom("path3(c0, W)").unwrap(), vec![]),
+            ),
+        ] {
+            let mut row = format!("| {edges} | {label} ");
+            for strategy in [
+                Strategy::Naive,
+                Strategy::SemiNaive,
+                Strategy::TopDown,
+                Strategy::Magic,
+            ] {
+                let us = median_micros(5, || {
+                    query::retrieve(&edb, &idb, &q, strategy).unwrap();
+                });
+                row.push_str(&format!("| {us:.0} "));
+                records.push(json_record(&[
+                    ("section", json_str(section)),
+                    ("workload", json_str("random_graph")),
+                    ("n", edges.to_string()),
+                    ("strategy", json_str(strategy_name(strategy))),
+                    ("micros", format!("{us:.1}")),
+                ]));
+            }
+            println!("{row}|");
+        }
     }
     println!();
 }
@@ -469,7 +526,186 @@ fn o1_obs_overhead(records: &mut Vec<String>) {
     println!();
 }
 
+/// Fields that are *measurements* (compared under tolerance); everything
+/// else except `run_id` identifies the row.
+const MEASUREMENTS: [&str; 5] = [
+    "micros",
+    "per_call_micros",
+    "cached_micros",
+    "baseline_micros",
+    "null_sink_micros",
+];
+
+/// Fields that are neither measurements nor identity (derived ratios,
+/// per-invocation tags).
+const NON_KEY: [&str; 2] = ["run_id", "overhead_pct"];
+
+/// Parses the flat series rows this binary writes: one `{...}` object per
+/// line, fields separated by `", "`, values either quoted identifiers or
+/// bare numbers (no value ever contains a comma).
+fn parse_records(json: &str) -> Vec<Vec<(String, String)>> {
+    json.lines()
+        .filter_map(|line| {
+            let line = line.trim().trim_end_matches(',');
+            if !line.starts_with('{') {
+                return None;
+            }
+            let body = line.trim_start_matches('{').trim_end_matches('}');
+            let fields: Vec<(String, String)> = body
+                .split(", ")
+                .filter_map(|f| {
+                    let (k, v) = f.split_once(": ")?;
+                    Some((
+                        k.trim_matches('"').to_string(),
+                        v.trim_matches('"').to_string(),
+                    ))
+                })
+                .collect();
+            if fields.is_empty() {
+                None
+            } else {
+                Some(fields)
+            }
+        })
+        .collect()
+}
+
+/// The identity of a row: every non-measurement field, sorted, rendered
+/// as `k=v` pairs.
+fn row_key(fields: &[(String, String)]) -> String {
+    let mut parts: Vec<String> = fields
+        .iter()
+        .filter(|(k, _)| !MEASUREMENTS.contains(&k.as_str()) && !NON_KEY.contains(&k.as_str()))
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    parts.sort();
+    parts.join(" ")
+}
+
+fn row_measurements(fields: &[(String, String)]) -> Vec<(String, f64)> {
+    fields
+        .iter()
+        .filter(|(k, _)| MEASUREMENTS.contains(&k.as_str()))
+        .filter_map(|(k, v)| v.parse().ok().map(|n| (k.clone(), n)))
+        .collect()
+}
+
+/// Compares fresh rows against a committed baseline file; any fresh
+/// median more than `TOLERANCE_PCT` slower than its baseline counterpart
+/// is a suspect. Returns `(compared, suspects)` where each suspect is
+/// identified by `label / row key / measurement field`.
+fn check_against(
+    fresh: &[String],
+    baseline_path: &str,
+    label: &str,
+) -> (usize, Vec<(String, String)>) {
+    const TOLERANCE_PCT: f64 = 25.0;
+    let Ok(text) = std::fs::read_to_string(baseline_path) else {
+        eprintln!("warning: no baseline at {baseline_path}; skipping {label}");
+        return (0, Vec::new());
+    };
+    let baseline: std::collections::HashMap<String, Vec<(String, f64)>> = parse_records(&text)
+        .iter()
+        .map(|f| (row_key(f), row_measurements(f)))
+        .collect();
+    let (mut compared, mut missing) = (0usize, 0usize);
+    let mut suspects = Vec::new();
+    for rendered in fresh {
+        let fields = match parse_records(rendered).pop() {
+            Some(f) => f,
+            None => continue,
+        };
+        let key = row_key(&fields);
+        let Some(base) = baseline.get(&key) else {
+            missing += 1;
+            continue;
+        };
+        for (field, now) in row_measurements(&fields) {
+            let Some((_, was)) = base.iter().find(|(k, _)| *k == field) else {
+                continue;
+            };
+            compared += 1;
+            let pct = (now - was) / was * 100.0;
+            if pct > TOLERANCE_PCT {
+                eprintln!("regression? [{label}] {key} {field}: {was:.1} -> {now:.1} (+{pct:.0}%)");
+                suspects.push((format!("{label} / {key}"), field));
+            }
+        }
+    }
+    eprintln!(
+        "{label}: {compared} measurement(s) compared, {} over tolerance, \
+         {missing} fresh row(s) without a baseline",
+        suspects.len()
+    );
+    (compared, suspects)
+}
+
+/// Runs every section that feeds the two checked artifacts, returning
+/// `(retrieve rows, describe rows)`.
+fn checked_sections() -> (Vec<String>, Vec<String>) {
+    let mut retrieve = Vec::new();
+    let mut describe = Vec::new();
+    p1_full_closure(&mut retrieve);
+    p1_bound_query(&mut retrieve);
+    j1_join_heavy(&mut retrieve);
+    compiled_vs_percall(&mut retrieve);
+    t1_retrieve_threads(&mut retrieve);
+    p2_sweeps(&mut describe);
+    t2_describe_threads(&mut describe);
+    e6_family(&mut describe);
+    p3_policies(&mut describe);
+    (retrieve, describe)
+}
+
+/// One full measure-and-compare pass. Returns `(compared, suspects)`
+/// across both artifacts, or exits when there is nothing to compare.
+fn check_pass(base: &str) -> (usize, Vec<(String, String)>) {
+    let (retrieve, describe) = checked_sections();
+    let (cr, mut suspects) = check_against(&retrieve, &format!("{base}/retrieve.json"), "retrieve");
+    let (cd, sd) = check_against(&describe, &format!("{base}/describe.json"), "describe");
+    suspects.extend(sd);
+    (cr + cd, suspects)
+}
+
+/// The `--check` regression guard: medians within a 25% tolerance band of
+/// the committed baselines pass. Direct medians on a busy box are noisy,
+/// so a row only *fails* the check when it exceeds tolerance in two
+/// independent measurement passes — a real regression reproduces, noise
+/// does not.
+fn run_check() {
+    let base = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines");
+    let (compared, suspects) = check_pass(base);
+    if compared == 0 {
+        eprintln!("error: --check compared nothing (missing or empty baselines)");
+        std::process::exit(2);
+    }
+    if suspects.is_empty() {
+        eprintln!("bench check passed: no median more than 25% over baseline");
+        return;
+    }
+    eprintln!(
+        "\nre-measuring to confirm {} suspect(s)...\n",
+        suspects.len()
+    );
+    let (_, second) = check_pass(base);
+    let confirmed: Vec<&(String, String)> =
+        suspects.iter().filter(|s| second.contains(s)).collect();
+    if confirmed.is_empty() {
+        eprintln!("bench check passed: no suspect reproduced on re-measurement");
+        return;
+    }
+    for (row, field) in &confirmed {
+        eprintln!("REGRESSION (reproduced twice): {row} {field}");
+    }
+    eprintln!(
+        "bench check FAILED: {} regression(s) beyond 25% in both passes",
+        confirmed.len()
+    );
+    std::process::exit(1);
+}
+
 fn main() {
+    let check_mode = std::env::args().any(|a| a == "--check");
     println!("# Experiment report (direct timings; see cargo bench for full statistics)\n");
     let run_id = format!(
         "{:x}",
@@ -478,17 +714,12 @@ fn main() {
             .map(|d| d.as_nanos())
             .unwrap_or(0)
     );
-    let mut retrieve_records = Vec::new();
-    let mut describe_records = Vec::new();
+    if check_mode {
+        run_check();
+        return;
+    }
+    let (retrieve_records, describe_records) = checked_sections();
     let mut obs_records = Vec::new();
-    p1_full_closure(&mut retrieve_records);
-    p1_bound_query(&mut retrieve_records);
-    compiled_vs_percall(&mut retrieve_records);
-    t1_retrieve_threads(&mut retrieve_records);
-    p2_sweeps(&mut describe_records);
-    t2_describe_threads(&mut describe_records);
-    e6_family(&mut describe_records);
-    p3_policies(&mut describe_records);
     ablations();
     o1_obs_overhead(&mut obs_records);
     write_json("BENCH_retrieve.json", &retrieve_records, &run_id);

@@ -54,6 +54,23 @@ pub fn prior_idb() -> Idb {
     .unwrap()
 }
 
+/// A join-heavy IDB over `prereq`: `triangle` closes a directed 3-cycle
+/// and `path3` composes three hops. Both rules are multi-literal joins
+/// whose cost is dominated by literal order and index choice, so they
+/// exercise the selectivity-ordered planner harder than the closure
+/// workloads do.
+pub fn join_idb() -> Idb {
+    Idb::from_rules(
+        parse_program(
+            "triangle(X, Y, Z) :- prereq(X, Y), prereq(Y, Z), prereq(Z, X).\n\
+             path3(X, W) :- prereq(X, Y), prereq(Y, Z), prereq(Z, W).",
+        )
+        .unwrap()
+        .rules,
+    )
+    .unwrap()
+}
+
 /// The paper's Example 8 program: `p` joins the recursive `q` (a
 /// left-linear closure over `s` seeded by `r`) with one more `r` step.
 pub fn example8_idb() -> Idb {
@@ -166,6 +183,21 @@ mod tests {
         let edb = chain_edb(8);
         let derived = seminaive::eval(&edb, &prior_idb()).unwrap();
         assert_eq!(derived.relation("prior").unwrap().len(), 36);
+    }
+
+    #[test]
+    fn join_idb_finds_triangles_and_three_hop_paths() {
+        let mut edb = Edb::new();
+        edb.declare("prereq", &["Ctitle", "Ptitle"]).unwrap();
+        for (a, b) in [("c0", "c1"), ("c1", "c2"), ("c2", "c0"), ("c2", "c3")] {
+            edb.insert_fact(&parse_atom(&format!("prereq({a}, {b})")).unwrap())
+                .unwrap();
+        }
+        let derived = seminaive::eval(&edb, &join_idb()).unwrap();
+        // One 3-cycle, seen from each of its three rotations.
+        assert_eq!(derived.relation("triangle").unwrap().len(), 3);
+        // c0→c1→c2→{c0,c3}, c1→c2→c0→c1, c2→c0→c1→c2.
+        assert_eq!(derived.relation("path3").unwrap().len(), 4);
     }
 
     #[test]

@@ -251,33 +251,43 @@ pub fn run(
         // conjoined — the less-identified variant says nothing the
         // identified one plus the hypothesis does not.
         // Both subsumption sides are pure functions of one theorem, so
-        // prepare each side once instead of once per pair.
-        let generals: Vec<_> = theorems
+        // prepare each side once instead of once per pair — and only when
+        // some pair actually passes the hypothesis-set guard: an answer
+        // set whose theorems all used the same hypothesis indexes (the
+        // common case) skips the preparation work entirely.
+        let guard = |a: &Theorem, b: &Theorem| {
+            a.root_rule == b.root_rule
+                && a.used_hypothesis.len() > b.used_hypothesis.len()
+                && a.used_hypothesis.is_superset(&b.used_hypothesis)
+        };
+        let any_candidate = theorems
             .iter()
-            .map(|b| redundancy::prepare_general(&b.rule))
-            .collect();
-        let augmented: Vec<_> = theorems
-            .iter()
-            .map(|a| {
-                let mut aug = a.rule.clone();
-                aug.body.extend(query.hypothesis.iter().cloned());
-                redundancy::prepare_specific(&aug, &[])
-            })
-            .collect();
-        let dominated: Vec<bool> = theorems
-            .iter()
-            .enumerate()
-            .map(|(bi, b)| {
-                theorems.iter().enumerate().any(|(ai, a)| {
-                    a.root_rule == b.root_rule
-                        && a.used_hypothesis.len() > b.used_hypothesis.len()
-                        && a.used_hypothesis.is_superset(&b.used_hypothesis)
-                        && redundancy::subsumes_prepared(&generals[bi], &augmented[ai])
+            .any(|b| theorems.iter().any(|a| guard(a, b)));
+        if any_candidate {
+            let generals: Vec<_> = theorems
+                .iter()
+                .map(|b| redundancy::prepare_general(&b.rule))
+                .collect();
+            let augmented: Vec<_> = theorems
+                .iter()
+                .map(|a| {
+                    let mut aug = a.rule.clone();
+                    aug.body.extend(query.hypothesis.iter().cloned());
+                    redundancy::prepare_specific(&aug, &[])
                 })
-            })
-            .collect();
-        let mut it = dominated.iter();
-        theorems.retain(|_| !*it.next().expect("parallel"));
+                .collect();
+            let dominated: Vec<bool> = theorems
+                .iter()
+                .enumerate()
+                .map(|(bi, b)| {
+                    theorems.iter().enumerate().any(|(ai, a)| {
+                        guard(a, b) && redundancy::subsumes_prepared(&generals[bi], &augmented[ai])
+                    })
+                })
+                .collect();
+            let mut it = dominated.iter();
+            theorems.retain(|_| !*it.next().expect("parallel"));
+        }
 
         let mut trans: Vec<Sym> = tidb.step_preds.values().cloned().collect();
         trans.extend(tidb.modified.iter().cloned());

@@ -17,6 +17,18 @@
 use crate::constraints::{self, Comparison};
 use crate::Theorem;
 use qdk_logic::{match_atom, Atom, Literal, Rule, Subst, Sym, Term, Var};
+use std::collections::{BTreeSet, HashMap};
+
+/// A literal's shape: predicate, arity, polarity. A general literal can
+/// only map onto a specific literal of the same shape, so shape sets give
+/// a subsumption prefilter that never changes the decision.
+type Shape = (Sym, usize, bool);
+
+fn shapes<'a>(lits: impl Iterator<Item = &'a Literal>) -> BTreeSet<Shape> {
+    lits.filter(|l| !l.is_builtin())
+        .map(|l| (l.atom.pred.clone(), l.atom.arity(), l.positive))
+        .collect()
+}
 
 /// Standardizes a rule apart with reserved names (same trick as
 /// `qdk_logic::subsume`, local so the semantic matcher controls it).
@@ -76,6 +88,9 @@ pub struct PreparedGeneral {
     head: Atom,
     db_lits: Vec<Literal>,
     cmp_lits: Vec<Literal>,
+    /// Shapes of `db_lits` — must be a subset of the specific side's
+    /// [`PreparedSpecific::shapes`] for subsumption to be possible.
+    shapes: BTreeSet<Shape>,
 }
 
 /// The specific side of a subsumption test, preprocessed: the body closed
@@ -85,6 +100,8 @@ pub struct PreparedSpecific {
     head: Atom,
     closed: Vec<Literal>,
     comps: Vec<Comparison>,
+    /// Shapes of the closed body's database literals.
+    shapes: BTreeSet<Shape>,
 }
 
 /// Preprocesses a rule for use as the general side of [`subsumes_prepared`].
@@ -92,10 +109,12 @@ pub fn prepare_general(rule: &Rule) -> PreparedGeneral {
     let std = standardize(rule);
     let (db_lits, cmp_lits): (Vec<Literal>, Vec<Literal>) =
         std.body.iter().cloned().partition(|l| !l.is_builtin());
+    let shapes = shapes(db_lits.iter());
     PreparedGeneral {
         head: std.head,
         db_lits,
         cmp_lits,
+        shapes,
     }
 }
 
@@ -107,10 +126,12 @@ pub fn prepare_specific(rule: &Rule, trans: &[Sym]) -> PreparedSpecific {
         .filter(|l| l.positive && l.is_builtin())
         .filter_map(|l| Comparison::from_atom(&l.atom))
         .collect();
+    let shapes = shapes(closed.iter());
     PreparedSpecific {
         head: rule.head.clone(),
         closed,
         comps,
+        shapes,
     }
 }
 
@@ -127,9 +148,15 @@ pub fn semantic_subsumes(general: &Rule, specific: &Rule, trans: &[Sym]) -> bool
     )
 }
 
-/// [`semantic_subsumes`] over preprocessed sides — the form the O(n²)
-/// reduction passes call.
+/// [`semantic_subsumes`] over preprocessed sides — the form the reduction
+/// passes call.
 pub fn subsumes_prepared(general: &PreparedGeneral, specific: &PreparedSpecific) -> bool {
+    // Shape prefilter: every general literal needs a same-shape target, so
+    // a missing shape refutes the test before any matching. Equivalent to
+    // (but much cheaper than) discovering an empty candidate list below.
+    if !general.shapes.is_subset(&specific.shapes) {
+        return false;
+    }
     let mut s = Subst::new();
     if !match_atom(&general.head, &specific.head, &mut s) {
         return false;
@@ -289,29 +316,44 @@ pub fn subsumes_modulo_idb(
 /// another is dropped (first of an equivalent pair wins). `trans` lists
 /// transitively-closed predicates (step predicates and modified recursive
 /// predicates).
+///
+/// Theorems are bucketed by head signature (predicate and arity):
+/// subsumption in either direction starts by matching the heads, so only
+/// same-bucket pairs are ever compared — with mixed-subject answer sets
+/// (tagged/typed transforms emit several head predicates) the quadratic
+/// sweep shrinks to the sum of squared bucket sizes. Within a bucket the
+/// shape prefilter in [`subsumes_prepared`] rejects most pairs without a
+/// matching attempt. Survivors keep arrival order exactly like the
+/// unbucketed sweep did.
 pub fn remove_redundant(theorems: Vec<Theorem>, trans: &[Sym]) -> Vec<Theorem> {
     struct Entry {
+        arrival: usize,
         theorem: Theorem,
         general: PreparedGeneral,
         specific: PreparedSpecific,
     }
-    let mut kept: Vec<Entry> = Vec::with_capacity(theorems.len());
-    'outer: for t in theorems {
+    let mut buckets: HashMap<(Sym, usize), Vec<Entry>> = HashMap::new();
+    'outer: for (arrival, t) in theorems.into_iter().enumerate() {
         let general = prepare_general(&t.rule);
         let specific = prepare_specific(&t.rule, trans);
-        for k in &kept {
+        let key = (t.rule.head.pred.clone(), t.rule.head.arity());
+        let kept = buckets.entry(key).or_default();
+        for k in kept.iter() {
             if subsumes_prepared(&k.general, &specific) {
                 continue 'outer;
             }
         }
         kept.retain(|k| !subsumes_prepared(&general, &k.specific));
         kept.push(Entry {
+            arrival,
             theorem: t,
             general,
             specific,
         });
     }
-    kept.into_iter().map(|e| e.theorem).collect()
+    let mut survivors: Vec<Entry> = buckets.into_values().flatten().collect();
+    survivors.sort_by_key(|e| e.arrival);
+    survivors.into_iter().map(|e| e.theorem).collect()
 }
 
 #[cfg(test)]
@@ -404,6 +446,42 @@ mod tests {
         );
         let rendered: Vec<String> = out.iter().map(|t| t.rule.to_string()).collect();
         assert_eq!(rendered, vec!["p(X) :- q(X, Z), (Z > 3).", "p(X) :- r(X)."]);
+    }
+
+    #[test]
+    fn general_with_fewer_literals_still_subsumes() {
+        // {q} ⊂ {q, r}: the shape prefilter must admit strict-subset
+        // generals, not just equal-shape pairs.
+        assert!(semantic_subsumes(
+            &r("p(X) :- q(X, Y)."),
+            &r("p(X) :- q(X, databases), r(X)."),
+            &[],
+        ));
+    }
+
+    #[test]
+    fn mixed_head_signatures_reduce_per_bucket_and_keep_order() {
+        let out = remove_redundant(
+            vec![
+                theorem("p(X) :- q(X, Z), Z > 4."),
+                theorem("s(X) :- q(X, Y)."),
+                theorem("p(X) :- q(X, Z), Z > 3."),
+                // Same predicate, different arity: its own bucket.
+                theorem("p(X, Y) :- q(X, Y)."),
+                // Variant of the s-theorem: dropped, first wins.
+                theorem("s(A) :- q(A, B)."),
+            ],
+            &[],
+        );
+        let rendered: Vec<String> = out.iter().map(|t| t.rule.to_string()).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "s(X) :- q(X, Y).",
+                "p(X) :- q(X, Z), (Z > 3).",
+                "p(X, Y) :- q(X, Y).",
+            ]
+        );
     }
 
     #[test]

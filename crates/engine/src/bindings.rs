@@ -23,8 +23,57 @@ use crate::plan::{Col, RulePlan, Step};
 use qdk_logic::fasthash::FxHashMap;
 use qdk_logic::governor::Governor;
 use qdk_logic::{Atom, Frame, IrTerm, Subst, Sym, Term};
-use qdk_storage::{builtins, Edb, Relation, StorageError, Tuple, Value};
+use qdk_storage::{builtins, CompositeIndex, Edb, Relation, StorageError, Tuple, Value};
+use std::sync::Arc;
 use threadpool::Pool;
+
+/// A composite access path resolved for one scan step of one firing (the
+/// handle knows which ascending column positions it covers), or `None`
+/// when the step has fewer than two statically bound columns.
+pub(crate) type CompositeAccess = Option<Arc<CompositeIndex>>;
+
+/// Per-firing lazily resolved access paths, one slot per plan step.
+///
+/// The relation a scan step reads is fixed for the duration of a firing
+/// (the view is frozen), so the composite-index handle — which takes a
+/// relation-level lock to fetch — is resolved the *first* time each scan
+/// step executes and reused for every subsequent frame. Lazy (rather than
+/// resolved up front) so a step execution never touches a relation the
+/// enumeration doesn't reach, preserving the data-dependent timing of
+/// arity diagnostics.
+pub(crate) struct ScanCache {
+    composites: Vec<Option<CompositeAccess>>,
+}
+
+impl ScanCache {
+    pub(crate) fn new(steps: usize) -> Self {
+        ScanCache {
+            composites: vec![None; steps],
+        }
+    }
+
+    /// The composite access for step `step` against `rel`, resolving on
+    /// first use: columns statically bound by the plan (inline constants
+    /// and pre-bound slots), demand-building the relation's index when
+    /// there are at least two.
+    fn composite(&mut self, step: usize, rel: &Relation, cols: &[Col]) -> CompositeAccess {
+        self.composites[step]
+            .get_or_insert_with(|| {
+                let bound: Vec<usize> = cols
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| matches!(c, Col::Const(_) | Col::Slot { probe: true, .. }))
+                    .map(|(i, _)| i)
+                    .collect();
+                if bound.len() >= 2 {
+                    rel.composite(&bound)
+                } else {
+                    None
+                }
+            })
+            .clone()
+    }
+}
 
 /// A store of derived facts for IDB predicates.
 #[derive(Clone, Debug, Default)]
@@ -321,6 +370,21 @@ pub(crate) fn exec(
     frame: &mut Frame,
     emit: &mut dyn FnMut(&Frame) -> Result<()>,
 ) -> Result<()> {
+    let mut cache = ScanCache::new(plan.steps.len());
+    exec_cached(plan, step, view, &mut cache, frame, emit)
+}
+
+/// [`exec`] against a caller-provided per-firing [`ScanCache`] (the
+/// firing entry points create one cache and thread it through the whole
+/// enumeration; the recursion re-enters here).
+pub(crate) fn exec_cached(
+    plan: &RulePlan,
+    step: usize,
+    view: &FactView<'_>,
+    cache: &mut ScanCache,
+    frame: &mut Frame,
+    emit: &mut dyn FnMut(&Frame) -> Result<()>,
+) -> Result<()> {
     let Some(s) = plan.steps.get(step) else {
         return emit(frame);
     };
@@ -345,7 +409,7 @@ pub(crate) fn exec(
                 }
             };
             if truth == *positive {
-                exec(plan, step + 1, view, frame, emit)
+                exec_cached(plan, step + 1, view, cache, frame, emit)
             } else {
                 Ok(())
             }
@@ -354,13 +418,13 @@ pub(crate) fn exec(
             match (lhs.resolve(frame).cloned(), rhs.resolve(frame).cloned()) {
                 (Some(l), Some(r)) => {
                     if l == r {
-                        exec(plan, step + 1, view, frame, emit)
+                        exec_cached(plan, step + 1, view, cache, frame, emit)
                     } else {
                         Ok(())
                     }
                 }
-                (Some(l), None) => bind_eq(plan, step, rhs, l, view, frame, emit),
-                (None, Some(r)) => bind_eq(plan, step, lhs, r, view, frame, emit),
+                (Some(l), None) => bind_eq(plan, step, rhs, l, view, cache, frame, emit),
+                (None, Some(r)) => bind_eq(plan, step, lhs, r, view, cache, frame, emit),
                 (None, None) => Err(EngineError::UnsafeRule {
                     rule: plan.rule_str.clone(),
                     literal: literal.clone(),
@@ -387,7 +451,7 @@ pub(crate) fn exec(
             if view.neg_holds(pred, &vals)? {
                 Ok(())
             } else {
-                exec(plan, step + 1, view, frame, emit)
+                exec_cached(plan, step + 1, view, cache, frame, emit)
             }
         }
         Step::Scan {
@@ -399,9 +463,15 @@ pub(crate) fn exec(
             let Some((rel, window)) = view.scan_target(*occurrence, pred, cols.len())? else {
                 return Ok(()); // nothing derived yet
             };
-            scan_relation_windowed(rel, cols, frame, window, &mut |frame| {
-                exec(plan, step + 1, view, frame, emit)
-            })
+            let composite = cache.composite(step, rel, cols);
+            scan_relation_access(
+                rel,
+                cols,
+                composite.as_deref(),
+                frame,
+                window,
+                &mut |frame| exec_cached(plan, step + 1, view, cache, frame, emit),
+            )
         }
         Step::Unsafe { literal } => Err(EngineError::UnsafeRule {
             rule: plan.rule_str.clone(),
@@ -412,12 +482,14 @@ pub(crate) fn exec(
 
 /// Binds the unbound side of an equality and continues, unbinding on the
 /// way out.
+#[allow(clippy::too_many_arguments)]
 fn bind_eq(
     plan: &RulePlan,
     step: usize,
     side: &IrTerm,
     value: Value,
     view: &FactView<'_>,
+    cache: &mut ScanCache,
     frame: &mut Frame,
     emit: &mut dyn FnMut(&Frame) -> Result<()>,
 ) -> Result<()> {
@@ -426,7 +498,7 @@ fn bind_eq(
         return Ok(());
     };
     frame.set(*slot, value);
-    let res = exec(plan, step + 1, view, frame, emit);
+    let res = exec_cached(plan, step + 1, view, cache, frame, emit);
     frame.clear(*slot);
     res
 }
@@ -438,26 +510,22 @@ fn bind_eq(
 /// bound (full scan). The probe borrows the key from the frame or the
 /// plan: no `Value` is cloned to look up the index.
 pub(crate) fn probe_ids<'r>(rel: &'r Relation, cols: &[Col], frame: &Frame) -> Option<&'r [u32]> {
-    let mut best: Option<(usize, usize)> = None; // (bucket len, column)
+    // Keep the winning bucket while scoring so the winner is not probed
+    // twice (each probe is a hash of the key plus a counter bump).
+    let mut best: Option<&'r [u32]> = None;
     for (c, col) in cols.iter().enumerate() {
         let v: Option<&Value> = match col {
             Col::Const(v) => Some(v),
             Col::Slot { slot, .. } => frame.get(*slot),
         };
         if let Some(v) = v {
-            let n = rel.probe(c, v).len();
-            if best.is_none_or(|(bn, _)| n < bn) {
-                best = Some((n, c));
+            let ids = rel.probe(c, v);
+            if best.is_none_or(|b| ids.len() < b.len()) {
+                best = Some(ids);
             }
         }
     }
-    best.map(|(_, c)| {
-        let v = match &cols[c] {
-            Col::Const(v) => v,
-            Col::Slot { slot, .. } => frame.get(*slot).expect("probe column is bound"),
-        };
-        rel.probe(c, v)
-    })
+    best
 }
 
 /// Matches one tuple against the scan columns, binding unbound slots as
@@ -498,20 +566,33 @@ pub(crate) fn scan_relation(
     frame: &mut Frame,
     each: &mut dyn FnMut(&mut Frame) -> Result<()>,
 ) -> Result<()> {
-    scan_relation_windowed(rel, cols, frame, None, each)
+    scan_relation_access(rel, cols, None, frame, None, each)
 }
 
-/// [`scan_relation`] restricted to tuples with ids in `window` (when set).
-/// Index buckets store ids in ascending insertion order, so visiting each
-/// window of a partition in turn reproduces the unwindowed visit order.
-pub(crate) fn scan_relation_windowed(
+/// [`scan_relation`] with an optional resolved composite access path and
+/// an optional tuple-id `window` restriction.
+///
+/// With a composite index the bound columns collapse into one hash
+/// lookup; the candidate ids are exactly the ids the single-column probe
+/// plus residual filter would have visited, in the same ascending order,
+/// so answer order is unchanged by the access-path choice. Index buckets
+/// store ids in ascending insertion order, so visiting each window of a
+/// partition in turn reproduces the unwindowed visit order; windows are
+/// clipped through the relation's [`qdk_storage::DeltaView`].
+pub(crate) fn scan_relation_access(
     rel: &Relation,
     cols: &[Col],
+    composite: Option<&CompositeIndex>,
     frame: &mut Frame,
     window: Option<(usize, usize)>,
     each: &mut dyn FnMut(&mut Frame) -> Result<()>,
 ) -> Result<()> {
-    let ids = probe_ids(rel, cols, frame);
+    let ids = match composite.and_then(|ix| composite_probe(ix, cols, frame)) {
+        Some(ids) => Some(ids),
+        // No composite resolved (or a statically bound slot arrived
+        // unbound, possible in adorned call plans): single-column choice.
+        None => probe_ids(rel, cols, frame),
+    };
     // One trail for the whole scan, cleared per tuple: slots this scan
     // binds are unbound again before the next tuple (and before return).
     let mut trail: Vec<u32> = Vec::new();
@@ -529,14 +610,8 @@ pub(crate) fn scan_relation_windowed(
     };
     match ids {
         Some(ids) => {
-            // Bucket ids are ascending, so a window is a contiguous slice:
-            // binary-search its bounds instead of filtering every id.
             let ids = match window {
-                Some((lo, hi)) => {
-                    let s = ids.partition_point(|&id| (id as usize) < lo);
-                    let e = s + ids[s..].partition_point(|&id| (id as usize) < hi);
-                    &ids[s..e]
-                }
+                Some((lo, hi)) => rel.delta(lo, hi).clip(ids),
                 None => ids,
             };
             for &id in ids {
@@ -544,13 +619,35 @@ pub(crate) fn scan_relation_windowed(
             }
         }
         None => {
-            let (lo, hi) = window.unwrap_or((0, rel.len()));
-            for t in rel.iter().skip(lo).take(hi.saturating_sub(lo)) {
-                visit(t, frame)?;
-            }
+            match window {
+                Some((lo, hi)) => {
+                    for t in rel.delta(lo, hi).iter() {
+                        visit(t, frame)?;
+                    }
+                }
+                None => {
+                    for t in rel.iter() {
+                        visit(t, frame)?;
+                    }
+                }
+            };
         }
     }
     Ok(())
+}
+
+/// Probes a resolved composite index with the current frame's values for
+/// its columns. Returns `None` (caller falls back to a single-column
+/// probe) if any covered slot is unbound at run time.
+fn composite_probe<'r>(ix: &'r CompositeIndex, cols: &[Col], frame: &Frame) -> Option<&'r [u32]> {
+    let mut key: Vec<&Value> = Vec::with_capacity(ix.cols().len());
+    for &c in ix.cols() {
+        match cols.get(c)? {
+            Col::Const(v) => key.push(v),
+            Col::Slot { slot, .. } => key.push(frame.get(*slot)?),
+        }
+    }
+    Some(ix.probe(&key))
 }
 
 /// Converts a satisfying frame into a substitution over the plan's slot
@@ -639,6 +736,10 @@ pub(crate) fn fire_plan_buffered(
     let head = &plan.compiled.head;
     let known = view.derived_relation(&head.pred);
     let mut frame = Frame::new(plan.compiled.num_slots());
+    // Reused across frames: most candidate rows are already known (the
+    // whole point of re-firing against the total view), and the borrowed
+    // containment check lets those die here without allocating a tuple.
+    let mut row: Vec<Value> = Vec::with_capacity(head.args.len());
     exec(plan, 0, view, &mut frame, &mut |frame| {
         if let Some(g) = gov {
             emitted += 1;
@@ -647,7 +748,7 @@ pub(crate) fn fire_plan_buffered(
                 g.poll()?;
             }
         }
-        let mut row: Vec<Value> = Vec::with_capacity(head.args.len());
+        row.clear();
         for t in &head.args {
             match t.resolve(frame) {
                 Some(c) => row.push(c.clone()),
@@ -662,9 +763,9 @@ pub(crate) fn fire_plan_buffered(
                 }
             }
         }
-        let tuple = Tuple::new(row);
-        if !known.is_some_and(|r| r.contains(&tuple)) {
-            out.push(tuple);
+        if !known.is_some_and(|r| r.contains_slice(&row)) {
+            let vals = std::mem::replace(&mut row, Vec::with_capacity(head.args.len()));
+            out.push(Tuple::new(vals));
         }
         Ok(())
     })?;

@@ -83,10 +83,12 @@ pub fn eval(edb: &Edb, idb: &Idb) -> Result<DerivedFacts> {
     eval_with(edb, idb, EvalOptions::default())
 }
 
-/// [`eval`] with options. Compiles the program first; callers evaluating
-/// the same IDB repeatedly should compile once and use [`eval_compiled`].
+/// [`eval`] with options. Compiles the program first — against the EDB's
+/// cardinality snapshot, so literal order follows the cost model; callers
+/// evaluating the same IDB repeatedly should compile once and use
+/// [`eval_compiled`].
 pub fn eval_with(edb: &Edb, idb: &Idb, opts: EvalOptions) -> Result<DerivedFacts> {
-    let plan = ProgramPlan::compile(idb);
+    let plan = ProgramPlan::compile_with_stats(idb, edb.stats());
     eval_governed(edb, idb, &plan, None, &opts)
 }
 
@@ -98,7 +100,7 @@ pub fn eval_restricted(
     relevant: &[Sym],
     opts: EvalOptions,
 ) -> Result<DerivedFacts> {
-    let plan = ProgramPlan::compile(idb);
+    let plan = ProgramPlan::compile_with_stats(idb, edb.stats());
     eval_governed(edb, idb, &plan, Some(relevant), &opts)
 }
 
@@ -139,6 +141,11 @@ fn eval_governed(
     } else {
         (0, 0)
     };
+    let composite0 = if obs.enabled() {
+        edb.composite_probes()
+    } else {
+        0
+    };
     for (si, stratum) in strat.strata().iter().enumerate() {
         let rules: Vec<&crate::plan::RulePlan> = plan
             .plans()
@@ -176,6 +183,11 @@ fn eval_governed(
         });
         obs.counter("index_probes", p.saturating_sub(probes0.0) + dp);
         obs.counter("full_scans", s.saturating_sub(probes0.1) + ds);
+        let dc: u64 = derived.iter().map(|(_, r)| r.composite_probes()).sum();
+        obs.counter(
+            "composite_probes",
+            edb.composite_probes().saturating_sub(composite0) + dc,
+        );
     }
     Ok(derived)
 }

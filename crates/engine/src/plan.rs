@@ -24,7 +24,27 @@
 
 use crate::idb::Idb;
 use qdk_logic::{CompiledRule, Interner, IrTerm, Rule, Sym, SymId};
-use qdk_storage::Value;
+use qdk_storage::{CatalogStats, Value};
+
+/// Fallback cardinality floor for predicates the stats snapshot doesn't
+/// cover (derived predicates, whose extension is unknown before the
+/// fixpoint runs). Kept modest so a bound magic-guard literal still
+/// schedules ahead of an unbound stored scan.
+const DEFAULT_CARD_FLOOR: usize = 16;
+
+/// Estimated rows a scan of `pred` produces with `bound` columns already
+/// fixed: the stored cardinality (or, for derived predicates, the total
+/// stored-fact count floored at [`DEFAULT_CARD_FLOOR`]) quartered per
+/// bound column, floored at 1. Deliberately coarse — the model only has
+/// to *order* literals, and a wrong guess still executes correctly
+/// through the same probes.
+fn est_rows(stats: &CatalogStats, pred: &Sym, bound: usize) -> usize {
+    let card = stats
+        .cardinality(pred.as_str())
+        .unwrap_or_else(|| stats.total_facts().max(DEFAULT_CARD_FLOOR));
+    let shift = (2 * bound).min(usize::BITS as usize - 1);
+    (card >> shift).max(1)
+}
 
 /// One column of a [`Step::Scan`]: what the executor must match this
 /// tuple position against.
@@ -57,6 +77,10 @@ pub enum Step {
         pred_id: SymId,
         /// Per-column match obligations.
         cols: Vec<Col>,
+        /// Predicted result rows from the cost model, when the plan was
+        /// compiled against a stats snapshot (`None` for stats-less
+        /// plans, which keep the legacy fewest-unbound ordering).
+        est: Option<usize>,
     },
     /// Evaluate a ground comparison (`=` with both sides bound, or any
     /// other built-in); continue only if its truth matches `positive`.
@@ -114,8 +138,18 @@ pub struct RulePlan {
 impl RulePlan {
     /// Compiles `rule` with all slots initially unbound.
     pub fn new(rule: &Rule, interner: &mut Interner) -> Self {
+        RulePlan::new_with_stats(rule, interner, None)
+    }
+
+    /// Like [`RulePlan::new`], but literal order follows the cost model
+    /// when a stats snapshot is supplied.
+    pub fn new_with_stats(
+        rule: &Rule,
+        interner: &mut Interner,
+        stats: Option<&CatalogStats>,
+    ) -> Self {
         let compiled = CompiledRule::compile(rule, interner);
-        let steps = compile_steps(&compiled, vec![false; compiled.num_slots()]);
+        let steps = compile_steps_opt(&compiled, vec![false; compiled.num_slots()], stats, None);
         RulePlan {
             steps,
             rule_str: rule.to_string(),
@@ -133,10 +167,11 @@ impl RulePlan {
         goals: &[qdk_logic::Literal],
         rule_str: String,
         interner: &mut Interner,
+        stats: Option<&CatalogStats>,
     ) -> Self {
         let dummy = Rule::with_literals(qdk_logic::Atom::new("_goal", Vec::new()), goals.to_vec());
         let compiled = CompiledRule::compile(&dummy, interner);
-        let steps = compile_steps(&compiled, vec![false; compiled.num_slots()]);
+        let steps = compile_steps_opt(&compiled, vec![false; compiled.num_slots()], stats, None);
         RulePlan {
             steps,
             rule_str,
@@ -147,12 +182,37 @@ impl RulePlan {
     /// Re-plans an already compiled rule under an adornment: `bound[s]`
     /// marks slot `s` as pre-bound (the top-down solver binds head slots
     /// from the call before executing the body).
-    pub(crate) fn with_bound(compiled: CompiledRule, rule_str: String, bound: Vec<bool>) -> Self {
-        let steps = compile_steps(&compiled, bound);
+    pub(crate) fn with_bound(
+        compiled: CompiledRule,
+        rule_str: String,
+        bound: Vec<bool>,
+        stats: Option<&CatalogStats>,
+    ) -> Self {
+        let steps = compile_steps_opt(&compiled, bound, stats, None);
         RulePlan {
             steps,
             rule_str,
             compiled,
+        }
+    }
+
+    /// Re-plans this rule so body occurrence `occurrence` (a positive
+    /// database literal) is scanned first — the semi-naive delta rewrite's
+    /// ideal shape: the delta is the smallest input by construction, so
+    /// making it the outermost scan bounds every firing by the delta size
+    /// *and* makes the plan eligible for order-preserving chunked
+    /// parallelism (the windowed occurrence must be the outermost scan).
+    pub(crate) fn delta_variant(
+        &self,
+        occurrence: usize,
+        stats: Option<&CatalogStats>,
+    ) -> RulePlan {
+        let bound = vec![false; self.compiled.num_slots()];
+        let steps = compile_steps_opt(&self.compiled, bound, stats, Some(occurrence));
+        RulePlan {
+            steps,
+            rule_str: self.rule_str.clone(),
+            compiled: self.compiled.clone(),
         }
     }
 
@@ -202,7 +262,9 @@ impl RulePlan {
         let mut bound = vec![false; self.compiled.num_slots()];
         for (n, step) in self.steps.iter().enumerate() {
             let line = match step {
-                Step::Scan { pred, cols, .. } => {
+                Step::Scan {
+                    pred, cols, est, ..
+                } => {
                     let args: Vec<String> = cols
                         .iter()
                         .map(|c| match c {
@@ -233,11 +295,19 @@ impl RulePlan {
                             }
                         }
                     }
-                    let access = if probes.is_empty() {
+                    let mut access = if probes.is_empty() {
                         "full scan".to_string()
+                    } else if probes.len() >= 2 {
+                        // Two or more bound columns execute through one
+                        // composite-index lookup instead of a single-column
+                        // probe plus residual filter.
+                        format!("composite probe on {}", probes.join(", "))
                     } else {
                         format!("probe on {}", probes.join(", "))
                     };
+                    if let Some(est) = est {
+                        access.push_str(&format!(" [est {est} rows]"));
+                    }
                     format!(
                         "scan {pred}({})  {access}{}",
                         args.join(", "),
@@ -292,18 +362,43 @@ impl RulePlan {
 pub struct ProgramPlan {
     interner: Interner,
     plans: Vec<RulePlan>,
+    stats: Option<CatalogStats>,
 }
 
 impl ProgramPlan {
-    /// Compiles every rule of `idb`.
+    /// Compiles every rule of `idb` with the legacy fewest-unbound
+    /// literal ordering (no stats). This is the path describe's
+    /// `TransformedIdb` and other EDB-less callers use; its output is
+    /// byte-stable regardless of stored data.
     pub fn compile(idb: &Idb) -> Self {
+        ProgramPlan::compile_opt(idb, None)
+    }
+
+    /// Compiles every rule of `idb` with literal order chosen by the cost
+    /// model over a cardinality snapshot. The snapshot is retained so
+    /// adorned re-plans (top-down call plans) and per-stratum delta
+    /// variants inherit the same estimates.
+    pub fn compile_with_stats(idb: &Idb, stats: CatalogStats) -> Self {
+        ProgramPlan::compile_opt(idb, Some(stats))
+    }
+
+    fn compile_opt(idb: &Idb, stats: Option<CatalogStats>) -> Self {
         let mut interner = Interner::new();
         let plans = idb
             .rules()
             .iter()
-            .map(|r| RulePlan::new(r, &mut interner))
+            .map(|r| RulePlan::new_with_stats(r, &mut interner, stats.as_ref()))
             .collect();
-        ProgramPlan { interner, plans }
+        ProgramPlan {
+            interner,
+            plans,
+            stats,
+        }
+    }
+
+    /// The cardinality snapshot this program was planned against, if any.
+    pub fn stats(&self) -> Option<&CatalogStats> {
+        self.stats.as_ref()
     }
 
     /// The rule plans, in `Idb::rules()` order.
@@ -338,7 +433,23 @@ impl ProgramPlan {
 /// variables once per occurrence). If literals remain but none can ever
 /// be scheduled, the plan ends in [`Step::Unsafe`] naming the first
 /// pending literal.
-pub(crate) fn compile_steps(compiled: &CompiledRule, mut bound: Vec<bool>) -> Vec<Step> {
+///
+/// Two refinements over the plain replay:
+///
+/// * With `stats`, positive database literals are ordered by
+///   [`est_rows`] (smallest predicted output first, source order on
+///   ties) instead of fewest unbound arguments — the selectivity-ordered
+///   join schedule. Built-ins and ground negations still run as early as
+///   they become evaluable; they only filter.
+/// * With `first`, the positive literal at that body position is scanned
+///   before anything else (the semi-naive delta occurrence: its
+///   extension is last round's delta, the smallest input there is).
+pub(crate) fn compile_steps_opt(
+    compiled: &CompiledRule,
+    mut bound: Vec<bool>,
+    stats: Option<&CatalogStats>,
+    first: Option<usize>,
+) -> Vec<Step> {
     let body = &compiled.body;
     let src = &compiled.source.body;
     let mut done = vec![false; body.len()];
@@ -352,34 +463,56 @@ pub(crate) fn compile_steps(compiled: &CompiledRule, mut bound: Vec<bool>) -> Ve
     loop {
         let mut choice: Option<usize> = None;
         let mut best_unbound = usize::MAX;
-        for (i, lit) in body.iter().enumerate() {
-            if done[i] {
-                continue;
+        let mut best_cost = usize::MAX;
+        if let Some(f) = first {
+            if !done[f] && body.get(f).is_some_and(|l| l.positive) && !src[f].is_builtin() {
+                choice = Some(f);
             }
-            if src[i].is_builtin() {
-                if lit.atom.args.len() != 2 {
-                    continue; // malformed built-in: never evaluable
+        }
+        if choice.is_none() {
+            for (i, lit) in body.iter().enumerate() {
+                if done[i] {
+                    continue;
                 }
-                let lg = ground(&lit.atom.args[0], &bound);
-                let rg = ground(&lit.atom.args[1], &bound);
-                let evaluable = if lit.positive && lit.atom.pred.as_str() == "=" {
-                    lg || rg
-                } else {
-                    lg && rg
-                };
-                if evaluable {
+                if src[i].is_builtin() {
+                    if lit.atom.args.len() != 2 {
+                        continue; // malformed built-in: never evaluable
+                    }
+                    let lg = ground(&lit.atom.args[0], &bound);
+                    let rg = ground(&lit.atom.args[1], &bound);
+                    let evaluable = if lit.positive && lit.atom.pred.as_str() == "=" {
+                        lg || rg
+                    } else {
+                        lg && rg
+                    };
+                    if evaluable {
+                        choice = Some(i);
+                        break; // comparisons are cheap: do them first
+                    }
+                } else if lit.positive {
+                    match stats {
+                        Some(stats) => {
+                            let bound_cols =
+                                lit.atom.args.iter().filter(|t| ground(t, &bound)).count();
+                            let cost = est_rows(stats, &lit.atom.pred, bound_cols);
+                            if choice.is_none() || cost < best_cost {
+                                choice = Some(i);
+                                best_cost = cost;
+                            }
+                        }
+                        None => {
+                            let unbound =
+                                lit.atom.args.iter().filter(|t| !ground(t, &bound)).count();
+                            if choice.is_none() || unbound < best_unbound {
+                                choice = Some(i);
+                                best_unbound = unbound;
+                            }
+                        }
+                    }
+                } else if lit.atom.args.iter().all(|t| ground(t, &bound)) {
                     choice = Some(i);
-                    break; // comparisons are cheap: do them first
+                    break;
                 }
-            } else if lit.positive {
-                let unbound = lit.atom.args.iter().filter(|t| !ground(t, &bound)).count();
-                if choice.is_none() || unbound < best_unbound {
-                    choice = Some(i);
-                    best_unbound = unbound;
-                }
-            } else if lit.atom.args.iter().all(|t| ground(t, &bound)) {
-                choice = Some(i);
-                break;
             }
         }
         let Some(i) = choice else {
@@ -421,7 +554,7 @@ pub(crate) fn compile_steps(compiled: &CompiledRule, mut bound: Vec<bool>) -> Ve
                 });
             }
         } else if lit.positive {
-            let cols = lit
+            let cols: Vec<Col> = lit
                 .atom
                 .args
                 .iter()
@@ -433,11 +566,19 @@ pub(crate) fn compile_steps(compiled: &CompiledRule, mut bound: Vec<bool>) -> Ve
                     },
                 })
                 .collect();
+            let est = stats.map(|stats| {
+                let bound_cols = cols
+                    .iter()
+                    .filter(|c| matches!(c, Col::Const(_) | Col::Slot { probe: true, .. }))
+                    .count();
+                est_rows(stats, &lit.atom.pred, bound_cols)
+            });
             steps.push(Step::Scan {
                 occurrence: i,
                 pred: lit.atom.pred.clone(),
                 pred_id: lit.atom.pred_id,
                 cols,
+                est,
             });
             for t in &lit.atom.args {
                 if let IrTerm::Slot(s) = t {
@@ -578,12 +719,105 @@ mod tests {
         assert!(text.contains("full scan"));
     }
 
+    fn stats(cards: &[(&str, usize)]) -> CatalogStats {
+        CatalogStats::from_cards(cards.iter().map(|&(p, n)| (Sym::new(p), n)))
+    }
+
+    fn plan_with(src: &str, stats: &CatalogStats) -> RulePlan {
+        let mut i = Interner::new();
+        RulePlan::new_with_stats(&parse_rule(src).unwrap(), &mut i, Some(stats))
+    }
+
+    #[test]
+    fn stats_order_scans_smaller_relation_first() {
+        // Fewest-unbound ties (both literals have two unbound arguments),
+        // so the legacy planner keeps source order; the cost model starts
+        // from the much smaller relation instead.
+        let src = "ans(X, Z) :- big(X, Y), small(Y, Z).";
+        let legacy = plan(src);
+        assert!(matches!(legacy.steps[0], Step::Scan { occurrence: 0, .. }));
+        let p = plan_with(src, &stats(&[("big", 100_000), ("small", 4)]));
+        assert!(matches!(p.steps[0], Step::Scan { occurrence: 1, .. }));
+        // The big scan then probes on the Y that small bound.
+        match &p.steps[1] {
+            Step::Scan {
+                occurrence, cols, ..
+            } => {
+                assert_eq!(*occurrence, 0);
+                assert!(matches!(cols[1], Col::Slot { probe: true, .. }));
+            }
+            s => panic!("expected scan, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_ties_keep_source_order() {
+        let p = plan_with(
+            "ans(X, Z) :- a(X, Y), b(Y, Z).",
+            &stats(&[("a", 50), ("b", 50)]),
+        );
+        assert!(matches!(p.steps[0], Step::Scan { occurrence: 0, .. }));
+    }
+
+    #[test]
+    fn est_rows_discounts_by_bound_columns() {
+        let s = stats(&[("edge", 1024)]);
+        assert_eq!(est_rows(&s, &Sym::new("edge"), 0), 1024);
+        assert_eq!(est_rows(&s, &Sym::new("edge"), 1), 256);
+        assert_eq!(est_rows(&s, &Sym::new("edge"), 2), 64);
+        // Derived predicates default to the total stored size (floored).
+        assert_eq!(est_rows(&s, &Sym::new("derived"), 0), 1024);
+        assert_eq!(est_rows(&stats(&[]), &Sym::new("derived"), 0), 16);
+        // Never below one row.
+        assert_eq!(est_rows(&s, &Sym::new("edge"), 31), 1);
+    }
+
+    #[test]
+    fn explain_renders_composite_probe_and_estimates() {
+        let p = plan_with(
+            "ans(X) :- big(X, Y), small(X, Y, v).",
+            &stats(&[("big", 4096), ("small", 64)]),
+        );
+        assert_eq!(
+            p.explain(),
+            "plan ans(X) :- big(X, Y), small(X, Y, v).\n\
+             \x20 1. scan small(X, Y, v)  probe on v [est 16 rows]  (writes X, Y)\n\
+             \x20 2. scan big(X, Y)  composite probe on X, Y [est 256 rows]  (reads X, Y)\n"
+        );
+    }
+
+    #[test]
+    fn stats_less_explain_is_unchanged() {
+        let p = plan("ans(X) :- enroll(X, databases).");
+        assert_eq!(
+            p.explain(),
+            "plan ans(X) :- enroll(X, databases).\n\
+             \x20 1. scan enroll(X, databases)  probe on databases  (writes X)\n"
+        );
+    }
+
+    #[test]
+    fn delta_variant_forces_occurrence_first() {
+        // Source order and cost both favor scanning `seed` first, but the
+        // delta variant must scan the delta occurrence (the recursive
+        // literal) outermost.
+        let mut i = Interner::new();
+        let r = parse_rule("path(X, Z) :- seed(X), path(X, Y), edge(Y, Z).").unwrap();
+        let s = stats(&[("seed", 1), ("edge", 10_000)]);
+        let base = RulePlan::new_with_stats(&r, &mut i, Some(&s));
+        assert!(matches!(base.steps[0], Step::Scan { occurrence: 0, .. }));
+        let dv = base.delta_variant(1, Some(&s));
+        assert!(matches!(dv.steps[0], Step::Scan { occurrence: 1, .. }));
+        // The remaining literals still schedule; same step count.
+        assert_eq!(dv.steps.len(), base.steps.len());
+    }
+
     #[test]
     fn adorned_plan_probes_prebound_head_slot() {
         let mut i = Interner::new();
         let r = parse_rule("p(X, Y) :- edge(X, Y).").unwrap();
         let compiled = CompiledRule::compile(&r, &mut i);
-        let p = RulePlan::with_bound(compiled, r.to_string(), vec![true, false]);
+        let p = RulePlan::with_bound(compiled, r.to_string(), vec![true, false], None);
         match &p.steps[0] {
             Step::Scan { cols, .. } => {
                 assert!(matches!(cols[0], Col::Slot { probe: true, .. }));

@@ -172,7 +172,7 @@ pub fn retrieve_with(
     strategy: Strategy,
     opts: EvalOptions,
 ) -> Result<DataAnswer> {
-    let plan = ProgramPlan::compile(idb);
+    let plan = ProgramPlan::compile_with_stats(idb, edb.stats());
     retrieve_compiled(edb, idb, &plan, query, strategy, opts)
 }
 
@@ -305,7 +305,8 @@ fn solve_projected(
     columns: &[Var],
 ) -> Result<DataAnswer> {
     let dummy = Rule::with_literals(Atom::new("_goal", vec![]), goals.to_vec());
-    let plan = RulePlan::for_query(goals, dummy.to_string(), &mut Interner::new());
+    let stats = edb.stats();
+    let plan = RulePlan::for_query(goals, dummy.to_string(), &mut Interner::new(), Some(&stats));
     let view = FactView::total(edb, derived);
     let slots: Vec<Option<u32>> = columns.iter().map(|v| plan.compiled.slot_of(v)).collect();
     let mut frame = Frame::new(plan.compiled.num_slots());

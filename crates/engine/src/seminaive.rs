@@ -28,10 +28,12 @@ pub fn eval(edb: &Edb, idb: &Idb) -> Result<DerivedFacts> {
     eval_with(edb, idb, EvalOptions::default())
 }
 
-/// [`eval`] with options. Compiles the program first; callers evaluating
-/// the same IDB repeatedly should compile once and use [`eval_compiled`].
+/// [`eval`] with options. Compiles the program first — against the EDB's
+/// cardinality snapshot, so literal order follows the cost model; callers
+/// evaluating the same IDB repeatedly should compile once and use
+/// [`eval_compiled`].
 pub fn eval_with(edb: &Edb, idb: &Idb, opts: EvalOptions) -> Result<DerivedFacts> {
-    let plan = ProgramPlan::compile(idb);
+    let plan = ProgramPlan::compile_with_stats(idb, edb.stats());
     eval_compiled(edb, idb, &plan, None, opts)
 }
 
@@ -42,7 +44,7 @@ pub fn eval_restricted(
     relevant: &[Sym],
     opts: EvalOptions,
 ) -> Result<DerivedFacts> {
-    let plan = ProgramPlan::compile(idb);
+    let plan = ProgramPlan::compile_with_stats(idb, edb.stats());
     eval_compiled(edb, idb, &plan, Some(relevant), opts)
 }
 
@@ -64,6 +66,11 @@ pub fn eval_compiled(
         edb.access_stats()
     } else {
         (0, 0)
+    };
+    let composite0 = if obs.enabled() {
+        edb.composite_probes()
+    } else {
+        0
     };
     for (si, stratum) in strat.strata().iter().enumerate() {
         let rules: Vec<&RulePlan> = plan
@@ -94,6 +101,21 @@ pub fn eval_compiled(
                             && stratum.contains(&lit.atom.pred)
                     })
                     .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+
+        // Delta-first plan variants, one per (rule, recursive occurrence):
+        // the delta is the smallest input by construction, so the variant
+        // re-plans the body with that occurrence as the outermost scan —
+        // every firing is then bounded by the delta size, and the scan is
+        // always eligible for order-preserving chunked parallelism.
+        let delta_plans: Vec<Vec<RulePlan>> = rules
+            .iter()
+            .zip(&recursive_occurrences)
+            .map(|(rp, occs)| {
+                occs.iter()
+                    .map(|&i| rp.delta_variant(i, plan.stats()))
                     .collect()
             })
             .collect();
@@ -134,28 +156,30 @@ pub fn eval_compiled(
         while !delta.is_empty() {
             let _iter_span = obs.span("iteration", round);
             let mut tasks: Vec<RuleTask<'_>> = Vec::new();
-            for (rp, occurrences) in rules.iter().zip(&recursive_occurrences) {
+            for (r, (rp, occurrences)) in rules.iter().zip(&recursive_occurrences).enumerate() {
                 // For each body occurrence of a predicate in this stratum
-                // with new facts, fire with that occurrence reading the
-                // delta window — split across workers when the scan is
-                // large and outermost (so chunk concatenation preserves
-                // scan order).
-                for &i in occurrences {
+                // with new facts, fire the delta-first variant with that
+                // occurrence reading the delta window — split across
+                // workers when the scan is large (the variant's delta
+                // occurrence is always the outermost scan, so chunk
+                // concatenation preserves scan order).
+                for (j, &i) in occurrences.iter().enumerate() {
                     let Some(&(start, end)) = delta.get(&rp.compiled.body[i].atom.pred) else {
                         continue; // no new facts for this occurrence
                     };
+                    let dp = &delta_plans[r][j];
                     let len = end - start;
-                    if len >= DELTA_CHUNK_MIN && !pool.is_sequential() && outermost_scan(rp, i) {
+                    if len >= DELTA_CHUNK_MIN && !pool.is_sequential() && outermost_scan(dp, i) {
                         for (k, (lo, hi)) in pool.chunk_ranges(len).into_iter().enumerate() {
                             tasks.push(RuleTask::delta_chunk(
-                                rp,
+                                dp,
                                 i,
                                 (start + lo, start + hi),
                                 k == 0,
                             ));
                         }
                     } else {
-                        tasks.push(RuleTask::delta(rp, i));
+                        tasks.push(RuleTask::delta(dp, i));
                     }
                 }
             }
@@ -185,6 +209,11 @@ pub fn eval_compiled(
         });
         obs.counter("index_probes", p.saturating_sub(probes0.0) + dp);
         obs.counter("full_scans", s.saturating_sub(probes0.1) + ds);
+        let dc: u64 = derived.iter().map(|(_, r)| r.composite_probes()).sum();
+        obs.counter(
+            "composite_probes",
+            edb.composite_probes().saturating_sub(composite0) + dc,
+        );
     }
     Ok(derived)
 }

@@ -84,7 +84,12 @@ impl<'a> Solver<'a> {
 
     /// Creates a solver with evaluation options, compiling the program.
     pub fn with_options(edb: &'a Edb, idb: &'a Idb, opts: EvalOptions) -> Self {
-        Solver::build(edb, idb, PlanRef::Owned(ProgramPlan::compile(idb)), opts)
+        Solver::build(
+            edb,
+            idb,
+            PlanRef::Owned(ProgramPlan::compile_with_stats(idb, edb.stats())),
+            opts,
+        )
     }
 
     /// Creates a solver over an already compiled program. `plan` must be
@@ -141,7 +146,12 @@ impl<'a> Solver<'a> {
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join(", ");
-        let qplan = RulePlan::for_query(goals, rule_str, &mut Interner::new());
+        let qplan = RulePlan::for_query(
+            goals,
+            rule_str,
+            &mut Interner::new(),
+            self.program.get().stats(),
+        );
         let mut frame = Frame::new(qplan.compiled.num_slots());
         let mut out = Vec::new();
         self.exec_plan(&qplan, 0, &mut frame, &mut |f| {
@@ -503,6 +513,7 @@ impl<'a> Solver<'a> {
                         rp.compiled.clone(),
                         rp.rule_str.clone(),
                         key.1.clone(),
+                        self.program.get().stats(),
                     ));
                     self.call_plans.insert(key, Rc::clone(&p));
                     p

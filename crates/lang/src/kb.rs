@@ -31,14 +31,17 @@ impl PlanCache {
         }
     }
 
-    /// The cached plan, compiling `idb` if the cache is empty. The flag
-    /// reports whether this call was a cache hit (for observability).
-    fn get_or_compile(&self, idb: &Idb) -> (Arc<ProgramPlan>, bool) {
+    /// The cached plan, compiling `idb` against a fresh cardinality
+    /// snapshot of `edb` if the cache is empty. The flag reports whether
+    /// this call was a cache hit (for observability). Mutations
+    /// invalidate the cache, so the snapshot a cached plan carries is
+    /// never staler than the data it plans over.
+    fn get_or_compile(&self, idb: &Idb, edb: &Edb) -> (Arc<ProgramPlan>, bool) {
         let mut slot = self.slot();
         match &*slot {
             Some(p) => (Arc::clone(p), true),
             None => {
-                let p = Arc::new(ProgramPlan::compile(idb));
+                let p = Arc::new(ProgramPlan::compile_with_stats(idb, edb.stats()));
                 *slot = Some(Arc::clone(&p));
                 (p, false)
             }
@@ -298,7 +301,7 @@ impl KnowledgeBase {
         let obs = eval.sink.clone();
         let plan = {
             let _span = obs.span("plan", 0);
-            let (plan, hit) = self.plan.get_or_compile(&self.idb);
+            let (plan, hit) = self.plan.get_or_compile(&self.idb, &self.edb);
             if obs.enabled() {
                 let name = if hit {
                     "plan_cache_hit"

@@ -45,6 +45,45 @@ impl fmt::Display for Schema {
     }
 }
 
+/// A cardinality snapshot of the stored relations, taken at plan-compile
+/// time so the engine's cost model can order joins by estimated
+/// selectivity without touching live relations during execution.
+///
+/// Kept in a `BTreeMap` so iteration (and therefore anything derived from
+/// it, like explain output) is deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CatalogStats {
+    cards: BTreeMap<Sym, usize>,
+    total: usize,
+}
+
+impl CatalogStats {
+    /// Builds a snapshot from `(predicate, cardinality)` pairs.
+    pub fn from_cards(cards: impl IntoIterator<Item = (Sym, usize)>) -> Self {
+        let cards: BTreeMap<Sym, usize> = cards.into_iter().collect();
+        let total = cards.values().sum();
+        CatalogStats { cards, total }
+    }
+
+    /// The stored cardinality of a predicate, or `None` if it is not a
+    /// stored (EDB) predicate.
+    pub fn cardinality(&self, pred: &str) -> Option<usize> {
+        self.cards.get(pred).copied()
+    }
+
+    /// Total stored facts across all relations (the cost model's default
+    /// estimate for derived predicates, whose sizes are unknown before
+    /// the fixpoint runs).
+    pub fn total_facts(&self) -> usize {
+        self.total
+    }
+
+    /// True if the snapshot covers no predicates.
+    pub fn is_empty(&self) -> bool {
+        self.cards.is_empty()
+    }
+}
+
 /// The set of declared EDB predicates.
 #[derive(Clone, Debug, Default)]
 pub struct Catalog {

@@ -130,6 +130,27 @@ impl Edb {
         })
     }
 
+    /// Total probes answered by composite indexes across all relations
+    /// (the engine reports deltas of this as the `composite_probes`
+    /// observability counter).
+    pub fn composite_probes(&self) -> u64 {
+        self.relations
+            .values()
+            .map(Relation::composite_probes)
+            .sum()
+    }
+
+    /// A cardinality snapshot of the stored relations for the engine's
+    /// cost model (one `len()` per relation; cheap enough to retake at
+    /// every plan-cache fill).
+    pub fn stats(&self) -> crate::catalog::CatalogStats {
+        crate::catalog::CatalogStats::from_cards(
+            self.relations
+                .iter()
+                .map(|(name, r)| (name.clone(), r.len())),
+        )
+    }
+
     /// Extends `subst` in all ways that make `atom` true against the stored
     /// facts, appending each extension to `out`.
     ///

@@ -27,10 +27,10 @@ mod error;
 mod relation;
 mod tuple;
 
-pub use catalog::{Catalog, Schema};
+pub use catalog::{Catalog, CatalogStats, Schema};
 pub use database::Edb;
 pub use error::{Result, StorageError};
-pub use relation::Relation;
+pub use relation::{CompositeIndex, DeltaView, Relation};
 pub use tuple::Tuple;
 
 /// A stored value. Facts store the same constants that appear in terms.

@@ -3,9 +3,174 @@
 use crate::error::{Result, StorageError};
 use crate::tuple::Tuple;
 use crate::Value;
-use qdk_logic::fasthash::FxHashMap;
+use qdk_logic::fasthash::{FxHashMap, FxHasher};
 use qdk_logic::Sym;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Hashes a projected key column-by-column so owned (`&[Value]`) and
+/// borrowed (`&[&Value]`) keys land in the same bucket. The column count is
+/// fixed per index, so no length prefix is needed.
+fn hash_key<'a>(vals: impl Iterator<Item = &'a Value>) -> u64 {
+    let mut h = FxHasher::default();
+    for v in vals {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// A demand-built hash index over a fixed set of columns (ascending,
+/// distinct), mapping each combination of values in those columns to the
+/// ascending row ids that carry it.
+///
+/// Composite indexes answer multi-bound probes in one hash lookup instead
+/// of probing one column and filtering the rest tuple-by-tuple. They are
+/// owned by their [`Relation`] (which keeps them consistent through
+/// [`insert`](Relation::insert) / [`remove`](Relation::remove) /
+/// [`clear`](Relation::clear)) and handed to callers as `Arc` snapshots so
+/// the per-frame probe path takes no lock. Buckets are keyed by the hash
+/// of the projected values and disambiguated by equality, which lets
+/// [`probe`](CompositeIndex::probe) accept borrowed values without cloning.
+///
+/// Row ids within a bucket are ascending (the build walks tuples in id
+/// order and maintenance appends fresh ids), so windowed delta probes can
+/// clip a bucket with a binary search and fact-id-ordered merges stay
+/// byte-identical to single-column execution.
+#[derive(Debug)]
+pub struct CompositeIndex {
+    cols: Vec<usize>,
+    buckets: FxHashMap<u64, Bucket>,
+    probes: AtomicU64,
+}
+
+/// One hash bucket: the projected keys that hashed here, each with its
+/// ascending row ids.
+type Bucket = Vec<(Vec<Value>, Vec<u32>)>;
+
+impl Clone for CompositeIndex {
+    fn clone(&self) -> Self {
+        CompositeIndex {
+            cols: self.cols.clone(),
+            buckets: self.buckets.clone(),
+            probes: AtomicU64::new(self.probes.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl CompositeIndex {
+    fn build(cols: Vec<usize>, tuples: &[Tuple]) -> Self {
+        let mut ix = CompositeIndex {
+            cols,
+            buckets: FxHashMap::default(),
+            probes: AtomicU64::new(0),
+        };
+        for (id, t) in tuples.iter().enumerate() {
+            ix.add(id as u32, t);
+        }
+        ix
+    }
+
+    /// Registers a freshly inserted tuple under its projected key. `id`
+    /// must be larger than every id already present (append-only), which
+    /// keeps bucket ids ascending.
+    fn add(&mut self, id: u32, t: &Tuple) {
+        let vals = t.values();
+        let h = hash_key(self.cols.iter().map(|&c| &vals[c]));
+        let bucket = self.buckets.entry(h).or_default();
+        match bucket
+            .iter_mut()
+            .find(|(k, _)| k.iter().zip(&self.cols).all(|(kv, &c)| kv == &vals[c]))
+        {
+            Some((_, ids)) => ids.push(id),
+            None => {
+                let key = self.cols.iter().map(|&c| vals[c].clone()).collect();
+                bucket.push((key, vec![id]));
+            }
+        }
+    }
+
+    /// The (ascending, distinct) column positions this index covers.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Borrowed-key probe: the ascending row ids whose projection onto
+    /// [`cols`](CompositeIndex::cols) equals `key` (one value per column,
+    /// in column order). Returns an empty slice when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `key.len()` differs from the column count.
+    pub fn probe(&self, key: &[&Value]) -> &[u32] {
+        debug_assert_eq!(key.len(), self.cols.len(), "composite key arity");
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        let h = hash_key(key.iter().copied());
+        self.buckets
+            .get(&h)
+            .and_then(|bucket| {
+                bucket
+                    .iter()
+                    .find(|(k, _)| k.iter().zip(key).all(|(kv, &pv)| kv == pv))
+            })
+            .map(|(_, ids)| ids.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// How many probes this index has answered since it was built (or
+    /// since the owning relation's last [`clear`](Relation::clear)).
+    pub fn probe_count(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+}
+
+/// A read view of the suffix of a relation inserted by the last fixpoint
+/// iteration: row ids in `start..end`.
+///
+/// Semi-naive delta joins probe this view instead of re-selecting from the
+/// full relation and filtering by fact-id range — index buckets hold
+/// ascending ids, so the view clips a probe result with two binary
+/// searches rather than a linear filter.
+#[derive(Clone, Copy, Debug)]
+pub struct DeltaView<'a> {
+    rel: &'a Relation,
+    start: u32,
+    end: u32,
+}
+
+impl<'a> DeltaView<'a> {
+    /// Number of rows in the window.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// True if the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &'a Relation {
+        self.rel
+    }
+
+    /// Clips an ascending id slice to the window.
+    pub fn clip(&self, ids: &'a [u32]) -> &'a [u32] {
+        let lo = ids.partition_point(|&id| id < self.start);
+        let hi = ids.partition_point(|&id| id < self.end);
+        &ids[lo..hi]
+    }
+
+    /// Iterates the window's tuples in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a Tuple> {
+        self.rel.tuples[self.start as usize..self.end as usize].iter()
+    }
+
+    /// Single-column probe restricted to the window.
+    pub fn probe(&self, col: usize, v: &Value) -> &'a [u32] {
+        self.clip(self.rel.probe(col, v))
+    }
+}
 
 /// A deduplicated, insertion-ordered set of tuples with a hash index on
 /// every column.
@@ -30,22 +195,41 @@ pub struct Relation {
     present: FxHashMap<Tuple, u32>,
     /// `indexes[c][v]` = row ids whose column `c` equals `v`.
     indexes: Vec<FxHashMap<Value, Vec<u32>>>,
+    /// Demand-built composite indexes (at most one per column set). Behind
+    /// a mutex so [`composite`](Relation::composite) can build under
+    /// `&self`; the lock is taken once per plan firing, never per frame —
+    /// callers probe through the returned `Arc`.
+    composites: Mutex<Vec<Arc<CompositeIndex>>>,
     probes: AtomicU64,
     scans: AtomicU64,
 }
 
 impl Clone for Relation {
     fn clone(&self) -> Self {
+        let composites = lock_composites(&self.composites)
+            .iter()
+            .map(|ix| Arc::new(CompositeIndex::clone(ix)))
+            .collect();
         Relation {
             name: self.name.clone(),
             arity: self.arity,
             tuples: self.tuples.clone(),
             present: self.present.clone(),
             indexes: self.indexes.clone(),
+            composites: Mutex::new(composites),
             probes: AtomicU64::new(self.probes.load(Ordering::Relaxed)),
             scans: AtomicU64::new(self.scans.load(Ordering::Relaxed)),
         }
     }
+}
+
+/// Locks the composite-index list, recovering from poison (the guarded
+/// operations don't panic mid-update, so a poisoned lock is still
+/// consistent).
+fn lock_composites(
+    m: &Mutex<Vec<Arc<CompositeIndex>>>,
+) -> MutexGuard<'_, Vec<Arc<CompositeIndex>>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl Relation {
@@ -57,6 +241,7 @@ impl Relation {
             tuples: Vec::new(),
             present: FxHashMap::default(),
             indexes: vec![FxHashMap::default(); arity],
+            composites: Mutex::new(Vec::new()),
             probes: AtomicU64::new(0),
             scans: AtomicU64::new(0),
         }
@@ -115,14 +300,36 @@ impl Relation {
         for (c, v) in t.values().iter().enumerate() {
             self.indexes[c].entry(v.clone()).or_default().push(id);
         }
+        for ix in self.composites_mut() {
+            Arc::make_mut(ix).add(id, &t);
+        }
         self.present.insert(t.clone(), id);
         self.tuples.push(t);
         Ok(true)
     }
 
+    /// Mutable access to the composite list without locking (`&mut self`
+    /// proves exclusivity); recovers from poison like
+    /// [`lock_composites`].
+    fn composites_mut(&mut self) -> &mut Vec<Arc<CompositeIndex>> {
+        match self.composites.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+
     /// True if the tuple is stored.
     pub fn contains(&self, t: &Tuple) -> bool {
         self.present.contains_key(t)
+    }
+
+    /// True if a tuple with exactly these values is stored, without
+    /// allocating a [`Tuple`] for the lookup. This is the fixpoint
+    /// loops' dedup check: most candidate rows a naive iteration derives
+    /// are already known, and this lets them be rejected straight from
+    /// the executor's row buffer.
+    pub fn contains_slice(&self, values: &[Value]) -> bool {
+        self.present.contains_key(values)
     }
 
     /// Iterates over all tuples in insertion order.
@@ -252,18 +459,136 @@ impl Relation {
                     .push(row as u32);
             }
         }
+        // Removal renumbers row ids, so composites rebuild like the
+        // single-column indexes; probe counters carry over (they meter
+        // access paths, not contents).
+        let composites = match self.composites.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        };
+        for ix in composites.iter_mut() {
+            let mut fresh = CompositeIndex::build(ix.cols().to_vec(), &self.tuples);
+            fresh.probes = AtomicU64::new(ix.probe_count());
+            *ix = Arc::new(fresh);
+        }
         true
     }
 
-    /// Removes all tuples and resets the probe/scan counters.
+    /// Removes all tuples and resets the probe/scan counters. Composite
+    /// index *definitions* persist (they rebuild as new tuples arrive);
+    /// their contents and probe counters reset with everything else.
     pub fn clear(&mut self) {
         self.tuples.clear();
         self.present.clear();
         for ix in &mut self.indexes {
             ix.clear();
         }
+        for ix in self.composites_mut() {
+            *ix = Arc::new(CompositeIndex {
+                cols: ix.cols().to_vec(),
+                buckets: FxHashMap::default(),
+                probes: AtomicU64::new(0),
+            });
+        }
         self.probes.store(0, Ordering::Relaxed);
         self.scans.store(0, Ordering::Relaxed);
+    }
+
+    /// The composite index over `cols`, built on first demand and kept
+    /// consistent by subsequent mutations. Returns `None` unless `cols`
+    /// has at least two positions, strictly ascending, all within the
+    /// relation's arity (callers sort their bound columns; a one-column
+    /// request should use [`probe`](Relation::probe)).
+    ///
+    /// The returned `Arc` is a live handle, not a snapshot: probing it
+    /// takes no lock, and probes through it are visible to
+    /// [`composite_probes`](Relation::composite_probes) as long as the
+    /// relation is not mutated afterwards.
+    pub fn composite(&self, cols: &[usize]) -> Option<Arc<CompositeIndex>> {
+        if cols.len() < 2
+            || cols.windows(2).any(|w| w[0] >= w[1])
+            || cols.last().is_none_or(|&c| c >= self.arity)
+        {
+            return None;
+        }
+        let mut guard = lock_composites(&self.composites);
+        if let Some(ix) = guard.iter().find(|ix| ix.cols() == cols) {
+            return Some(Arc::clone(ix));
+        }
+        let ix = Arc::new(CompositeIndex::build(cols.to_vec(), &self.tuples));
+        guard.push(Arc::clone(&ix));
+        Some(ix)
+    }
+
+    /// Borrowed-key multi-column probe: the row ids matching every
+    /// `(column, value)` pair. One hash lookup against the matching
+    /// composite index (demand-built on first use) instead of probing one
+    /// column and filtering the rest.
+    ///
+    /// Degenerate patterns stay total: an empty pattern is a metered full
+    /// scan returning every id, a single pair delegates to
+    /// [`probe`](Relation::probe), duplicate columns collapse (equal
+    /// values) or return no rows (conflicting values), and an
+    /// out-of-range column matches nothing.
+    pub fn probe_cols(&self, pattern: &[(usize, &Value)]) -> Vec<u32> {
+        let mut sorted = pattern.to_vec();
+        sorted.sort_by_key(|&(c, _)| c);
+        let mut dedup: Vec<(usize, &Value)> = Vec::with_capacity(sorted.len());
+        for (c, v) in sorted {
+            match dedup.last() {
+                Some(&(pc, pv)) if pc == c => {
+                    if pv != v {
+                        return Vec::new();
+                    }
+                }
+                _ => dedup.push((c, v)),
+            }
+        }
+        match dedup.as_slice() {
+            [] => {
+                self.scans.fetch_add(1, Ordering::Relaxed);
+                (0..self.tuples.len() as u32).collect()
+            }
+            [(c, v)] => self.probe(*c, v).to_vec(),
+            _ => {
+                if dedup.last().is_some_and(|&(c, _)| c >= self.arity) {
+                    return Vec::new();
+                }
+                let cols: Vec<usize> = dedup.iter().map(|&(c, _)| c).collect();
+                let key: Vec<&Value> = dedup.iter().map(|&(_, v)| v).collect();
+                match self.composite(&cols) {
+                    Some(ix) => ix.probe(&key).to_vec(),
+                    None => Vec::new(),
+                }
+            }
+        }
+    }
+
+    /// Total probes answered by this relation's composite indexes since
+    /// creation or the last [`clear`](Relation::clear).
+    pub fn composite_probes(&self) -> u64 {
+        lock_composites(&self.composites)
+            .iter()
+            .map(|ix| ix.probe_count())
+            .sum()
+    }
+
+    /// How many composite indexes have been demand-built on this relation.
+    pub fn composite_count(&self) -> usize {
+        lock_composites(&self.composites).len()
+    }
+
+    /// A [`DeltaView`] over row ids `start..end` (clamped to the stored
+    /// range), i.e. the tuples a fixpoint iteration appended.
+    pub fn delta(&self, start: usize, end: usize) -> DeltaView<'_> {
+        let n = self.tuples.len();
+        let end = end.min(n) as u32;
+        let start = (start.min(n) as u32).min(end);
+        DeltaView {
+            rel: self,
+            start,
+            end,
+        }
     }
 }
 
@@ -463,6 +788,105 @@ mod tests {
         r.clear();
         assert_eq!(r.index_probes(), 0);
         assert_eq!(r.full_scans(), 0);
+    }
+
+    #[test]
+    fn composite_probe_matches_scan() {
+        let r = sample();
+        let ann = Value::sym("ann");
+        let db = Value::sym("databases");
+        let ix = r.composite(&[0, 1]).unwrap();
+        assert_eq!(ix.cols(), &[0, 1]);
+        let ids = ix.probe(&[&ann, &db]);
+        assert_eq!(ids, &[0]);
+        // Ids come back ascending and point at the right tuples.
+        let all_ann: Vec<u32> = r.probe_cols(&[(0, &ann)]);
+        assert_eq!(all_ann, vec![0, 2]);
+        assert_eq!(r.probe_cols(&[(1, &db), (0, &ann)]), vec![0]);
+        assert!(ix.probe(&[&Value::sym("zoe"), &db]).is_empty());
+        // Numeric cross-kind equality holds for composite keys too.
+        let ix2 = r.composite(&[0, 2]).unwrap();
+        assert_eq!(ix2.probe(&[&ann, &Value::Int(4)]), &[0]);
+        // Same column set returns the same index, not a rebuild.
+        assert_eq!(r.composite_count(), 2);
+        r.composite(&[0, 1]).unwrap();
+        assert_eq!(r.composite_count(), 2);
+    }
+
+    #[test]
+    fn composite_rejects_invalid_column_sets() {
+        let r = sample();
+        assert!(r.composite(&[0]).is_none());
+        assert!(r.composite(&[1, 0]).is_none());
+        assert!(r.composite(&[0, 0]).is_none());
+        assert!(r.composite(&[1, 3]).is_none());
+    }
+
+    #[test]
+    fn probe_cols_degenerate_patterns() {
+        let r = sample();
+        let ann = Value::sym("ann");
+        assert_eq!(r.probe_cols(&[]), vec![0, 1, 2]);
+        assert_eq!(r.full_scans(), 1);
+        assert_eq!(r.probe_cols(&[(0, &ann), (0, &ann)]), vec![0, 2]);
+        assert!(r
+            .probe_cols(&[(0, &ann), (0, &Value::sym("bob"))])
+            .is_empty());
+        assert!(r.probe_cols(&[(0, &ann), (7, &ann)]).is_empty());
+    }
+
+    #[test]
+    fn composite_maintained_through_mutation() {
+        let mut r = sample();
+        let ann = Value::sym("ann");
+        let db = Value::sym("databases");
+        let ix = r.composite(&[0, 1]).unwrap();
+        assert_eq!(ix.probe(&[&ann, &db]), &[0]);
+        // Insert lands in the live index list (the old Arc may be a
+        // snapshot; re-fetch sees the new row).
+        r.insert(Tuple::new(vec![ann.clone(), db.clone(), Value::Num(2.0)]))
+            .unwrap();
+        let ix = r.composite(&[0, 1]).unwrap();
+        assert_eq!(ix.probe(&[&ann, &db]), &[0, 3]);
+        // Remove rebuilds with renumbered ids and carries the counter.
+        let probes_before = r.composite_probes();
+        assert!(r.remove(&Tuple::new(vec![ann.clone(), db.clone(), Value::Num(4.0),])));
+        assert_eq!(r.composite_probes(), probes_before);
+        let ix = r.composite(&[0, 1]).unwrap();
+        assert_eq!(ix.probe(&[&ann, &db]), &[2]);
+        // Clear keeps the definition, drops contents, resets counters.
+        r.clear();
+        assert_eq!(r.composite_count(), 1);
+        assert_eq!(r.composite_probes(), 0);
+        let ix = r.composite(&[0, 1]).unwrap();
+        assert!(ix.probe(&[&ann, &db]).is_empty());
+        r.insert(Tuple::new(vec![ann.clone(), db.clone(), Value::Num(3.0)]))
+            .unwrap();
+        let ix = r.composite(&[0, 1]).unwrap();
+        assert_eq!(ix.probe(&[&ann, &db]), &[0]);
+    }
+
+    #[test]
+    fn delta_view_clips_probes_and_iterates_window() {
+        let mut r = Relation::new("edge", 2);
+        for i in 0..6 {
+            r.insert(Tuple::new(vec![Value::sym("a"), Value::Int(i)]))
+                .unwrap();
+        }
+        let d = r.delta(2, 5);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(
+            d.iter()
+                .map(|t| t.get(1).unwrap().clone())
+                .collect::<Vec<_>>(),
+            vec![Value::Int(2), Value::Int(3), Value::Int(4)]
+        );
+        assert_eq!(d.probe(0, &Value::sym("a")), &[2, 3, 4]);
+        assert!(d.probe(0, &Value::sym("b")).is_empty());
+        // Out-of-range windows clamp.
+        assert_eq!(r.delta(4, 99).len(), 2);
+        assert!(r.delta(9, 12).is_empty());
     }
 
     #[test]

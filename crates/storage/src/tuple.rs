@@ -46,6 +46,16 @@ impl fmt::Display for Tuple {
     }
 }
 
+/// Lets hash containers keyed by `Tuple` answer lookups for a bare value
+/// slice without constructing a tuple first (the fixpoint loops' dedup
+/// check). Sound because the derived `Hash`/`Eq` delegate to the inner
+/// `[Value]` slice.
+impl std::borrow::Borrow<[Value]> for Tuple {
+    fn borrow(&self) -> &[Value] {
+        &self.0
+    }
+}
+
 impl From<Vec<Value>> for Tuple {
     fn from(values: Vec<Value>) -> Self {
         Tuple::new(values)
@@ -82,6 +92,21 @@ mod tests {
     fn display() {
         let t = Tuple::new(vec![Value::sym("ann"), Value::Num(4.0), Value::Int(3)]);
         assert_eq!(t.to_string(), "(ann, 4.0, 3)");
+    }
+
+    #[test]
+    fn borrowed_slice_lookup_matches_tuple_lookup() {
+        use std::collections::HashMap;
+        let mut m: HashMap<Tuple, u32> = HashMap::new();
+        m.insert(Tuple::new(vec![Value::sym("ann"), Value::Int(4)]), 7);
+        let hit: &[Value] = &[Value::sym("ann"), Value::Int(4)];
+        let cross: &[Value] = &[Value::sym("ann"), Value::Num(4.0)];
+        let miss: &[Value] = &[Value::sym("bob"), Value::Int(4)];
+        assert_eq!(m.get(hit), Some(&7));
+        // Int/Num cross-equality must survive the borrowed lookup, which
+        // requires Value's Hash to agree with it.
+        assert_eq!(m.get(cross), Some(&7));
+        assert_eq!(m.get(miss), None);
     }
 
     #[test]

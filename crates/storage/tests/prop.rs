@@ -1,0 +1,187 @@
+//! Property tests pinning the index structures to the one thing they must
+//! never get wrong: a probe answers exactly what a full scan answers.
+//!
+//! A random interleaving of `insert` / `remove` / `clear` exercises every
+//! maintenance path (append to live indexes, rebuild after id renumbering,
+//! definition-preserving reset), then single-column probes, composite
+//! probes, and `probe_cols` are each checked against a filtered scan of
+//! the same relation. The access-path counters are checked for
+//! monotonicity along the way — they only move forward, except at
+//! `clear`, which documents a reset to zero.
+
+use proptest::prelude::*;
+use qdk_storage::{Relation, Tuple, Value};
+
+const ARITY: usize = 3;
+
+/// Values come from a deliberately tiny pool so removes hit, inserts
+/// collide, and index buckets hold several rows.
+fn v(n: i64) -> Value {
+    Value::Int(n)
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert([i64; ARITY]),
+    Remove([i64; ARITY]),
+    Clear,
+}
+
+fn arb_vals() -> impl Strategy<Value = [i64; ARITY]> {
+    (0i64..3, 0i64..3, 0i64..3).prop_map(|(a, b, c)| [a, b, c])
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => arb_vals().prop_map(Op::Insert),
+        2 => arb_vals().prop_map(Op::Remove),
+        1 => Just(Op::Clear),
+    ]
+}
+
+fn tuple(vals: &[i64; ARITY]) -> Tuple {
+    Tuple::new(vals.iter().map(|&n| v(n)).collect())
+}
+
+/// The reference answer: tuples matching every `(col, value)` equality,
+/// found by scanning everything.
+fn scan_filter(rel: &Relation, pattern: &[(usize, Value)]) -> Vec<Tuple> {
+    rel.iter()
+        .filter(|t| pattern.iter().all(|(c, pv)| t.get(*c) == Some(pv)))
+        .cloned()
+        .collect()
+}
+
+/// Resolves probe ids through `tuple_at`, preserving id order.
+fn resolve(rel: &Relation, ids: &[u32]) -> Vec<Tuple> {
+    ids.iter().map(|&id| rel.tuple_at(id).clone()).collect()
+}
+
+/// Counter snapshot used for the monotonicity checks. Reading these does
+/// not itself probe anything.
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct Counters {
+    probes: u64,
+    scans: u64,
+    composite: u64,
+}
+
+impl Counters {
+    fn of(rel: &Relation) -> Self {
+        Counters {
+            probes: rel.index_probes(),
+            scans: rel.full_scans(),
+            composite: rel.composite_probes(),
+        }
+    }
+
+    fn at_least(self, prev: Counters) -> bool {
+        self.probes >= prev.probes && self.scans >= prev.scans && self.composite >= prev.composite
+    }
+}
+
+/// Every probe path must agree with the scan on the relation's current
+/// contents, for every value in the pool (present or absent).
+fn check_probes_match_scan(rel: &Relation) -> Result<(), TestCaseError> {
+    // Single-column probes, all columns, all pool values (plus one value
+    // that never occurs, which must probe to the empty set).
+    for col in 0..ARITY {
+        for n in 0..4i64 {
+            let key = v(n);
+            let probed = resolve(rel, rel.probe(col, &key));
+            let scanned = scan_filter(rel, &[(col, key)]);
+            prop_assert_eq!(&probed, &scanned, "single-column probe col={} v={}", col, n);
+        }
+    }
+    // Composite probes over every ascending column pair and the full
+    // triple; `probe_cols` must agree with the direct composite handle.
+    let col_sets: [&[usize]; 4] = [&[0, 1], &[0, 2], &[1, 2], &[0, 1, 2]];
+    for cols in col_sets {
+        for a in 0..3i64 {
+            for b in 0..3i64 {
+                let vals: Vec<Value> = match cols.len() {
+                    2 => vec![v(a), v(b)],
+                    _ => vec![v(a), v(b), v((a + b) % 3)],
+                };
+                let pattern: Vec<(usize, Value)> =
+                    cols.iter().copied().zip(vals.iter().cloned()).collect();
+                let scanned = scan_filter(rel, &pattern);
+
+                let ix = rel.composite(cols).expect("valid composite column set");
+                let key: Vec<&Value> = vals.iter().collect();
+                let direct = resolve(rel, ix.probe(&key));
+                prop_assert_eq!(&direct, &scanned, "composite probe cols={:?}", cols);
+
+                let borrowed: Vec<(usize, &Value)> =
+                    cols.iter().copied().zip(vals.iter()).collect();
+                let routed = resolve(rel, &rel.probe_cols(&borrowed));
+                prop_assert_eq!(&routed, &scanned, "probe_cols cols={:?}", cols);
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// After any interleaving of mutations, probes ≡ scans and the
+    /// counters never move backwards between observations (clear resets
+    /// them to zero, which is part of its contract).
+    #[test]
+    fn probes_agree_with_scans_after_random_mutations(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+    ) {
+        let mut rel = Relation::new("p", ARITY);
+        // Demand-build two composites up front so the op sequence
+        // exercises incremental `add`, rebuild-on-remove, and
+        // definition-preserving reset-on-clear — not just build-on-probe.
+        rel.composite(&[0, 1]).expect("composite [0,1]");
+        rel.composite(&[1, 2]).expect("composite [1,2]");
+
+        let mut prev = Counters::of(&rel);
+        for op in &ops {
+            match op {
+                Op::Insert(vals) => {
+                    rel.insert(tuple(vals)).expect("arity matches");
+                }
+                Op::Remove(vals) => {
+                    rel.remove(&tuple(vals));
+                }
+                Op::Clear => rel.clear(),
+            }
+            let now = Counters::of(&rel);
+            if matches!(op, Op::Clear) {
+                prop_assert_eq!(
+                    now,
+                    Counters { probes: 0, scans: 0, composite: 0 },
+                    "clear resets every counter"
+                );
+            } else {
+                prop_assert!(
+                    now.at_least(prev),
+                    "counters went backwards across {:?}: {:?} -> {:?}",
+                    op, prev, now
+                );
+            }
+            prev = now;
+        }
+
+        check_probes_match_scan(&rel)?;
+
+        // The checks above probed heavily; the meters must have seen it.
+        let after = Counters::of(&rel);
+        prop_assert!(after.at_least(prev), "probe checks decreased a counter");
+        prop_assert!(after.probes > prev.probes, "single-column probes were metered");
+        prop_assert!(after.composite > prev.composite, "composite probes were metered");
+
+        // Counters survive a remove (they meter access paths, not
+        // contents): rebuild-on-remove must carry probe counts over.
+        let first = rel.iter().next().cloned();
+        if let Some(t) = first {
+            rel.remove(&t);
+            prop_assert!(
+                Counters::of(&rel).at_least(after),
+                "remove dropped a counter during index rebuild"
+            );
+        }
+    }
+}
