@@ -2,7 +2,8 @@
 //! direct timing (median of repeated runs) rather than Criterion's full
 //! statistics — a quick reproduction check — and writes the same series
 //! as machine-readable `BENCH_retrieve.json` / `BENCH_describe.json` /
-//! `BENCH_obs.json` (the observability overhead guard). Every row of
+//! `BENCH_obs.json` (the observability overhead guard) /
+//! `BENCH_wal.json` (WAL ingest and recovery replay). Every row of
 //! every artifact carries the same `run_id`, so rows from one invocation
 //! can be joined across files.
 //!
@@ -473,6 +474,90 @@ fn ablations() {
     println!();
 }
 
+/// The durability costs: WAL ingest throughput under the bulk-load fsync
+/// policy (`EveryN(64)`), and recovery-replay latency — the time
+/// `open_durable` takes to rebuild the knowledge base from a pure WAL
+/// (no checkpoint). Every run uses a fresh store directory; the rows are
+/// identified by fact count, so they join the regression guard like any
+/// other section.
+fn w1_durability(records: &mut Vec<String>) {
+    use qdk_durability::{DurabilityOptions, FsyncPolicy};
+    use qdk_lang::KnowledgeBase;
+
+    let opts = DurabilityOptions {
+        fsync: FsyncPolicy::EveryN(64),
+        checkpoint_every_ops: None,
+    };
+    let mut fresh_dir = {
+        let mut n = 0u32;
+        move || {
+            n += 1;
+            std::env::temp_dir().join(format!("qdk-bench-wal-{}-{n}", std::process::id()))
+        }
+    };
+    let facts: Vec<String> = (0..1024usize)
+        .map(|i| format!("edge(n{i}, n{}).", i + 1))
+        .collect();
+
+    println!("## W1a — WAL ingest, fsync EveryN(64), no checkpoints (median of 5)\n");
+    println!("| facts | µs | facts/sec |");
+    println!("|-------|----|-----------|");
+    for n in [256usize, 1024] {
+        let mut dirs = Vec::new();
+        let us = median_micros(5, || {
+            let dir = fresh_dir();
+            let mut kb = KnowledgeBase::open_durable_with(&dir, opts).unwrap();
+            kb.run("predicate edge(F, T).").unwrap();
+            for f in &facts[..n] {
+                kb.run(f).unwrap();
+            }
+            kb.sync().unwrap();
+            dirs.push(dir);
+        });
+        for dir in dirs {
+            std::fs::remove_dir_all(dir).ok();
+        }
+        let per_sec = n as f64 / (us / 1e6);
+        println!("| {n} | {us:.0} | {per_sec:.0} |");
+        records.push(json_record(&[
+            ("section", json_str("w1_wal_ingest")),
+            ("workload", json_str("chain_facts")),
+            ("n", n.to_string()),
+            ("fsync", json_str("every64")),
+            ("micros", format!("{us:.1}")),
+        ]));
+    }
+    println!();
+
+    println!("## W1b — recovery replay from a pure WAL (median of 9)\n");
+    println!("| logged ops | µs |");
+    println!("|------------|----|");
+    for n in [256usize, 1024] {
+        let dir = fresh_dir();
+        {
+            let mut kb = KnowledgeBase::open_durable_with(&dir, opts).unwrap();
+            kb.run("predicate edge(F, T).").unwrap();
+            for f in &facts[..n] {
+                kb.run(f).unwrap();
+            }
+            kb.sync().unwrap();
+        }
+        let us = median_micros(9, || {
+            let kb = KnowledgeBase::open_durable_with(&dir, opts).unwrap();
+            assert_eq!(kb.recovery_report().unwrap().replayed, n as u64 + 1);
+        });
+        std::fs::remove_dir_all(&dir).ok();
+        println!("| {} | {us:.0} |", n + 1);
+        records.push(json_record(&[
+            ("section", json_str("w1_recovery_replay")),
+            ("workload", json_str("chain_facts")),
+            ("n", n.to_string()),
+            ("micros", format!("{us:.1}")),
+        ]));
+    }
+    println!();
+}
+
 /// The observability overhead guard: chain-128 semi-naive full closure
 /// with the default disabled sink vs an installed [`NullSink`]. The
 /// NullSink pays the full span/counter plumbing (clock reads, event
@@ -640,11 +725,12 @@ fn check_against(
     (compared, suspects)
 }
 
-/// Runs every section that feeds the two checked artifacts, returning
-/// `(retrieve rows, describe rows)`.
-fn checked_sections() -> (Vec<String>, Vec<String>) {
+/// Runs every section that feeds the checked artifacts, returning
+/// `(retrieve rows, describe rows, wal rows)`.
+fn checked_sections() -> (Vec<String>, Vec<String>, Vec<String>) {
     let mut retrieve = Vec::new();
     let mut describe = Vec::new();
+    let mut wal = Vec::new();
     p1_full_closure(&mut retrieve);
     p1_bound_query(&mut retrieve);
     j1_join_heavy(&mut retrieve);
@@ -654,17 +740,20 @@ fn checked_sections() -> (Vec<String>, Vec<String>) {
     t2_describe_threads(&mut describe);
     e6_family(&mut describe);
     p3_policies(&mut describe);
-    (retrieve, describe)
+    w1_durability(&mut wal);
+    (retrieve, describe, wal)
 }
 
 /// One full measure-and-compare pass. Returns `(compared, suspects)`
-/// across both artifacts, or exits when there is nothing to compare.
+/// across every artifact, or exits when there is nothing to compare.
 fn check_pass(base: &str) -> (usize, Vec<(String, String)>) {
-    let (retrieve, describe) = checked_sections();
+    let (retrieve, describe, wal) = checked_sections();
     let (cr, mut suspects) = check_against(&retrieve, &format!("{base}/retrieve.json"), "retrieve");
     let (cd, sd) = check_against(&describe, &format!("{base}/describe.json"), "describe");
+    let (cw, sw) = check_against(&wal, &format!("{base}/wal.json"), "wal");
     suspects.extend(sd);
-    (cr + cd, suspects)
+    suspects.extend(sw);
+    (cr + cd + cw, suspects)
 }
 
 /// The `--check` regression guard: medians within a 25% tolerance band of
@@ -718,11 +807,12 @@ fn main() {
         run_check();
         return;
     }
-    let (retrieve_records, describe_records) = checked_sections();
+    let (retrieve_records, describe_records, wal_records) = checked_sections();
     let mut obs_records = Vec::new();
     ablations();
     o1_obs_overhead(&mut obs_records);
     write_json("BENCH_retrieve.json", &retrieve_records, &run_id);
     write_json("BENCH_describe.json", &describe_records, &run_id);
     write_json("BENCH_obs.json", &obs_records, &run_id);
+    write_json("BENCH_wal.json", &wal_records, &run_id);
 }

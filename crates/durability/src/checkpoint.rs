@@ -1,0 +1,312 @@
+//! Checkpoint snapshots.
+//!
+//! A checkpoint is the full declared state of the knowledge base — the
+//! schemas (with key declarations), every stored fact in per-relation
+//! insertion order, the rules, and the integrity constraints — plus the
+//! LSN of the last mutation it covers. After a checkpoint lands, the WAL
+//! records at or below that LSN are redundant and the log is truncated.
+//!
+//! File layout:
+//!
+//! ```text
+//! [8-byte magic "QDKCKP01"][u32 le: crc32(body)][body]
+//! ```
+//!
+//! with one whole-file symbol table inside the body, so a million-fact
+//! snapshot writes each fact as a few varint ids.
+//!
+//! The write is atomic: body → temp file in the same directory → fsync →
+//! rename over the target → fsync the directory (on unix). Readers
+//! either see the previous complete checkpoint or the new one, never a
+//! half-written hybrid; a checkpoint that fails its CRC is ignored (with
+//! the WAL intact, recovery falls back to pure replay only if the
+//! checkpoint never existed — a *damaged* checkpoint is an error, since
+//! the truncated WAL no longer holds the history it covered).
+
+use crate::codec::{Dec, Enc};
+use crate::crc32::crc32;
+use crate::error::{DurabilityError, Result};
+use crate::op::{decode_named_tuple, encode_named_tuple};
+use crate::wal::Lsn;
+use qdk_logic::{Constraint, Rule};
+use qdk_storage::Tuple;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Magic bytes opening every checkpoint file (name + format version).
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"QDKCKP01";
+
+/// One declared relation in a snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RelationSnapshot {
+    /// Predicate name.
+    pub name: String,
+    /// Attribute names, in order.
+    pub attrs: Vec<String>,
+    /// Key prefix length, if declared.
+    pub key: Option<usize>,
+    /// Stored rows in insertion order (order matters: fact ids, delta
+    /// windows and therefore diagnostics replay identically).
+    pub facts: Vec<Tuple>,
+}
+
+/// The full declared state of a knowledge base at one LSN.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CheckpointData {
+    /// The last LSN this snapshot covers; replay resumes after it.
+    pub last_lsn: Lsn,
+    /// Declared relations with their stored facts, in declaration order.
+    pub relations: Vec<RelationSnapshot>,
+    /// IDB rules in insertion order.
+    pub rules: Vec<Rule>,
+    /// Integrity constraints in insertion order.
+    pub constraints: Vec<Constraint>,
+}
+
+impl CheckpointData {
+    /// Ops this snapshot stands for (declarations + facts + rules +
+    /// constraints) — recovery-report accounting.
+    pub fn op_count(&self) -> u64 {
+        let facts: usize = self.relations.iter().map(|r| r.facts.len()).sum();
+        (self.relations.len() + facts + self.rules.len() + self.constraints.len()) as u64
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.varint(self.last_lsn.0);
+        enc.varint(self.relations.len() as u64);
+        for rel in &self.relations {
+            enc.str(&rel.name);
+            enc.varint(rel.attrs.len() as u64);
+            for a in &rel.attrs {
+                enc.str(a);
+            }
+            match rel.key {
+                None => enc.byte(0),
+                Some(k) => {
+                    enc.byte(1);
+                    enc.varint(k as u64);
+                }
+            }
+            enc.varint(rel.facts.len() as u64);
+            for t in &rel.facts {
+                encode_named_tuple(&mut enc, &rel.name, t);
+            }
+        }
+        enc.varint(self.rules.len() as u64);
+        for r in &self.rules {
+            enc.rule(r);
+        }
+        enc.varint(self.constraints.len() as u64);
+        for c in &self.constraints {
+            enc.constraint(c);
+        }
+        enc.finish()
+    }
+
+    fn decode(body: &[u8]) -> Result<CheckpointData> {
+        let corrupt = |detail: String| DurabilityError::Corrupt {
+            what: "checkpoint",
+            detail,
+        };
+        let mut dec = Dec::new(body)?;
+        let last_lsn = Lsn(dec.varint()?);
+        let nrel = dec.checked_count()?;
+        let mut relations = Vec::with_capacity(nrel);
+        for _ in 0..nrel {
+            let name = dec.sym()?.as_str().to_string();
+            let nattr = dec.checked_count()?;
+            let mut attrs = Vec::with_capacity(nattr);
+            for _ in 0..nattr {
+                attrs.push(dec.sym()?.as_str().to_string());
+            }
+            let key = match dec.byte()? {
+                0 => None,
+                1 => Some(dec.varint()? as usize),
+                tag => return Err(corrupt(format!("unknown key tag {tag}"))),
+            };
+            let nfacts = dec.checked_count()?;
+            let mut facts = Vec::with_capacity(nfacts);
+            for _ in 0..nfacts {
+                let (pred, tuple) = decode_named_tuple(&mut dec)?;
+                if pred != name {
+                    return Err(corrupt(format!("fact for {pred} inside relation {name}")));
+                }
+                facts.push(tuple);
+            }
+            relations.push(RelationSnapshot {
+                name,
+                attrs,
+                key,
+                facts,
+            });
+        }
+        let nrules = dec.checked_count()?;
+        let mut rules = Vec::with_capacity(nrules);
+        for _ in 0..nrules {
+            rules.push(dec.rule()?);
+        }
+        let ncons = dec.checked_count()?;
+        let mut constraints = Vec::with_capacity(ncons);
+        for _ in 0..ncons {
+            constraints.push(dec.constraint()?);
+        }
+        dec.expect_end()?;
+        Ok(CheckpointData {
+            last_lsn,
+            relations,
+            rules,
+            constraints,
+        })
+    }
+}
+
+/// Atomically writes `data` to `path`. Returns the bytes written.
+pub fn write(path: &Path, data: &CheckpointData) -> Result<u64> {
+    let body = data.encode();
+    let mut bytes = Vec::with_capacity(12 + body.len());
+    bytes.extend_from_slice(CHECKPOINT_MAGIC);
+    bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+    bytes.extend_from_slice(&body);
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f =
+            File::create(&tmp).map_err(|e| DurabilityError::io("create checkpoint", &tmp, &e))?;
+        f.write_all(&bytes)
+            .map_err(|e| DurabilityError::io("write checkpoint", &tmp, &e))?;
+        f.sync_all()
+            .map_err(|e| DurabilityError::io("sync checkpoint", &tmp, &e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| DurabilityError::io("publish checkpoint", path, &e))?;
+    sync_parent_dir(path)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Makes the rename itself durable by syncing the containing directory
+/// (a no-op on platforms where directories can't be opened).
+fn sync_parent_dir(path: &Path) -> Result<()> {
+    #[cfg(unix)]
+    if let Some(dir) = path.parent() {
+        let d = File::open(dir).map_err(|e| DurabilityError::io("open dir", dir, &e))?;
+        d.sync_all()
+            .map_err(|e| DurabilityError::io("sync dir", dir, &e))?;
+    }
+    Ok(())
+}
+
+/// Reads the checkpoint at `path`. `Ok(None)` if the file does not exist;
+/// an existing but invalid file is [`DurabilityError::Corrupt`] (the WAL
+/// was truncated when it was written, so its contents are irreplaceable).
+pub fn read(path: &Path) -> Result<Option<CheckpointData>> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)
+                .map_err(|e| DurabilityError::io("read checkpoint", path, &e))?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(DurabilityError::io("open checkpoint", path, &e)),
+    }
+    let corrupt = |detail: String| DurabilityError::Corrupt {
+        what: "checkpoint",
+        detail,
+    };
+    if bytes.len() < 12 {
+        return Err(corrupt(format!("{} bytes is too short", bytes.len())));
+    }
+    if &bytes[..8] != CHECKPOINT_MAGIC {
+        return Err(corrupt(format!("bad magic {:02x?}", &bytes[..8])));
+    }
+    let want = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    let body = &bytes[12..];
+    if crc32(body) != want {
+        return Err(corrupt("body checksum mismatch".into()));
+    }
+    CheckpointData::decode(body).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdk_logic::parser::parse_rule;
+    use qdk_storage::Value;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_ckp(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("qdk-ckp-{tag}-{}-{n}.ckp", std::process::id()))
+    }
+
+    fn sample() -> CheckpointData {
+        CheckpointData {
+            last_lsn: Lsn(42),
+            relations: vec![RelationSnapshot {
+                name: "edge".into(),
+                attrs: vec!["from".into(), "to".into()],
+                key: Some(2),
+                facts: vec![
+                    Tuple::new(vec![Value::sym("a"), Value::sym("b")]),
+                    Tuple::new(vec![Value::sym("b"), Value::sym("c")]),
+                ],
+            }],
+            rules: vec![parse_rule("path(X, Y) :- edge(X, Y).").unwrap()],
+            constraints: vec![],
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let path = temp_ckp("roundtrip");
+        let data = sample();
+        write(&path, &data).unwrap();
+        assert_eq!(read(&path).unwrap(), Some(data));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_reads_none() {
+        assert_eq!(read(&temp_ckp("missing")).unwrap(), None);
+    }
+
+    #[test]
+    fn corrupted_body_is_an_error_not_a_panic() {
+        let path = temp_ckp("corrupt");
+        write(&path, &sample()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read(&path),
+            Err(DurabilityError::Corrupt {
+                what: "checkpoint",
+                ..
+            })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rewrite_replaces_previous_snapshot() {
+        let path = temp_ckp("rewrite");
+        write(&path, &sample()).unwrap();
+        let mut next = sample();
+        next.last_lsn = Lsn(99);
+        next.relations[0]
+            .facts
+            .push(Tuple::new(vec![Value::sym("c"), Value::sym("d")]));
+        write(&path, &next).unwrap();
+        assert_eq!(read(&path).unwrap(), Some(next));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn op_count_sums_all_state() {
+        // 1 declaration + 2 facts + 1 rule + 0 constraints.
+        assert_eq!(sample().op_count(), 4);
+    }
+}

@@ -1,0 +1,57 @@
+//! CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.
+//!
+//! Self-contained so the durability layer stays dependency-free like the
+//! rest of the workspace. The checksum guards every WAL record payload
+//! and the checkpoint body against torn writes and bit rot.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built once.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `bytes` (initial value all-ones, final xor all-ones — the
+/// standard zlib/`crc32` convention).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = table();
+    let mut c = u32::MAX;
+    for &b in bytes {
+        c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ u32::MAX
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"hello wal");
+        let mut flipped = b"hello wal".to_vec();
+        flipped[3] ^= 0x01;
+        assert_ne!(base, crc32(&flipped));
+    }
+}

@@ -1,0 +1,60 @@
+//! Durability-layer errors.
+//!
+//! I/O failures carry the failing operation and path as plain strings so
+//! the error type stays `Clone + PartialEq` like every other error in the
+//! workspace (callers compare errors in tests; `std::io::Error` is
+//! neither).
+
+use std::fmt;
+
+/// Errors raised by the write-ahead log, checkpointing and recovery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DurabilityError {
+    /// An operating-system I/O failure.
+    Io {
+        /// What was being attempted (`"open wal"`, `"append"`, …).
+        op: &'static str,
+        /// The file or directory involved.
+        path: String,
+        /// The OS error, rendered.
+        message: String,
+    },
+    /// A persistent file exists but its contents are not valid — wrong
+    /// magic, unsupported version, or a checksum mismatch *before* the
+    /// tolerated torn tail (a torn tail is reported, not raised).
+    Corrupt {
+        /// Which artifact is damaged (`"wal header"`, `"checkpoint"`, …).
+        what: &'static str,
+        /// Detail for diagnostics.
+        detail: String,
+    },
+}
+
+impl DurabilityError {
+    /// Wraps an `io::Error` with its context.
+    pub fn io(op: &'static str, path: &std::path::Path, e: &std::io::Error) -> Self {
+        DurabilityError::Io {
+            op,
+            path: path.display().to_string(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Io { op, path, message } => {
+                write!(f, "durability i/o error ({op} {path}): {message}")
+            }
+            DurabilityError::Corrupt { what, detail } => {
+                write!(f, "corrupt {what}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+/// Result alias for durability operations.
+pub type Result<T> = std::result::Result<T, DurabilityError>;

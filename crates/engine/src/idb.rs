@@ -31,6 +31,16 @@ impl Idb {
         Ok(idb)
     }
 
+    /// Checks every condition [`Self::add_rule`] would, without touching
+    /// the rule set (the pre-flight check the durability layer runs
+    /// before logging the rule).
+    pub fn validate_rule(&self, rule: &Rule) -> Result<()> {
+        if rule.head.is_builtin() {
+            return Err(EngineError::BuiltinHead(rule.head.to_string()));
+        }
+        Ok(())
+    }
+
     /// Adds a rule. The head must not be a built-in comparison.
     pub fn add_rule(&mut self, rule: Rule) -> Result<()> {
         if rule.head.is_builtin() {

@@ -13,6 +13,8 @@ pub enum LangError {
     Engine(qdk_engine::EngineError),
     /// A describe-engine error (knowledge queries).
     Describe(qdk_core::DescribeError),
+    /// A durability error (write-ahead log, checkpoint, recovery).
+    Durability(qdk_durability::DurabilityError),
 }
 
 impl fmt::Display for LangError {
@@ -22,6 +24,7 @@ impl fmt::Display for LangError {
             LangError::Storage(e) => write!(f, "{e}"),
             LangError::Engine(e) => write!(f, "{e}"),
             LangError::Describe(e) => write!(f, "{e}"),
+            LangError::Durability(e) => write!(f, "{e}"),
         }
     }
 }
@@ -49,6 +52,12 @@ impl From<qdk_engine::EngineError> for LangError {
 impl From<qdk_core::DescribeError> for LangError {
     fn from(e: qdk_core::DescribeError) -> Self {
         LangError::Describe(e)
+    }
+}
+
+impl From<qdk_durability::DurabilityError> for LangError {
+    fn from(e: qdk_durability::DurabilityError) -> Self {
+        LangError::Durability(e)
     }
 }
 

@@ -8,10 +8,16 @@ use crate::ast::Statement;
 use crate::error::Result;
 use crate::parser::{parse_script, parse_statement};
 use qdk_core::{compare, describe, extensions, Describe, DescribeOptions};
+use qdk_durability::{
+    CheckpointData, DurabilityMetrics, DurabilityOptions, Durable, Lsn, Opened, RecoveryReport,
+    RelationSnapshot, WalOp,
+};
 use qdk_engine::{query, Idb, ProgramPlan, Retrieve, Strategy};
+use qdk_logic::obs::Event;
 use qdk_logic::{Constraint, Rule, Sym};
 use qdk_storage::Edb;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// The cached compilation of the IDB (plans plus their interner),
@@ -83,6 +89,12 @@ pub struct KnowledgeBase {
     opts: DescribeOptions,
     /// Compiled program shared by every retrieve until the KB mutates.
     plan: PlanCache,
+    /// The durable store, when this KB was opened with
+    /// [`Self::open_durable`]; `None` for purely in-memory KBs. Shared
+    /// behind an `Arc` so `Clone` keeps working — clones write to the
+    /// *same* log, which is the only coherent reading since they also
+    /// started from the same persistent state.
+    durable: Option<Arc<Mutex<Durable>>>,
 }
 
 impl KnowledgeBase {
@@ -135,26 +147,268 @@ impl KnowledgeBase {
         self.strategy
     }
 
-    /// Declares an EDB predicate.
+    /// Opens (creating if absent) a durable knowledge base stored at
+    /// `dir` with default durability options, recovering whatever state a
+    /// previous process left behind — the latest checkpoint plus the WAL
+    /// tail, tolerating a torn final record. Every subsequent mutation is
+    /// logged before it is applied.
+    pub fn open_durable(dir: impl AsRef<Path>) -> Result<Self> {
+        Self::open_durable_with(dir, DurabilityOptions::default())
+    }
+
+    /// [`Self::open_durable`] with explicit durability options.
+    pub fn open_durable_with(dir: impl AsRef<Path>, opts: DurabilityOptions) -> Result<Self> {
+        let Opened {
+            durable,
+            checkpoint,
+            tail,
+            report,
+        } = Durable::open(dir.as_ref(), opts)?;
+        let mut kb = KnowledgeBase::new();
+        // Recovery applies through the ordinary mutation paths *before*
+        // the durable handle is attached, so replay does not re-log (and
+        // indexes, meters and fact-id order are rebuilt exactly as the
+        // original mutations built them).
+        if let Some(ckp) = checkpoint {
+            kb.apply_checkpoint(ckp)?;
+        }
+        for rec in tail {
+            kb.apply_op(rec.op)?;
+        }
+        kb.plan.invalidate();
+        if kb.opts.sink.enabled()
+            && (report.checkpointed + report.replayed > 0 || report.discarded_tail_bytes > 0)
+        {
+            kb.opts.sink.emit(Event::Recovery {
+                replayed: report.checkpointed + report.replayed,
+                discarded_bytes: report.discarded_tail_bytes,
+            });
+        }
+        kb.durable = Some(Arc::new(Mutex::new(durable)));
+        Ok(kb)
+    }
+
+    /// Restores a checkpoint snapshot through the same declaration and
+    /// insertion paths live mutations take.
+    fn apply_checkpoint(&mut self, ckp: CheckpointData) -> Result<()> {
+        for rel in ckp.relations {
+            let attrs: Vec<&str> = rel.attrs.iter().map(String::as_str).collect();
+            self.edb.declare(&rel.name, &attrs)?;
+            if let Some(k) = rel.key {
+                self.keys.insert(Sym::new(&rel.name), k);
+            }
+            for tuple in rel.facts {
+                self.edb.insert_tuple(&rel.name, tuple)?;
+            }
+        }
+        for rule in ckp.rules {
+            self.idb.add_rule(rule)?;
+        }
+        self.constraints.extend(ckp.constraints);
+        Ok(())
+    }
+
+    /// Replays one logged mutation through the same code paths the
+    /// original mutation took (so indexes and meters stay consistent).
+    fn apply_op(&mut self, op: WalOp) -> Result<()> {
+        match op {
+            WalOp::Declare { name, attrs, key } => {
+                let attrs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                self.edb.declare(&name, &attrs)?;
+                if let Some(k) = key {
+                    self.keys.insert(Sym::new(&name), k);
+                }
+            }
+            WalOp::AddFact { pred, tuple } => {
+                self.edb.insert_tuple(&pred, tuple)?;
+            }
+            WalOp::AddRule(rule) => self.idb.add_rule(rule)?,
+            WalOp::Retract { pred, tuple } => {
+                self.edb.remove_tuple(&pred, &tuple)?;
+            }
+            WalOp::AddConstraint(c) => self.constraints.push(c),
+        }
+        Ok(())
+    }
+
+    /// Locks the durable handle, recovering from a poisoned lock (the
+    /// store's own state is guarded by its file formats, not the mutex).
+    fn durable_guard(d: &Arc<Mutex<Durable>>) -> MutexGuard<'_, Durable> {
+        match d.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Appends `op` to the WAL if this KB is durable. Called *after*
+    /// validation and *before* the in-memory apply — the WAL discipline:
+    /// an op that reaches the log can no longer fail to apply.
+    fn log(&mut self, op: WalOp) -> Result<()> {
+        if let Some(d) = &self.durable {
+            let (lsn, bytes) = Self::durable_guard(d).append(&op)?;
+            if self.opts.sink.enabled() {
+                self.opts.sink.emit(Event::WalAppend { lsn: lsn.0, bytes });
+            }
+        }
+        Ok(())
+    }
+
+    /// Takes a checkpoint if the configured op threshold has been
+    /// crossed. Called after every applied mutation.
+    fn maybe_checkpoint(&mut self) -> Result<()> {
+        let due = match &self.durable {
+            Some(d) => Self::durable_guard(d).should_checkpoint(),
+            None => false,
+        };
+        if due {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Snapshots the current state and atomically publishes it as the
+    /// checkpoint, truncating the WAL. Returns the covered LSN and the
+    /// snapshot's size in bytes (`None` for an in-memory KB).
+    pub fn checkpoint(&mut self) -> Result<Option<(Lsn, u64)>> {
+        let Some(d) = &self.durable else {
+            return Ok(None);
+        };
+        let data = self.snapshot();
+        let (lsn, bytes) = Self::durable_guard(d).checkpoint(data)?;
+        if self.opts.sink.enabled() {
+            self.opts.sink.emit(Event::Checkpoint { lsn: lsn.0, bytes });
+        }
+        Ok(Some((lsn, bytes)))
+    }
+
+    /// The full declared state as checkpoint data: schemas (with keys),
+    /// facts in per-relation insertion order, rules, constraints.
+    fn snapshot(&self) -> CheckpointData {
+        let mut relations = Vec::new();
+        for schema in self.edb.catalog().iter() {
+            let facts = self
+                .edb
+                .relation(schema.name.as_str())
+                .map(|rel| rel.iter().cloned().collect())
+                .unwrap_or_default();
+            relations.push(RelationSnapshot {
+                name: schema.name.as_str().to_string(),
+                attrs: schema
+                    .attrs
+                    .iter()
+                    .map(|a| a.as_str().to_string())
+                    .collect(),
+                key: self.keys.get(&schema.name).copied(),
+                facts,
+            });
+        }
+        CheckpointData {
+            last_lsn: Lsn(0), // stamped by the durable handle
+            relations,
+            rules: self.idb.rules().to_vec(),
+            constraints: self.constraints.clone(),
+        }
+    }
+
+    /// True if this KB logs its mutations to a durable store.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// What recovery found when this KB was opened (`None` for in-memory
+    /// KBs).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.durable
+            .as_ref()
+            .map(|d| Self::durable_guard(d).recovery_report().clone())
+    }
+
+    /// Lifetime durability counters (`None` for in-memory KBs).
+    pub fn durability_metrics(&self) -> Option<DurabilityMetrics> {
+        self.durable
+            .as_ref()
+            .map(|d| Self::durable_guard(d).metrics())
+    }
+
+    /// Forces the WAL to stable storage regardless of the fsync policy
+    /// (a no-op for in-memory KBs).
+    pub fn sync(&mut self) -> Result<()> {
+        if let Some(d) = &self.durable {
+            Self::durable_guard(d).sync()?;
+        }
+        Ok(())
+    }
+
+    /// Declares an EDB predicate. Validation happens before the
+    /// declaration is logged or applied, so a failed declare leaves both
+    /// the KB and the WAL untouched.
     pub fn declare(&mut self, name: &str, attrs: &[&str], key: Option<usize>) -> Result<()> {
+        self.edb.validate_declare(name)?;
+        self.log(WalOp::Declare {
+            name: name.to_string(),
+            attrs: attrs.iter().map(|a| a.to_string()).collect(),
+            key,
+        })?;
         self.edb.declare(name, attrs)?;
         if let Some(k) = key {
             self.keys.insert(Sym::new(name), k);
         }
         self.plan.invalidate();
-        Ok(())
+        self.maybe_checkpoint()
     }
 
-    /// Adds a fact (ground atom) to the EDB.
+    /// Adds a fact (ground atom) to the EDB. Validate → log → apply →
+    /// invalidate: a fact that fails validation leaves the KB, its plan
+    /// cache and the WAL untouched.
     pub fn add_fact(&mut self, atom: &qdk_logic::Atom) -> Result<bool> {
+        self.edb.validate_fact(atom)?;
+        if self.durable.is_some() {
+            // Groundness was just validated, so the projection succeeds.
+            if let Some(op) = WalOp::add_fact(atom) {
+                self.log(op)?;
+            }
+        }
+        let new = self.edb.insert_fact(atom)?;
         self.plan.invalidate();
-        Ok(self.edb.insert_fact(atom)?)
+        self.maybe_checkpoint()?;
+        Ok(new)
     }
 
-    /// Adds a rule to the IDB.
+    /// Adds a rule to the IDB, under the same validate → log → apply →
+    /// invalidate discipline as [`Self::add_fact`].
     pub fn add_rule(&mut self, rule: Rule) -> Result<()> {
+        self.idb.validate_rule(&rule)?;
+        if self.durable.is_some() {
+            self.log(WalOp::AddRule(rule.clone()))?;
+        }
+        self.idb.add_rule(rule)?;
         self.plan.invalidate();
-        Ok(self.idb.add_rule(rule)?)
+        self.maybe_checkpoint()
+    }
+
+    /// Retracts a stored fact; returns `true` if it was stored. Same
+    /// discipline as [`Self::add_fact`].
+    pub fn retract_fact(&mut self, atom: &qdk_logic::Atom) -> Result<bool> {
+        self.edb.validate_fact(atom)?;
+        if self.durable.is_some() {
+            if let Some(op) = WalOp::retract(atom) {
+                self.log(op)?;
+            }
+        }
+        let removed = self.edb.remove_fact(atom)?;
+        self.plan.invalidate();
+        self.maybe_checkpoint()?;
+        Ok(removed)
+    }
+
+    /// Adds an integrity constraint (logged like every other mutation —
+    /// constraints are part of the durable state `dump()` serializes).
+    pub fn add_constraint(&mut self, c: Constraint) -> Result<()> {
+        if self.durable.is_some() {
+            self.log(WalOp::AddConstraint(c.clone()))?;
+        }
+        self.constraints.push(c);
+        self.maybe_checkpoint()
     }
 
     /// Executes one parsed statement.
@@ -179,12 +433,11 @@ impl KnowledgeBase {
                 }
             }
             Statement::Constraint(c) => {
-                self.constraints.push(c.clone());
+                self.add_constraint(c.clone())?;
                 Ok(Answer::Ack(format!("added constraint {c}")))
             }
             Statement::Retract(atom) => {
-                self.plan.invalidate();
-                let removed = self.edb.remove_fact(atom)?;
+                let removed = self.retract_fact(atom)?;
                 Ok(Answer::Ack(if removed {
                     format!("retracted {atom}")
                 } else {

@@ -57,6 +57,27 @@ pub enum Event {
         /// Observed value (a delta or a total; see the taxonomy).
         value: u64,
     },
+    /// One record appended to the write-ahead log (durability layer).
+    WalAppend {
+        /// The record's log sequence number.
+        lsn: u64,
+        /// Bytes appended (frame + payload).
+        bytes: u64,
+    },
+    /// A checkpoint snapshot published and the WAL truncated.
+    Checkpoint {
+        /// The last LSN the snapshot covers.
+        lsn: u64,
+        /// Bytes the snapshot occupies on disk.
+        bytes: u64,
+    },
+    /// A durable store was opened and its state recovered.
+    Recovery {
+        /// Ops restored (checkpointed + WAL-replayed).
+        replayed: u64,
+        /// Torn/corrupt tail bytes discarded from the WAL.
+        discarded_bytes: u64,
+    },
 }
 
 impl Event {
@@ -66,6 +87,9 @@ impl Event {
             Event::SpanStart { name, .. }
             | Event::SpanEnd { name, .. }
             | Event::Counter { name, .. } => name,
+            Event::WalAppend { .. } => "wal_append",
+            Event::Checkpoint { .. } => "checkpoint",
+            Event::Recovery { .. } => "recovery",
         }
     }
 }
@@ -181,6 +205,18 @@ impl<W: Write + Send> Sink for JsonLinesSink<W> {
             Event::Counter { name, value } => {
                 format!("{{\"ev\":\"counter\",\"name\":\"{name}\",\"value\":{value}}}\n")
             }
+            Event::WalAppend { lsn, bytes } => {
+                format!("{{\"ev\":\"wal_append\",\"lsn\":{lsn},\"bytes\":{bytes}}}\n")
+            }
+            Event::Checkpoint { lsn, bytes } => {
+                format!("{{\"ev\":\"checkpoint\",\"lsn\":{lsn},\"bytes\":{bytes}}}\n")
+            }
+            Event::Recovery {
+                replayed,
+                discarded_bytes,
+            } => format!(
+                "{{\"ev\":\"recovery\",\"replayed\":{replayed},\"discarded_bytes\":{discarded_bytes}}}\n"
+            ),
         };
         let mut w = match self.writer.lock() {
             Ok(g) => g,
@@ -332,7 +368,8 @@ pub fn check_nesting(events: &[Event]) -> Result<(), String> {
                 }
                 None => return Err(format!("span end {name}({arg}) with no open span")),
             },
-            Event::Counter { .. } => {}
+            // Counters and durability events carry no nesting structure.
+            _ => {}
         }
     }
     if let Some((name, arg)) = stack.pop() {
@@ -480,6 +517,41 @@ mod tests {
             lines[2],
             "{\"ev\":\"span_end\",\"name\":\"execute\",\"arg\":0,\"micros\":12}"
         );
+    }
+
+    #[test]
+    fn durability_events_render_and_do_not_disturb_nesting() {
+        let sink = JsonLinesSink::new(Vec::new());
+        sink.emit(Event::WalAppend { lsn: 3, bytes: 41 });
+        sink.emit(Event::Checkpoint { lsn: 3, bytes: 512 });
+        sink.emit(Event::Recovery {
+            replayed: 7,
+            discarded_bytes: 12,
+        });
+        let buf = match sink.writer.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        };
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "{\"ev\":\"wal_append\",\"lsn\":3,\"bytes\":41}");
+        assert_eq!(lines[1], "{\"ev\":\"checkpoint\",\"lsn\":3,\"bytes\":512}");
+        assert_eq!(
+            lines[2],
+            "{\"ev\":\"recovery\",\"replayed\":7,\"discarded_bytes\":12}"
+        );
+        // Names resolve and nesting validation ignores them.
+        let events = [
+            Event::SpanStart { name: "s", arg: 0 },
+            Event::WalAppend { lsn: 1, bytes: 1 },
+            Event::SpanEnd {
+                name: "s",
+                arg: 0,
+                micros: 1,
+            },
+        ];
+        assert_eq!(events[1].name(), "wal_append");
+        check_nesting(&events).unwrap();
     }
 
     #[test]

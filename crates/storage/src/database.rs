@@ -46,6 +46,39 @@ impl Edb {
         self.relations.contains_key(name)
     }
 
+    /// Checks that `name` may be declared (not a reserved built-in)
+    /// without declaring it — the pre-flight check the durability layer
+    /// runs before logging a declaration.
+    pub fn validate_declare(&self, name: &str) -> Result<()> {
+        if builtins::is_builtin(name) {
+            return Err(StorageError::ReservedPredicate(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Checks every condition [`Self::insert_fact`] (and
+    /// [`Self::remove_fact`]) would: the atom is ground, its predicate is
+    /// declared, and the arity matches — without touching the database.
+    /// The write-ahead discipline validates first, then logs, then
+    /// applies, so a mutation that reaches the log can no longer fail.
+    pub fn validate_fact(&self, atom: &Atom) -> Result<()> {
+        if !atom.is_ground() {
+            return Err(StorageError::NotGround(atom.to_string()));
+        }
+        let rel = self
+            .relations
+            .get(&atom.pred)
+            .ok_or_else(|| StorageError::UnknownPredicate(atom.pred.to_string()))?;
+        if atom.arity() != rel.arity() {
+            return Err(StorageError::ArityMismatch {
+                predicate: atom.pred.to_string(),
+                expected: rel.arity(),
+                found: atom.arity(),
+            });
+        }
+        Ok(())
+    }
+
     /// Inserts a ground fact. The predicate must be declared and the fact
     /// ground with matching arity. Returns `true` if the fact is new.
     pub fn insert_fact(&mut self, atom: &Atom) -> Result<bool> {
@@ -109,6 +142,25 @@ impl Edb {
             .map(|t| t.as_const().expect("ground").clone())
             .collect();
         Ok(rel.remove(&tuple))
+    }
+
+    /// Removes a tuple directly from a declared relation (the replay twin
+    /// of [`Self::insert_tuple`] — it goes through the exact same
+    /// [`Relation::remove`] path as [`Self::remove_fact`], so indexes and
+    /// meters stay consistent under WAL replay).
+    pub fn remove_tuple(&mut self, pred: &str, tuple: &Tuple) -> Result<bool> {
+        let rel = self
+            .relations
+            .get_mut(pred)
+            .ok_or_else(|| StorageError::UnknownPredicate(pred.to_string()))?;
+        if tuple.arity() != rel.arity() {
+            return Err(StorageError::ArityMismatch {
+                predicate: pred.to_string(),
+                expected: rel.arity(),
+                found: tuple.arity(),
+            });
+        }
+        Ok(rel.remove(tuple))
     }
 
     /// The relation stored for a predicate.

@@ -20,6 +20,8 @@ pub enum Error {
     Engine(qdk_engine::EngineError),
     /// A describe-engine error (knowledge queries, transformation).
     Describe(qdk_core::DescribeError),
+    /// A durability error (write-ahead log, checkpoint, recovery).
+    Durability(qdk_durability::DurabilityError),
 }
 
 impl Error {
@@ -41,7 +43,14 @@ impl fmt::Display for Error {
             Error::Storage(e) => write!(f, "{e}"),
             Error::Engine(e) => write!(f, "{e}"),
             Error::Describe(e) => write!(f, "{e}"),
+            Error::Durability(e) => write!(f, "{e}"),
         }
+    }
+}
+
+impl From<qdk_durability::DurabilityError> for Error {
+    fn from(e: qdk_durability::DurabilityError) -> Self {
+        Error::Durability(e)
     }
 }
 
@@ -78,6 +87,7 @@ impl From<qdk_lang::LangError> for Error {
             qdk_lang::LangError::Storage(e) => Error::Storage(e),
             qdk_lang::LangError::Engine(e) => Error::Engine(e),
             qdk_lang::LangError::Describe(e) => Error::Describe(e),
+            qdk_lang::LangError::Durability(e) => Error::Durability(e),
         }
     }
 }

@@ -71,6 +71,7 @@ mod session;
 mod trace;
 
 pub use qdk_core as core;
+pub use qdk_durability as durability;
 pub use qdk_engine as engine;
 pub use qdk_lang as lang;
 pub use qdk_logic as logic;
@@ -86,6 +87,9 @@ pub use qdk_logic::obs::{CollectSink, Event, ObsSink, Sink};
 pub use qdk_core::{
     compare::CompareAnswer, CancelToken, Completeness, Describe, DescribeAnswer, DescribeOptions,
     Exhausted, FallbackPolicy, Governor, Resource, ResourceLimits, Theorem, TransformPolicy,
+};
+pub use qdk_durability::{
+    DurabilityError, DurabilityMetrics, DurabilityOptions, FsyncPolicy, Lsn, RecoveryReport,
 };
 pub use qdk_engine::{DataAnswer, Downgrade, EvalOptions, Retrieve, Strategy};
 pub use qdk_lang::{datasets, Answer, KnowledgeBase, LangError};

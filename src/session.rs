@@ -234,6 +234,43 @@ impl Session {
         }
     }
 
+    /// A session over a durable knowledge base stored at `dir` (created
+    /// if absent), with default durability options: every mutation is
+    /// fsynced to the write-ahead log before it is applied, and a
+    /// checkpoint snapshot is taken every 1024 ops. A previous process's
+    /// state — checkpoint plus WAL tail, tolerating a torn final record —
+    /// is recovered on open; see [`Session::recovery_report`].
+    pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Self> {
+        Ok(Session {
+            kb: KnowledgeBase::open_durable(dir)?,
+        })
+    }
+
+    /// [`Session::open`] with explicit durability options (fsync policy,
+    /// checkpoint cadence).
+    pub fn open_with(
+        dir: impl AsRef<std::path::Path>,
+        opts: qdk_durability::DurabilityOptions,
+    ) -> Result<Self> {
+        Ok(Session {
+            kb: KnowledgeBase::open_durable_with(dir, opts)?,
+        })
+    }
+
+    /// What recovery found when this session's store was opened: ops
+    /// restored from the checkpoint, WAL records replayed, torn tail
+    /// bytes discarded. `None` for in-memory sessions.
+    pub fn recovery_report(&self) -> Option<qdk_durability::RecoveryReport> {
+        self.kb.recovery_report()
+    }
+
+    /// Snapshots the knowledge base into a checkpoint and truncates the
+    /// WAL. Returns the covered LSN and snapshot size, or `None` for an
+    /// in-memory session.
+    pub fn checkpoint(&mut self) -> Result<Option<(qdk_durability::Lsn, u64)>> {
+        Ok(self.kb.checkpoint()?)
+    }
+
     /// Wraps an existing knowledge base.
     pub fn over(kb: KnowledgeBase) -> Self {
         Session { kb }

@@ -59,6 +59,12 @@ impl QueryTrace {
         let mut spans: Vec<TraceSpan> = Vec::new();
         let mut stack: Vec<usize> = Vec::new();
         let mut counters: Vec<(&'static str, u64)> = Vec::new();
+        fn bump(counters: &mut Vec<(&'static str, u64)>, name: &'static str, value: u64) {
+            match counters.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, v)) => *v += value,
+                None => counters.push((name, value)),
+            }
+        }
         for ev in events {
             match *ev {
                 Event::SpanStart { name, arg } => {
@@ -77,11 +83,23 @@ impl QueryTrace {
                         }
                     }
                 }
-                Event::Counter { name, value } => {
-                    match counters.iter_mut().find(|(n, _)| *n == name) {
-                        Some((_, v)) => *v += value,
-                        None => counters.push((name, value)),
-                    }
+                Event::Counter { name, value } => bump(&mut counters, name, value),
+                // Durability events fold into counters so a traced query
+                // that triggered WAL writes or a checkpoint shows it.
+                Event::WalAppend { bytes, .. } => {
+                    bump(&mut counters, "wal_appends", 1);
+                    bump(&mut counters, "wal_bytes", bytes);
+                }
+                Event::Checkpoint { bytes, .. } => {
+                    bump(&mut counters, "checkpoints", 1);
+                    bump(&mut counters, "checkpoint_bytes", bytes);
+                }
+                Event::Recovery {
+                    replayed,
+                    discarded_bytes,
+                } => {
+                    bump(&mut counters, "recovery_replayed", replayed);
+                    bump(&mut counters, "recovery_discarded_bytes", discarded_bytes);
                 }
             }
         }

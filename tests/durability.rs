@@ -1,0 +1,331 @@
+//! Kill-and-reopen durability: a process that drops its session without
+//! any shutdown protocol must get the same knowledge base back on
+//! reopen — byte-identical answers (including completeness tags) from
+//! both recovery paths (pure WAL replay and checkpoint + tail), at one
+//! worker and at four.
+
+use qdk::durability::DurabilityOptions;
+use qdk::{datasets, FsyncPolicy, KnowledgeBase, Parallelism, Request, Session};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("qdk-durability-{tag}-{}-{n}", std::process::id()))
+}
+
+/// Fast options for tests: no fsync, no automatic checkpoints.
+fn wal_only() -> DurabilityOptions {
+    DurabilityOptions {
+        fsync: FsyncPolicy::Never,
+        checkpoint_every_ops: None,
+    }
+}
+
+/// The paper's worked examples (3–8), asked through the session facade.
+const PAPER_QUERIES: &[(&str, &str, bool)] = &[
+    // (subject, where-clause, is_describe)
+    ("can_ta(X, databases)", "student(X, math, V), V > 3.7", true),
+    ("honor(X)", "", true),
+    ("honor(X)", "student(X, math, Z)", true),
+    ("can_ta(X, Y)", "honor(X), teach(susan, Y)", true),
+    ("prior(X, databases)", "", true),
+    ("honor(X)", "enroll(X, databases)", false),
+    ("prior(X, Y)", "", false),
+];
+
+/// Renders every paper query's full answer (rows / theorems, tags and
+/// all) at the given worker count.
+fn answers(session: &Session, workers: usize) -> Vec<String> {
+    PAPER_QUERIES
+        .iter()
+        .map(|&(subject, hyp, is_describe)| {
+            let mut req = Request::subject(subject).parallelism(Parallelism::workers(workers));
+            if !hyp.is_empty() {
+                req = req.where_clause(hyp);
+            }
+            let resp = if is_describe {
+                session.describe(req).unwrap()
+            } else {
+                session.retrieve(req).unwrap()
+            };
+            resp.to_string()
+        })
+        .collect()
+}
+
+#[test]
+fn kill_and_reopen_replays_pure_wal() {
+    let dir = temp_dir("pure-wal");
+    let script = datasets::university_extended().dump();
+
+    let (reference, dump_before) = {
+        let mut s = Session::open_with(&dir, wal_only()).unwrap();
+        s.load(&script).unwrap();
+        assert!(s.knowledge_base().is_durable());
+        (answers(&s, 1), s.knowledge_base().dump())
+        // Dropped here mid-stream: no checkpoint, no shutdown protocol.
+    };
+
+    let s = Session::open_with(&dir, wal_only()).unwrap();
+    let report = s.recovery_report().unwrap();
+    assert_eq!(report.checkpointed, 0, "no checkpoint was ever taken");
+    assert!(report.replayed > 0, "the WAL tail must replay");
+    assert_eq!(report.discarded_tail_bytes, 0, "clean shutdown of the OS");
+    // The dump is byte-identical: schemas, keys, per-relation fact order,
+    // rules and constraints all recovered exactly.
+    assert_eq!(s.knowledge_base().dump(), dump_before);
+    // Paper examples answer byte-identically at 1 and 4 workers.
+    assert_eq!(answers(&s, 1), reference);
+    assert_eq!(answers(&s, 4), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_and_reopen_replays_checkpoint_plus_tail() {
+    let dir = temp_dir("ckp-tail");
+    let script = datasets::university_extended().dump();
+
+    let (reference, dump_before) = {
+        let mut s = Session::open_with(&dir, wal_only()).unwrap();
+        s.load(&script).unwrap();
+        let (lsn, bytes) = s.checkpoint().unwrap().expect("durable session");
+        assert!(lsn.0 > 0 && bytes > 0);
+        // Mutations after the checkpoint live only in the WAL tail.
+        s.run("student(zoe, physics, 3.95).").unwrap();
+        s.run("retract enroll(cara, databases).").unwrap();
+        s.run("star(X) :- student(X, M, G), G > 3.9.").unwrap();
+        s.run(":- star(X), unmarried(X).").unwrap();
+        (answers(&s, 1), s.knowledge_base().dump())
+    };
+
+    let s = Session::open_with(&dir, wal_only()).unwrap();
+    let report = s.recovery_report().unwrap();
+    assert!(report.checkpointed > 0, "snapshot restored");
+    assert_eq!(report.replayed, 4, "the four post-checkpoint mutations");
+    assert_eq!(s.knowledge_base().dump(), dump_before);
+    assert_eq!(answers(&s, 1), reference);
+    assert_eq!(answers(&s, 4), reference);
+    // The tail's own mutations answer correctly too.
+    let resp = s.retrieve(Request::subject("star(X)")).unwrap();
+    assert!(resp.as_data().unwrap().contains_row(&["zoe"]));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chain_64_recursive_reachability_survives_reopen() {
+    let dir = temp_dir("chain64");
+    let reference = {
+        let mut s = Session::open_with(&dir, wal_only()).unwrap();
+        s.run("predicate edge(F, T).").unwrap();
+        for i in 0..64 {
+            s.run(&format!("edge(n{i}, n{}).", i + 1)).unwrap();
+        }
+        s.load(
+            "reach(X, Y) :- edge(X, Y).\n\
+             reach(X, Y) :- edge(X, Z), reach(Z, Y).",
+        )
+        .unwrap();
+        let resp = s.retrieve(Request::subject("reach(n0, Y)")).unwrap();
+        assert_eq!(resp.as_data().unwrap().len(), 64);
+        resp.to_string()
+    };
+
+    let s = Session::open_with(&dir, wal_only()).unwrap();
+    assert_eq!(s.recovery_report().unwrap().replayed, 67);
+    for workers in [1, 4] {
+        let resp = s
+            .retrieve(Request::subject("reach(n0, Y)").parallelism(Parallelism::workers(workers)))
+            .unwrap();
+        assert_eq!(resp.to_string(), reference, "workers={workers}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn failed_validation_leaves_kb_wal_and_plan_cache_unchanged() {
+    let dir = temp_dir("atomicity");
+    let mut s = Session::open_with(&dir, wal_only()).unwrap();
+    s.load(
+        "predicate student(Sname, Major, Gpa) key 1.\n\
+         student(ann, math, 3.9).\n\
+         honor(X) :- student(X, Y, Z), Z > 3.7.",
+    )
+    .unwrap();
+    s.knowledge_base_mut().sync().unwrap();
+    let kb_dump = s.knowledge_base().dump();
+    let metrics = s.knowledge_base().durability_metrics().unwrap();
+    let wal_bytes = std::fs::read(dir.join("wal.log")).unwrap();
+
+    // Warm the plan cache so we can observe it surviving the failures.
+    let warm = s
+        .retrieve(Request::subject("honor(X)").with_trace(true))
+        .unwrap();
+    assert_eq!(warm.trace().unwrap().counter("plan_cache_miss"), Some(1));
+
+    let kb = s.knowledge_base_mut();
+    // Reserved predicate name.
+    assert!(kb.declare("<", &["A", "B"], None).is_err());
+    // Unknown predicate, arity mismatch, non-ground fact.
+    assert!(kb
+        .add_fact(&qdk::logic::parser::parse_atom("nosuch(1)").unwrap())
+        .is_err());
+    assert!(kb.run("student(ann, math).").is_err());
+    assert!(kb
+        .add_fact(&qdk::logic::parser::parse_atom("student(X, math, 3.0)").unwrap())
+        .is_err());
+    // Rule with a built-in head.
+    let bad_rule = qdk::logic::Rule::new(
+        qdk::logic::Atom::new(
+            "=",
+            vec![qdk::logic::Term::var("A"), qdk::logic::Term::var("B")],
+        ),
+        vec![],
+    );
+    assert!(kb.add_rule(bad_rule).is_err());
+    // Retract of an unknown predicate.
+    assert!(kb.run("retract nosuch(1).").is_err());
+
+    // Nothing changed: not the KB, not the WAL, not the metrics.
+    assert_eq!(s.knowledge_base().dump(), kb_dump);
+    assert_eq!(s.knowledge_base().durability_metrics().unwrap(), metrics);
+    assert_eq!(std::fs::read(dir.join("wal.log")).unwrap(), wal_bytes);
+    // And the plan cache was not invalidated by any failed mutation.
+    let again = s
+        .retrieve(Request::subject("honor(X)").with_trace(true))
+        .unwrap();
+    assert_eq!(again.trace().unwrap().counter("plan_cache_hit"), Some(1));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn replay_rebuilds_indexes_and_meters_through_the_same_paths() {
+    let dir = temp_dir("replay-paths");
+    let script = "predicate edge(F, T).\n\
+         predicate label(N, Kind, Weight).\n\
+         linked(X, Y) :- edge(X, Y), label(X, hub, W), label(Y, hub, V).\n";
+    let mut setup: Vec<String> = Vec::new();
+    for i in 0..40 {
+        setup.push(format!("edge(n{i}, n{}).", (i * 7) % 40));
+        setup.push(format!(
+            "label(n{i}, {}, {}).",
+            if i % 3 == 0 { "hub" } else { "leaf" },
+            i
+        ));
+    }
+    // Retractions interleaved into the log: replay must drive the same
+    // Relation::remove path (indexes and meters updated, not rebuilt via
+    // some bypass constructor).
+    for i in (0..40).step_by(5) {
+        setup.push(format!("retract edge(n{i}, n{}).", (i * 7) % 40));
+    }
+
+    // Reference: the same history applied purely in memory.
+    let mut reference = KnowledgeBase::new();
+    reference.load(script).unwrap();
+    for stmt in &setup {
+        reference.run(stmt).unwrap();
+    }
+
+    {
+        let mut s = Session::open_with(&dir, wal_only()).unwrap();
+        s.load(script).unwrap();
+        for stmt in &setup {
+            s.run(stmt).unwrap();
+        }
+    }
+    let mut replayed = Session::open_with(&dir, wal_only()).unwrap();
+
+    // Same state, same per-relation insertion order (fact ids included).
+    assert_eq!(replayed.knowledge_base().dump(), reference.dump());
+
+    // Run the identical query on both; the access meters must agree —
+    // identical index probes, full scans and composite-index probes mean
+    // replay rebuilt the same access structures live mutation built.
+    let q = "retrieve linked(X, Y).";
+    let a = reference.run(q).unwrap();
+    let b = replayed.run(q).unwrap();
+    assert_eq!(a.to_string(), b.to_string());
+    assert_eq!(
+        reference.edb().access_stats(),
+        replayed.knowledge_base().edb().access_stats()
+    );
+    assert_eq!(
+        reference.edb().composite_probes(),
+        replayed.knowledge_base().edb().composite_probes()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_final_record_is_healed_on_open() {
+    let dir = temp_dir("torn-open");
+    {
+        let mut s = Session::open_with(&dir, wal_only()).unwrap();
+        s.load(
+            "predicate edge(F, T).\n\
+             edge(a, b). edge(b, c). edge(c, d).",
+        )
+        .unwrap();
+        s.knowledge_base_mut().sync().unwrap();
+    }
+    // Tear the last record, as a crash mid-append would.
+    let wal = dir.join("wal.log");
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - 5]).unwrap();
+
+    let s = Session::open_with(&dir, wal_only()).unwrap();
+    let report = s.recovery_report().unwrap();
+    assert_eq!(report.replayed, 3, "declare + first two facts");
+    assert!(report.discarded_tail_bytes > 0);
+    let resp = s.retrieve(Request::subject("edge(X, Y)")).unwrap();
+    let d = resp.as_data().unwrap();
+    assert_eq!(d.len(), 2);
+    assert!(d.contains_row(&["a", "b"]) && d.contains_row(&["b", "c"]));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn automatic_checkpoints_fire_on_the_configured_cadence() {
+    let dir = temp_dir("auto-ckp");
+    let opts = DurabilityOptions {
+        fsync: FsyncPolicy::Never,
+        checkpoint_every_ops: Some(10),
+    };
+    {
+        let mut s = Session::open_with(&dir, opts).unwrap();
+        s.run("predicate tick(N).").unwrap();
+        for i in 0..25 {
+            s.run(&format!("tick({i}).")).unwrap();
+        }
+        let m = s.knowledge_base().durability_metrics().unwrap();
+        assert_eq!(m.checkpoints, 2, "26 ops at a 10-op cadence");
+        assert!(m.last_checkpoint_bytes > 0);
+    }
+    let s = Session::open_with(&dir, opts).unwrap();
+    let report = s.recovery_report().unwrap();
+    assert!(report.checkpointed >= 20, "most state is in the snapshot");
+    assert!(report.replayed <= 6, "only the tail replays");
+    let resp = s.retrieve(Request::subject("tick(N)")).unwrap();
+    assert_eq!(resp.as_data().unwrap().len(), 25);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clones_share_one_log() {
+    let dir = temp_dir("clone");
+    let mut s = Session::open_with(&dir, wal_only()).unwrap();
+    s.run("predicate p(A).").unwrap();
+    let mut clone = s.clone();
+    clone.run("p(1).").unwrap();
+    s.run("p(2).").unwrap();
+    drop((s, clone));
+    // Both clones' mutations are in the one log; the declared predicate
+    // replays once, and both facts are recovered.
+    let s = Session::open_with(&dir, wal_only()).unwrap();
+    assert_eq!(s.recovery_report().unwrap().replayed, 3);
+    let resp = s.retrieve(Request::subject("p(A)")).unwrap();
+    assert_eq!(resp.as_data().unwrap().len(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
