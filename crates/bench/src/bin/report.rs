@@ -3,7 +3,8 @@
 //! statistics — a quick reproduction check — and writes the same series
 //! as machine-readable `BENCH_retrieve.json` / `BENCH_describe.json` /
 //! `BENCH_obs.json` (the observability overhead guard) /
-//! `BENCH_wal.json` (WAL ingest and recovery replay). Every row of
+//! `BENCH_wal.json` (WAL ingest and recovery replay) /
+//! `BENCH_concurrency.json` (mixed read/write serving). Every row of
 //! every artifact carries the same `run_id`, so rows from one invocation
 //! can be joined across files.
 //!
@@ -323,6 +324,205 @@ fn t2_describe_threads(records: &mut Vec<String>) {
     println!();
 }
 
+/// Mixed read/write serving throughput: one writer committing durable
+/// (fsync-on-append) batches on a fixed cadence while 1/2/4/8 reader
+/// threads run the chain-8 `path` closure for a fixed wall-clock slice.
+///
+/// The rule set deliberately includes a block of 384 wide-bodied
+/// auxiliary rules over an empty relation: they cost almost nothing to
+/// *evaluate* (the first scan is empty) but make *compilation* — join
+/// ordering across six-atom bodies — a real fraction of a query. That is
+/// the realistic shape of a grown knowledge base, and exactly what
+/// separates the two modes:
+///
+/// * `locked` — the pre-epoch cost model: every thread shares one
+///   `Mutex<KnowledgeBase>`; the writer holds the lock through log +
+///   fsync, and — as every mutation did before plan retention — drops
+///   the compiled plan on each commit, so readers serialize behind the
+///   writer *and* recompile the whole program per query.
+/// * `snapshot` — the epoch path: the writer publishes through a
+///   [`qdk_lang::shared::Publisher`]; readers pin `Arc` snapshots whose
+///   compiled plan rides along, and query with zero locks, refreshing
+///   between queries.
+///
+/// The writer's cadence (a batch every ~1ms) is identical in both modes,
+/// so the modes differ only in how reads and writes coordinate. The
+/// artifact records aggregate microseconds per query (lower is better —
+/// the regression-guard direction); queries/sec rides along as a non-key
+/// field. Every reader asserts the full per-snapshot answer (36 rows for
+/// the chain-8 closure) on every query.
+fn c1_concurrency(records: &mut Vec<String>) {
+    use qdk_durability::{DurabilityOptions, FsyncPolicy};
+    use qdk_lang::shared::Publisher;
+    use qdk_lang::KnowledgeBase;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const MEASURE: Duration = Duration::from_millis(250);
+    const WRITE_PAUSE: Duration = Duration::from_millis(1);
+    const CHAIN: usize = 8;
+    const AUX_RULES: usize = 384;
+    const EXPECTED_ROWS: usize = CHAIN * (CHAIN + 1) / 2;
+
+    let mut script = String::from(
+        "predicate edge(F, T).\n\
+         predicate tick(K).\n\
+         predicate sparse(A, B).\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Z) :- edge(X, Y), path(Y, Z).\n\
+         tick(t0).\n",
+    );
+    for i in 0..CHAIN {
+        script.push_str(&format!("edge(n{i}, n{}).\n", i + 1));
+    }
+    for k in 0..AUX_RULES {
+        script.push_str(&format!(
+            "aux{k}(X, Z) :- sparse(X, A), sparse(A, B), sparse(B, C), \
+             sparse(C, D), sparse(D, E), sparse(E, Z).\n"
+        ));
+    }
+    let durable = DurabilityOptions {
+        fsync: FsyncPolicy::Always,
+        checkpoint_every_ops: None,
+    };
+    let mut fresh_dir = {
+        let mut n = 0u32;
+        move || {
+            n += 1;
+            std::env::temp_dir().join(format!("qdk-bench-conc-{}-{n}", std::process::id()))
+        }
+    };
+    let q = Retrieve::new(parse_atom("path(X, Y)").unwrap(), vec![]);
+    // One churn batch: replace the tick marker (size-stable EDB).
+    let churn = |kb: &mut KnowledgeBase, i: u64| {
+        let prev = parse_atom(&format!("tick(t{})", i - 1)).unwrap();
+        let next = parse_atom(&format!("tick(t{i})")).unwrap();
+        kb.transaction(|kb| {
+            kb.retract_fact(&prev)?;
+            kb.add_fact(&next).map(|_| ())
+        })
+        .unwrap();
+    };
+
+    println!(
+        "## C1 — mixed read/write serving throughput, chain-{CHAIN} closure + {AUX_RULES} aux rules (median of 3 × 250ms slices)\n"
+    );
+    println!("| mode | readers | µs/query (aggregate) | queries/sec |");
+    println!("|------|---------|----------------------|-------------|");
+    for mode in ["locked", "snapshot"] {
+        for readers in [1usize, 2, 4, 8] {
+            let mut run_slice = || {
+                let dir = fresh_dir();
+                let queries = AtomicU64::new(0);
+                let stop = AtomicBool::new(false);
+                match mode {
+                    "locked" => {
+                        let mut kb = KnowledgeBase::open_durable_with(&dir, durable).unwrap();
+                        kb.load(&script).unwrap();
+                        let shared = Mutex::new(kb);
+                        std::thread::scope(|s| {
+                            s.spawn(|| {
+                                let mut i = 0u64;
+                                while !stop.load(Ordering::Relaxed) {
+                                    i += 1;
+                                    {
+                                        let mut kb = shared.lock().unwrap();
+                                        churn(&mut kb, i);
+                                        // The pre-epoch cache model: every commit
+                                        // dropped the compiled plan.
+                                        kb.invalidate_plan();
+                                    }
+                                    std::thread::sleep(WRITE_PAUSE);
+                                }
+                            });
+                            for _ in 0..readers {
+                                s.spawn(|| {
+                                    while !stop.load(Ordering::Relaxed) {
+                                        let kb = shared.lock().unwrap();
+                                        let a = kb
+                                            .retrieve_with_options(
+                                                &q,
+                                                Strategy::SemiNaive,
+                                                EvalOptions::default(),
+                                            )
+                                            .unwrap();
+                                        assert_eq!(a.rows.len(), EXPECTED_ROWS);
+                                        queries.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                });
+                            }
+                            std::thread::sleep(MEASURE);
+                            stop.store(true, Ordering::Relaxed);
+                        });
+                    }
+                    _ => {
+                        let mut kb = KnowledgeBase::open_durable_with(&dir, durable).unwrap();
+                        kb.load(&script).unwrap();
+                        let mut publisher = Publisher::new(&mut kb).unwrap();
+                        let cell = publisher.cell();
+                        std::thread::scope(|s| {
+                            // The writer owns the KB and publisher; it shares
+                            // only the stop flag and the churn helper.
+                            let (stop, churn) = (&stop, &churn);
+                            s.spawn(move || {
+                                let mut i = 0u64;
+                                while !stop.load(Ordering::Relaxed) {
+                                    i += 1;
+                                    churn(&mut kb, i);
+                                    publisher.publish(&mut kb).unwrap();
+                                    std::thread::sleep(WRITE_PAUSE);
+                                }
+                            });
+                            for _ in 0..readers {
+                                s.spawn(|| {
+                                    let (mut version, mut state) = cell.load();
+                                    while !stop.load(Ordering::Relaxed) {
+                                        cell.refresh(&mut version, &mut state);
+                                        let a = state
+                                            .kb
+                                            .retrieve_with_plan(
+                                                &state.plan,
+                                                &q,
+                                                Strategy::SemiNaive,
+                                                EvalOptions::default(),
+                                            )
+                                            .unwrap();
+                                        assert_eq!(a.rows.len(), EXPECTED_ROWS);
+                                        queries.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                });
+                            }
+                            std::thread::sleep(MEASURE);
+                            stop.store(true, Ordering::Relaxed);
+                        });
+                    }
+                }
+                std::fs::remove_dir_all(&dir).ok();
+                queries.load(Ordering::Relaxed).max(1)
+            };
+            // Median of three slices: serving throughput on a shared 1-CPU
+            // host is scheduling-sensitive, and the regression guard wants
+            // a number that reproduces.
+            let mut totals = [run_slice(), run_slice(), run_slice()];
+            totals.sort_unstable();
+            let total = totals[1];
+            let us = MEASURE.as_secs_f64() * 1e6 / total as f64;
+            let qps = total as f64 / MEASURE.as_secs_f64();
+            println!("| {mode} | {readers} | {us:.1} | {qps:.0} |");
+            records.push(json_record(&[
+                ("section", json_str("c1_concurrency")),
+                ("workload", json_str("chain8_wide_aux_tick_churn")),
+                ("mode", json_str(mode)),
+                ("readers", readers.to_string()),
+                ("micros", format!("{us:.2}")),
+                ("qps", format!("{qps:.0}")),
+            ]));
+        }
+    }
+    println!();
+}
+
 fn p2_sweeps(records: &mut Vec<String>) {
     println!("## P2a — describe latency vs rule-tower depth (fan-out 2)\n");
     println!("| depth | µs (median of 9) | theorems |");
@@ -623,7 +823,7 @@ const MEASUREMENTS: [&str; 5] = [
 
 /// Fields that are neither measurements nor identity (derived ratios,
 /// per-invocation tags).
-const NON_KEY: [&str; 2] = ["run_id", "overhead_pct"];
+const NON_KEY: [&str; 3] = ["run_id", "overhead_pct", "qps"];
 
 /// Parses the flat series rows this binary writes: one `{...}` object per
 /// line, fields separated by `", "`, values either quoted identifiers or
@@ -726,11 +926,12 @@ fn check_against(
 }
 
 /// Runs every section that feeds the checked artifacts, returning
-/// `(retrieve rows, describe rows, wal rows)`.
-fn checked_sections() -> (Vec<String>, Vec<String>, Vec<String>) {
+/// `(retrieve rows, describe rows, wal rows, concurrency rows)`.
+fn checked_sections() -> (Vec<String>, Vec<String>, Vec<String>, Vec<String>) {
     let mut retrieve = Vec::new();
     let mut describe = Vec::new();
     let mut wal = Vec::new();
+    let mut concurrency = Vec::new();
     p1_full_closure(&mut retrieve);
     p1_bound_query(&mut retrieve);
     j1_join_heavy(&mut retrieve);
@@ -741,19 +942,26 @@ fn checked_sections() -> (Vec<String>, Vec<String>, Vec<String>) {
     e6_family(&mut describe);
     p3_policies(&mut describe);
     w1_durability(&mut wal);
-    (retrieve, describe, wal)
+    c1_concurrency(&mut concurrency);
+    (retrieve, describe, wal, concurrency)
 }
 
 /// One full measure-and-compare pass. Returns `(compared, suspects)`
 /// across every artifact, or exits when there is nothing to compare.
 fn check_pass(base: &str) -> (usize, Vec<(String, String)>) {
-    let (retrieve, describe, wal) = checked_sections();
+    let (retrieve, describe, wal, concurrency) = checked_sections();
     let (cr, mut suspects) = check_against(&retrieve, &format!("{base}/retrieve.json"), "retrieve");
     let (cd, sd) = check_against(&describe, &format!("{base}/describe.json"), "describe");
     let (cw, sw) = check_against(&wal, &format!("{base}/wal.json"), "wal");
+    let (cc, sc) = check_against(
+        &concurrency,
+        &format!("{base}/concurrency.json"),
+        "concurrency",
+    );
     suspects.extend(sd);
     suspects.extend(sw);
-    (cr + cd + cw, suspects)
+    suspects.extend(sc);
+    (cr + cd + cw + cc, suspects)
 }
 
 /// The `--check` regression guard: medians within a 25% tolerance band of
@@ -807,7 +1015,7 @@ fn main() {
         run_check();
         return;
     }
-    let (retrieve_records, describe_records, wal_records) = checked_sections();
+    let (retrieve_records, describe_records, wal_records, concurrency_records) = checked_sections();
     let mut obs_records = Vec::new();
     ablations();
     o1_obs_overhead(&mut obs_records);
@@ -815,4 +1023,5 @@ fn main() {
     write_json("BENCH_describe.json", &describe_records, &run_id);
     write_json("BENCH_obs.json", &obs_records, &run_id);
     write_json("BENCH_wal.json", &wal_records, &run_id);
+    write_json("BENCH_concurrency.json", &concurrency_records, &run_id);
 }

@@ -16,6 +16,7 @@ const OP_ADD_FACT: u8 = 1;
 const OP_ADD_RULE: u8 = 2;
 const OP_RETRACT: u8 = 3;
 const OP_ADD_CONSTRAINT: u8 = 4;
+const OP_BATCH: u8 = 5;
 
 /// A single logged knowledge-base mutation.
 #[derive(Clone, Debug, PartialEq)]
@@ -47,6 +48,11 @@ pub enum WalOp {
     },
     /// An integrity constraint added to the KB.
     AddConstraint(Constraint),
+    /// An atomic batch of mutations committed as one transaction. The
+    /// whole batch lives in a single WAL record, so the record-level CRC
+    /// makes it all-or-nothing on disk: a torn tail is truncated as a
+    /// whole and recovery never replays half a batch.
+    Batch(Vec<WalOp>),
 }
 
 impl WalOp {
@@ -100,6 +106,13 @@ impl WalOp {
                 enc.byte(OP_ADD_CONSTRAINT);
                 enc.constraint(c);
             }
+            WalOp::Batch(ops) => {
+                enc.byte(OP_BATCH);
+                enc.varint(ops.len() as u64);
+                for op in ops {
+                    op.encode(enc);
+                }
+            }
         }
     }
 
@@ -135,6 +148,14 @@ impl WalOp {
                 WalOp::Retract { pred, tuple }
             }
             OP_ADD_CONSTRAINT => WalOp::AddConstraint(dec.constraint()?),
+            OP_BATCH => {
+                let n = dec.checked_count()?;
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ops.push(WalOp::decode(dec)?);
+                }
+                WalOp::Batch(ops)
+            }
             tag => {
                 return Err(DurabilityError::Corrupt {
                     what: "encoding",
@@ -217,6 +238,25 @@ mod tests {
         for op in &ops {
             assert_eq!(&roundtrip(op), op);
         }
+    }
+
+    #[test]
+    fn batches_roundtrip_as_one_record() {
+        let batch = WalOp::Batch(vec![
+            WalOp::Declare {
+                name: "edge".into(),
+                attrs: vec!["from".into(), "to".into()],
+                key: None,
+            },
+            WalOp::add_fact(&parse_atom("edge(a, b)").unwrap()).unwrap(),
+            WalOp::retract(&parse_atom("edge(a, b)").unwrap()).unwrap(),
+            WalOp::AddRule(parse_rule("path(X, Y) :- edge(X, Y).").unwrap()),
+        ]);
+        assert_eq!(roundtrip(&batch), batch);
+        // Empty batches are legal (a committed transaction that logged
+        // nothing encodes to nothing at apply time).
+        let empty = WalOp::Batch(Vec::new());
+        assert_eq!(roundtrip(&empty), empty);
     }
 
     #[test]

@@ -411,6 +411,36 @@ impl ProgramPlan {
         &self.interner
     }
 
+    /// The composite-index column sets this program's scans can probe:
+    /// for every [`Step::Scan`], the (ascending, distinct) positions bound
+    /// at scan time — constants plus slots the planner proved bound —
+    /// kept when at least two positions qualify (single-bound scans use
+    /// the per-column index). Deduplicated across rules.
+    ///
+    /// The epoch writer prebuilds these on the EDB at publish, so
+    /// snapshot readers hit promoted (lock-free) composite indexes from
+    /// their first query instead of demand-building under a lock.
+    pub fn composite_requests(&self) -> Vec<(Sym, Vec<usize>)> {
+        let mut out: Vec<(Sym, Vec<usize>)> = Vec::new();
+        for plan in &self.plans {
+            for step in &plan.steps {
+                let Step::Scan { pred, cols, .. } = step else {
+                    continue;
+                };
+                let bound: Vec<usize> = cols
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| matches!(c, Col::Const(_) | Col::Slot { probe: true, .. }))
+                    .map(|(i, _)| i)
+                    .collect();
+                if bound.len() >= 2 && !out.iter().any(|(p, b)| p == pred && b == &bound) {
+                    out.push((pred.clone(), bound));
+                }
+            }
+        }
+        out
+    }
+
     /// Renders every rule's [`RulePlan::explain`] in `Idb::rules()` order,
     /// separated by blank lines — the whole program's EXPLAIN.
     pub fn explain(&self) -> String {
@@ -717,6 +747,24 @@ mod tests {
         assert!(text.contains("plan honor(X)"));
         assert!(text.contains("plan prior(X, Y)"));
         assert!(text.contains("full scan"));
+    }
+
+    #[test]
+    fn composite_requests_cover_multi_bound_scans() {
+        let idb = Idb::from_rules([
+            // The check scan runs with both X and Y already bound → one
+            // composite request over both columns.
+            parse_rule("ans(X, Y) :- seed(X, Y), edge(X, Y).").unwrap(),
+            // Single-bound and unbound scans request nothing.
+            parse_rule("all(X, C) :- enroll(X, C).").unwrap(),
+            // A duplicate bound shape on the same predicate dedups.
+            parse_rule("ans2(X, Y) :- seed(X, Y), edge(X, Y).").unwrap(),
+        ])
+        .unwrap();
+        let reqs = ProgramPlan::compile(&idb).composite_requests();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].0.as_str(), "edge");
+        assert_eq!(reqs[0].1, vec![0, 1]);
     }
 
     fn stats(cards: &[(&str, usize)]) -> CatalogStats {

@@ -20,41 +20,49 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard};
 
-/// The cached compilation of the IDB (plans plus their interner),
-/// rebuilt lazily after any mutation. Interior-mutable so queries —
-/// which take `&self` — can fill it on first use.
+/// The cached compilation of the IDB (plans plus their interner), keyed
+/// by the rules generation it was compiled under. Interior-mutable so
+/// queries — which take `&self` — can fill it on first use.
+///
+/// Fact mutations do **not** touch the cache: a compiled program depends
+/// only on the IDB (rule bodies, literal schedules) plus a cardinality
+/// snapshot that steers join *order*, never answers — so fact churn can
+/// at worst leave the order mildly stale, and the next rule change or
+/// explicit [`KnowledgeBase::invalidate_plan`] refreshes the stats along
+/// with the plans. Rule and constraint mutations bump the generation,
+/// which makes the cached entry unreachable.
 #[derive(Default)]
-struct PlanCache(Mutex<Option<Arc<ProgramPlan>>>);
+struct PlanCache(Mutex<Option<(u64, Arc<ProgramPlan>)>>);
 
 impl PlanCache {
     /// Locks the slot; a poisoned lock only means another thread
     /// panicked mid-access, and the cached plan (or `None`) is still
     /// coherent, so recover the guard instead of propagating.
-    fn slot(&self) -> MutexGuard<'_, Option<Arc<ProgramPlan>>> {
+    fn slot(&self) -> MutexGuard<'_, Option<(u64, Arc<ProgramPlan>)>> {
         match self.0.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         }
     }
 
-    /// The cached plan, compiling `idb` against a fresh cardinality
-    /// snapshot of `edb` if the cache is empty. The flag reports whether
-    /// this call was a cache hit (for observability). Mutations
-    /// invalidate the cache, so the snapshot a cached plan carries is
-    /// never staler than the data it plans over.
-    fn get_or_compile(&self, idb: &Idb, edb: &Edb) -> (Arc<ProgramPlan>, bool) {
+    /// The plan cached for rules generation `gen`, compiling `idb`
+    /// against a fresh cardinality snapshot of `edb` if the cache is
+    /// empty or holds another generation. The flag reports whether this
+    /// call was a cache hit (for observability).
+    fn get_or_compile(&self, gen: u64, idb: &Idb, edb: &Edb) -> (Arc<ProgramPlan>, bool) {
         let mut slot = self.slot();
-        match &*slot {
-            Some(p) => (Arc::clone(p), true),
-            None => {
-                let p = Arc::new(ProgramPlan::compile_with_stats(idb, edb.stats()));
-                *slot = Some(Arc::clone(&p));
-                (p, false)
+        if let Some((cached_gen, p)) = &*slot {
+            if *cached_gen == gen {
+                return (Arc::clone(p), true);
             }
         }
+        let p = Arc::new(ProgramPlan::compile_with_stats(idb, edb.stats()));
+        *slot = Some((gen, Arc::clone(&p)));
+        (p, false)
     }
 
-    /// Drops the cached plan; the next query recompiles.
+    /// Drops the cached plan; the next query recompiles (picking up a
+    /// fresh cardinality snapshot).
     fn invalidate(&self) {
         *self.slot() = None;
     }
@@ -87,8 +95,15 @@ pub struct KnowledgeBase {
     keys: HashMap<Sym, usize>,
     strategy: Strategy,
     opts: DescribeOptions,
-    /// Compiled program shared by every retrieve until the KB mutates.
+    /// Compiled program shared by every retrieve until the rules change.
     plan: PlanCache,
+    /// Rules generation: bumped by rule/constraint mutations, the plan
+    /// cache key. Fact mutations leave it (and the cache) alone.
+    rules_gen: u64,
+    /// In-flight transaction buffer: while `Some`, logged ops collect
+    /// here instead of hitting the WAL, and commit writes them as one
+    /// atomic [`WalOp::Batch`] record (see [`Self::transaction`]).
+    batch: Option<Vec<WalOp>>,
     /// The durable store, when this KB was opened with
     /// [`Self::open_durable`]; `None` for purely in-memory KBs. Shared
     /// behind an `Arc` so `Clone` keeps working — clones write to the
@@ -227,6 +242,11 @@ impl KnowledgeBase {
                 self.edb.remove_tuple(&pred, &tuple)?;
             }
             WalOp::AddConstraint(c) => self.constraints.push(c),
+            WalOp::Batch(ops) => {
+                for op in ops {
+                    self.apply_op(op)?;
+                }
+            }
         }
         Ok(())
     }
@@ -242,8 +262,17 @@ impl KnowledgeBase {
 
     /// Appends `op` to the WAL if this KB is durable. Called *after*
     /// validation and *before* the in-memory apply — the WAL discipline:
-    /// an op that reaches the log can no longer fail to apply.
+    /// an op that reaches the log can no longer fail to apply. Inside a
+    /// [`transaction`](Self::transaction) the op is buffered instead and
+    /// reaches the WAL as part of the commit's single batch record.
     fn log(&mut self, op: WalOp) -> Result<()> {
+        if self.durable.is_none() {
+            return Ok(());
+        }
+        if let Some(buf) = &mut self.batch {
+            buf.push(op);
+            return Ok(());
+        }
         if let Some(d) = &self.durable {
             let (lsn, bytes) = Self::durable_guard(d).append(&op)?;
             if self.opts.sink.enabled() {
@@ -254,8 +283,13 @@ impl KnowledgeBase {
     }
 
     /// Takes a checkpoint if the configured op threshold has been
-    /// crossed. Called after every applied mutation.
+    /// crossed. Called after every applied mutation; a no-op while a
+    /// transaction is open (a checkpoint must never capture the applied
+    /// half of an uncommitted batch).
     fn maybe_checkpoint(&mut self) -> Result<()> {
+        if self.batch.is_some() {
+            return Ok(());
+        }
         let due = match &self.durable {
             Some(d) => Self::durable_guard(d).should_checkpoint(),
             None => false,
@@ -264,6 +298,42 @@ impl KnowledgeBase {
             self.checkpoint()?;
         }
         Ok(())
+    }
+
+    /// Runs `f` as an atomic batch. Mutations inside the closure apply to
+    /// this KB immediately (the closure observes its own writes) but
+    /// their WAL ops are buffered and committed as **one**
+    /// [`WalOp::Batch`] record when the closure returns `Ok` — the
+    /// record-level CRC then makes the batch all-or-nothing on disk, so
+    /// recovery replays either the whole transaction or none of it. If
+    /// the closure (or the commit append) fails, the KB rolls back to its
+    /// pre-transaction state (a cheap copy-on-write clone) and the WAL
+    /// receives nothing.
+    ///
+    /// Nested calls flatten into the outer transaction.
+    pub fn transaction<R>(&mut self, f: impl FnOnce(&mut Self) -> Result<R>) -> Result<R> {
+        if self.batch.is_some() {
+            return f(self);
+        }
+        let undo = self.clone();
+        self.batch = Some(Vec::new());
+        match f(self) {
+            Ok(value) => {
+                let ops = self.batch.take().unwrap_or_default();
+                if !ops.is_empty() {
+                    if let Err(e) = self.log(WalOp::Batch(ops)) {
+                        *self = undo;
+                        return Err(e);
+                    }
+                }
+                self.maybe_checkpoint()?;
+                Ok(value)
+            }
+            Err(e) => {
+                *self = undo;
+                Err(e)
+            }
+        }
     }
 
     /// Snapshots the current state and atomically publishes it as the
@@ -341,7 +411,8 @@ impl KnowledgeBase {
 
     /// Declares an EDB predicate. Validation happens before the
     /// declaration is logged or applied, so a failed declare leaves both
-    /// the KB and the WAL untouched.
+    /// the KB and the WAL untouched. The compiled plan survives — a new
+    /// (necessarily empty) predicate cannot change any rule's schedule.
     pub fn declare(&mut self, name: &str, attrs: &[&str], key: Option<usize>) -> Result<()> {
         self.edb.validate_declare(name)?;
         self.log(WalOp::Declare {
@@ -353,13 +424,14 @@ impl KnowledgeBase {
         if let Some(k) = key {
             self.keys.insert(Sym::new(name), k);
         }
-        self.plan.invalidate();
         self.maybe_checkpoint()
     }
 
-    /// Adds a fact (ground atom) to the EDB. Validate → log → apply →
-    /// invalidate: a fact that fails validation leaves the KB, its plan
-    /// cache and the WAL untouched.
+    /// Adds a fact (ground atom) to the EDB, under the validate → log →
+    /// apply discipline: a fact that fails validation leaves the KB and
+    /// the WAL untouched. The compiled plan is retained — answers flow
+    /// from the live EDB, the plan only fixes the literal schedules (see
+    /// [`PlanCache`]).
     pub fn add_fact(&mut self, atom: &qdk_logic::Atom) -> Result<bool> {
         self.edb.validate_fact(atom)?;
         if self.durable.is_some() {
@@ -369,25 +441,25 @@ impl KnowledgeBase {
             }
         }
         let new = self.edb.insert_fact(atom)?;
-        self.plan.invalidate();
         self.maybe_checkpoint()?;
         Ok(new)
     }
 
-    /// Adds a rule to the IDB, under the same validate → log → apply →
-    /// invalidate discipline as [`Self::add_fact`].
+    /// Adds a rule to the IDB, under the same validate → log → apply
+    /// discipline as [`Self::add_fact`] — plus plan invalidation: rule
+    /// changes bump the rules generation, so every retrieve recompiles.
     pub fn add_rule(&mut self, rule: Rule) -> Result<()> {
         self.idb.validate_rule(&rule)?;
         if self.durable.is_some() {
             self.log(WalOp::AddRule(rule.clone()))?;
         }
         self.idb.add_rule(rule)?;
-        self.plan.invalidate();
+        self.rules_gen = self.rules_gen.wrapping_add(1);
         self.maybe_checkpoint()
     }
 
     /// Retracts a stored fact; returns `true` if it was stored. Same
-    /// discipline as [`Self::add_fact`].
+    /// discipline as [`Self::add_fact`]; the compiled plan is retained.
     pub fn retract_fact(&mut self, atom: &qdk_logic::Atom) -> Result<bool> {
         self.edb.validate_fact(atom)?;
         if self.durable.is_some() {
@@ -396,19 +468,30 @@ impl KnowledgeBase {
             }
         }
         let removed = self.edb.remove_fact(atom)?;
-        self.plan.invalidate();
         self.maybe_checkpoint()?;
         Ok(removed)
     }
 
     /// Adds an integrity constraint (logged like every other mutation —
     /// constraints are part of the durable state `dump()` serializes).
+    /// Constraints shape knowledge answers, so they count as a rules
+    /// change for plan-cache purposes.
     pub fn add_constraint(&mut self, c: Constraint) -> Result<()> {
         if self.durable.is_some() {
             self.log(WalOp::AddConstraint(c.clone()))?;
         }
         self.constraints.push(c);
+        self.rules_gen = self.rules_gen.wrapping_add(1);
         self.maybe_checkpoint()
+    }
+
+    /// Drops the cached compiled program; the next retrieve recompiles
+    /// against a fresh cardinality snapshot. Fact mutations deliberately
+    /// keep the plan (only join *order* can go stale, never answers);
+    /// call this after bulk loads that change relative relation sizes
+    /// enough to matter.
+    pub fn invalidate_plan(&self) {
+        self.plan.invalidate();
     }
 
     /// Executes one parsed statement.
@@ -554,7 +637,9 @@ impl KnowledgeBase {
         let obs = eval.sink.clone();
         let plan = {
             let _span = obs.span("plan", 0);
-            let (plan, hit) = self.plan.get_or_compile(&self.idb, &self.edb);
+            let (plan, hit) = self
+                .plan
+                .get_or_compile(self.rules_gen, &self.idb, &self.edb);
             if obs.enabled() {
                 let name = if hit {
                     "plan_cache_hit"
@@ -571,10 +656,69 @@ impl KnowledgeBase {
         )?)
     }
 
-    /// True if a compiled program is currently cached (test hook).
+    /// [`Self::retrieve_with_options`] against an already-resolved
+    /// compiled program, bypassing the plan cache (and its lock)
+    /// entirely. This is the snapshot read path: an epoch snapshot pins
+    /// the plan next to the data it was compiled for, so its readers
+    /// never consult the cache. The caller guarantees `plan` was compiled
+    /// from this KB's IDB.
+    pub fn retrieve_with_plan(
+        &self,
+        plan: &ProgramPlan,
+        r: &Retrieve,
+        strategy: Strategy,
+        eval: qdk_engine::EvalOptions,
+    ) -> Result<qdk_engine::DataAnswer> {
+        let obs = eval.sink.clone();
+        if obs.enabled() {
+            obs.counter("plan_cache_hit", 1);
+        }
+        let _span = obs.span("execute", 0);
+        Ok(query::retrieve_compiled(
+            &self.edb, &self.idb, plan, r, strategy, eval,
+        )?)
+    }
+
+    /// The compiled program for the current rules generation, filling the
+    /// cache if needed (without emitting query counters).
+    pub fn compiled_plan(&self) -> Arc<ProgramPlan> {
+        self.plan
+            .get_or_compile(self.rules_gen, &self.idb, &self.edb)
+            .0
+    }
+
+    /// Prepares this KB for an epoch publish and returns the plan the
+    /// snapshot should pin: adopt composite-index demand readers
+    /// expressed on the previous epoch (`prev`), resolve the compiled
+    /// plan, prebuild the composite indexes its scans will probe, promote
+    /// everything into the lock-free sets, and force the WAL to stable
+    /// storage so a published epoch is always durable.
+    pub(crate) fn prepare_publish(
+        &mut self,
+        prev: Option<&KnowledgeBase>,
+    ) -> Result<Arc<ProgramPlan>> {
+        if let Some(prev) = prev {
+            self.edb.adopt_index_demand(prev.edb());
+        }
+        let plan = self.compiled_plan();
+        for (pred, cols) in plan.composite_requests() {
+            // Requests against derived predicates have no stored relation
+            // and are skipped inside.
+            self.edb.ensure_composite(pred.as_str(), &cols);
+        }
+        self.edb.promote_indexes();
+        self.sync()?;
+        Ok(plan)
+    }
+
+    /// True if a compiled program for the *current* rules generation is
+    /// cached — i.e. the next query will hit, not recompile (test hook).
     #[cfg(test)]
     fn plan_cached(&self) -> bool {
-        self.plan.slot().is_some()
+        self.plan
+            .slot()
+            .as_ref()
+            .is_some_and(|(gen, _)| *gen == self.rules_gen)
     }
 
     /// Evaluates a `describe` statement (knowledge query, §3.2),
@@ -654,6 +798,41 @@ mod tests {
         )
         .unwrap();
         kb
+    }
+
+    #[test]
+    fn transaction_commits_or_rolls_back_atomically() {
+        let mut kb = mini_kb();
+        // Commit: the closure observes its own writes, and they stick.
+        let n = kb
+            .transaction(|kb| {
+                kb.run("student(cara, math, 3.95).")?;
+                kb.run("enroll(cara, databases).")?;
+                Ok(kb.edb().fact_count())
+            })
+            .unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(kb.edb().fact_count(), 5);
+        // Rollback: an error anywhere undoes every write in the batch,
+        // including rule additions.
+        let before = kb.dump();
+        let err = kb.transaction(|kb| {
+            kb.run("student(dan, physics, 2.8).")?;
+            kb.run("star(X) :- student(X, M, G), G > 3.8.")?;
+            kb.run("this is not a statement.")?;
+            Ok(())
+        });
+        assert!(err.is_err());
+        assert_eq!(kb.dump(), before);
+        assert_eq!(kb.edb().fact_count(), 5);
+        assert_eq!(kb.idb().len(), 1);
+        // Nested transactions flatten into the outer one.
+        kb.transaction(|kb| {
+            kb.transaction(|kb| kb.run("enroll(bob, algebra).").map(|_| ()))?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(kb.edb().fact_count(), 6);
     }
 
     #[test]
@@ -774,20 +953,66 @@ mod tests {
     }
 
     #[test]
-    fn plan_cache_fills_on_query_and_invalidates_on_mutation() {
+    fn plan_cache_fills_on_query_and_survives_fact_mutations() {
         let mut kb = mini_kb();
         assert!(!kb.plan_cached());
         kb.run("retrieve honor(X).").unwrap();
         assert!(kb.plan_cached());
-        // Reads keep the cache; every mutation drops it.
+        // Reads keep the cache.
         kb.run("show rules.").unwrap();
         assert!(kb.plan_cached());
+        // Fact-only mutations keep it too: compilation depends on rules,
+        // not data, so declares/asserts/retracts never force a recompile.
         kb.run("student(cara, math, 3.95).").unwrap();
+        assert!(kb.plan_cached());
+        kb.run("retract student(cara, math, 3.95).").unwrap();
+        kb.declare("lab", &["name"], None).unwrap();
+        assert!(kb.plan_cached());
+        // Rule and constraint changes advance the generation: the cached
+        // entry is stale and the next query recompiles.
+        kb.run("star(X) :- student(X, M, G), G > 3.8.").unwrap();
         assert!(!kb.plan_cached());
         kb.run("retrieve honor(X).").unwrap();
         assert!(kb.plan_cached());
-        kb.run("star(X) :- student(X, M, G), G > 3.8.").unwrap();
+        kb.run("inconsistent :- honor(X), star(X).").unwrap();
         assert!(!kb.plan_cached());
+    }
+
+    #[test]
+    fn plan_cache_counters_expose_retention() {
+        use qdk_logic::obs::{CollectSink, Event, ObsSink};
+        let mut kb = mini_kb();
+        // Run one traced retrieve and report which plan-cache counter fired.
+        let traced = |kb: &KnowledgeBase| {
+            let Statement::Retrieve(r) =
+                crate::parser::parse_statement("retrieve honor(X).").unwrap()
+            else {
+                panic!("expected retrieve");
+            };
+            let collect = Arc::new(CollectSink::new());
+            let eval = qdk_engine::EvalOptions {
+                sink: ObsSink::new(collect.clone()),
+                ..Default::default()
+            };
+            kb.retrieve_with_options(&r, kb.strategy(), eval).unwrap();
+            let hits = |wanted: &str| {
+                collect
+                    .events()
+                    .iter()
+                    .filter(|e| matches!(e, Event::Counter { name, .. } if *name == wanted))
+                    .count()
+            };
+            (hits("plan_cache_hit"), hits("plan_cache_miss"))
+        };
+        // First query compiles, second hits.
+        assert_eq!(traced(&kb), (0, 1));
+        assert_eq!(traced(&kb), (1, 0));
+        // A fact write does not spend the cache...
+        kb.run("student(cara, math, 3.95).").unwrap();
+        assert_eq!(traced(&kb), (1, 0));
+        // ...but a rule write does.
+        kb.run("star(X) :- student(X, M, G), G > 3.8.").unwrap();
+        assert_eq!(traced(&kb), (0, 1));
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub mod datasets;
 mod error;
 mod kb;
 pub mod parser;
+pub mod shared;
 
 pub use answer::Answer;
 pub use error::{LangError, Result};
 pub use kb::KnowledgeBase;
+pub use shared::{KbState, Publisher};

@@ -14,7 +14,11 @@
 //!   `<=`, `>`, `>=` over values;
 //! * [`Catalog`]/[`Schema`] — predicate declarations (names and attribute
 //!   names, used for validation and display);
-//! * [`Edb`] — the extensional database: a catalog plus its relations.
+//! * [`Edb`] — the extensional database: a catalog plus its relations;
+//! * [`epoch`] — snapshot-isolated publication: [`EpochCell`] versioned
+//!   slots and the single-writer [`EdbWriter`], built on the copy-on-write
+//!   structure of [`Relation`] (clones share tuples and indexes, so an
+//!   epoch snapshot costs only what the next batch touches).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,14 +27,18 @@
 pub mod builtins;
 mod catalog;
 mod database;
+pub mod epoch;
 mod error;
 mod relation;
+mod store;
 mod tuple;
 
 pub use catalog::{Catalog, CatalogStats, Schema};
 pub use database::Edb;
+pub use epoch::{EdbWriter, EpochCell, EpochId};
 pub use error::{Result, StorageError};
 pub use relation::{CompositeIndex, DeltaView, Relation};
+pub use store::TupleIter;
 pub use tuple::Tuple;
 
 /// A stored value. Facts store the same constants that appear in terms.

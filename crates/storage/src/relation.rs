@@ -1,6 +1,20 @@
-//! Indexed fact relations.
+//! Indexed fact relations with copy-on-write snapshot semantics.
+//!
+//! Every piece of a [`Relation`] that queries read — the tuple store, the
+//! per-column hash indexes, the composite indexes, the presence map — sits
+//! behind an `Arc`. Cloning a relation is therefore a handful of reference
+//! bumps, and the clone is a true snapshot: mutations on either side use
+//! `Arc::make_mut`, copying a shared piece the first time it is touched
+//! after the clone and mutating in place from then on. A relation that is
+//! never cloned (the common single-owner case) pays nothing — its `Arc`s
+//! stay unique and `make_mut` never copies.
+//!
+//! This is the storage half of epoch snapshots (see [`epoch`](crate::epoch)):
+//! a published epoch holds a cloned `Edb`, and the writer keeps batching
+//! into its own copy without disturbing readers.
 
 use crate::error::{Result, StorageError};
+use crate::store::{TupleIter, TupleStore};
 use crate::tuple::Tuple;
 use crate::Value;
 use qdk_logic::fasthash::{FxHashMap, FxHasher};
@@ -28,10 +42,14 @@ fn hash_key<'a>(vals: impl Iterator<Item = &'a Value>) -> u64 {
 /// of probing one column and filtering the rest tuple-by-tuple. They are
 /// owned by their [`Relation`] (which keeps them consistent through
 /// [`insert`](Relation::insert) / [`remove`](Relation::remove) /
-/// [`clear`](Relation::clear)) and handed to callers as `Arc` snapshots so
-/// the per-frame probe path takes no lock. Buckets are keyed by the hash
-/// of the projected values and disambiguated by equality, which lets
-/// [`probe`](CompositeIndex::probe) accept borrowed values without cloning.
+/// [`clear`](Relation::clear)) and handed to callers as **frozen `Arc`
+/// snapshots**: the per-frame probe path takes no lock, and a held handle
+/// is never mutated by later relation mutations — maintenance goes through
+/// `Arc::make_mut`, which copies the index out from under any outstanding
+/// handle first. Re-fetch via [`composite`](Relation::composite) to observe
+/// new rows. Buckets are keyed by the hash of the projected values and
+/// disambiguated by equality, which lets [`probe`](CompositeIndex::probe)
+/// accept borrowed values without cloning.
 ///
 /// Row ids within a bucket are ascending (the build walks tuples in id
 /// order and maintenance appends fresh ids), so windowed delta probes can
@@ -59,13 +77,13 @@ impl Clone for CompositeIndex {
 }
 
 impl CompositeIndex {
-    fn build(cols: Vec<usize>, tuples: &[Tuple]) -> Self {
+    fn build<'a>(cols: Vec<usize>, tuples: impl Iterator<Item = &'a Tuple>) -> Self {
         let mut ix = CompositeIndex {
             cols,
             buckets: FxHashMap::default(),
             probes: AtomicU64::new(0),
         };
-        for (id, t) in tuples.iter().enumerate() {
+        for (id, t) in tuples.enumerate() {
             ix.add(id as u32, t);
         }
         ix
@@ -163,7 +181,9 @@ impl<'a> DeltaView<'a> {
 
     /// Iterates the window's tuples in id order.
     pub fn iter(&self) -> impl Iterator<Item = &'a Tuple> {
-        self.rel.tuples[self.start as usize..self.end as usize].iter()
+        self.rel
+            .tuples
+            .iter_range(self.start as usize, self.end as usize)
     }
 
     /// Single-column probe restricted to the window.
@@ -187,48 +207,58 @@ impl<'a> DeltaView<'a> {
 /// engine shares relations across worker threads); they survive
 /// [`remove`](Relation::remove)/re-insert and reset only with
 /// [`clear`](Relation::clear).
+///
+/// # Snapshots
+///
+/// `Relation::clone` is cheap: the tuple store, per-column indexes,
+/// presence map, and promoted composite indexes are all `Arc`-shared with
+/// the clone. Mutations on either side copy a shared piece on first touch
+/// (`Arc::make_mut`), so a clone behaves as an immutable snapshot while
+/// the original keeps accepting writes. Probe/scan counters start from the
+/// current totals but advance independently per clone.
 #[derive(Debug)]
 pub struct Relation {
     name: Sym,
     arity: usize,
-    tuples: Vec<Tuple>,
-    present: FxHashMap<Tuple, u32>,
+    tuples: TupleStore,
+    present: Arc<FxHashMap<Tuple, u32>>,
     /// `indexes[c][v]` = row ids whose column `c` equals `v`.
-    indexes: Vec<FxHashMap<Value, Vec<u32>>>,
-    /// Demand-built composite indexes (at most one per column set). Behind
-    /// a mutex so [`composite`](Relation::composite) can build under
-    /// `&self`; the lock is taken once per plan firing, never per frame —
-    /// callers probe through the returned `Arc`.
-    composites: Mutex<Vec<Arc<CompositeIndex>>>,
+    indexes: Vec<Arc<FxHashMap<Value, Vec<u32>>>>,
+    /// Promoted composite indexes (at most one per column set): the
+    /// lock-free lookup set shared with snapshots. Maintained in place by
+    /// mutations (copy-on-write when a snapshot or caller handle still
+    /// shares an entry).
+    ready: Arc<Vec<Arc<CompositeIndex>>>,
+    /// Composite indexes demand-built under `&self` (see
+    /// [`composite`](Relation::composite)) that have not yet been promoted
+    /// into [`ready`](Relation::ready). The lock is taken once per plan
+    /// firing on the build path only, never per frame; the next mutation
+    /// or [`promote_pending`](Relation::promote_pending) drains it.
+    pending: Mutex<Vec<Arc<CompositeIndex>>>,
     probes: AtomicU64,
     scans: AtomicU64,
 }
 
 impl Clone for Relation {
     fn clone(&self) -> Self {
-        let composites = lock_composites(&self.composites)
-            .iter()
-            .map(|ix| Arc::new(CompositeIndex::clone(ix)))
-            .collect();
         Relation {
             name: self.name.clone(),
             arity: self.arity,
             tuples: self.tuples.clone(),
-            present: self.present.clone(),
-            indexes: self.indexes.clone(),
-            composites: Mutex::new(composites),
+            present: Arc::clone(&self.present),
+            indexes: self.indexes.iter().map(Arc::clone).collect(),
+            ready: Arc::clone(&self.ready),
+            pending: Mutex::new(lock_pending(&self.pending).clone()),
             probes: AtomicU64::new(self.probes.load(Ordering::Relaxed)),
             scans: AtomicU64::new(self.scans.load(Ordering::Relaxed)),
         }
     }
 }
 
-/// Locks the composite-index list, recovering from poison (the guarded
-/// operations don't panic mid-update, so a poisoned lock is still
+/// Locks the pending composite-index list, recovering from poison (the
+/// guarded operations don't panic mid-update, so a poisoned lock is still
 /// consistent).
-fn lock_composites(
-    m: &Mutex<Vec<Arc<CompositeIndex>>>,
-) -> MutexGuard<'_, Vec<Arc<CompositeIndex>>> {
+fn lock_pending(m: &Mutex<Vec<Arc<CompositeIndex>>>) -> MutexGuard<'_, Vec<Arc<CompositeIndex>>> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
@@ -238,10 +268,11 @@ impl Relation {
         Relation {
             name: name.into(),
             arity,
-            tuples: Vec::new(),
-            present: FxHashMap::default(),
-            indexes: vec![FxHashMap::default(); arity],
-            composites: Mutex::new(Vec::new()),
+            tuples: TupleStore::default(),
+            present: Arc::new(FxHashMap::default()),
+            indexes: (0..arity).map(|_| Arc::new(FxHashMap::default())).collect(),
+            ready: Arc::new(Vec::new()),
+            pending: Mutex::new(Vec::new()),
             probes: AtomicU64::new(0),
             scans: AtomicU64::new(0),
         }
@@ -296,23 +327,80 @@ impl Relation {
         if self.present.contains_key(&t) {
             return Ok(false);
         }
+        self.promote_pending();
         let id = self.tuples.len() as u32;
         for (c, v) in t.values().iter().enumerate() {
-            self.indexes[c].entry(v.clone()).or_default().push(id);
+            Arc::make_mut(&mut self.indexes[c])
+                .entry(v.clone())
+                .or_default()
+                .push(id);
         }
-        for ix in self.composites_mut() {
-            Arc::make_mut(ix).add(id, &t);
+        if !self.ready.is_empty() {
+            for ix in Arc::make_mut(&mut self.ready) {
+                Arc::make_mut(ix).add(id, &t);
+            }
         }
-        self.present.insert(t.clone(), id);
+        Arc::make_mut(&mut self.present).insert(t.clone(), id);
         self.tuples.push(t);
         Ok(true)
     }
 
-    /// Mutable access to the composite list without locking (`&mut self`
-    /// proves exclusivity); recovers from poison like
-    /// [`lock_composites`].
-    fn composites_mut(&mut self) -> &mut Vec<Arc<CompositeIndex>> {
-        match self.composites.get_mut() {
+    /// Moves demand-built composite indexes from the pending list into the
+    /// promoted (lock-free) set. Called by every mutation before it
+    /// maintains the set, and by the epoch writer at publish so snapshots
+    /// probe promoted indexes without ever touching the pending lock.
+    pub fn promote_pending(&mut self) {
+        let pending = std::mem::take(self.pending_mut());
+        if pending.is_empty() {
+            return;
+        }
+        let ready = Arc::make_mut(&mut self.ready);
+        for ix in pending {
+            if !ready.iter().any(|r| r.cols() == ix.cols()) {
+                ready.push(ix);
+            }
+        }
+    }
+
+    /// Ensures a promoted composite index over `cols` exists, building it
+    /// if necessary; returns `false` (and builds nothing) for invalid
+    /// column sets (see [`composite`](Relation::composite)). Used by the
+    /// epoch writer to prebuild the indexes a compiled plan will probe, so
+    /// snapshots never demand-build them per reader.
+    pub fn ensure_composite(&mut self, cols: &[usize]) -> bool {
+        if !self.valid_composite_cols(cols) {
+            return false;
+        }
+        self.promote_pending();
+        if self.ready.iter().any(|ix| ix.cols() == cols) {
+            return true;
+        }
+        let ix = Arc::new(CompositeIndex::build(cols.to_vec(), self.tuples.iter()));
+        Arc::make_mut(&mut self.ready).push(ix);
+        true
+    }
+
+    /// Adopts the composite-index *definitions* of another relation
+    /// (typically the previously published snapshot of this one, whose
+    /// readers demand-built indexes the writer never saw), building any
+    /// that are missing here. Contents are rebuilt from this relation's
+    /// tuples; probe counters are not carried over.
+    pub fn adopt_demand(&mut self, other: &Relation) {
+        let mut wanted: Vec<Vec<usize>> = other.ready.iter().map(|ix| ix.cols().to_vec()).collect();
+        wanted.extend(
+            lock_pending(&other.pending)
+                .iter()
+                .map(|ix| ix.cols().to_vec()),
+        );
+        for cols in wanted {
+            self.ensure_composite(&cols);
+        }
+    }
+
+    /// Exclusive access to the pending list without locking (`&mut self`
+    /// proves exclusivity); recovers from poison like [`lock_pending`].
+    fn pending_mut(&mut self) -> &mut Vec<Arc<CompositeIndex>> {
+        match self.pending.get_mut() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -333,7 +421,7 @@ impl Relation {
     }
 
     /// Iterates over all tuples in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+    pub fn iter(&self) -> TupleIter<'_> {
         self.tuples.iter()
     }
 
@@ -369,16 +457,12 @@ impl Relation {
                 self.probes.fetch_add(1, Ordering::Relaxed);
                 let rows = self.indexes[c].get(v).map(Vec::as_slice).unwrap_or(&[]);
                 let pattern = pattern.to_vec();
-                Box::new(
-                    rows.iter()
-                        .map(|&id| &self.tuples[id as usize])
-                        .filter(move |t| {
-                            t.values()
-                                .iter()
-                                .zip(&pattern)
-                                .all(|(tv, pv)| pv.as_ref().is_none_or(|p| p == tv))
-                        }),
-                )
+                Box::new(rows.iter().map(|&id| self.tuples.get(id)).filter(move |t| {
+                    t.values()
+                        .iter()
+                        .zip(&pattern)
+                        .all(|(tv, pv)| pv.as_ref().is_none_or(|p| p == tv))
+                }))
             }
         }
     }
@@ -403,7 +487,7 @@ impl Relation {
     /// The tuple stored at row id `id` (as handed out by
     /// [`probe`](Relation::probe)).
     pub fn tuple_at(&self, id: u32) -> &Tuple {
-        &self.tuples[id as usize]
+        self.tuples.get(id)
     }
 
     /// Slot-pattern selection over borrowed values: like
@@ -438,39 +522,45 @@ impl Relation {
         }
     }
 
-    /// Removes a tuple; returns `true` if it was present. Indexes are
-    /// rebuilt (removal is rare relative to insertion and selection, so a
-    /// simple rebuild keeps the hot paths branch-free).
+    /// Removes a tuple; returns `true` if it was present. The tuple store
+    /// and indexes are rebuilt (removal is rare relative to insertion and
+    /// selection, so a simple rebuild keeps the hot paths branch-free);
+    /// snapshots sharing the old store are unaffected.
     pub fn remove(&mut self, t: &Tuple) -> bool {
         let Some(&id) = self.present.get(t) else {
             return false;
         };
-        self.tuples.remove(id as usize);
-        self.present.clear();
-        for ix in &mut self.indexes {
-            ix.clear();
-        }
-        for (row, tuple) in self.tuples.iter().enumerate() {
-            self.present.insert(tuple.clone(), row as u32);
-            for (c, v) in tuple.values().iter().enumerate() {
-                self.indexes[c]
-                    .entry(v.clone())
-                    .or_default()
-                    .push(row as u32);
+        self.promote_pending();
+        let mut tuples = TupleStore::default();
+        let mut present = FxHashMap::default();
+        let mut indexes: Vec<FxHashMap<Value, Vec<u32>>> = vec![FxHashMap::default(); self.arity];
+        for (old_id, tuple) in self.tuples.iter().enumerate() {
+            if old_id == id as usize {
+                continue;
             }
+            let row = tuples.len() as u32;
+            present.insert(tuple.clone(), row);
+            for (c, v) in tuple.values().iter().enumerate() {
+                indexes[c].entry(v.clone()).or_default().push(row);
+            }
+            tuples.push(tuple.clone());
         }
         // Removal renumbers row ids, so composites rebuild like the
         // single-column indexes; probe counters carry over (they meter
         // access paths, not contents).
-        let composites = match self.composites.get_mut() {
-            Ok(v) => v,
-            Err(p) => p.into_inner(),
-        };
-        for ix in composites.iter_mut() {
-            let mut fresh = CompositeIndex::build(ix.cols().to_vec(), &self.tuples);
-            fresh.probes = AtomicU64::new(ix.probe_count());
-            *ix = Arc::new(fresh);
-        }
+        let ready: Vec<Arc<CompositeIndex>> = self
+            .ready
+            .iter()
+            .map(|ix| {
+                let mut fresh = CompositeIndex::build(ix.cols().to_vec(), tuples.iter());
+                fresh.probes = AtomicU64::new(ix.probe_count());
+                Arc::new(fresh)
+            })
+            .collect();
+        self.tuples = tuples;
+        self.present = Arc::new(present);
+        self.indexes = indexes.into_iter().map(Arc::new).collect();
+        self.ready = Arc::new(ready);
         true
     }
 
@@ -478,20 +568,34 @@ impl Relation {
     /// index *definitions* persist (they rebuild as new tuples arrive);
     /// their contents and probe counters reset with everything else.
     pub fn clear(&mut self) {
+        self.promote_pending();
         self.tuples.clear();
-        self.present.clear();
-        for ix in &mut self.indexes {
-            ix.clear();
-        }
-        for ix in self.composites_mut() {
-            *ix = Arc::new(CompositeIndex {
-                cols: ix.cols().to_vec(),
-                buckets: FxHashMap::default(),
-                probes: AtomicU64::new(0),
-            });
-        }
+        self.present = Arc::new(FxHashMap::default());
+        self.indexes = (0..self.arity)
+            .map(|_| Arc::new(FxHashMap::default()))
+            .collect();
+        self.ready = Arc::new(
+            self.ready
+                .iter()
+                .map(|ix| {
+                    Arc::new(CompositeIndex {
+                        cols: ix.cols().to_vec(),
+                        buckets: FxHashMap::default(),
+                        probes: AtomicU64::new(0),
+                    })
+                })
+                .collect(),
+        );
         self.probes.store(0, Ordering::Relaxed);
         self.scans.store(0, Ordering::Relaxed);
+    }
+
+    /// True if `cols` is a valid composite column set: at least two
+    /// positions, strictly ascending, all within the relation's arity.
+    fn valid_composite_cols(&self, cols: &[usize]) -> bool {
+        cols.len() >= 2
+            && cols.windows(2).all(|w| w[0] < w[1])
+            && cols.last().is_some_and(|&c| c < self.arity)
     }
 
     /// The composite index over `cols`, built on first demand and kept
@@ -500,22 +604,27 @@ impl Relation {
     /// relation's arity (callers sort their bound columns; a one-column
     /// request should use [`probe`](Relation::probe)).
     ///
-    /// The returned `Arc` is a live handle, not a snapshot: probing it
-    /// takes no lock, and probes through it are visible to
-    /// [`composite_probes`](Relation::composite_probes) as long as the
-    /// relation is not mutated afterwards.
+    /// The returned `Arc` is a **frozen snapshot** of the index at call
+    /// time: probing it takes no lock, and later inserts, removes, and
+    /// clears never mutate it (maintenance copies the index out from under
+    /// outstanding handles). Re-fetch after a mutation to observe new
+    /// rows. Probes through a handle count toward
+    /// [`composite_probes`](Relation::composite_probes) until the relation
+    /// is mutated; a frozen (copied-out) handle's probes are its own.
     pub fn composite(&self, cols: &[usize]) -> Option<Arc<CompositeIndex>> {
-        if cols.len() < 2
-            || cols.windows(2).any(|w| w[0] >= w[1])
-            || cols.last().is_none_or(|&c| c >= self.arity)
-        {
+        if !self.valid_composite_cols(cols) {
             return None;
         }
-        let mut guard = lock_composites(&self.composites);
+        // Promoted set first: lock-free, covers every index a snapshot or
+        // plan prebuild produced.
+        if let Some(ix) = self.ready.iter().find(|ix| ix.cols() == cols) {
+            return Some(Arc::clone(ix));
+        }
+        let mut guard = lock_pending(&self.pending);
         if let Some(ix) = guard.iter().find(|ix| ix.cols() == cols) {
             return Some(Arc::clone(ix));
         }
-        let ix = Arc::new(CompositeIndex::build(cols.to_vec(), &self.tuples));
+        let ix = Arc::new(CompositeIndex::build(cols.to_vec(), self.tuples.iter()));
         guard.push(Arc::clone(&ix));
         Some(ix)
     }
@@ -567,15 +676,17 @@ impl Relation {
     /// Total probes answered by this relation's composite indexes since
     /// creation or the last [`clear`](Relation::clear).
     pub fn composite_probes(&self) -> u64 {
-        lock_composites(&self.composites)
+        let promoted: u64 = self.ready.iter().map(|ix| ix.probe_count()).sum();
+        let pending: u64 = lock_pending(&self.pending)
             .iter()
             .map(|ix| ix.probe_count())
-            .sum()
+            .sum();
+        promoted + pending
     }
 
     /// How many composite indexes have been demand-built on this relation.
     pub fn composite_count(&self) -> usize {
-        lock_composites(&self.composites).len()
+        self.ready.len() + lock_pending(&self.pending).len()
     }
 
     /// A [`DeltaView`] over row ids `start..end` (clamped to the stored
@@ -594,10 +705,10 @@ impl Relation {
 
 impl<'a> IntoIterator for &'a Relation {
     type Item = &'a Tuple;
-    type IntoIter = std::slice::Iter<'a, Tuple>;
+    type IntoIter = TupleIter<'a>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.tuples.iter()
+        self.iter()
     }
 }
 
@@ -820,6 +931,9 @@ mod tests {
         assert!(r.composite(&[1, 0]).is_none());
         assert!(r.composite(&[0, 0]).is_none());
         assert!(r.composite(&[1, 3]).is_none());
+        let mut r = r;
+        assert!(!r.ensure_composite(&[1, 0]));
+        assert!(!r.ensure_composite(&[2]));
     }
 
     #[test]
@@ -842,7 +956,7 @@ mod tests {
         let db = Value::sym("databases");
         let ix = r.composite(&[0, 1]).unwrap();
         assert_eq!(ix.probe(&[&ann, &db]), &[0]);
-        // Insert lands in the live index list (the old Arc may be a
+        // Insert lands in the live index list (the old Arc is a frozen
         // snapshot; re-fetch sees the new row).
         r.insert(Tuple::new(vec![ann.clone(), db.clone(), Value::Num(2.0)]))
             .unwrap();
@@ -864,6 +978,94 @@ mod tests {
             .unwrap();
         let ix = r.composite(&[0, 1]).unwrap();
         assert_eq!(ix.probe(&[&ann, &db]), &[0]);
+    }
+
+    #[test]
+    fn held_composite_handle_is_a_frozen_snapshot() {
+        // Regression: `composite()` used to document a snapshot but hand
+        // out a live handle that `Arc::make_mut` mutated in place when the
+        // relation was the only other owner. Held handles must now be
+        // immune to every later mutation.
+        let mut r = sample();
+        let ann = Value::sym("ann");
+        let db = Value::sym("databases");
+        let held = r.composite(&[0, 1]).unwrap();
+        assert_eq!(held.probe(&[&ann, &db]), &[0]);
+
+        // Insert: the held handle must not see the new row.
+        r.insert(Tuple::new(vec![ann.clone(), db.clone(), Value::Num(1.5)]))
+            .unwrap();
+        assert_eq!(held.probe(&[&ann, &db]), &[0]);
+        assert_eq!(r.composite(&[0, 1]).unwrap().probe(&[&ann, &db]), &[0, 3]);
+
+        // Remove: the held handle keeps the old ids, not the renumbering.
+        assert!(r.remove(&Tuple::new(vec![ann.clone(), db.clone(), Value::Num(4.0)])));
+        assert_eq!(held.probe(&[&ann, &db]), &[0]);
+        assert_eq!(r.composite(&[0, 1]).unwrap().probe(&[&ann, &db]), &[2]);
+
+        // Clear: the held handle still answers from its frozen contents.
+        r.clear();
+        assert_eq!(held.probe(&[&ann, &db]), &[0]);
+        assert!(r.composite(&[0, 1]).unwrap().probe(&[&ann, &db]).is_empty());
+    }
+
+    #[test]
+    fn cloned_relation_is_an_isolated_snapshot() {
+        let mut r = sample();
+        let ann = Value::sym("ann");
+        let snap = r.clone();
+        r.insert(Tuple::new(vec![
+            ann.clone(),
+            Value::sym("algebra"),
+            Value::Num(3.0),
+        ]))
+        .unwrap();
+        assert_eq!(r.len(), 4);
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap.probe(0, &ann).len(), 2);
+        assert_eq!(r.probe(0, &ann).len(), 3);
+        // Removal on the original leaves the snapshot intact too.
+        assert!(r.remove(&Tuple::new(vec![
+            ann.clone(),
+            Value::sym("databases"),
+            Value::Num(4.0)
+        ])));
+        assert_eq!(snap.len(), 3);
+        assert_eq!(
+            snap.select(&[Some(ann.clone()), None, None]).count(),
+            2,
+            "snapshot indexes unaffected by writer mutations"
+        );
+        // And mutations on the snapshot leave the original alone.
+        let mut snap = snap;
+        snap.clear();
+        assert!(snap.is_empty());
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn promote_and_adopt_demand_carry_composite_definitions() {
+        let mut r = sample();
+        // Demand-build on a read-only view lands in the pending set.
+        assert!(r.composite(&[0, 1]).is_some());
+        assert_eq!(r.composite_count(), 1);
+        let snap = r.clone();
+        // A reader of the snapshot demand-builds another index the writer
+        // never saw.
+        assert!(snap.composite(&[1, 2]).is_some());
+        // The writer adopts both definitions and promotes them.
+        r.adopt_demand(&snap);
+        r.promote_pending();
+        assert_eq!(r.composite_count(), 2);
+        let ann = Value::sym("ann");
+        let db = Value::sym("databases");
+        assert_eq!(
+            r.composite(&[1, 2])
+                .unwrap()
+                .probe(&[&db, &Value::Num(3.5)]),
+            &[1]
+        );
+        assert_eq!(r.composite(&[0, 1]).unwrap().probe(&[&ann, &db]), &[0]);
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub use qdk_logic as logic;
 pub use qdk_storage as storage;
 
 pub use error::{Error, Result};
-pub use session::{Request, Response, Session};
+pub use session::{Request, Response, Session, SnapshotSession};
 pub use trace::{QueryTrace, TraceSpan};
 
 pub use qdk_logic::obs;
@@ -94,3 +94,4 @@ pub use qdk_durability::{
 pub use qdk_engine::{DataAnswer, Downgrade, EvalOptions, Retrieve, Strategy};
 pub use qdk_lang::{datasets, Answer, KnowledgeBase, LangError};
 pub use qdk_logic::Parallelism;
+pub use qdk_storage::EpochId;

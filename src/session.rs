@@ -32,11 +32,13 @@
 use crate::error::Result;
 use crate::trace::QueryTrace;
 use qdk_core::{Describe, DescribeAnswer};
-use qdk_engine::{DataAnswer, Downgrade, EvalOptions, Retrieve, Strategy};
+use qdk_engine::{DataAnswer, Downgrade, EvalOptions, ProgramPlan, Retrieve, Strategy};
+use qdk_lang::shared::{KbState, Publisher};
 use qdk_lang::{Answer, KnowledgeBase};
 use qdk_logic::obs::{CollectSink, ObsSink};
 use qdk_logic::parser::{parse_atom, parse_body};
 use qdk_logic::{CancelToken, Parallelism, ResourceLimits};
+use qdk_storage::{EpochCell, EpochId};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -221,9 +223,29 @@ impl fmt::Display for Response {
 /// then ask either statement with one [`Request`] shape. Session-level
 /// defaults (strategy, limits, parallelism) come from the wrapped
 /// knowledge base; each request may override any of them.
-#[derive(Clone, Debug, Default)]
+///
+/// For concurrent serving the session doubles as the **single writer** of
+/// an epoch sequence: [`Session::snapshot`] publishes the current state
+/// as an immutable epoch and hands back a [`SnapshotSession`] — a
+/// `Send + Sync` read handle any number of threads can query with zero
+/// locks while this session keeps mutating and publishing.
+#[derive(Debug, Default)]
 pub struct Session {
     kb: KnowledgeBase,
+    publisher: Option<Publisher>,
+}
+
+impl Clone for Session {
+    /// Clones the knowledge base (cheap, copy-on-write). The clone is a
+    /// plain session: it does **not** inherit the epoch publisher — two
+    /// writers publishing into one cell would break single-writer epoch
+    /// ordering — so its first `snapshot()` starts a fresh sequence.
+    fn clone(&self) -> Self {
+        Session {
+            kb: self.kb.clone(),
+            publisher: None,
+        }
+    }
 }
 
 impl Session {
@@ -231,6 +253,7 @@ impl Session {
     pub fn new() -> Self {
         Session {
             kb: KnowledgeBase::new(),
+            publisher: None,
         }
     }
 
@@ -243,6 +266,7 @@ impl Session {
     pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Self> {
         Ok(Session {
             kb: KnowledgeBase::open_durable(dir)?,
+            publisher: None,
         })
     }
 
@@ -254,6 +278,7 @@ impl Session {
     ) -> Result<Self> {
         Ok(Session {
             kb: KnowledgeBase::open_durable_with(dir, opts)?,
+            publisher: None,
         })
     }
 
@@ -273,7 +298,10 @@ impl Session {
 
     /// Wraps an existing knowledge base.
     pub fn over(kb: KnowledgeBase) -> Self {
-        Session { kb }
+        Session {
+            kb,
+            publisher: None,
+        }
     }
 
     /// The wrapped knowledge base.
@@ -297,72 +325,75 @@ impl Session {
         Ok(self.kb.run(src)?)
     }
 
-    /// The sink for one request: a fresh collector when the request asks
-    /// for a trace, the session default (usually `QDK_TRACE`) otherwise.
-    fn request_sink(&self, request: &Request) -> (ObsSink, Option<Arc<CollectSink>>) {
-        if request.trace {
-            let collector = Arc::new(CollectSink::new());
-            (ObsSink::new(collector.clone()), Some(collector))
-        } else {
-            (self.kb.describe_options().sink.clone(), None)
-        }
-    }
-
     /// Evaluates a data query: `retrieve subject where qualifier`.
     pub fn retrieve(&self, request: Request) -> Result<Response> {
-        let (obs, collector) = self.request_sink(&request);
-        let started = Instant::now();
-        let (subject, qualifier) = {
-            let _span = obs.span("parse", 0);
-            (parse_atom(&request.subject)?, request.parsed_hypothesis()?)
-        };
-        let defaults = self.kb.describe_options();
-        let mut eval = EvalOptions::with_limits(request.limits.unwrap_or(defaults.limits))
-            .with_parallelism(request.parallelism.unwrap_or(defaults.parallelism));
-        if let Some(token) = request.cancel.clone().or_else(|| defaults.cancel.clone()) {
-            eval = eval.with_cancel(token);
-        }
-        eval.sink = obs;
-        let strategy = request.strategy.unwrap_or(self.kb.strategy());
-        let query = Retrieve::new(subject, qualifier);
-        let answer = self.kb.retrieve_with_options(&query, strategy, eval)?;
-        let wall = started.elapsed().as_micros() as u64;
-        let trace = collector.map(|c| {
-            QueryTrace::from_events(
-                &c.take(),
-                query.to_string(),
-                wall,
-                answer.downgrades.clone(),
-            )
-        });
-        Ok(Response::data(answer, trace))
+        retrieve_on(&self.kb, None, request)
     }
 
     /// Evaluates a knowledge query: `describe subject where hypothesis`.
     pub fn describe(&self, request: Request) -> Result<Response> {
-        let (obs, collector) = self.request_sink(&request);
-        let started = Instant::now();
-        let (subject, hypothesis) = {
-            let _span = obs.span("parse", 0);
-            (parse_atom(&request.subject)?, request.parsed_hypothesis()?)
-        };
-        let mut opts = self.kb.describe_options().clone();
-        if let Some(limits) = request.limits {
-            opts.limits = limits;
+        describe_on(&self.kb, request)
+    }
+
+    /// The epoch of the most recent publish, or `None` if this session
+    /// has never published a snapshot.
+    pub fn epoch(&self) -> Option<EpochId> {
+        self.publisher.as_ref().map(Publisher::epoch)
+    }
+
+    /// Publishes the session's current state as the next epoch. Readers
+    /// holding [`SnapshotSession`]s see it at their next
+    /// [`SnapshotSession::refresh`]; snapshots pinned to older epochs are
+    /// untouched. Publication freezes everything a reader needs — facts,
+    /// rules, the compiled plan, the composite indexes the plan's scans
+    /// probe — and, for durable sessions, forces the WAL to stable
+    /// storage first, so a published epoch is always durable.
+    pub fn publish(&mut self) -> Result<EpochId> {
+        match &mut self.publisher {
+            Some(p) => Ok(p.publish(&mut self.kb)?),
+            None => {
+                let p = Publisher::new(&mut self.kb)?;
+                let epoch = p.epoch();
+                self.publisher = Some(p);
+                Ok(epoch)
+            }
         }
-        if let Some(token) = request.cancel.clone() {
-            opts.cancel = Some(token);
+    }
+
+    /// Publishes the current state (see [`Session::publish`]) and opens a
+    /// read handle pinned to it. The handle is `Send + Sync` and clones
+    /// cheaply: hand copies to as many threads as you like, and every
+    /// query they run touches no lock — the snapshot owns an immutable
+    /// knowledge base with its plan and indexes prebuilt.
+    pub fn snapshot(&mut self) -> Result<SnapshotSession> {
+        self.publish()?;
+        let p = self
+            .publisher
+            .as_ref()
+            .expect("publisher exists after publish");
+        let cell = p.cell();
+        let version = cell.version();
+        Ok(SnapshotSession {
+            cell,
+            version,
+            state: Arc::clone(p.last()),
+        })
+    }
+
+    /// Runs `f` as one atomic batch and, if this session has published
+    /// before, publishes the result as the next epoch. The closure's
+    /// mutations are logged as a single WAL record (all-or-nothing on
+    /// disk); on error the knowledge base rolls back and nothing is
+    /// published. Returns the closure's value.
+    pub fn batch<R>(
+        &mut self,
+        f: impl FnOnce(&mut KnowledgeBase) -> qdk_lang::Result<R>,
+    ) -> Result<R> {
+        let value = self.kb.transaction(f)?;
+        if self.publisher.is_some() {
+            self.publish()?;
         }
-        if let Some(parallelism) = request.parallelism {
-            opts.parallelism = parallelism;
-        }
-        opts.sink = obs;
-        let query = Describe::new(subject, hypothesis);
-        let answer = self.kb.describe_with_options(&query, &opts)?;
-        let wall = started.elapsed().as_micros() as u64;
-        let trace = collector
-            .map(|c| QueryTrace::from_events(&c.take(), query.to_string(), wall, Vec::new()));
-        Ok(Response::knowledge(answer, trace))
+        Ok(value)
     }
 }
 
@@ -370,6 +401,129 @@ impl From<KnowledgeBase> for Session {
     fn from(kb: KnowledgeBase) -> Self {
         Session::over(kb)
     }
+}
+
+/// An immutable read handle pinned to one published epoch. Obtained from
+/// [`Session::snapshot`]; `Send + Sync` and cheap to clone, so any number
+/// of threads can hold one and query concurrently. Queries against a
+/// snapshot acquire **no lock**: the epoch owns its facts, rules,
+/// compiled plan and composite indexes, all frozen at publish time.
+///
+/// A snapshot never changes underneath its holder — a writer publishing
+/// new epochs is invisible until [`SnapshotSession::refresh`] is called,
+/// which hops to the newest epoch (one atomic load on the fast path).
+#[derive(Clone, Debug)]
+pub struct SnapshotSession {
+    cell: Arc<EpochCell<KbState>>,
+    version: u64,
+    state: Arc<KbState>,
+}
+
+impl SnapshotSession {
+    /// The epoch this handle is pinned to.
+    pub fn epoch(&self) -> EpochId {
+        self.state.epoch
+    }
+
+    /// The frozen knowledge base of the pinned epoch.
+    pub fn knowledge_base(&self) -> &KnowledgeBase {
+        &self.state.kb
+    }
+
+    /// Hops to the most recently published epoch. Returns `true` if the
+    /// handle moved. When nothing new was published this is a single
+    /// atomic load — safe to call before every query.
+    pub fn refresh(&mut self) -> bool {
+        self.cell.refresh(&mut self.version, &mut self.state)
+    }
+
+    /// Evaluates a data query against the pinned epoch (zero locks).
+    pub fn retrieve(&self, request: Request) -> Result<Response> {
+        retrieve_on(&self.state.kb, Some(&self.state.plan), request)
+    }
+
+    /// Evaluates a knowledge query against the pinned epoch.
+    pub fn describe(&self, request: Request) -> Result<Response> {
+        describe_on(&self.state.kb, request)
+    }
+}
+
+/// The sink for one request: a fresh collector when the request asks for
+/// a trace, the knowledge base's default (usually `QDK_TRACE`) otherwise.
+fn request_sink(kb: &KnowledgeBase, request: &Request) -> (ObsSink, Option<Arc<CollectSink>>) {
+    if request.trace {
+        let collector = Arc::new(CollectSink::new());
+        (ObsSink::new(collector.clone()), Some(collector))
+    } else {
+        (kb.describe_options().sink.clone(), None)
+    }
+}
+
+/// `retrieve` against a knowledge base. With `plan`, execution uses the
+/// given precompiled program and bypasses the plan cache entirely (the
+/// snapshot path); without, it goes through the cache.
+fn retrieve_on(
+    kb: &KnowledgeBase,
+    plan: Option<&ProgramPlan>,
+    request: Request,
+) -> Result<Response> {
+    let (obs, collector) = request_sink(kb, &request);
+    let started = Instant::now();
+    let (subject, qualifier) = {
+        let _span = obs.span("parse", 0);
+        (parse_atom(&request.subject)?, request.parsed_hypothesis()?)
+    };
+    let defaults = kb.describe_options();
+    let mut eval = EvalOptions::with_limits(request.limits.unwrap_or(defaults.limits))
+        .with_parallelism(request.parallelism.unwrap_or(defaults.parallelism));
+    if let Some(token) = request.cancel.clone().or_else(|| defaults.cancel.clone()) {
+        eval = eval.with_cancel(token);
+    }
+    eval.sink = obs;
+    let strategy = request.strategy.unwrap_or(kb.strategy());
+    let query = Retrieve::new(subject, qualifier);
+    let answer = match plan {
+        Some(plan) => kb.retrieve_with_plan(plan, &query, strategy, eval)?,
+        None => kb.retrieve_with_options(&query, strategy, eval)?,
+    };
+    let wall = started.elapsed().as_micros() as u64;
+    let trace = collector.map(|c| {
+        QueryTrace::from_events(
+            &c.take(),
+            query.to_string(),
+            wall,
+            answer.downgrades.clone(),
+        )
+    });
+    Ok(Response::data(answer, trace))
+}
+
+/// `describe` against a knowledge base (shared by [`Session`] and
+/// [`SnapshotSession`]; the describe path never consults the plan cache).
+fn describe_on(kb: &KnowledgeBase, request: Request) -> Result<Response> {
+    let (obs, collector) = request_sink(kb, &request);
+    let started = Instant::now();
+    let (subject, hypothesis) = {
+        let _span = obs.span("parse", 0);
+        (parse_atom(&request.subject)?, request.parsed_hypothesis()?)
+    };
+    let mut opts = kb.describe_options().clone();
+    if let Some(limits) = request.limits {
+        opts.limits = limits;
+    }
+    if let Some(token) = request.cancel.clone() {
+        opts.cancel = Some(token);
+    }
+    if let Some(parallelism) = request.parallelism {
+        opts.parallelism = parallelism;
+    }
+    opts.sink = obs;
+    let query = Describe::new(subject, hypothesis);
+    let answer = kb.describe_with_options(&query, &opts)?;
+    let wall = started.elapsed().as_micros() as u64;
+    let trace =
+        collector.map(|c| QueryTrace::from_events(&c.take(), query.to_string(), wall, Vec::new()));
+    Ok(Response::knowledge(answer, trace))
 }
 
 #[cfg(test)]

@@ -329,3 +329,139 @@ fn clones_share_one_log() {
     assert_eq!(resp.as_data().unwrap().len(), 2);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn transaction_commits_as_one_wal_record() {
+    let dir = temp_dir("txn-commit");
+    {
+        let mut s = Session::open_with(&dir, wal_only()).unwrap();
+        s.run("predicate acct(Id, Bal).").unwrap();
+        // Three mutations inside the transaction, one record in the log.
+        s.knowledge_base_mut()
+            .transaction(|kb| {
+                kb.run("acct(a, 100).")?;
+                kb.run("acct(b, 50).")?;
+                kb.run("retract acct(a, 100).")?;
+                kb.run("acct(a, 70).").map(|_| ())
+            })
+            .unwrap();
+        s.knowledge_base_mut().sync().unwrap();
+    }
+    let s = Session::open_with(&dir, wal_only()).unwrap();
+    let report = s.recovery_report().unwrap();
+    assert_eq!(report.replayed, 2, "declare + one batch record");
+    let d = s.retrieve(Request::subject("acct(Id, Bal)")).unwrap();
+    let d = d.as_data().unwrap();
+    assert_eq!(d.len(), 2);
+    assert!(d.contains_row(&["a", "70"]) && d.contains_row(&["b", "50"]));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rolled_back_transaction_leaves_no_trace_in_the_wal() {
+    let dir = temp_dir("txn-rollback");
+    {
+        let mut s = Session::open_with(&dir, wal_only()).unwrap();
+        s.run("predicate acct(Id, Bal).").unwrap();
+        s.run("acct(a, 100).").unwrap();
+        let err = s.knowledge_base_mut().transaction(|kb| {
+            kb.run("acct(b, 50).")?;
+            kb.run("this is not a statement.")?;
+            Ok(())
+        });
+        assert!(err.is_err());
+        // The failed batch rolled back in memory too.
+        let d = s.retrieve(Request::subject("acct(Id, Bal)")).unwrap();
+        assert_eq!(d.as_data().unwrap().len(), 1);
+        s.knowledge_base_mut().sync().unwrap();
+    }
+    let s = Session::open_with(&dir, wal_only()).unwrap();
+    assert_eq!(s.recovery_report().unwrap().replayed, 2, "declare + fact");
+    let d = s.retrieve(Request::subject("acct(Id, Bal)")).unwrap();
+    let d = d.as_data().unwrap();
+    assert_eq!(d.len(), 1);
+    assert!(d.contains_row(&["a", "100"]));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_batch_record_never_half_applies() {
+    let dir = temp_dir("torn-batch");
+    {
+        let mut s = Session::open_with(&dir, wal_only()).unwrap();
+        s.run("predicate acct(Id, Bal).").unwrap();
+        s.run("acct(a, 100).").unwrap();
+        // A transfer: both legs must land together or not at all.
+        s.knowledge_base_mut()
+            .transaction(|kb| {
+                kb.run("retract acct(a, 100).")?;
+                kb.run("acct(a, 30).")?;
+                kb.run("acct(b, 70).").map(|_| ())
+            })
+            .unwrap();
+        s.knowledge_base_mut().sync().unwrap();
+    }
+    // Tear into the middle of the batch record, as a crash mid-append
+    // would: the record-level CRC must reject the whole batch.
+    let wal = dir.join("wal.log");
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - 4]).unwrap();
+
+    let s = Session::open_with(&dir, wal_only()).unwrap();
+    let report = s.recovery_report().unwrap();
+    assert!(report.discarded_tail_bytes > 0);
+    let d = s.retrieve(Request::subject("acct(Id, Bal)")).unwrap();
+    let d = d.as_data().unwrap();
+    // Pre-batch state exactly: the transfer vanished as a unit.
+    assert_eq!(d.len(), 1);
+    assert!(d.contains_row(&["a", "100"]), "half-applied batch: {d}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_lands_on_the_last_published_epoch_despite_held_snapshots() {
+    let dir = temp_dir("epoch-recovery");
+    let old_reader;
+    let last_answer;
+    {
+        let mut s = Session::open_with(&dir, wal_only()).unwrap();
+        s.load(
+            "predicate edge(F, T).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- edge(X, Y), path(Y, Z).\n\
+             edge(a, b).",
+        )
+        .unwrap();
+        // Epoch 1 pinned by a long-lived reader.
+        old_reader = s.snapshot().unwrap();
+        // Two more published epochs, the second via an atomic batch.
+        s.run("edge(b, c).").unwrap();
+        s.publish().unwrap();
+        s.batch(|kb| {
+            kb.run("edge(c, d).")?;
+            kb.run("edge(d, e).").map(|_| ())
+        })
+        .unwrap();
+        last_answer = s
+            .retrieve(Request::subject("path(X, Y)"))
+            .unwrap()
+            .to_string();
+        // Process dies here: no shutdown, reader still holding epoch 1.
+    }
+    let s = Session::open_with(&dir, wal_only()).unwrap();
+    // Recovery lands on the last *published* state — publish forces the
+    // WAL down before the epoch becomes visible — never a half batch.
+    assert_eq!(
+        s.retrieve(Request::subject("path(X, Y)"))
+            .unwrap()
+            .to_string(),
+        last_answer
+    );
+    assert_eq!(s.knowledge_base().edb().fact_count(), 4);
+    // The survivor handle still answers from its own frozen epoch,
+    // fully isolated from the recovered store.
+    assert_eq!(old_reader.knowledge_base().edb().fact_count(), 1);
+    let d = old_reader.retrieve(Request::subject("path(X, Y)")).unwrap();
+    assert_eq!(d.as_data().unwrap().len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
