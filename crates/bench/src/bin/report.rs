@@ -4,9 +4,10 @@
 //! as machine-readable `BENCH_retrieve.json` / `BENCH_describe.json` /
 //! `BENCH_obs.json` (the observability overhead guard) /
 //! `BENCH_wal.json` (WAL ingest and recovery replay) /
-//! `BENCH_concurrency.json` (mixed read/write serving). Every row of
-//! every artifact carries the same `run_id`, so rows from one invocation
-//! can be joined across files.
+//! `BENCH_concurrency.json` (mixed read/write serving) /
+//! `BENCH_churn.json` (incremental view maintenance vs recompute under
+//! fact churn). Every row of every artifact carries the same `run_id`,
+//! so rows from one invocation can be joined across files.
 //!
 //! Run with `cargo run --release -p qdk-bench --bin report`.
 //!
@@ -811,6 +812,74 @@ fn o1_obs_overhead(records: &mut Vec<String>) {
     println!();
 }
 
+/// Incremental view maintenance vs full recomputation under fact churn:
+/// the chain-128 closure served through the `KnowledgeBase`, with a
+/// retract / query / reinsert / query cycle on the tail edge. The
+/// `maintained` mode has the maintained store live — the retract runs
+/// delete-and-rederive, the insert propagates a semi-naive delta, and
+/// both queries project the maintained state without a fixpoint. The
+/// `recompute` mode serves the identical churn the pre-maintenance way:
+/// every query re-runs the full semi-naive fixpoint (compiled plan
+/// cached — only the evaluation repeats). Both modes assert the full
+/// closure row counts on every query, so the speedup is never bought
+/// with wrong answers.
+fn m1_churn(records: &mut Vec<String>) {
+    use qdk_lang::KnowledgeBase;
+
+    const N: usize = 128;
+    const FULL_ROWS: usize = N * (N + 1) / 2;
+    const CUT_ROWS: usize = (N - 1) * N / 2;
+
+    let mut script = String::from(
+        "predicate edge(F, T).\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Z) :- edge(X, Y), path(Y, Z).\n",
+    );
+    for i in 0..N {
+        script.push_str(&format!("edge(n{i}, n{}).\n", i + 1));
+    }
+    let q = Retrieve::new(parse_atom("path(X, Y)").unwrap(), vec![]);
+    let cut = parse_atom(&format!("edge(n{}, n{N})", N - 1)).unwrap();
+
+    println!(
+        "## M1 — fact churn at chain-{N}: retract tail edge, query, reinsert, query (µs per cycle, median of 5)\n"
+    );
+    println!("| mode | µs/cycle | speedup |");
+    println!("|------|----------|---------|");
+    let cycle_us = |maintained: bool| {
+        let mut kb = KnowledgeBase::new();
+        kb.load(&script).unwrap();
+        if maintained {
+            kb.materialize_maintained().unwrap();
+        }
+        median_micros(5, || {
+            kb.retract_fact(&cut).unwrap();
+            assert_eq!(kb.retrieve(&q).unwrap().rows.len(), CUT_ROWS);
+            kb.add_fact(&cut).unwrap();
+            assert_eq!(kb.retrieve(&q).unwrap().rows.len(), FULL_ROWS);
+        })
+    };
+    let maintained = cycle_us(true);
+    let recompute = cycle_us(false);
+    let speedup = recompute / maintained;
+    println!("| maintained | {maintained:.0} | {speedup:.1}x |");
+    println!("| recompute | {recompute:.0} | — |");
+    for (mode, us) in [("maintained", maintained), ("recompute", recompute)] {
+        let mut fields = vec![
+            ("section", json_str("m1_churn")),
+            ("workload", json_str("chain_tail_churn")),
+            ("n", N.to_string()),
+            ("mode", json_str(mode)),
+            ("micros", format!("{us:.1}")),
+        ];
+        if mode == "maintained" {
+            fields.push(("speedup", format!("{speedup:.2}")));
+        }
+        records.push(json_record(&fields));
+    }
+    println!();
+}
+
 /// Fields that are *measurements* (compared under tolerance); everything
 /// else except `run_id` identifies the row.
 const MEASUREMENTS: [&str; 5] = [
@@ -823,7 +892,7 @@ const MEASUREMENTS: [&str; 5] = [
 
 /// Fields that are neither measurements nor identity (derived ratios,
 /// per-invocation tags).
-const NON_KEY: [&str; 3] = ["run_id", "overhead_pct", "qps"];
+const NON_KEY: [&str; 4] = ["run_id", "overhead_pct", "qps", "speedup"];
 
 /// Parses the flat series rows this binary writes: one `{...}` object per
 /// line, fields separated by `", "`, values either quoted identifiers or
@@ -925,43 +994,58 @@ fn check_against(
     (compared, suspects)
 }
 
-/// Runs every section that feeds the checked artifacts, returning
-/// `(retrieve rows, describe rows, wal rows, concurrency rows)`.
-fn checked_sections() -> (Vec<String>, Vec<String>, Vec<String>, Vec<String>) {
-    let mut retrieve = Vec::new();
-    let mut describe = Vec::new();
-    let mut wal = Vec::new();
-    let mut concurrency = Vec::new();
-    p1_full_closure(&mut retrieve);
-    p1_bound_query(&mut retrieve);
-    j1_join_heavy(&mut retrieve);
-    compiled_vs_percall(&mut retrieve);
-    t1_retrieve_threads(&mut retrieve);
-    p2_sweeps(&mut describe);
-    t2_describe_threads(&mut describe);
-    e6_family(&mut describe);
-    p3_policies(&mut describe);
-    w1_durability(&mut wal);
-    c1_concurrency(&mut concurrency);
-    (retrieve, describe, wal, concurrency)
+/// The rows every artifact-feeding section produced, one `Vec` per file.
+struct SectionRows {
+    retrieve: Vec<String>,
+    describe: Vec<String>,
+    wal: Vec<String>,
+    concurrency: Vec<String>,
+    churn: Vec<String>,
+}
+
+/// Runs every section that feeds the checked artifacts.
+fn checked_sections() -> SectionRows {
+    let mut rows = SectionRows {
+        retrieve: Vec::new(),
+        describe: Vec::new(),
+        wal: Vec::new(),
+        concurrency: Vec::new(),
+        churn: Vec::new(),
+    };
+    p1_full_closure(&mut rows.retrieve);
+    p1_bound_query(&mut rows.retrieve);
+    j1_join_heavy(&mut rows.retrieve);
+    compiled_vs_percall(&mut rows.retrieve);
+    t1_retrieve_threads(&mut rows.retrieve);
+    p2_sweeps(&mut rows.describe);
+    t2_describe_threads(&mut rows.describe);
+    e6_family(&mut rows.describe);
+    p3_policies(&mut rows.describe);
+    w1_durability(&mut rows.wal);
+    c1_concurrency(&mut rows.concurrency);
+    m1_churn(&mut rows.churn);
+    rows
 }
 
 /// One full measure-and-compare pass. Returns `(compared, suspects)`
 /// across every artifact, or exits when there is nothing to compare.
 fn check_pass(base: &str) -> (usize, Vec<(String, String)>) {
-    let (retrieve, describe, wal, concurrency) = checked_sections();
-    let (cr, mut suspects) = check_against(&retrieve, &format!("{base}/retrieve.json"), "retrieve");
-    let (cd, sd) = check_against(&describe, &format!("{base}/describe.json"), "describe");
-    let (cw, sw) = check_against(&wal, &format!("{base}/wal.json"), "wal");
+    let rows = checked_sections();
+    let (cr, mut suspects) =
+        check_against(&rows.retrieve, &format!("{base}/retrieve.json"), "retrieve");
+    let (cd, sd) = check_against(&rows.describe, &format!("{base}/describe.json"), "describe");
+    let (cw, sw) = check_against(&rows.wal, &format!("{base}/wal.json"), "wal");
     let (cc, sc) = check_against(
-        &concurrency,
+        &rows.concurrency,
         &format!("{base}/concurrency.json"),
         "concurrency",
     );
+    let (cm, sm) = check_against(&rows.churn, &format!("{base}/churn.json"), "churn");
     suspects.extend(sd);
     suspects.extend(sw);
     suspects.extend(sc);
-    (cr + cd + cw + cc, suspects)
+    suspects.extend(sm);
+    (cr + cd + cw + cc + cm, suspects)
 }
 
 /// The `--check` regression guard: medians within a 25% tolerance band of
@@ -1015,13 +1099,14 @@ fn main() {
         run_check();
         return;
     }
-    let (retrieve_records, describe_records, wal_records, concurrency_records) = checked_sections();
+    let rows = checked_sections();
     let mut obs_records = Vec::new();
     ablations();
     o1_obs_overhead(&mut obs_records);
-    write_json("BENCH_retrieve.json", &retrieve_records, &run_id);
-    write_json("BENCH_describe.json", &describe_records, &run_id);
+    write_json("BENCH_retrieve.json", &rows.retrieve, &run_id);
+    write_json("BENCH_describe.json", &rows.describe, &run_id);
     write_json("BENCH_obs.json", &obs_records, &run_id);
-    write_json("BENCH_wal.json", &wal_records, &run_id);
-    write_json("BENCH_concurrency.json", &concurrency_records, &run_id);
+    write_json("BENCH_wal.json", &rows.wal, &run_id);
+    write_json("BENCH_concurrency.json", &rows.concurrency, &run_id);
+    write_json("BENCH_churn.json", &rows.churn, &run_id);
 }

@@ -44,6 +44,7 @@ pub mod algo1;
 pub mod algo2;
 mod answer;
 pub mod audit;
+pub mod cache;
 pub mod compare;
 mod config;
 pub mod constraints;
@@ -57,6 +58,7 @@ pub mod transform;
 mod tree;
 
 pub use answer::{Completeness, DescribeAnswer, Theorem};
+pub use cache::{CacheStats, DescribeCache};
 pub use config::{DescribeOptions, FallbackPolicy, TransformPolicy};
 pub use describe::{describe, Describe};
 pub use error::{DescribeError, Result};

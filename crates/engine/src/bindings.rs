@@ -137,6 +137,37 @@ impl DerivedFacts {
         Ok(added)
     }
 
+    /// Removes a batch of tuples for one predicate in a single relation
+    /// rebuild (see [`Relation::remove_batch`]); returns how many were
+    /// present. The relation entry itself is kept even when emptied, so
+    /// tuple-id windows held by an in-flight maintenance pass stay
+    /// meaningful.
+    pub(crate) fn remove_all<'t>(
+        &mut self,
+        pred: &Sym,
+        tuples: impl IntoIterator<Item = &'t Tuple>,
+    ) -> usize {
+        let Some(rel) = self.relations.get_mut(pred) else {
+            return 0;
+        };
+        let removed = rel.remove_batch(tuples);
+        self.count -= removed;
+        removed
+    }
+
+    /// Drops the whole relation of one predicate (stratum-scoped
+    /// invalidation: an affected predicate's extension is recomputed from
+    /// scratch while unaffected relations survive).
+    pub(crate) fn remove_relation(&mut self, pred: &Sym) -> usize {
+        match self.relations.remove(pred) {
+            Some(rel) => {
+                self.count -= rel.len();
+                rel.len()
+            }
+            None => 0,
+        }
+    }
+
     /// Inserts a batch of tuples for one predicate, resolving the relation
     /// entry once instead of per tuple. Returns how many were new.
     pub(crate) fn insert_all(&mut self, pred: &Sym, tuples: Vec<Tuple>) -> Result<usize> {
@@ -186,6 +217,11 @@ pub struct FactView<'a> {
     /// ids fall in this half-open sub-range of the delta — how a parallel
     /// round splits one large delta scan across workers.
     delta_window: Option<(usize, usize)>,
+    /// When set, the delta occurrence resolves its predicate in this store
+    /// instead of the EDB or `derived` — DRed's deletion phase reads the
+    /// candidate-deleted tuples here while every other occurrence still
+    /// reads the untouched pre-retraction state.
+    overlay: Option<&'a DerivedFacts>,
 }
 
 impl<'a> FactView<'a> {
@@ -197,11 +233,16 @@ impl<'a> FactView<'a> {
             delta: None,
             delta_occurrence: None,
             delta_window: None,
+            overlay: None,
         }
     }
 
-    /// A view where body occurrence `occurrence` reads only the derived
-    /// tuples inside the per-predicate `delta` id ranges.
+    /// A view where body occurrence `occurrence` reads only the tuples
+    /// inside the per-predicate `delta` id ranges. Ranges over EDB
+    /// predicates window the stored relation (incremental maintenance
+    /// seeds a freshly inserted fact this way); the fixpoint loops only
+    /// ever range over derived predicates, for which this is the classic
+    /// semi-naive rewrite.
     pub(crate) fn with_delta(
         edb: &'a Edb,
         derived: &'a DerivedFacts,
@@ -214,6 +255,7 @@ impl<'a> FactView<'a> {
             delta: Some(delta),
             delta_occurrence: Some(occurrence),
             delta_window: None,
+            overlay: None,
         }
     }
 
@@ -235,6 +277,30 @@ impl<'a> FactView<'a> {
             delta: Some(delta),
             delta_occurrence: Some(occurrence),
             delta_window: Some(window),
+            overlay: None,
+        }
+    }
+
+    /// A view where body occurrence `occurrence` reads the `overlay`
+    /// store's relation (windowed by `delta`) while every other occurrence
+    /// reads the EDB and `derived` unchanged. This is DRed's
+    /// overestimation view: the overlay holds the tuples deleted so far,
+    /// and a rule fired through it enumerates exactly the derivations that
+    /// used at least one deleted tuple at that position.
+    pub(crate) fn with_overlay(
+        edb: &'a Edb,
+        derived: &'a DerivedFacts,
+        overlay: &'a DerivedFacts,
+        delta: &'a DeltaRanges,
+        occurrence: usize,
+    ) -> Self {
+        FactView {
+            edb,
+            derived,
+            delta: Some(delta),
+            delta_occurrence: Some(occurrence),
+            delta_window: None,
+            overlay: Some(overlay),
         }
     }
 
@@ -257,6 +323,25 @@ impl<'a> FactView<'a> {
         pred: &Sym,
         arity: usize,
     ) -> Result<ScanTarget<'a>> {
+        let window = if self.delta_occurrence == Some(occurrence) {
+            let ranges = self.delta.expect("delta set with occurrence");
+            let Some(&range) = ranges.get(pred) else {
+                return Ok(None); // no new facts for this predicate last round
+            };
+            Some(self.delta_window.unwrap_or(range))
+        } else {
+            None
+        };
+        // DRed's overestimation view: the delta occurrence reads the
+        // deleted-tuples overlay regardless of where the predicate is
+        // stored (the retracted seed is an EDB fact, the consequences are
+        // derived).
+        if let (Some(overlay), Some(_)) = (self.overlay, window) {
+            return Ok(match overlay.relation(pred.as_str()) {
+                Some(rel) if rel.arity() == arity => Some((rel, window)),
+                _ => None,
+            });
+        }
         if self.edb.is_edb_predicate(pred.as_str()) {
             let Some(rel) = self.edb.relation(pred.as_str()) else {
                 return Ok(None);
@@ -269,17 +354,8 @@ impl<'a> FactView<'a> {
                 }
                 .into());
             }
-            return Ok(Some((rel, None)));
+            return Ok(Some((rel, window)));
         }
-        let window = if self.delta_occurrence == Some(occurrence) {
-            let ranges = self.delta.expect("delta set with occurrence");
-            let Some(&range) = ranges.get(pred) else {
-                return Ok(None); // no new facts for this predicate last round
-            };
-            Some(self.delta_window.unwrap_or(range))
-        } else {
-            None
-        };
         Ok(match self.derived.relation(pred.as_str()) {
             Some(rel) if rel.arity() == arity => Some((rel, window)),
             _ => None,

@@ -30,6 +30,7 @@ mod error;
 pub mod graph;
 mod idb;
 pub mod magic;
+pub mod maintain;
 pub mod naive;
 pub mod plan;
 pub mod query;
@@ -40,9 +41,11 @@ pub mod topdown;
 pub use bindings::{DerivedFacts, FactView};
 pub use error::{EngineError, Result};
 pub use idb::Idb;
+pub use maintain::{MaintainStats, MaintainedStore, Retraction};
 pub use naive::EvalOptions;
 pub use plan::{ProgramPlan, RulePlan};
 pub use qdk_logic::governor::{CancelToken, Exhausted, Governor, Resource, ResourceLimits};
 pub use query::{
-    retrieve, retrieve_compiled, retrieve_with, DataAnswer, Downgrade, Retrieve, Strategy,
+    retrieve, retrieve_compiled, retrieve_precomputed, retrieve_with, DataAnswer, Downgrade, Mode,
+    Retrieve, Strategy,
 };

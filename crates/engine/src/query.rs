@@ -39,18 +39,79 @@ pub enum Strategy {
     Magic,
 }
 
-/// A recorded strategy degradation: the requested strategy could not
-/// complete (e.g. the magic-sets rewrite hit a non-stratified slice or
-/// exhausted its resource limits), and evaluation was retried with a
-/// simpler strategy instead of erroring.
+/// An evaluation mode a [`Downgrade`] can degrade from or to: one of the
+/// four retrieve strategies, or one of the two maintenance modes a live
+/// knowledge base keeps its derived state in — incremental (delta
+/// propagation / delete-and-rederive) and full recomputation.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// A retrieve evaluation strategy.
+    Strategy(Strategy),
+    /// Incremental maintenance of materialized derived facts.
+    Incremental,
+    /// Full fixpoint recomputation of derived facts.
+    Recompute,
+}
+
+impl fmt::Debug for Mode {
+    // Renders the inner strategy bare ("Magic", not "Strategy(Magic)") so
+    // downgrade notes read the same as when `Downgrade` held strategies
+    // directly.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Strategy(s) => write!(f, "{s:?}"),
+            Mode::Incremental => write!(f, "Incremental"),
+            Mode::Recompute => write!(f, "Recompute"),
+        }
+    }
+}
+
+impl From<Strategy> for Mode {
+    fn from(s: Strategy) -> Self {
+        Mode::Strategy(s)
+    }
+}
+
+impl PartialEq<Strategy> for Mode {
+    fn eq(&self, other: &Strategy) -> bool {
+        matches!(self, Mode::Strategy(s) if s == other)
+    }
+}
+
+/// A recorded degradation: the requested evaluation or maintenance mode
+/// could not complete (e.g. the magic-sets rewrite hit a non-stratified
+/// slice, or delete-and-rederive met negation over an affected
+/// predicate), and a simpler mode produced the result instead of
+/// erroring.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Downgrade {
-    /// The strategy that was requested.
-    pub from: Strategy,
-    /// The strategy that produced the answer.
-    pub to: Strategy,
+    /// The mode that was requested.
+    pub from: Mode,
+    /// The mode that produced the result.
+    pub to: Mode,
     /// Human-readable cause of the downgrade.
     pub reason: String,
+}
+
+impl Downgrade {
+    /// A strategy-to-strategy downgrade (e.g. Magic → SemiNaive).
+    pub fn strategy(from: Strategy, to: Strategy, reason: impl Into<String>) -> Self {
+        Downgrade {
+            from: Mode::Strategy(from),
+            to: Mode::Strategy(to),
+            reason: reason.into(),
+        }
+    }
+
+    /// An incremental-maintenance fallback: delta propagation or DRed
+    /// bailed out and the derived state was fully recomputed.
+    pub fn maintenance(reason: impl Into<String>) -> Self {
+        Downgrade {
+            from: Mode::Incremental,
+            to: Mode::Recompute,
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for Downgrade {
@@ -186,36 +247,7 @@ pub fn retrieve_compiled(
     strategy: Strategy,
     opts: EvalOptions,
 ) -> Result<DataAnswer> {
-    let subject = &query.subject;
-    if subject.is_builtin() {
-        return Err(EngineError::UnknownSubject(subject.pred.to_string()));
-    }
-    let known = edb.is_edb_predicate(subject.pred.as_str()) || idb.defines(subject.pred.as_str());
-    let columns: Vec<Var> = subject.vars();
-
-    // A new subject predicate is defined through the qualifier: its
-    // variables must occur in ψ. The goal conjunction is then just ψ;
-    // otherwise it is p ∧ ψ.
-    let mut goals: Vec<Literal> = Vec::with_capacity(1 + query.qualifier.len());
-    if known {
-        goals.push(Literal::pos(subject.clone()));
-    } else {
-        if query.qualifier.is_empty() {
-            return Err(EngineError::UnknownSubject(subject.pred.to_string()));
-        }
-        let mut qual_vars = Vec::new();
-        for l in &query.qualifier {
-            l.atom.collect_vars(&mut qual_vars);
-        }
-        if let Some(missing) = columns.iter().find(|v| !qual_vars.contains(v)) {
-            return Err(EngineError::UnsafeRule {
-                rule: query.to_string(),
-                literal: missing.to_string(),
-            });
-        }
-    }
-    goals.extend(query.qualifier.iter().cloned());
-
+    let (columns, goals) = query_goals(edb, idb, query)?;
     let obs = opts.sink.clone();
     let substs = match strategy {
         Strategy::TopDown => {
@@ -244,11 +276,7 @@ pub fn retrieve_compiled(
                         retrieve_compiled(edb, idb, plan, query, Strategy::SemiNaive, opts)?;
                     answer.downgrades.insert(
                         0,
-                        Downgrade {
-                            from: Strategy::Magic,
-                            to: Strategy::SemiNaive,
-                            reason: e.to_string(),
-                        },
+                        Downgrade::strategy(Strategy::Magic, Strategy::SemiNaive, e.to_string()),
                     );
                     return Ok(answer);
                 }
@@ -291,6 +319,56 @@ pub fn retrieve_compiled(
     project_answer(query, &columns, substs)
 }
 
+/// Validates the query subject and builds the answer columns and goal
+/// conjunction shared by every evaluation strategy.
+fn query_goals(edb: &Edb, idb: &Idb, query: &Retrieve) -> Result<(Vec<Var>, Vec<Literal>)> {
+    let subject = &query.subject;
+    if subject.is_builtin() {
+        return Err(EngineError::UnknownSubject(subject.pred.to_string()));
+    }
+    let known = edb.is_edb_predicate(subject.pred.as_str()) || idb.defines(subject.pred.as_str());
+    let columns: Vec<Var> = subject.vars();
+
+    // A new subject predicate is defined through the qualifier: its
+    // variables must occur in ψ. The goal conjunction is then just ψ;
+    // otherwise it is p ∧ ψ.
+    let mut goals: Vec<Literal> = Vec::with_capacity(1 + query.qualifier.len());
+    if known {
+        goals.push(Literal::pos(subject.clone()));
+    } else {
+        if query.qualifier.is_empty() {
+            return Err(EngineError::UnknownSubject(subject.pred.to_string()));
+        }
+        let mut qual_vars = Vec::new();
+        for l in &query.qualifier {
+            l.atom.collect_vars(&mut qual_vars);
+        }
+        if let Some(missing) = columns.iter().find(|v| !qual_vars.contains(v)) {
+            return Err(EngineError::UnsafeRule {
+                rule: query.to_string(),
+                literal: missing.to_string(),
+            });
+        }
+    }
+    goals.extend(query.qualifier.iter().cloned());
+    Ok((columns, goals))
+}
+
+/// Answers a retrieve query against an already materialized derived
+/// store, skipping fixpoint evaluation entirely. This is the serving path
+/// for incrementally maintained knowledge bases: the store is kept
+/// consistent across mutations, so a query is just goal solving plus
+/// projection.
+pub fn retrieve_precomputed(
+    edb: &Edb,
+    idb: &Idb,
+    derived: &crate::bindings::DerivedFacts,
+    query: &Retrieve,
+) -> Result<DataAnswer> {
+    let (columns, goals) = query_goals(edb, idb, query)?;
+    solve_projected(edb, derived, &goals, query, &columns)
+}
+
 /// Solves a goal conjunction against the EDB plus a materialized derived
 /// store and projects each satisfying frame straight onto the subject's
 /// columns. Row content, order, and deduplication are identical to
@@ -304,6 +382,13 @@ fn solve_projected(
     query: &Retrieve,
     columns: &[Var],
 ) -> Result<DataAnswer> {
+    if let Some(rows) = full_extension(edb, derived, goals, columns) {
+        return Ok(DataAnswer {
+            columns: columns.to_vec(),
+            rows,
+            downgrades: Vec::new(),
+        });
+    }
     let dummy = Rule::with_literals(Atom::new("_goal", vec![]), goals.to_vec());
     let stats = edb.stats();
     let plan = RulePlan::for_query(goals, dummy.to_string(), &mut Interner::new(), Some(&stats));
@@ -341,6 +426,57 @@ fn solve_projected(
         rows,
         downgrades: Vec::new(),
     })
+}
+
+/// The whole-extension fast path: a single positive goal whose arguments
+/// are distinct variables matching the answer columns one-for-one asks
+/// for every stored tuple of one predicate, so the rows are the backing
+/// relation's tuples verbatim — no plan, no execution, no dedup (the
+/// relation is a set) and no projection (the row *is* the tuple). Order
+/// matches the general path, which scans the same relation in id order.
+/// Returns `None` when the query needs real goal solving (constants,
+/// repeated or reordered variables, several goals, negation, builtins) or
+/// when the stored arity disagrees with the goal (the general path owns
+/// that error).
+fn full_extension(
+    edb: &Edb,
+    derived: &crate::bindings::DerivedFacts,
+    goals: &[Literal],
+    columns: &[Var],
+) -> Option<Vec<Tuple>> {
+    let [goal] = goals else {
+        return None;
+    };
+    if !goal.positive || goal.is_builtin() {
+        return None;
+    }
+    let args = &goal.atom.args;
+    // `columns` holds distinct variables, so equal length plus pointwise
+    // match rules out constants and repeated variables in one sweep.
+    if args.len() != columns.len()
+        || !args
+            .iter()
+            .zip(columns)
+            .all(|(a, c)| matches!(a, Term::Var(v) if v == c))
+    {
+        return None;
+    }
+    // Mirror `FactView::scan_target`: declared predicates read the EDB
+    // relation, everything else the derived store; an absent relation is
+    // an empty extension.
+    let pred = goal.atom.pred.as_str();
+    let rel = if edb.is_edb_predicate(pred) {
+        edb.relation(pred)
+    } else {
+        derived.relation(pred)
+    };
+    let Some(rel) = rel else {
+        return Some(Vec::new());
+    };
+    if rel.arity() != args.len() {
+        return None;
+    }
+    Some(rel.iter().cloned().collect())
 }
 
 /// Projects satisfying substitutions onto the subject's variables,

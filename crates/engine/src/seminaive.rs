@@ -57,8 +57,24 @@ pub fn eval_compiled(
     relevant: Option<&[Sym]>,
     opts: EvalOptions,
 ) -> Result<DerivedFacts> {
+    eval_seeded(edb, idb, plan, relevant, DerivedFacts::new(), opts)
+}
+
+/// [`eval_compiled`] starting from a pre-populated derived store: relations
+/// already in `seed` are treated as settled lower-stratum input, and only
+/// predicates passing the `relevant` filter are (re)derived into it. The
+/// incremental-maintenance layer uses this to rebuild just the strata a
+/// rule change touched.
+pub fn eval_seeded(
+    edb: &Edb,
+    idb: &Idb,
+    plan: &ProgramPlan,
+    relevant: Option<&[Sym]>,
+    seed: DerivedFacts,
+    opts: EvalOptions,
+) -> Result<DerivedFacts> {
     let strat = stratify(idb)?;
-    let mut derived = DerivedFacts::new();
+    let mut derived = seed;
     let gov = opts.governor();
     let pool = opts.pool();
     let obs = &opts.sink;

@@ -7,15 +7,22 @@ use crate::answer::Answer;
 use crate::ast::Statement;
 use crate::error::Result;
 use crate::parser::{parse_script, parse_statement};
-use qdk_core::{compare, describe, extensions, Describe, DescribeOptions};
+use qdk_core::{
+    compare, describe, extensions, redundancy, Describe, DescribeCache, DescribeOptions,
+};
 use qdk_durability::{
     CheckpointData, DurabilityMetrics, DurabilityOptions, Durable, Lsn, Opened, RecoveryReport,
     RelationSnapshot, WalOp,
 };
-use qdk_engine::{query, Idb, ProgramPlan, Retrieve, Strategy};
-use qdk_logic::obs::Event;
-use qdk_logic::{Constraint, Rule, Sym};
-use qdk_storage::Edb;
+use qdk_engine::graph::DependencyGraph;
+use qdk_engine::maintain::Doomed;
+use qdk_engine::{
+    query, Downgrade, Idb, MaintainStats, MaintainedStore, ProgramPlan, Retraction, Retrieve,
+    Strategy,
+};
+use qdk_logic::obs::{Event, ObsSink};
+use qdk_logic::{Constraint, Rule, Sym, Term};
+use qdk_storage::{Edb, Tuple};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -85,6 +92,88 @@ impl std::fmt::Debug for PlanCache {
     }
 }
 
+/// Downgrades recorded by mutation-side maintenance — an incremental step
+/// that fell back to full recomputation, or a maintained store that had
+/// to be dropped — queued for the next retrieve's answer so degraded
+/// service is never silent. Interior-mutable because retrieves take
+/// `&self`.
+#[derive(Default)]
+struct PendingDowngrades(Mutex<Vec<Downgrade>>);
+
+impl PendingDowngrades {
+    fn guard(&self) -> MutexGuard<'_, Vec<Downgrade>> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn push(&self, d: Downgrade) {
+        self.guard().push(d);
+    }
+
+    fn drain(&self) -> Vec<Downgrade> {
+        std::mem::take(&mut *self.guard())
+    }
+
+    fn snapshot(&self) -> Vec<Downgrade> {
+        self.guard().clone()
+    }
+}
+
+impl Clone for PendingDowngrades {
+    fn clone(&self) -> Self {
+        PendingDowngrades(Mutex::new(self.snapshot()))
+    }
+}
+
+impl std::fmt::Debug for PendingDowngrades {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PendingDowngrades({})", self.guard().len())
+    }
+}
+
+/// The describe-answer cache behind a lock, so knowledge queries — which
+/// take `&self` — can record their answers (see [`qdk_core::cache`]).
+#[derive(Default)]
+struct DescribeCacheCell(Mutex<DescribeCache>);
+
+impl DescribeCacheCell {
+    fn guard(&self) -> MutexGuard<'_, DescribeCache> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl Clone for DescribeCacheCell {
+    fn clone(&self) -> Self {
+        DescribeCacheCell(Mutex::new(self.guard().clone()))
+    }
+}
+
+impl std::fmt::Debug for DescribeCacheCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DescribeCacheCell({} entries)", self.guard().len())
+    }
+}
+
+/// How a retraction interacts with the maintained store, decided *before*
+/// the tuple leaves the EDB (DRed's deletion phase reads the
+/// pre-retraction state) and applied after.
+enum RetractPlan {
+    /// No maintained store, or the fact was not stored: nothing to do.
+    Untracked,
+    /// Negation over the affected region: fall back to recomputation.
+    Recompute(String),
+    /// DRed prepared a deletion overestimate (or proved the retraction
+    /// touches no derived fact).
+    Ready(Retraction),
+    /// Preparation failed; the store must be dropped.
+    Lost(String),
+}
+
 /// A knowledge-rich database: EDB facts, IDB rules, integrity
 /// constraints, and the unified query interface over them.
 #[derive(Clone, Debug, Default)]
@@ -110,6 +199,20 @@ pub struct KnowledgeBase {
     /// *same* log, which is the only coherent reading since they also
     /// started from the same persistent state.
     durable: Option<Arc<Mutex<Durable>>>,
+    /// Incrementally maintained derived facts (opt-in, built by
+    /// [`Self::materialize_maintained`]): while present, every fact or
+    /// rule mutation updates the derived state in place and bottom-up
+    /// retrieves serve from it without re-running the fixpoint. `None`
+    /// keeps the classic evaluate-per-query behaviour.
+    maintained: Option<MaintainedStore>,
+    /// Maintenance counters accumulated since the last
+    /// [`Self::take_maintain_stats`].
+    maintain_stats: MaintainStats,
+    /// Maintenance downgrades awaiting the next retrieve's answer.
+    pending: PendingDowngrades,
+    /// Cached complete describe answers, invalidated per predicate
+    /// closure on rule/constraint changes.
+    describe_cache: DescribeCacheCell,
 }
 
 impl KnowledgeBase {
@@ -441,6 +544,17 @@ impl KnowledgeBase {
             }
         }
         let new = self.edb.insert_fact(atom)?;
+        if new {
+            if let Some(mut store) = self.maintained.take() {
+                match store.after_insert(&self.edb, &self.idb, atom.pred.as_str()) {
+                    Ok(stats) => {
+                        self.absorb_maintenance(&stats);
+                        self.maintained = Some(store);
+                    }
+                    Err(e) => self.maintenance_lost("insert maintenance", e),
+                }
+            }
+        }
         self.maybe_checkpoint()?;
         Ok(new)
     }
@@ -448,28 +562,115 @@ impl KnowledgeBase {
     /// Adds a rule to the IDB, under the same validate → log → apply
     /// discipline as [`Self::add_fact`] — plus plan invalidation: rule
     /// changes bump the rules generation, so every retrieve recompiles.
+    /// The maintained store (when live) re-derives only the predicates
+    /// depending on the new rule's head, and cached describe answers
+    /// survive a rule that an existing same-head rule θ-subsumes (it can
+    /// contribute no new theorems).
     pub fn add_rule(&mut self, rule: Rule) -> Result<()> {
         self.idb.validate_rule(&rule)?;
+        let head = rule.head.pred.as_str().to_string();
+        let redundant = self
+            .idb
+            .rules_for(&head)
+            .any(|existing| redundancy::semantic_subsumes(existing, &rule, &[]));
         if self.durable.is_some() {
             self.log(WalOp::AddRule(rule.clone()))?;
         }
         self.idb.add_rule(rule)?;
         self.rules_gen = self.rules_gen.wrapping_add(1);
+        self.describe_cache.guard().rule_added(&head, redundant);
+        self.maintain_rules_changed(&head);
         self.maybe_checkpoint()
     }
 
     /// Retracts a stored fact; returns `true` if it was stored. Same
     /// discipline as [`Self::add_fact`]; the compiled plan is retained.
+    /// When the maintained store is live, the retraction runs
+    /// delete-and-rederive: doomed derived facts are computed against the
+    /// pre-retraction state, removed with the tuple, and the ones with
+    /// surviving alternative derivations are put back.
     pub fn retract_fact(&mut self, atom: &qdk_logic::Atom) -> Result<bool> {
         self.edb.validate_fact(atom)?;
+        // DRed's deletion phase reads the *pre-retraction* state, so the
+        // retraction is prepared before the tuple is logged or removed.
+        let plan = self.prepare_retract_maintenance(atom);
         if self.durable.is_some() {
             if let Some(op) = WalOp::retract(atom) {
                 self.log(op)?;
             }
         }
         let removed = self.edb.remove_fact(atom)?;
+        if removed {
+            self.apply_retract_maintenance(plan);
+        }
         self.maybe_checkpoint()?;
         Ok(removed)
+    }
+
+    /// Decides how the maintained store will absorb retracting `atom`
+    /// (see [`RetractPlan`]); read-only, called before the EDB changes.
+    fn prepare_retract_maintenance(&self, atom: &qdk_logic::Atom) -> RetractPlan {
+        let Some(store) = &self.maintained else {
+            return RetractPlan::Untracked;
+        };
+        let pred = atom.pred.as_str();
+        let Some(tuple) = ground_tuple(atom) else {
+            return RetractPlan::Untracked;
+        };
+        if !self.edb.relation(pred).is_some_and(|r| r.contains(&tuple)) {
+            return RetractPlan::Untracked;
+        }
+        if let Some(reason) = store.retract_fallback_reason(&self.edb, &self.idb, pred) {
+            return RetractPlan::Recompute(reason);
+        }
+        match store.prepare_retract(&self.edb, pred, &tuple) {
+            Ok(r) => RetractPlan::Ready(r),
+            Err(e) => RetractPlan::Lost(e.to_string()),
+        }
+    }
+
+    /// Applies the prepared retraction plan after the tuple left the EDB.
+    fn apply_retract_maintenance(&mut self, plan: RetractPlan) {
+        match plan {
+            RetractPlan::Untracked | RetractPlan::Ready(Retraction::Clean) => {}
+            RetractPlan::Recompute(reason) => {
+                let Some(mut store) = self.maintained.take() else {
+                    return;
+                };
+                match store.recompute(&self.edb, &self.idb) {
+                    Ok(()) => {
+                        self.absorb_maintenance(&MaintainStats {
+                            recompute_reasons: vec![reason],
+                            ..MaintainStats::default()
+                        });
+                        self.maintained = Some(store);
+                    }
+                    Err(e) => self.maintenance_lost("retract recompute", e),
+                }
+            }
+            RetractPlan::Ready(Retraction::Prepared(doomed)) => {
+                let Some(mut store) = self.maintained.take() else {
+                    return;
+                };
+                match self.finish_retract(&mut store, doomed) {
+                    Ok(stats) => {
+                        self.absorb_maintenance(&stats);
+                        self.maintained = Some(store);
+                    }
+                    Err(e) => self.maintenance_lost("retract maintenance", e),
+                }
+            }
+            RetractPlan::Lost(e) => self.maintenance_lost("retract maintenance", e),
+        }
+    }
+
+    /// Borrow-splitting shim for DRed phases B/C.
+    fn finish_retract(
+        &self,
+        store: &mut MaintainedStore,
+        doomed: Doomed,
+    ) -> qdk_engine::Result<MaintainStats> {
+        store.finish_retract(&self.edb, &self.idb, doomed)
     }
 
     /// Adds an integrity constraint (logged like every other mutation —
@@ -480,8 +681,13 @@ impl KnowledgeBase {
         if self.durable.is_some() {
             self.log(WalOp::AddConstraint(c.clone()))?;
         }
+        let preds: Vec<Sym> = c.body.iter().map(|a| a.pred.clone()).collect();
         self.constraints.push(c);
         self.rules_gen = self.rules_gen.wrapping_add(1);
+        // Constraints prune describe answers, so cached entries whose
+        // closure reaches a constrained predicate go stale. Retrieve
+        // evaluation ignores constraints: the maintained store survives.
+        self.describe_cache.guard().constraint_added(&preds);
         self.maybe_checkpoint()
     }
 
@@ -492,6 +698,108 @@ impl KnowledgeBase {
     /// enough to matter.
     pub fn invalidate_plan(&self) {
         self.plan.invalidate();
+    }
+
+    /// Builds the incrementally maintained derived-fact store if it is
+    /// not already live: one full semi-naive evaluation, after which
+    /// mutations update the derived state in place and bottom-up
+    /// retrieves serve from it without re-running the fixpoint. The
+    /// `Session::apply` facade calls this on first mutation; it is also
+    /// callable directly for long-lived serving KBs.
+    pub fn materialize_maintained(&mut self) -> Result<()> {
+        if self.maintained.is_some() {
+            return Ok(());
+        }
+        let plan = self.compiled_plan();
+        self.maintained = Some(MaintainedStore::build(&self.edb, &self.idb, plan)?);
+        Ok(())
+    }
+
+    /// True while the maintained derived-fact store is live.
+    pub fn is_maintained(&self) -> bool {
+        self.maintained.is_some()
+    }
+
+    /// The per-stratum generation counters of the maintained store
+    /// (`None` when no store is live). Rule changes bump exactly the
+    /// affected strata.
+    pub fn stratum_generations(&self) -> Option<&[u64]> {
+        self.maintained.as_ref().map(|s| s.stratum_generations())
+    }
+
+    /// Takes the maintenance counters accumulated since the last call
+    /// (the facade folds these into its mutation reports).
+    pub fn take_maintain_stats(&mut self) -> MaintainStats {
+        std::mem::take(&mut self.maintain_stats)
+    }
+
+    /// Copies of the maintenance downgrades currently queued for the
+    /// next retrieve's answer (the queue itself still drains there).
+    pub fn pending_downgrades(&self) -> Vec<Downgrade> {
+        self.pending.snapshot()
+    }
+
+    /// Cumulative describe-cache counters.
+    pub fn describe_cache_stats(&self) -> qdk_core::CacheStats {
+        self.describe_cache.guard().stats()
+    }
+
+    /// Folds one maintenance operation's counters in, surfacing its
+    /// recompute fallbacks as recorded downgrades.
+    fn absorb_maintenance(&mut self, stats: &MaintainStats) {
+        for reason in &stats.recompute_reasons {
+            self.pending.push(Downgrade::maintenance(reason.clone()));
+        }
+        self.maintain_stats.merge(stats);
+    }
+
+    /// Records a maintenance failure: the store is dropped (queries fall
+    /// back to fixpoint evaluation) and the failure surfaces as a
+    /// downgrade on the next answer rather than failing the mutation —
+    /// the EDB/IDB change itself has already been validated and logged.
+    fn maintenance_lost(&mut self, what: &str, e: impl std::fmt::Display) {
+        self.maintained = None;
+        let reason = format!("{what}: {e}");
+        self.maintain_stats.recompute_reasons.push(reason.clone());
+        self.pending.push(Downgrade::maintenance(reason));
+    }
+
+    /// Re-derives the maintained predicates affected by a rule change on
+    /// `head`, against the freshly compiled program.
+    fn maintain_rules_changed(&mut self, head: &str) {
+        let Some(mut store) = self.maintained.take() else {
+            return;
+        };
+        let plan = self.compiled_plan();
+        match store.rules_changed(&self.edb, &self.idb, plan, head) {
+            Ok(stats) => {
+                self.absorb_maintenance(&stats);
+                self.maintained = Some(store);
+            }
+            Err(e) => self.maintenance_lost("rule maintenance", e),
+        }
+    }
+
+    /// The maintained store, when `strategy` can serve from it: the
+    /// bottom-up strategies compute exactly the maintained fixpoint, so
+    /// the stored derived facts *are* their answer; the goal-directed
+    /// strategies keep their own evaluation.
+    fn maintained_for(&self, strategy: Strategy) -> Option<&MaintainedStore> {
+        match strategy {
+            Strategy::Naive | Strategy::SemiNaive => self.maintained.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// Moves queued maintenance downgrades onto `answer`, ahead of any
+    /// evaluation downgrades (they happened first).
+    fn surface_pending(&self, answer: &mut qdk_engine::DataAnswer, obs: &ObsSink) {
+        let drained = self.pending.drain();
+        if drained.is_empty() {
+            return;
+        }
+        obs.counter("downgrade", drained.len() as u64);
+        answer.downgrades.splice(0..0, drained);
     }
 
     /// Executes one parsed statement.
@@ -627,7 +935,10 @@ impl KnowledgeBase {
 
     /// [`Self::retrieve`] with per-query strategy and evaluation options
     /// (the hook the `Session` facade's request overrides go through). The
-    /// cached compiled program is reused.
+    /// cached compiled program is reused; when the maintained store is
+    /// live and the strategy is bottom-up, the answer is projected
+    /// straight from the maintained derived facts — no fixpoint runs.
+    #[doc(hidden)]
     pub fn retrieve_with_options(
         &self,
         r: &Retrieve,
@@ -635,6 +946,13 @@ impl KnowledgeBase {
         eval: qdk_engine::EvalOptions,
     ) -> Result<qdk_engine::DataAnswer> {
         let obs = eval.sink.clone();
+        if let Some(store) = self.maintained_for(strategy) {
+            let _span = obs.span("execute", 0);
+            obs.counter("maintained_serve", 1);
+            let mut answer = query::retrieve_precomputed(&self.edb, &self.idb, store.derived(), r)?;
+            self.surface_pending(&mut answer, &obs);
+            return Ok(answer);
+        }
         let plan = {
             let _span = obs.span("plan", 0);
             let (plan, hit) = self
@@ -651,9 +969,9 @@ impl KnowledgeBase {
             plan
         };
         let _span = obs.span("execute", 0);
-        Ok(query::retrieve_compiled(
-            &self.edb, &self.idb, &plan, r, strategy, eval,
-        )?)
+        let mut answer = query::retrieve_compiled(&self.edb, &self.idb, &plan, r, strategy, eval)?;
+        self.surface_pending(&mut answer, &obs);
+        Ok(answer)
     }
 
     /// [`Self::retrieve_with_options`] against an already-resolved
@@ -662,6 +980,7 @@ impl KnowledgeBase {
     /// the plan next to the data it was compiled for, so its readers
     /// never consult the cache. The caller guarantees `plan` was compiled
     /// from this KB's IDB.
+    #[doc(hidden)]
     pub fn retrieve_with_plan(
         &self,
         plan: &ProgramPlan,
@@ -670,13 +989,20 @@ impl KnowledgeBase {
         eval: qdk_engine::EvalOptions,
     ) -> Result<qdk_engine::DataAnswer> {
         let obs = eval.sink.clone();
+        if let Some(store) = self.maintained_for(strategy) {
+            let _span = obs.span("execute", 0);
+            obs.counter("maintained_serve", 1);
+            let mut answer = query::retrieve_precomputed(&self.edb, &self.idb, store.derived(), r)?;
+            self.surface_pending(&mut answer, &obs);
+            return Ok(answer);
+        }
         if obs.enabled() {
             obs.counter("plan_cache_hit", 1);
         }
         let _span = obs.span("execute", 0);
-        Ok(query::retrieve_compiled(
-            &self.edb, &self.idb, plan, r, strategy, eval,
-        )?)
+        let mut answer = query::retrieve_compiled(&self.edb, &self.idb, plan, r, strategy, eval)?;
+        self.surface_pending(&mut answer, &obs);
+        Ok(answer)
     }
 
     /// The compiled program for the current rules generation, filling the
@@ -730,19 +1056,60 @@ impl KnowledgeBase {
 
     /// [`Self::describe`] with per-query options (the hook the `Session`
     /// facade's request overrides go through). Declared integrity
-    /// constraints are still respected.
+    /// constraints are still respected. Complete, unbounded answers are
+    /// cached by subject signature and survive fact churn untouched (a
+    /// describe answer never reads the EDB); rule and constraint changes
+    /// evict per predicate closure.
+    #[doc(hidden)]
     pub fn describe_with_options(
         &self,
         d: &Describe,
         opts: &DescribeOptions,
     ) -> Result<qdk_core::DescribeAnswer> {
         let _span = opts.sink.span("execute", 0);
-        Ok(describe::describe_with_constraints(
-            &self.idb,
-            &self.constraints,
-            d,
-            opts,
-        )?)
+        let key = describe_cache_key(d, opts);
+        if let Some(k) = &key {
+            if let Some(hit) = self.describe_cache.guard().get(d.subject.pred.as_str(), k) {
+                opts.sink.counter("describe_cache_hit", 1);
+                return Ok(hit);
+            }
+            opts.sink.counter("describe_cache_miss", 1);
+        }
+        let answer = describe::describe_with_constraints(&self.idb, &self.constraints, d, opts)?;
+        if let Some(k) = key {
+            if !answer.is_truncated() {
+                let closure = self.describe_closure(d);
+                self.describe_cache.guard().insert(
+                    d.subject.pred.as_str(),
+                    k,
+                    closure,
+                    answer.clone(),
+                );
+            }
+        }
+        Ok(answer)
+    }
+
+    /// Every predicate `d`'s answer can depend on: the rule-graph closure
+    /// of the subject plus of each hypothesis predicate (hypothesis
+    /// literals surface in theorem bodies, so constraints over them prune
+    /// answers too).
+    fn describe_closure(&self, d: &Describe) -> Vec<Sym> {
+        let graph = DependencyGraph::build(&self.idb);
+        let mut closure = vec![d.subject.pred.clone()];
+        let mut cover = |preds: Vec<Sym>| {
+            for p in preds {
+                if !closure.contains(&p) {
+                    closure.push(p);
+                }
+            }
+        };
+        cover(graph.reachable_from(d.subject.pred.as_str()));
+        for lit in &d.hypothesis {
+            cover(vec![lit.atom.pred.clone()]);
+            cover(graph.reachable_from(lit.atom.pred.as_str()));
+        }
+        closure
     }
 
     /// The declared integrity constraints.
@@ -780,6 +1147,37 @@ impl KnowledgeBase {
         }
         out
     }
+}
+
+/// The describe-cache key for `d` under `opts`, `None` when the
+/// combination is not cacheable: bounded or cancellable evaluations can
+/// be cut short by wall-clock-dependent limits, so their answers never
+/// enter the cache.
+fn describe_cache_key(d: &Describe, opts: &DescribeOptions) -> Option<String> {
+    if opts.cancel.is_some() || opts.limits != qdk_core::ResourceLimits::default() {
+        return None;
+    }
+    Some(format!(
+        "{d}|fb={:?}|tr={:?}|untyped={}|simp={}|rr={}",
+        opts.fallback,
+        opts.transform,
+        opts.untyped_rule_limit,
+        opts.simplify_comparisons,
+        opts.remove_redundant
+    ))
+}
+
+/// Projects a ground atom onto its stored row; `None` if any argument is
+/// a variable (callers validate groundness first).
+fn ground_tuple(atom: &qdk_logic::Atom) -> Option<Tuple> {
+    let mut values = Vec::with_capacity(atom.args.len());
+    for t in &atom.args {
+        match t {
+            Term::Const(c) => values.push(c.clone()),
+            Term::Var(_) => return None,
+        }
+    }
+    Some(Tuple::new(values))
 }
 
 #[cfg(test)]

@@ -522,46 +522,96 @@ impl Relation {
         }
     }
 
-    /// Removes a tuple; returns `true` if it was present. The tuple store
-    /// and indexes are rebuilt (removal is rare relative to insertion and
-    /// selection, so a simple rebuild keeps the hot paths branch-free);
-    /// snapshots sharing the old store are unaffected.
+    /// Removes a tuple; returns `true` if it was present. Removal is a
+    /// batch of one — see [`remove_batch`](Relation::remove_batch) for the
+    /// cost model. Snapshots sharing the old store are unaffected.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        let Some(&id) = self.present.get(t) else {
-            return false;
-        };
-        self.promote_pending();
-        let mut tuples = TupleStore::default();
-        let mut present = FxHashMap::default();
-        let mut indexes: Vec<FxHashMap<Value, Vec<u32>>> = vec![FxHashMap::default(); self.arity];
-        for (old_id, tuple) in self.tuples.iter().enumerate() {
-            if old_id == id as usize {
-                continue;
-            }
-            let row = tuples.len() as u32;
-            present.insert(tuple.clone(), row);
-            for (c, v) in tuple.values().iter().enumerate() {
-                indexes[c].entry(v.clone()).or_default().push(row);
-            }
-            tuples.push(tuple.clone());
-        }
-        // Removal renumbers row ids, so composites rebuild like the
-        // single-column indexes; probe counters carry over (they meter
-        // access paths, not contents).
-        let ready: Vec<Arc<CompositeIndex>> = self
-            .ready
-            .iter()
-            .map(|ix| {
-                let mut fresh = CompositeIndex::build(ix.cols().to_vec(), tuples.iter());
-                fresh.probes = AtomicU64::new(ix.probe_count());
-                Arc::new(fresh)
-            })
+        self.remove_batch(std::iter::once(t)) == 1
+    }
+
+    /// Removes a batch of tuples in one pass; returns how many were
+    /// present. Removal renumbers the surviving row ids (they stay dense
+    /// and insertion-ordered), but instead of rehashing everything it
+    /// compacts the tuple store and patches the maps in place: doomed keys
+    /// leave the presence map, and every index bucket drops its doomed ids
+    /// and rewrites the survivors through a monotone old→new remap (which
+    /// preserves the ascending-id invariant). Incremental maintenance
+    /// (DRed's deletion phase) leans on this: retracting k facts from an
+    /// n-row relation costs O(n) id rewrites, not a rehash and value clone
+    /// per surviving row per index.
+    pub fn remove_batch<'t>(&mut self, batch: impl IntoIterator<Item = &'t Tuple>) -> usize {
+        // Resolve ids read-only first so a batch of absent tuples stays a
+        // no-op (no copy-on-write of snapshot-shared maps).
+        let mut doomed: Vec<u32> = batch
+            .into_iter()
+            .filter_map(|t| self.present.get(t).copied())
             .collect();
+        if doomed.is_empty() {
+            return 0;
+        }
+        self.promote_pending();
+        doomed.sort_unstable();
+        doomed.dedup();
+        let present = Arc::make_mut(&mut self.present);
+        present.retain(|_, id| doomed.binary_search(id).is_err());
+        // Monotone remap from old row id to new; doomed slots stay 0 and
+        // are never read back.
+        let mut remap = vec![0u32; self.tuples.len()];
+        {
+            let mut next_doomed = doomed.iter().copied().peekable();
+            let mut fresh = 0u32;
+            for (old, slot) in remap.iter_mut().enumerate() {
+                if next_doomed.peek() == Some(&(old as u32)) {
+                    next_doomed.next();
+                } else {
+                    *slot = fresh;
+                    fresh += 1;
+                }
+            }
+        }
+        // Compact the tuple store (tuple clones are reference bumps).
+        let mut tuples = TupleStore::default();
+        {
+            let mut next_doomed = doomed.iter().copied().peekable();
+            for (old, tuple) in self.tuples.iter().enumerate() {
+                if next_doomed.peek() == Some(&(old as u32)) {
+                    next_doomed.next();
+                } else {
+                    tuples.push(tuple.clone());
+                }
+            }
+        }
         self.tuples = tuples;
-        self.present = Arc::new(present);
-        self.indexes = indexes.into_iter().map(Arc::new).collect();
-        self.ready = Arc::new(ready);
-        true
+        for id in present.values_mut() {
+            *id = remap[*id as usize];
+        }
+        let survives = |id: u32| doomed.binary_search(&id).is_err();
+        for index in &mut self.indexes {
+            let index = Arc::make_mut(index);
+            for ids in index.values_mut() {
+                ids.retain(|&id| survives(id));
+                for id in ids.iter_mut() {
+                    *id = remap[*id as usize];
+                }
+            }
+            index.retain(|_, ids| !ids.is_empty());
+        }
+        if !self.ready.is_empty() {
+            for ix in Arc::make_mut(&mut self.ready) {
+                let ix = Arc::make_mut(ix);
+                for bucket in ix.buckets.values_mut() {
+                    for (_, ids) in bucket.iter_mut() {
+                        ids.retain(|&id| survives(id));
+                        for id in ids.iter_mut() {
+                            *id = remap[*id as usize];
+                        }
+                    }
+                    bucket.retain(|(_, ids)| !ids.is_empty());
+                }
+                ix.buckets.retain(|_, bucket| !bucket.is_empty());
+            }
+        }
+        doomed.len()
     }
 
     /// Removes all tuples and resets the probe/scan counters. Composite

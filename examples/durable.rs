@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --example durable`.
 
-use qdk::{Request, Session};
+use qdk::{Mutation, Request, Session};
 
 fn main() -> qdk::Result<()> {
     let dir = std::env::temp_dir().join(format!("qdk-durable-example-{}", std::process::id()));
@@ -50,11 +50,18 @@ fn main() -> qdk::Result<()> {
     println!("{}", session.describe(Request::subject("honor(X)"))?);
 
     // Mutate, snapshot, mutate again: the checkpoint truncates the log,
-    // so the next open loads the snapshot and replays only the tail.
-    session.run("student(dana, math, 3.95).")?;
+    // so the next open loads the snapshot and replays only the tail. The
+    // unified mutation builder goes through the same WAL discipline as
+    // the statement language — and reports what incremental maintenance
+    // did alongside.
+    let applied = session.apply(Mutation::new().insert("student(dana, math, 3.95)"))?;
+    println!(
+        "applied: {} fact(s) stored, {} derived fact(s) added incrementally",
+        applied.inserted, applied.maintenance.derived_added
+    );
     let (lsn, bytes) = session.checkpoint()?.unwrap();
     println!("checkpoint at {lsn} ({bytes} bytes); WAL truncated");
-    session.run("retract enroll(bob, databases).")?;
+    session.apply(Mutation::new().retract("enroll(bob, databases)"))?;
 
     // Third life: checkpoint + tail.
     drop(session);

@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use qdk::{Request, Session};
+use qdk::{Mutation, Request, Session};
 
 fn main() -> qdk::Result<()> {
     let mut session = Session::new();
@@ -53,6 +53,26 @@ fn main() -> qdk::Result<()> {
         session
             .describe(Request::subject("honor(X)").where_clause("student(X, math, V), V < 3.5"))?
     );
+
+    // Mutating a live knowledge base: one builder for inserts, retracts
+    // and rules, applied atomically. The first apply materializes the
+    // incrementally maintained derived state; the report shows how the
+    // changes propagated instead of forcing re-evaluation.
+    let applied = session.apply(
+        Mutation::new()
+            .insert("student(dana, math, 3.95)")
+            .retract("student(bob, physics, 3.5)"),
+    )?;
+    println!(
+        "applied: {} stored, {} retracted; derived facts: {} added, {} deleted, {} rederived",
+        applied.inserted,
+        applied.retracted,
+        applied.maintenance.derived_added,
+        applied.maintenance.derived_deleted,
+        applied.maintenance.rederived,
+    );
+    println!("retrieve honor(X).");
+    println!("{}", session.retrieve(Request::subject("honor(X)"))?);
 
     Ok(())
 }

@@ -67,6 +67,7 @@
 #![deny(clippy::print_stderr, clippy::print_stdout)]
 
 mod error;
+mod mutation;
 mod session;
 mod trace;
 
@@ -78,12 +79,14 @@ pub use qdk_logic as logic;
 pub use qdk_storage as storage;
 
 pub use error::{Error, Result};
+pub use mutation::{Applied, Mutation};
 pub use session::{Request, Response, Session, SnapshotSession};
 pub use trace::{QueryTrace, TraceSpan};
 
 pub use qdk_logic::obs;
 pub use qdk_logic::obs::{CollectSink, Event, ObsSink, Sink};
 
+pub use qdk_core::CacheStats;
 pub use qdk_core::{
     compare::CompareAnswer, CancelToken, Completeness, Describe, DescribeAnswer, DescribeOptions,
     Exhausted, FallbackPolicy, Governor, Resource, ResourceLimits, Theorem, TransformPolicy,
@@ -91,7 +94,7 @@ pub use qdk_core::{
 pub use qdk_durability::{
     DurabilityError, DurabilityMetrics, DurabilityOptions, FsyncPolicy, Lsn, RecoveryReport,
 };
-pub use qdk_engine::{DataAnswer, Downgrade, EvalOptions, Retrieve, Strategy};
+pub use qdk_engine::{DataAnswer, Downgrade, EvalOptions, MaintainStats, Mode, Retrieve, Strategy};
 pub use qdk_lang::{datasets, Answer, KnowledgeBase, LangError};
 pub use qdk_logic::Parallelism;
 pub use qdk_storage::EpochId;

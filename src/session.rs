@@ -459,6 +459,48 @@ fn request_sink(kb: &KnowledgeBase, request: &Request) -> (ObsSink, Option<Arc<C
     }
 }
 
+/// A [`Request`] resolved against one knowledge base's defaults: the
+/// parsed subject and `where` conjunction, plus the option structs both
+/// evaluation stacks consume. This is the facade's **single conversion
+/// point** from the builder to the layered option types — `retrieve` and
+/// `describe` no longer each assemble their own, so one override policy
+/// (request knob, else session default) covers both statements.
+struct Resolved {
+    subject: qdk_logic::Atom,
+    conjunction: Vec<qdk_logic::Literal>,
+    strategy: Strategy,
+    eval: EvalOptions,
+    describe: qdk_core::DescribeOptions,
+}
+
+fn resolve_request(kb: &KnowledgeBase, request: &Request, obs: &ObsSink) -> Result<Resolved> {
+    let (subject, conjunction) = {
+        let _span = obs.span("parse", 0);
+        (parse_atom(&request.subject)?, request.parsed_hypothesis()?)
+    };
+    let defaults = kb.describe_options();
+    let limits = request.limits.unwrap_or(defaults.limits);
+    let parallelism = request.parallelism.unwrap_or(defaults.parallelism);
+    let cancel = request.cancel.clone().or_else(|| defaults.cancel.clone());
+    let mut eval = EvalOptions::with_limits(limits).with_parallelism(parallelism);
+    if let Some(token) = cancel.clone() {
+        eval = eval.with_cancel(token);
+    }
+    eval.sink = obs.clone();
+    let mut describe = defaults.clone();
+    describe.limits = limits;
+    describe.cancel = cancel;
+    describe.parallelism = parallelism;
+    describe.sink = obs.clone();
+    Ok(Resolved {
+        subject,
+        conjunction,
+        strategy: request.strategy.unwrap_or(kb.strategy()),
+        eval,
+        describe,
+    })
+}
+
 /// `retrieve` against a knowledge base. With `plan`, execution uses the
 /// given precompiled program and bypasses the plan cache entirely (the
 /// snapshot path); without, it goes through the cache.
@@ -469,22 +511,11 @@ fn retrieve_on(
 ) -> Result<Response> {
     let (obs, collector) = request_sink(kb, &request);
     let started = Instant::now();
-    let (subject, qualifier) = {
-        let _span = obs.span("parse", 0);
-        (parse_atom(&request.subject)?, request.parsed_hypothesis()?)
-    };
-    let defaults = kb.describe_options();
-    let mut eval = EvalOptions::with_limits(request.limits.unwrap_or(defaults.limits))
-        .with_parallelism(request.parallelism.unwrap_or(defaults.parallelism));
-    if let Some(token) = request.cancel.clone().or_else(|| defaults.cancel.clone()) {
-        eval = eval.with_cancel(token);
-    }
-    eval.sink = obs;
-    let strategy = request.strategy.unwrap_or(kb.strategy());
-    let query = Retrieve::new(subject, qualifier);
+    let resolved = resolve_request(kb, &request, &obs)?;
+    let query = Retrieve::new(resolved.subject, resolved.conjunction);
     let answer = match plan {
-        Some(plan) => kb.retrieve_with_plan(plan, &query, strategy, eval)?,
-        None => kb.retrieve_with_options(&query, strategy, eval)?,
+        Some(plan) => kb.retrieve_with_plan(plan, &query, resolved.strategy, resolved.eval)?,
+        None => kb.retrieve_with_options(&query, resolved.strategy, resolved.eval)?,
     };
     let wall = started.elapsed().as_micros() as u64;
     let trace = collector.map(|c| {
@@ -503,23 +534,9 @@ fn retrieve_on(
 fn describe_on(kb: &KnowledgeBase, request: Request) -> Result<Response> {
     let (obs, collector) = request_sink(kb, &request);
     let started = Instant::now();
-    let (subject, hypothesis) = {
-        let _span = obs.span("parse", 0);
-        (parse_atom(&request.subject)?, request.parsed_hypothesis()?)
-    };
-    let mut opts = kb.describe_options().clone();
-    if let Some(limits) = request.limits {
-        opts.limits = limits;
-    }
-    if let Some(token) = request.cancel.clone() {
-        opts.cancel = Some(token);
-    }
-    if let Some(parallelism) = request.parallelism {
-        opts.parallelism = parallelism;
-    }
-    opts.sink = obs;
-    let query = Describe::new(subject, hypothesis);
-    let answer = kb.describe_with_options(&query, &opts)?;
+    let resolved = resolve_request(kb, &request, &obs)?;
+    let query = Describe::new(resolved.subject, resolved.conjunction);
+    let answer = kb.describe_with_options(&query, &resolved.describe)?;
     let wall = started.elapsed().as_micros() as u64;
     let trace =
         collector.map(|c| QueryTrace::from_events(&c.take(), query.to_string(), wall, Vec::new()));
