@@ -64,10 +64,25 @@ pub struct DurabilityMetrics {
     pub wal_appends: u64,
     /// Bytes appended to the WAL since open (frames + payloads).
     pub wal_bytes: u64,
+    /// Fsyncs issued by the WAL writer since open.
+    pub wal_fsyncs: u64,
     /// Checkpoints taken since open.
     pub checkpoints: u64,
     /// Bytes written by the latest checkpoint.
     pub last_checkpoint_bytes: u64,
+    /// The LSN of the most recent logged mutation (0 if none).
+    pub last_lsn: u64,
+    /// The LSN the latest checkpoint covers (0 if none) — recovered from
+    /// disk on open, so the lag survives restarts.
+    pub checkpoint_lsn: u64,
+}
+
+impl DurabilityMetrics {
+    /// How many logged mutations the latest checkpoint does not cover —
+    /// the WAL replay debt a crash right now would incur.
+    pub fn checkpoint_lsn_lag(&self) -> u64 {
+        self.last_lsn.saturating_sub(self.checkpoint_lsn)
+    }
 }
 
 /// An open durable store.
@@ -137,7 +152,10 @@ impl Durable {
             opts,
             next_lsn: Lsn(last_lsn.0 + 1),
             ops_since_checkpoint: tail.len() as u64,
-            metrics: DurabilityMetrics::default(),
+            metrics: DurabilityMetrics {
+                checkpoint_lsn: floor.0,
+                ..DurabilityMetrics::default()
+            },
             report: report.clone(),
         };
         Ok(Opened {
@@ -182,6 +200,7 @@ impl Durable {
         self.ops_since_checkpoint = 0;
         self.metrics.checkpoints += 1;
         self.metrics.last_checkpoint_bytes = bytes;
+        self.metrics.checkpoint_lsn = covered.0;
         Ok((covered, bytes))
     }
 
@@ -195,9 +214,13 @@ impl Durable {
         Lsn(self.next_lsn.0.saturating_sub(1))
     }
 
-    /// Lifetime counters.
+    /// Lifetime counters, with the fsync count and LSN positions sampled
+    /// at call time.
     pub fn metrics(&self) -> DurabilityMetrics {
-        self.metrics
+        let mut m = self.metrics;
+        m.wal_fsyncs = self.writer.fsyncs();
+        m.last_lsn = self.last_lsn().0;
+        m
     }
 
     /// What recovery found when this handle was opened.
@@ -298,6 +321,51 @@ mod tests {
         assert_eq!(opened.tail[0].lsn, Lsn(4));
         assert_eq!(opened.report.checkpointed, 4); // 1 decl + 3 facts
         assert_eq!(opened.durable.last_lsn(), Lsn(4));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_track_fsyncs_and_checkpoint_lag() {
+        let dir = temp_dir("metrics");
+        {
+            let mut d = Durable::open(
+                &dir,
+                DurabilityOptions {
+                    fsync: FsyncPolicy::Always,
+                    checkpoint_every_ops: None,
+                },
+            )
+            .unwrap()
+            .durable;
+            d.append(&fact("edge(a, b)")).unwrap();
+            d.append(&fact("edge(b, c)")).unwrap();
+            let m = d.metrics();
+            assert_eq!(m.wal_fsyncs, 2); // Always: one per append
+            assert_eq!(m.last_lsn, 2);
+            assert_eq!(m.checkpoint_lsn, 0);
+            assert_eq!(m.checkpoint_lsn_lag(), 2);
+            d.checkpoint(CheckpointData::default()).unwrap();
+            let m = d.metrics();
+            assert_eq!(m.checkpoint_lsn, 2);
+            assert_eq!(m.checkpoint_lsn_lag(), 0);
+            d.append(&fact("edge(c, d)")).unwrap();
+            assert_eq!(d.metrics().checkpoint_lsn_lag(), 1);
+        }
+        // The checkpoint floor is recovered from disk, so the lag
+        // survives a restart.
+        let d = Durable::open(
+            &dir,
+            DurabilityOptions {
+                fsync: FsyncPolicy::Always,
+                checkpoint_every_ops: None,
+            },
+        )
+        .unwrap()
+        .durable;
+        let m = d.metrics();
+        assert_eq!(m.checkpoint_lsn, 2);
+        assert_eq!(m.last_lsn, 3);
+        assert_eq!(m.checkpoint_lsn_lag(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -104,6 +104,7 @@ pub struct WalWriter {
     file: File,
     policy: FsyncPolicy,
     unsynced: u32,
+    fsyncs: u64,
 }
 
 impl WalWriter {
@@ -144,6 +145,7 @@ impl WalWriter {
             file,
             policy,
             unsynced: 0,
+            fsyncs: 0,
         })
     }
 
@@ -176,7 +178,14 @@ impl WalWriter {
             .sync_all()
             .map_err(|e| DurabilityError::io("sync wal", &self.path, &e))?;
         self.unsynced = 0;
+        self.fsyncs += 1;
         Ok(())
+    }
+
+    /// How many fsyncs this writer has issued since open (policy-driven,
+    /// explicit, and truncation syncs alike).
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
     }
 
     /// Discards every record (after a checkpoint has made them
@@ -192,6 +201,7 @@ impl WalWriter {
             .sync_all()
             .map_err(|e| DurabilityError::io("sync wal", &self.path, &e))?;
         self.unsynced = 0;
+        self.fsyncs += 1;
         Ok(())
     }
 }

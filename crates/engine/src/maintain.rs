@@ -99,6 +99,21 @@ pub struct Doomed {
     pred: Sym,
 }
 
+impl Doomed {
+    /// Size of the deletion overestimate: how many derived tuples DRed
+    /// will delete and attempt to rederive. Observability reports this as
+    /// the `dred_overestimate` counter.
+    pub fn len(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// True when the overestimate is empty (the retraction reached no
+    /// derived fact).
+    pub fn is_empty(&self) -> bool {
+        self.overlay.is_empty()
+    }
+}
+
 /// A materialized, incrementally maintained derived-fact store: the
 /// program plan it was derived with, the stratification, delta-first rule
 /// variants for every positive body occurrence, head-bound plans for

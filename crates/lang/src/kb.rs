@@ -20,7 +20,8 @@ use qdk_engine::{
     query, Downgrade, Idb, MaintainStats, MaintainedStore, ProgramPlan, Retraction, Retrieve,
     Strategy,
 };
-use qdk_logic::obs::{Event, ObsSink};
+use qdk_logic::metrics::{MetricsHub, MetricsSink, MetricsSnapshot};
+use qdk_logic::obs::{Event, FanoutSink, ObsSink};
 use qdk_logic::{Constraint, Rule, Sym, Term};
 use qdk_storage::{Edb, Tuple};
 use std::collections::HashMap;
@@ -208,6 +209,13 @@ pub struct KnowledgeBase {
     /// Maintenance counters accumulated since the last
     /// [`Self::take_maintain_stats`].
     maintain_stats: MaintainStats,
+    /// Lifetime maintenance totals — never taken, unlike
+    /// `maintain_stats` — the source of the `maintain_*` metrics gauges.
+    maintain_total: MaintainStats,
+    /// The long-running metrics hub, when [`Self::enable_metrics`] was
+    /// called. Shared behind an `Arc` so clones and epoch snapshots all
+    /// aggregate into the *same* registry.
+    metrics: Option<Arc<MetricsHub>>,
     /// Maintenance downgrades awaiting the next retrieve's answer.
     pending: PendingDowngrades,
     /// Cached complete describe answers, invalidated per predicate
@@ -546,7 +554,12 @@ impl KnowledgeBase {
         let new = self.edb.insert_fact(atom)?;
         if new {
             if let Some(mut store) = self.maintained.take() {
-                match store.after_insert(&self.edb, &self.idb, atom.pred.as_str()) {
+                let obs = self.opts.sink.clone();
+                let result = {
+                    let _span = obs.span("maintain_insert", 0);
+                    store.after_insert(&self.edb, &self.idb, atom.pred.as_str())
+                };
+                match result {
                     Ok(stats) => {
                         self.absorb_maintenance(&stats);
                         self.maintained = Some(store);
@@ -578,6 +591,7 @@ impl KnowledgeBase {
         }
         self.idb.add_rule(rule)?;
         self.rules_gen = self.rules_gen.wrapping_add(1);
+        self.opts.sink.counter("rules_invalidated", 1);
         self.describe_cache.guard().rule_added(&head, redundant);
         self.maintain_rules_changed(&head);
         self.maybe_checkpoint()
@@ -637,7 +651,12 @@ impl KnowledgeBase {
                 let Some(mut store) = self.maintained.take() else {
                     return;
                 };
-                match store.recompute(&self.edb, &self.idb) {
+                let obs = self.opts.sink.clone();
+                let result = {
+                    let _span = obs.span("maintain_retract", 0);
+                    store.recompute(&self.edb, &self.idb)
+                };
+                match result {
                     Ok(()) => {
                         self.absorb_maintenance(&MaintainStats {
                             recompute_reasons: vec![reason],
@@ -652,7 +671,15 @@ impl KnowledgeBase {
                 let Some(mut store) = self.maintained.take() else {
                     return;
                 };
-                match self.finish_retract(&mut store, doomed) {
+                let obs = self.opts.sink.clone();
+                if obs.enabled() {
+                    obs.counter("dred_overestimate", doomed.len() as u64);
+                }
+                let result = {
+                    let _span = obs.span("maintain_retract", 0);
+                    self.finish_retract(&mut store, doomed)
+                };
+                match result {
                     Ok(stats) => {
                         self.absorb_maintenance(&stats);
                         self.maintained = Some(store);
@@ -684,6 +711,7 @@ impl KnowledgeBase {
         let preds: Vec<Sym> = c.body.iter().map(|a| a.pred.clone()).collect();
         self.constraints.push(c);
         self.rules_gen = self.rules_gen.wrapping_add(1);
+        self.opts.sink.counter("rules_invalidated", 1);
         // Constraints prune describe answers, so cached entries whose
         // closure reaches a constrained predicate go stale. Retrieve
         // evaluation ignores constraints: the maintained store survives.
@@ -744,6 +772,99 @@ impl KnowledgeBase {
         self.describe_cache.guard().stats()
     }
 
+    /// Attaches a fresh [`MetricsHub`] to this KB and starts aggregating:
+    /// the hub's [`MetricsSink`] is fanned out *alongside* any sink
+    /// already configured (a trace collector keeps collecting), so every
+    /// span and counter the evaluation stacks already emit feeds the
+    /// registry with no new instrumentation points. Returns the hub;
+    /// clones and epoch snapshots taken after this call share it.
+    pub fn enable_metrics(&mut self) -> Arc<MetricsHub> {
+        let hub = Arc::new(MetricsHub::new());
+        self.enable_metrics_with(Arc::clone(&hub));
+        hub
+    }
+
+    /// [`Self::enable_metrics`] aggregating into an existing hub (e.g.
+    /// the process-wide [`qdk_logic::metrics::global_hub`], or one shared
+    /// across several KBs). A no-op if metrics are already enabled.
+    pub fn enable_metrics_with(&mut self, hub: Arc<MetricsHub>) {
+        if self.metrics.is_some() {
+            return;
+        }
+        let sink: Arc<dyn qdk_logic::Sink> = Arc::new(MetricsSink::new(Arc::clone(&hub)));
+        self.opts.sink = match self.opts.sink.handle() {
+            Some(existing) => ObsSink::new(Arc::new(FanoutSink::new(vec![existing, sink]))),
+            None => ObsSink::new(sink),
+        };
+        self.metrics = Some(hub);
+    }
+
+    /// The attached metrics hub, if [`Self::enable_metrics`] was called.
+    pub fn metrics_hub(&self) -> Option<&Arc<MetricsHub>> {
+        self.metrics.as_ref()
+    }
+
+    /// Polls the point-in-time subsystem gauges (EDB/IDB sizes, plan and
+    /// describe-cache state, maintenance totals, WAL and checkpoint
+    /// positions) into the registry, then returns a consistent snapshot
+    /// of every aggregate. `None` until [`Self::enable_metrics`].
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        let hub = self.metrics.as_ref()?;
+        let reg = hub.registry();
+        reg.gauge_set("rules_generation", self.rules_gen);
+        reg.gauge_set("edb_facts", self.edb.fact_count() as u64);
+        reg.gauge_set("idb_rules", self.idb.rules().len() as u64);
+        reg.gauge_set("constraints", self.constraints.len() as u64);
+        reg.gauge_set("pending_downgrades", self.pending.snapshot().len() as u64);
+        let cache = self.describe_cache_stats();
+        reg.gauge_set("describe_cache_hits", cache.hits);
+        reg.gauge_set("describe_cache_misses", cache.misses);
+        reg.gauge_set("describe_cache_evicted", cache.evicted);
+        reg.gauge_set("describe_cache_survived", cache.survived);
+        reg.gauge_set(
+            "describe_cache_entries",
+            self.describe_cache.guard().len() as u64,
+        );
+        reg.gauge_set("maintained", u64::from(self.maintained.is_some()));
+        reg.gauge_set(
+            "maintained_facts",
+            self.maintained
+                .as_ref()
+                .map_or(0, |s| s.derived().len() as u64),
+        );
+        reg.gauge_set(
+            "maintain_derived_added",
+            self.maintain_total.derived_added as u64,
+        );
+        reg.gauge_set(
+            "maintain_derived_deleted",
+            self.maintain_total.derived_deleted as u64,
+        );
+        reg.gauge_set("maintain_rederived", self.maintain_total.rederived as u64);
+        reg.gauge_set(
+            "maintain_strata_invalidated",
+            self.maintain_total.strata_invalidated as u64,
+        );
+        reg.gauge_set(
+            "maintain_recomputes",
+            self.maintain_total.recompute_reasons.len() as u64,
+        );
+        if let Some(m) = self.durability_metrics() {
+            reg.gauge_set("wal_appended", m.wal_appends);
+            reg.gauge_set("wal_appended_bytes", m.wal_bytes);
+            reg.gauge_set("wal_fsyncs", m.wal_fsyncs);
+            reg.gauge_set("wal_last_lsn", m.last_lsn);
+            reg.gauge_set("checkpoints_taken", m.checkpoints);
+            reg.gauge_set("last_checkpoint_bytes", m.last_checkpoint_bytes);
+            reg.gauge_set("checkpoint_lsn_lag", m.checkpoint_lsn_lag());
+        }
+        if let Some(r) = self.recovery_report() {
+            reg.gauge_set("recovery_replayed", r.checkpointed + r.replayed);
+            reg.gauge_set("recovery_discarded_bytes", r.discarded_tail_bytes);
+        }
+        Some(reg.snapshot())
+    }
+
     /// Folds one maintenance operation's counters in, surfacing its
     /// recompute fallbacks as recorded downgrades.
     fn absorb_maintenance(&mut self, stats: &MaintainStats) {
@@ -751,6 +872,18 @@ impl KnowledgeBase {
             self.pending.push(Downgrade::maintenance(reason.clone()));
         }
         self.maintain_stats.merge(stats);
+        self.maintain_total.merge(stats);
+        let obs = &self.opts.sink;
+        if obs.enabled() {
+            obs.counter("maintain_derived_added", stats.derived_added as u64);
+            obs.counter("maintain_derived_deleted", stats.derived_deleted as u64);
+            obs.counter("maintain_rederived", stats.rederived as u64);
+            obs.counter(
+                "maintain_strata_invalidated",
+                stats.strata_invalidated as u64,
+            );
+            obs.counter("maintain_recompute", stats.recompute_reasons.len() as u64);
+        }
     }
 
     /// Records a maintenance failure: the store is dropped (queries fall
@@ -761,7 +894,9 @@ impl KnowledgeBase {
         self.maintained = None;
         let reason = format!("{what}: {e}");
         self.maintain_stats.recompute_reasons.push(reason.clone());
+        self.maintain_total.recompute_reasons.push(reason.clone());
         self.pending.push(Downgrade::maintenance(reason));
+        self.opts.sink.counter("maintain_lost", 1);
     }
 
     /// Re-derives the maintained predicates affected by a rule change on
@@ -771,7 +906,12 @@ impl KnowledgeBase {
             return;
         };
         let plan = self.compiled_plan();
-        match store.rules_changed(&self.edb, &self.idb, plan, head) {
+        let obs = self.opts.sink.clone();
+        let result = {
+            let _span = obs.span("maintain_rules", 0);
+            store.rules_changed(&self.edb, &self.idb, plan, head)
+        };
+        match result {
             Ok(stats) => {
                 self.absorb_maintenance(&stats);
                 self.maintained = Some(store);

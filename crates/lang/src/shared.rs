@@ -71,6 +71,14 @@ impl Publisher {
         self.last.epoch
     }
 
+    /// How many reader handles currently pin the latest epoch, not
+    /// counting the publisher's own — the `snapshot_pins` metrics gauge.
+    /// Readers still pinned to older epochs are not counted (their
+    /// `Arc`s reference states the cell no longer holds).
+    pub fn pinned_readers(&self) -> u64 {
+        self.cell.pinned().saturating_sub(1)
+    }
+
     /// Freezes `kb` and publishes it as the next epoch. Composite-index
     /// demand observed by readers of the previous epoch is adopted first,
     /// the plan's multi-bound scans get their indexes prebuilt, and the
@@ -88,6 +96,7 @@ impl Publisher {
         });
         self.last = Arc::clone(&state);
         self.cell.publish_arc(state);
+        kb.describe_options().sink.counter("epoch_publish", 1);
         Ok(epoch)
     }
 }

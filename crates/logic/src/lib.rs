@@ -43,6 +43,7 @@ pub mod fasthash;
 pub mod governor;
 pub mod intern;
 pub mod ir;
+pub mod metrics;
 pub mod obs;
 pub mod parallel;
 pub mod parser;

@@ -176,6 +176,35 @@ impl Sink for CollectSink {
     }
 }
 
+/// A sink that delivers every event to each of several sinks, in order.
+/// This is how a per-request trace collector and a long-running
+/// [`crate::metrics::MetricsSink`] observe the *same* event stream: fan
+/// the handle out instead of choosing one.
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl FanoutSink {
+    /// A sink broadcasting to `sinks` in the given order.
+    pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl std::fmt::Debug for FanoutSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FanoutSink({} sinks)", self.sinks.len())
+    }
+}
+
+impl Sink for FanoutSink {
+    fn emit(&self, event: Event) {
+        for s in &self.sinks {
+            s.emit(event);
+        }
+    }
+}
+
 /// A sink that writes one JSON object per event to a writer (JSON lines).
 /// I/O errors are silently ignored — observability must never fail the
 /// query it observes.
@@ -267,6 +296,13 @@ impl ObsSink {
         self.enabled
     }
 
+    /// The underlying sink, if enabled — for composing with a
+    /// [`FanoutSink`] (e.g. adding a trace collector without detaching
+    /// the metrics aggregator).
+    pub fn handle(&self) -> Option<Arc<dyn Sink>> {
+        self.sink.clone()
+    }
+
     /// Deliver one event (no-op when disabled).
     #[inline]
     pub fn emit(&self, event: Event) {
@@ -318,12 +354,18 @@ impl Drop for SpanGuard {
 ///
 /// * `""`, `"0"`, `"off"`, `"null"`, `"none"` — disabled;
 /// * `"collect"` — a capped in-memory [`CollectSink`];
+/// * `"metrics"` — a [`crate::metrics::MetricsSink`] aggregating into the
+///   process-wide registry ([`crate::metrics::global_hub`]), so a whole
+///   test suite or process runs with aggregation on;
 /// * anything ending in `".jsonl"` — a [`JsonLinesSink`] appending to that
 ///   file (disabled if the file cannot be opened).
 pub fn sink_from_spec(spec: &str) -> ObsSink {
     match spec.trim() {
         "" | "0" | "off" | "null" | "none" => ObsSink::disabled(),
         "collect" => ObsSink::new(Arc::new(CollectSink::new())),
+        "metrics" => ObsSink::new(Arc::new(crate::metrics::MetricsSink::new(Arc::clone(
+            crate::metrics::global_hub(),
+        )))),
         path if path.ends_with(".jsonl") => {
             match std::fs::OpenOptions::new()
                 .create(true)
@@ -562,6 +604,23 @@ mod tests {
         assert!(!sink_from_spec("none").enabled());
         assert!(!sink_from_spec("unrecognised").enabled());
         assert!(sink_from_spec("collect").enabled());
+        assert!(sink_from_spec("metrics").enabled());
+    }
+
+    #[test]
+    fn fanout_delivers_to_every_sink_in_order() {
+        let a = Arc::new(CollectSink::new());
+        let b = Arc::new(CollectSink::new());
+        let obs = ObsSink::new(Arc::new(FanoutSink::new(vec![
+            a.clone() as Arc<dyn Sink>,
+            b.clone() as Arc<dyn Sink>,
+        ])));
+        obs.counter("n", 9);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.events().len(), 1);
+        // A plain handle exposes its sink for composing.
+        assert!(obs.handle().is_some());
+        assert!(ObsSink::disabled().handle().is_none());
     }
 
     #[test]

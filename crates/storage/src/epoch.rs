@@ -98,6 +98,15 @@ impl<T> EpochCell<T> {
         next
     }
 
+    /// How many `Arc` handles to the *currently published* value are held
+    /// outside the cell — the snapshot-pin count metrics gauges report.
+    /// Readers still pinning older epochs are invisible here (their
+    /// `Arc`s point at values the cell no longer holds).
+    pub fn pinned(&self) -> u64 {
+        let guard = self.lock();
+        (Arc::strong_count(&guard) as u64).saturating_sub(1)
+    }
+
     /// Re-pins `(version, cached)` to the latest epoch if one was
     /// published since; returns `true` if the pin moved. When nothing was
     /// published this is a single atomic load — the fast path for readers

@@ -83,8 +83,12 @@ pub use mutation::{Applied, Mutation};
 pub use session::{Request, Response, Session, SnapshotSession};
 pub use trace::{QueryTrace, TraceSpan};
 
+pub use qdk_logic::metrics;
+pub use qdk_logic::metrics::{
+    HistogramSnapshot, MetricsHub, MetricsRegistry, MetricsSink, MetricsSnapshot,
+};
 pub use qdk_logic::obs;
-pub use qdk_logic::obs::{CollectSink, Event, ObsSink, Sink};
+pub use qdk_logic::obs::{CollectSink, Event, FanoutSink, ObsSink, Sink};
 
 pub use qdk_core::CacheStats;
 pub use qdk_core::{

@@ -35,7 +35,8 @@ use qdk_core::{Describe, DescribeAnswer};
 use qdk_engine::{DataAnswer, Downgrade, EvalOptions, ProgramPlan, Retrieve, Strategy};
 use qdk_lang::shared::{KbState, Publisher};
 use qdk_lang::{Answer, KnowledgeBase};
-use qdk_logic::obs::{CollectSink, ObsSink};
+use qdk_logic::metrics::{MetricsHub, MetricsSnapshot};
+use qdk_logic::obs::{CollectSink, FanoutSink, ObsSink, Sink};
 use qdk_logic::parser::{parse_atom, parse_body};
 use qdk_logic::{CancelToken, Parallelism, ResourceLimits};
 use qdk_storage::{EpochCell, EpochId};
@@ -380,6 +381,62 @@ impl Session {
         })
     }
 
+    /// Attaches a fresh metrics hub to this session's knowledge base and
+    /// starts aggregating: every span and counter the evaluation stacks
+    /// emit — plus durability, maintenance and epoch events — folds into
+    /// sharded lock-free counters, gauges and latency histograms. The
+    /// hub is shared by clones and snapshots taken *after* this call.
+    /// Read the aggregates with [`Session::metrics_snapshot`].
+    pub fn enable_metrics(&mut self) -> Arc<MetricsHub> {
+        self.kb.enable_metrics()
+    }
+
+    /// [`Session::enable_metrics`] aggregating into an existing hub —
+    /// e.g. one shared across several knowledge bases, or the
+    /// process-wide hub `QDK_TRACE=metrics` feeds.
+    pub fn enable_metrics_with(&mut self, hub: Arc<MetricsHub>) {
+        self.kb.enable_metrics_with(hub);
+    }
+
+    /// The attached metrics hub, if metrics are enabled.
+    pub fn metrics_hub(&self) -> Option<&Arc<MetricsHub>> {
+        self.kb.metrics_hub()
+    }
+
+    /// A consistent snapshot of every aggregate: counters, gauges and
+    /// histogram quantiles, name-sorted. Point-in-time subsystem gauges
+    /// (EDB/IDB sizes, cache and WAL state, epoch version and pin count)
+    /// are polled first. `None` until [`Session::enable_metrics`].
+    /// Render with [`MetricsSnapshot::render_prometheus`] or
+    /// [`MetricsSnapshot::render_json`].
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        if let (Some(hub), Some(p)) = (self.kb.metrics_hub(), &self.publisher) {
+            let reg = hub.registry();
+            reg.gauge_set("epoch_version", p.epoch().0);
+            reg.gauge_set("snapshot_pins", p.pinned_readers());
+        }
+        self.kb.metrics_snapshot()
+    }
+
+    /// Arms slow-query capture: any retrieve or describe whose wall time
+    /// reaches `micros` has its full profile rendered as one JSON line to
+    /// `writer`, tagged with a session-unique run id, and counted in the
+    /// `slow_queries` metric. Implies [`Session::enable_metrics`] if
+    /// metrics were not already enabled. Pass `micros = 0` to disarm.
+    pub fn capture_slow_queries(
+        &mut self,
+        micros: u64,
+        writer: impl std::io::Write + Send + 'static,
+    ) -> Arc<MetricsHub> {
+        let hub = match self.kb.metrics_hub() {
+            Some(h) => Arc::clone(h),
+            None => self.kb.enable_metrics(),
+        };
+        hub.set_slow_query_micros(micros);
+        hub.set_slow_log(writer);
+        hub
+    }
+
     /// Runs `f` as one atomic batch and, if this session has published
     /// before, publishes the result as the next epoch. The closure's
     /// mutations are logged as a single WAL record (all-or-nothing on
@@ -434,7 +491,28 @@ impl SnapshotSession {
     /// handle moved. When nothing new was published this is a single
     /// atomic load — safe to call before every query.
     pub fn refresh(&mut self) -> bool {
-        self.cell.refresh(&mut self.version, &mut self.state)
+        let moved = self.cell.refresh(&mut self.version, &mut self.state);
+        if moved {
+            self.state
+                .kb
+                .describe_options()
+                .sink
+                .counter("epoch_refresh", 1);
+        }
+        moved
+    }
+
+    /// A consistent snapshot of the shared metrics aggregates, polling
+    /// the pinned epoch's subsystem gauges first (the hub is shared with
+    /// the writer session, so counters and histograms reflect *all*
+    /// readers). `None` if the writer never enabled metrics before
+    /// publishing this epoch.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        if let Some(hub) = self.state.kb.metrics_hub() {
+            hub.registry()
+                .gauge_set("epoch_version", self.state.epoch.0);
+        }
+        self.state.kb.metrics_snapshot()
     }
 
     /// Evaluates a data query against the pinned epoch (zero locks).
@@ -448,14 +526,82 @@ impl SnapshotSession {
     }
 }
 
-/// The sink for one request: a fresh collector when the request asks for
-/// a trace, the knowledge base's default (usually `QDK_TRACE`) otherwise.
+/// The sink for one request. A fresh collector is installed when the
+/// request asks for a trace **or** slow-query capture is armed (the
+/// capture needs the event stream to render a profile if the query turns
+/// out slow); either way the knowledge base's default sink — which
+/// carries the metrics aggregator when metrics are enabled — keeps
+/// receiving every event through a fan-out, so tracing a query never
+/// detaches it from the long-running aggregates.
 fn request_sink(kb: &KnowledgeBase, request: &Request) -> (ObsSink, Option<Arc<CollectSink>>) {
-    if request.trace {
-        let collector = Arc::new(CollectSink::new());
-        (ObsSink::new(collector.clone()), Some(collector))
+    let default = kb.describe_options().sink.clone();
+    let slow_armed = kb.metrics_hub().is_some_and(|h| h.slow_query_micros() > 0);
+    if !(request.trace || slow_armed) {
+        return (default, None);
+    }
+    let collector = Arc::new(CollectSink::new());
+    let obs = match default.handle() {
+        Some(existing) => ObsSink::new(Arc::new(FanoutSink::new(vec![
+            Arc::clone(&collector) as Arc<dyn Sink>,
+            existing,
+        ]))),
+        None => ObsSink::new(Arc::clone(&collector) as Arc<dyn Sink>),
+    };
+    (obs, Some(collector))
+}
+
+/// Which statement a finished evaluation was, for metric naming.
+#[derive(Clone, Copy)]
+enum QueryKind {
+    Retrieve,
+    Describe,
+}
+
+/// Shared epilogue of `retrieve` and `describe`: records the wall-time
+/// histogram and per-kind counter, folds the collected events into a
+/// [`QueryTrace`], writes the slow-query log line when the query crossed
+/// the armed threshold, and returns the trace only if the request asked
+/// for one.
+fn finish_query(
+    kb: &KnowledgeBase,
+    collector: Option<Arc<CollectSink>>,
+    want_trace: bool,
+    kind: QueryKind,
+    statement: String,
+    wall: u64,
+    downgrades: Vec<Downgrade>,
+) -> Option<QueryTrace> {
+    let hub = kb.metrics_hub();
+    if let Some(hub) = hub {
+        let reg = hub.registry();
+        match kind {
+            QueryKind::Retrieve => {
+                reg.counter_add("retrieves", 1);
+                reg.histogram_record("retrieve_micros", wall);
+            }
+            QueryKind::Describe => {
+                reg.counter_add("describes", 1);
+                reg.histogram_record("describe_micros", wall);
+            }
+        }
+    }
+    let trace = collector.map(|c| {
+        let dropped = c.dropped();
+        QueryTrace::from_events(&c.take(), statement, wall, downgrades).with_dropped(dropped)
+    });
+    if let Some(hub) = hub {
+        let threshold = hub.slow_query_micros();
+        if threshold > 0 && wall >= threshold {
+            hub.registry().counter_add("slow_queries", 1);
+            if let Some(t) = &trace {
+                hub.write_slow_line(&t.render_json(hub.next_run_id()));
+            }
+        }
+    }
+    if want_trace {
+        trace
     } else {
-        (kb.describe_options().sink.clone(), None)
+        None
     }
 }
 
@@ -518,14 +664,15 @@ fn retrieve_on(
         None => kb.retrieve_with_options(&query, resolved.strategy, resolved.eval)?,
     };
     let wall = started.elapsed().as_micros() as u64;
-    let trace = collector.map(|c| {
-        QueryTrace::from_events(
-            &c.take(),
-            query.to_string(),
-            wall,
-            answer.downgrades.clone(),
-        )
-    });
+    let trace = finish_query(
+        kb,
+        collector,
+        request.trace,
+        QueryKind::Retrieve,
+        query.to_string(),
+        wall,
+        answer.downgrades.clone(),
+    );
     Ok(Response::data(answer, trace))
 }
 
@@ -538,8 +685,15 @@ fn describe_on(kb: &KnowledgeBase, request: Request) -> Result<Response> {
     let query = Describe::new(resolved.subject, resolved.conjunction);
     let answer = kb.describe_with_options(&query, &resolved.describe)?;
     let wall = started.elapsed().as_micros() as u64;
-    let trace =
-        collector.map(|c| QueryTrace::from_events(&c.take(), query.to_string(), wall, Vec::new()));
+    let trace = finish_query(
+        kb,
+        collector,
+        request.trace,
+        QueryKind::Describe,
+        query.to_string(),
+        wall,
+        Vec::new(),
+    );
     Ok(Response::knowledge(answer, trace))
 }
 

@@ -44,6 +44,11 @@ pub struct QueryTrace {
     /// Strategy downgrades recorded while answering (surfaced here as
     /// well as on the answer itself).
     pub downgrades: Vec<Downgrade>,
+    /// Events the bounded collector discarded because the query emitted
+    /// more than its capacity. Zero means the profile is complete; a
+    /// non-zero value warns that span durations and counter sums
+    /// undercount the evaluation.
+    pub dropped_events: u64,
 }
 
 impl QueryTrace {
@@ -109,7 +114,61 @@ impl QueryTrace {
             spans,
             counters,
             downgrades,
+            dropped_events: 0,
         }
+    }
+
+    /// Records how many events the collector discarded (sink overflow).
+    #[must_use]
+    pub fn with_dropped(mut self, dropped: u64) -> Self {
+        self.dropped_events = dropped;
+        self
+    }
+
+    /// Renders the trace as one self-contained JSON object (no trailing
+    /// newline) — the slow-query log line format. `run_id` is the
+    /// session-unique sequence number the capture assigns, so lines from
+    /// interleaved queries stay attributable.
+    pub fn render_json(&self, run_id: u64) -> String {
+        use std::fmt::Write;
+        let esc = qdk_logic::metrics::json_escape;
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"run_id\":{run_id},\"statement\":\"{}\",\"wall_micros\":{}",
+            esc(&self.statement),
+            self.wall_micros
+        );
+        out.push_str(",\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"arg\":{},\"micros\":{},\"depth\":{}}}",
+                esc(s.name),
+                s.arg,
+                s.micros,
+                s.depth
+            );
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", esc(name), value);
+        }
+        out.push_str("},\"downgrades\":[");
+        for (i, d) in self.downgrades.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", esc(&d.to_string()));
+        }
+        let _ = write!(out, "],\"dropped_events\":{}}}", self.dropped_events);
+        out
     }
 
     /// The top-level stages (depth-0 spans): `parse`, `plan` (retrieve
@@ -162,6 +221,13 @@ impl fmt::Display for QueryTrace {
         }
         for d in &self.downgrades {
             writeln!(f, "-- note: {d}")?;
+        }
+        if self.dropped_events > 0 {
+            writeln!(
+                f,
+                "-- note: {} events dropped (collector overflow); timings undercount",
+                self.dropped_events
+            )?;
         }
         Ok(())
     }
