@@ -11,12 +11,13 @@ use qdk_logic::parser::parse_atom;
 use std::hint::black_box;
 use std::time::Duration;
 
-fn strategies() -> [(&'static str, Strategy); 4] {
+fn strategies() -> [(&'static str, Strategy); 5] {
     [
         ("naive", Strategy::Naive),
         ("seminaive", Strategy::SemiNaive),
         ("topdown", Strategy::TopDown),
         ("magic", Strategy::Magic),
+        ("qsq", Strategy::Qsq),
     ]
 }
 

@@ -7,11 +7,12 @@ use qdk_engine::{Retrieve, Strategy};
 use qdk_logic::parser::{parse_atom, parse_body};
 use std::hint::black_box;
 
-fn strategies() -> [(&'static str, Strategy); 3] {
+fn strategies() -> [(&'static str, Strategy); 4] {
     [
         ("naive", Strategy::Naive),
         ("seminaive", Strategy::SemiNaive),
         ("topdown", Strategy::TopDown),
+        ("qsq", Strategy::Qsq),
     ]
 }
 

@@ -51,7 +51,56 @@ fn strategy_name(s: Strategy) -> &'static str {
         Strategy::SemiNaive => "semi-naive",
         Strategy::TopDown => "top-down",
         Strategy::Magic => "magic",
+        Strategy::Qsq => "qsq",
     }
+}
+
+/// All five retrieve strategies, in reporting order.
+const STRATEGIES: [Strategy; 5] = [
+    Strategy::Naive,
+    Strategy::SemiNaive,
+    Strategy::TopDown,
+    Strategy::Magic,
+    Strategy::Qsq,
+];
+
+/// Asserts every strategy returns the same answer set for `q` before any
+/// timing happens — a wrong-but-fast strategy must fail the bench, not
+/// win it. Returns the agreed answer count for the report.
+fn assert_strategies_agree(
+    edb: &qdk_storage::Edb,
+    idb: &qdk_engine::Idb,
+    plan: &ProgramPlan,
+    q: &Retrieve,
+    context: &str,
+) -> usize {
+    let mut reference: Option<Vec<qdk_storage::Tuple>> = None;
+    for strategy in STRATEGIES {
+        let rows = query::retrieve_compiled(edb, idb, plan, q, strategy, EvalOptions::default())
+            .unwrap()
+            .sorted();
+        if let Some(expected) = &reference {
+            assert_eq!(
+                rows.len(),
+                expected.len(),
+                "{context}: {} returned {} answers, {} returned {}",
+                strategy_name(strategy),
+                rows.len(),
+                strategy_name(STRATEGIES[0]),
+                expected.len(),
+            );
+            assert_eq!(
+                &rows,
+                expected,
+                "{context}: {} disagrees with {}",
+                strategy_name(strategy),
+                strategy_name(STRATEGIES[0]),
+            );
+        } else {
+            reference = Some(rows);
+        }
+    }
+    reference.map_or(0, |r| r.len())
 }
 
 /// One flat JSON object from pre-rendered key/value pairs. Keys and
@@ -91,19 +140,14 @@ fn write_json(path: &str, records: &[String], run_id: &str) {
 
 fn p1_full_closure(records: &mut Vec<String>) {
     println!("## P1a — full transitive closure of a chain (µs, median of 5)\n");
-    println!("| n (edges) | naive | semi-naive | top-down | magic |");
-    println!("|-----------|-------|------------|----------|-------|");
+    println!("| n (edges) | naive | semi-naive | top-down | magic | qsq |");
+    println!("|-----------|-------|------------|----------|-------|-----|");
     let idb = prior_idb();
     let q = Retrieve::new(parse_atom("prior(X, Y)").unwrap(), vec![]);
     for n in [16usize, 32, 64, 128] {
         let edb = chain_edb(n);
         let mut row = format!("| {n} ");
-        for strategy in [
-            Strategy::Naive,
-            Strategy::SemiNaive,
-            Strategy::TopDown,
-            Strategy::Magic,
-        ] {
+        for strategy in STRATEGIES {
             let us = median_micros(5, || {
                 query::retrieve(&edb, &idb, &q, strategy).unwrap();
             });
@@ -121,23 +165,29 @@ fn p1_full_closure(records: &mut Vec<String>) {
     println!();
 }
 
+/// Bound queries are served from a compiled plan (the `KnowledgeBase`
+/// serving path): the `ProgramPlan` is compiled once per EDB and every
+/// strategy is timed through `retrieve_compiled`. Before any timing, all
+/// five strategies must return the same answer set — the per-row answer
+/// count is reported, and a disagreement aborts the bench.
 fn p1_bound_query(records: &mut Vec<String>) {
-    println!("## P1b — constant-bound prior(c0, Y) on random graphs (µs, median of 5)\n");
-    println!("| edges | naive | semi-naive | top-down | magic |");
-    println!("|-------|-------|------------|----------|-------|");
+    println!(
+        "## P1b — constant-bound prior(c0, Y) on random graphs, cached plan (µs, median of 15)\n"
+    );
+    println!("| edges | answers | naive | semi-naive | top-down | magic | qsq |");
+    println!("|-------|---------|-------|------------|----------|-------|-----|");
     let idb = prior_idb();
     for edges in [64usize, 128, 256, 512] {
         let edb = random_graph_edb(edges / 2, edges, 42);
+        let plan = ProgramPlan::compile_with_stats(&idb, edb.stats());
         let q = Retrieve::new(parse_atom("prior(c0, Y)").unwrap(), vec![]);
-        let mut row = format!("| {edges} ");
-        for strategy in [
-            Strategy::Naive,
-            Strategy::SemiNaive,
-            Strategy::TopDown,
-            Strategy::Magic,
-        ] {
-            let us = median_micros(5, || {
-                query::retrieve(&edb, &idb, &q, strategy).unwrap();
+        let answers =
+            assert_strategies_agree(&edb, &idb, &plan, &q, &format!("p1_bound_query n={edges}"));
+        let mut row = format!("| {edges} | {answers} ");
+        for strategy in STRATEGIES {
+            let us = median_micros(15, || {
+                query::retrieve_compiled(&edb, &idb, &plan, &q, strategy, EvalOptions::default())
+                    .unwrap();
             });
             row.push_str(&format!("| {us:.0} "));
             records.push(json_record(&[
@@ -156,14 +206,17 @@ fn p1_bound_query(records: &mut Vec<String>) {
 /// Join-heavy workloads on random graphs: the `triangle` 3-cycle query
 /// (an unbound 3-way self-join) and the 3-literal `path3(c0, W)` bound
 /// query. Both stress the selectivity-ordered planner and the composite
-/// indexes rather than fixpoint depth.
+/// indexes rather than fixpoint depth. Served from a plan compiled once
+/// per EDB, with cross-strategy answer equality asserted before timing
+/// (see [`p1_bound_query`]).
 fn j1_join_heavy(records: &mut Vec<String>) {
-    println!("## J1 — join-heavy queries on random graphs (µs, median of 5)\n");
-    println!("| edges | query | naive | semi-naive | top-down | magic |");
-    println!("|-------|-------|-------|------------|----------|-------|");
+    println!("## J1 — join-heavy queries on random graphs, cached plan (µs, median of 15)\n");
+    println!("| edges | query | answers | naive | semi-naive | top-down | magic | qsq |");
+    println!("|-------|-------|---------|-------|------------|----------|-------|-----|");
     let idb = join_idb();
     for edges in [64usize, 128, 256] {
         let edb = random_graph_edb(edges / 2, edges, 42);
+        let plan = ProgramPlan::compile_with_stats(&idb, edb.stats());
         for (label, section, q) in [
             (
                 "triangle(X,Y,Z)",
@@ -176,15 +229,20 @@ fn j1_join_heavy(records: &mut Vec<String>) {
                 Retrieve::new(parse_atom("path3(c0, W)").unwrap(), vec![]),
             ),
         ] {
-            let mut row = format!("| {edges} | {label} ");
-            for strategy in [
-                Strategy::Naive,
-                Strategy::SemiNaive,
-                Strategy::TopDown,
-                Strategy::Magic,
-            ] {
-                let us = median_micros(5, || {
-                    query::retrieve(&edb, &idb, &q, strategy).unwrap();
+            let answers =
+                assert_strategies_agree(&edb, &idb, &plan, &q, &format!("{section} n={edges}"));
+            let mut row = format!("| {edges} | {label} | {answers} ");
+            for strategy in STRATEGIES {
+                let us = median_micros(15, || {
+                    query::retrieve_compiled(
+                        &edb,
+                        &idb,
+                        &plan,
+                        &q,
+                        strategy,
+                        EvalOptions::default(),
+                    )
+                    .unwrap();
                 });
                 row.push_str(&format!("| {us:.0} "));
                 records.push(json_record(&[
@@ -215,12 +273,7 @@ fn compiled_vs_percall(records: &mut Vec<String>) {
                plan: &ProgramPlan,
                q: &Retrieve,
                records: &mut Vec<String>| {
-        for strategy in [
-            Strategy::Naive,
-            Strategy::SemiNaive,
-            Strategy::TopDown,
-            Strategy::Magic,
-        ] {
+        for strategy in STRATEGIES {
             let per_call = median_micros(9, || {
                 query::retrieve(edb, idb, q, strategy).unwrap();
             });
@@ -266,19 +319,14 @@ fn compiled_vs_percall(records: &mut Vec<String>) {
 /// byte-identical at every count; only latency moves.
 fn t1_retrieve_threads(records: &mut Vec<String>) {
     println!("## T1 — retrieve threads sweep, chain-128 full closure (µs, median of 5)\n");
-    println!("| workers | naive | semi-naive | top-down | magic |");
-    println!("|---------|-------|------------|----------|-------|");
+    println!("| workers | naive | semi-naive | top-down | magic | qsq |");
+    println!("|---------|-------|------------|----------|-------|-----|");
     let idb = prior_idb();
     let edb = chain_edb(128);
     let q = Retrieve::new(parse_atom("prior(X, Y)").unwrap(), vec![]);
     for workers in [1usize, 2, 4, 8] {
         let mut row = format!("| {workers} ");
-        for strategy in [
-            Strategy::Naive,
-            Strategy::SemiNaive,
-            Strategy::TopDown,
-            Strategy::Magic,
-        ] {
+        for strategy in STRATEGIES {
             let opts = EvalOptions::default().with_parallelism(Parallelism::workers(workers));
             let us = median_micros(5, || {
                 retrieve_with(&edb, &idb, &q, strategy, opts.clone()).unwrap();

@@ -1,0 +1,320 @@
+//! Adornment derivation and sideways information passing (SIP), shared
+//! by the magic-sets rewrite ([`crate::magic`]) and the QSQ net builder
+//! ([`crate::qsq`]).
+//!
+//! Both demand-driven strategies specialize predicates per *binding
+//! pattern*: an adornment marks each argument position bound (`b`) or
+//! free (`f`), and a left-to-right walk over a rule body propagates
+//! bindings sideways — a positive database literal binds every variable
+//! it mentions, a built-in `=` binds both sides once either is bound,
+//! and other comparisons only filter. This module is the single source
+//! of truth for that walk, so magic and QSQ can never disagree about
+//! which adornment a body literal receives.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use qdk_logic::{Atom, Literal, Sym, Term, Var};
+use std::collections::HashSet;
+
+/// A binding pattern: `true` = bound, per argument position.
+pub type Adornment = Vec<bool>;
+
+/// The `b`/`f` rendering of an adornment (`[true, false]` → `"bf"`).
+pub fn suffix(a: &Adornment) -> String {
+    a.iter().map(|b| if *b { 'b' } else { 'f' }).collect()
+}
+
+/// Name of the adorned version of `pred` under adornment `a`.
+pub fn adorned_name(pred: &str, a: &Adornment) -> Sym {
+    Sym::new(&format!("{pred}__{}", suffix(a)))
+}
+
+/// Computes the adornment of `atom` given the set of bound variables:
+/// an argument is bound if it is a constant or a bound variable.
+pub fn adorn_atom(atom: &Atom, bound: &HashSet<Var>) -> Adornment {
+    atom.args
+        .iter()
+        .map(|t| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => bound.contains(v),
+        })
+        .collect()
+}
+
+/// The bound arguments of an atom under an adornment.
+pub fn bound_args(atom: &Atom, a: &Adornment) -> Vec<Term> {
+    atom.args
+        .iter()
+        .zip(a)
+        .filter(|(_, b)| **b)
+        .map(|(t, _)| t.clone())
+        .collect()
+}
+
+/// Builds the adornment and bindings for a query atom: constants are
+/// bound, variables free.
+pub fn query_pattern(subject: &Atom) -> (Adornment, Vec<Term>) {
+    let pattern: Adornment = subject.args.iter().map(Term::is_ground).collect();
+    let bindings: Vec<Term> = subject
+        .args
+        .iter()
+        .filter(|t| t.is_ground())
+        .cloned()
+        .collect();
+    (pattern, bindings)
+}
+
+/// Maps predicates of a rewritten program back to originals (for
+/// diagnostics): strips the magic/QSQ role prefix and the adornment
+/// suffix.
+pub fn original_of(adorned: &str) -> Option<&str> {
+    let stripped = adorned
+        .strip_prefix("m_")
+        .or_else(|| adorned.strip_prefix("input_"))
+        .or_else(|| adorned.strip_prefix("ans_"))
+        .unwrap_or(adorned);
+    stripped.rsplit_once("__").map(|(p, _)| p)
+}
+
+/// The sideways-information-passing walk over one rule body: tracks the
+/// set of bound variables as literals are passed left to right.
+///
+/// Construction binds the head variables in bound positions; a positive
+/// database literal then binds everything it mentions, and built-ins
+/// bind nothing except through `=` (both sides become bound once either
+/// side is bound or constant — mirroring the goal-directed evaluator's
+/// conservative treatment).
+#[derive(Clone, Debug)]
+pub struct SipWalk {
+    bound: HashSet<Var>,
+}
+
+impl SipWalk {
+    /// Starts a walk for a rule whose head is adorned by `a`: the head
+    /// variables in bound positions are the initially bound set.
+    pub fn new(head: &Atom, a: &Adornment) -> Self {
+        let mut bound = HashSet::new();
+        for (t, b) in head.args.iter().zip(a) {
+            if *b {
+                if let Term::Var(v) = t {
+                    bound.insert(v.clone());
+                }
+            }
+        }
+        SipWalk { bound }
+    }
+
+    /// The adornment `atom` receives at the current point of the walk.
+    pub fn adorn(&self, atom: &Atom) -> Adornment {
+        adorn_atom(atom, &self.bound)
+    }
+
+    /// True if `v` is bound at the current point of the walk.
+    pub fn is_bound(&self, v: &Var) -> bool {
+        self.bound.contains(v)
+    }
+
+    /// Passes one body literal: a positive database literal binds all
+    /// its variables; a built-in binds only through `=` (both sides
+    /// bound once either side is bound or constant); negative literals
+    /// bind nothing.
+    pub fn absorb(&mut self, lit: &Literal) {
+        let atom = &lit.atom;
+        if atom.is_builtin() {
+            if atom.pred.as_str() == "=" && atom.args.len() == 2 {
+                let side_bound = |t: &Term| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => self.bound.contains(v),
+                };
+                if side_bound(&atom.args[0]) || side_bound(&atom.args[1]) {
+                    for t in &atom.args {
+                        if let Term::Var(v) = t {
+                            self.bound.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        if lit.positive {
+            let mut vs = Vec::new();
+            atom.collect_vars(&mut vs);
+            self.bound.extend(vs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdk_logic::parser::{parse_atom, parse_body};
+
+    fn walk_for(head: &str, pattern: &[bool]) -> SipWalk {
+        SipWalk::new(&parse_atom(head).unwrap(), &pattern.to_vec())
+    }
+
+    #[test]
+    fn suffix_renders_bound_free() {
+        assert_eq!(suffix(&vec![true, false]), "bf");
+        assert_eq!(suffix(&vec![]), "");
+        assert_eq!(
+            adorned_name("prior", &vec![true, false]).as_str(),
+            "prior__bf"
+        );
+    }
+
+    #[test]
+    fn query_pattern_binds_constants() {
+        let (pattern, bindings) = query_pattern(&parse_atom("prior(c3, Y)").unwrap());
+        assert_eq!(pattern, vec![true, false]);
+        assert_eq!(bindings.len(), 1);
+        assert_eq!(bindings[0].to_string(), "c3");
+    }
+
+    #[test]
+    fn head_adornment_seeds_bound_vars() {
+        let walk = walk_for("prior(X, Y)", &[true, false]);
+        assert!(walk.is_bound(&Var::new("X")));
+        assert!(!walk.is_bound(&Var::new("Y")));
+    }
+
+    #[test]
+    fn positive_literal_binds_all_its_vars() {
+        let mut walk = walk_for("prior(X, Y)", &[true, false]);
+        let body = parse_body("prereq(X, Z)").unwrap();
+        // Before the literal passes, Z is free — the recursive occurrence
+        // prior(Z, Y) would be adorned ff.
+        let rec = parse_atom("prior(Z, Y)").unwrap();
+        assert_eq!(walk.adorn(&rec), vec![false, false]);
+        walk.absorb(&body[0]);
+        // After: Z is bound sideways, the recursive occurrence is bf.
+        assert_eq!(walk.adorn(&rec), vec![true, false]);
+    }
+
+    #[test]
+    fn equality_builtin_propagates_bindings_both_ways() {
+        let mut walk = walk_for("p(X)", &[true]);
+        for lit in parse_body("X = Y, q(Y, Z)").unwrap() {
+            walk.absorb(&lit);
+        }
+        assert!(walk.is_bound(&Var::new("Y")));
+        assert!(walk.is_bound(&Var::new("Z")));
+    }
+
+    #[test]
+    fn comparison_builtins_bind_nothing() {
+        let mut walk = walk_for("p(X)", &[true]);
+        walk.absorb(&parse_body("Y > 3").unwrap()[0]);
+        assert!(!walk.is_bound(&Var::new("Y")));
+    }
+
+    #[test]
+    fn constants_adorn_bound() {
+        let walk = walk_for("p(X)", &[false]);
+        let atom = parse_atom("q(c1, X)").unwrap();
+        assert_eq!(walk.adorn(&atom), vec![true, false]);
+        assert_eq!(bound_args(&atom, &walk.adorn(&atom)).len(), 1);
+    }
+
+    #[test]
+    fn original_name_mapping_covers_all_roles() {
+        assert_eq!(original_of("prior__bf"), Some("prior"));
+        assert_eq!(original_of("m_prior__bf"), Some("prior"));
+        assert_eq!(original_of("input_prior__bf"), Some("prior"));
+        assert_eq!(original_of("ans_prior__bf"), Some("prior"));
+        assert_eq!(original_of("plain"), None);
+    }
+
+    /// The extraction must leave magic's adornments unchanged: the pinned
+    /// shapes here are exactly what `magic::rewrite` produced before the
+    /// shared module existed.
+    mod magic_pins {
+        use super::*;
+        use crate::idb::Idb;
+        use crate::magic;
+        use qdk_logic::parser::parse_program;
+
+        fn idb(src: &str) -> Idb {
+            Idb::from_rules(parse_program(src).unwrap().rules).unwrap()
+        }
+
+        #[test]
+        fn transitive_closure_bound_first_adorns_bf_only() {
+            let idb = idb("prior(X, Y) :- prereq(X, Y).\n\
+                 prior(X, Y) :- prereq(X, Z), prior(Z, Y).");
+            let subject = parse_atom("prior(c3, Y)").unwrap();
+            let (pattern, bindings) = magic::query_pattern(&subject);
+            let magic = magic::rewrite(&idb, "prior", &pattern, &bindings).unwrap();
+            let variants: Vec<String> = magic::adorned_variants(&magic.idb, "prior")
+                .iter()
+                .map(|s| s.as_str().to_string())
+                .collect();
+            assert_eq!(variants, vec!["prior__bf"]);
+            assert_eq!(magic.seed.to_string(), "m_prior__bf(c3)");
+            // The rewritten rules, in emission order — adornment drift in
+            // the shared walk would reshuffle or rename these.
+            let rendered: Vec<String> = magic.idb.rules().iter().map(ToString::to_string).collect();
+            assert_eq!(
+                rendered,
+                vec![
+                    "m_prior__bf(c3).",
+                    "prior__bf(X, Y) :- m_prior__bf(X), prereq(X, Y).",
+                    "m_prior__bf(Z) :- m_prior__bf(X), prereq(X, Z).",
+                    "prior__bf(X, Y) :- m_prior__bf(X), prereq(X, Z), prior__bf(Z, Y).",
+                ]
+            );
+        }
+
+        #[test]
+        fn bound_second_adorns_fb() {
+            let idb = idb("prior(X, Y) :- prereq(X, Y).\n\
+                 prior(X, Y) :- prereq(X, Z), prior(Z, Y).");
+            let subject = parse_atom("prior(X, c2)").unwrap();
+            let (pattern, bindings) = magic::query_pattern(&subject);
+            let magic = magic::rewrite(&idb, "prior", &pattern, &bindings).unwrap();
+            let variants: Vec<String> = magic::adorned_variants(&magic.idb, "prior")
+                .iter()
+                .map(|s| s.as_str().to_string())
+                .collect();
+            // The second rule's recursive occurrence prior(Z, Y) sees Y
+            // bound (head) and Z bound sideways from prereq(X, Z) — the
+            // bb variant appears alongside the query's fb.
+            assert_eq!(variants, vec!["prior__bb", "prior__fb"]);
+        }
+
+        #[test]
+        fn mutual_recursion_keeps_single_bound_adornment() {
+            let idb = idb("even(X) :- zero(X).\n\
+                 even(X) :- succ(Y, X), odd(Y).\n\
+                 odd(X) :- succ(Y, X), even(Y).");
+            let subject = parse_atom("even(n4)").unwrap();
+            let (pattern, bindings) = magic::query_pattern(&subject);
+            let magic = magic::rewrite(&idb, "even", &pattern, &bindings).unwrap();
+            let names = |p: &str| -> Vec<String> {
+                magic::adorned_variants(&magic.idb, p)
+                    .iter()
+                    .map(|s| s.as_str().to_string())
+                    .collect()
+            };
+            assert_eq!(names("even"), vec!["even__b"]);
+            assert_eq!(names("odd"), vec!["odd__b"]);
+        }
+
+        #[test]
+        fn equality_propagation_matches_magic() {
+            // `=` with a bound left side binds W before r(W, Z) is
+            // reached, so r is demanded with its first argument bound.
+            let idb = idb("p(X, Z) :- q(X, Y), Y = W, r(W, Z).\n\
+                 q(X, Y) :- e(X, Y).\n\
+                 r(X, Y) :- e(X, Y).");
+            let subject = parse_atom("p(c1, Z)").unwrap();
+            let (pattern, bindings) = magic::query_pattern(&subject);
+            let magic = magic::rewrite(&idb, "p", &pattern, &bindings).unwrap();
+            let r_variants: Vec<String> = magic::adorned_variants(&magic.idb, "r")
+                .iter()
+                .map(|s| s.as_str().to_string())
+                .collect();
+            assert_eq!(r_variants, vec!["r__bf"]);
+        }
+    }
+}

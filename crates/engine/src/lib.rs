@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![deny(clippy::print_stderr, clippy::print_stdout)]
 
+pub mod adorn;
 pub mod analysis;
 mod bindings;
 mod error;
@@ -33,6 +34,7 @@ pub mod magic;
 pub mod maintain;
 pub mod naive;
 pub mod plan;
+pub mod qsq;
 pub mod query;
 pub mod seminaive;
 pub mod stratify;

@@ -24,26 +24,17 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+use crate::adorn::{adorned_name, bound_args, suffix, SipWalk};
 use crate::error::{EngineError, Result};
 use crate::idb::Idb;
-use qdk_logic::{Atom, Literal, Rule, Sym, Term, Var};
+use qdk_logic::{Atom, Literal, Rule, Sym, Term};
 use std::collections::{HashSet, VecDeque};
 
-/// A binding pattern: `true` = bound, per argument position.
-pub type Adornment = Vec<bool>;
-
-fn adornment_suffix(a: &Adornment) -> String {
-    a.iter().map(|b| if *b { 'b' } else { 'f' }).collect()
-}
-
-/// Name of the adorned version of `pred` under adornment `a`.
-fn adorned_name(pred: &str, a: &Adornment) -> Sym {
-    Sym::new(&format!("{pred}__{}", adornment_suffix(a)))
-}
+pub use crate::adorn::{query_pattern, Adornment};
 
 /// Name of the magic predicate for `pred` under adornment `a`.
 fn magic_name(pred: &str, a: &Adornment) -> Sym {
-    Sym::new(&format!("m_{pred}__{}", adornment_suffix(a)))
+    Sym::new(&format!("m_{pred}__{}", suffix(a)))
 }
 
 /// The result of a magic-sets rewrite.
@@ -56,28 +47,6 @@ pub struct MagicProgram {
     pub query_pred: Sym,
     /// The magic seed fact (already included as a bodyless rule).
     pub seed: Atom,
-}
-
-/// Computes the adornment of `atom` given the set of bound variables:
-/// an argument is bound if it is a constant or a bound variable.
-fn adorn_atom(atom: &Atom, bound: &HashSet<Var>) -> Adornment {
-    atom.args
-        .iter()
-        .map(|t| match t {
-            Term::Const(_) => true,
-            Term::Var(v) => bound.contains(v),
-        })
-        .collect()
-}
-
-/// The bound arguments of an atom under an adornment.
-fn bound_args(atom: &Atom, a: &Adornment) -> Vec<Term> {
-    atom.args
-        .iter()
-        .zip(a)
-        .filter(|(_, b)| **b)
-        .map(|(t, _)| t.clone())
-        .collect()
 }
 
 /// Rewrites the IDB for a query `pred(args)` where `pattern[i]` says
@@ -96,7 +65,7 @@ pub fn rewrite(
         return Err(EngineError::UnknownSubject(format!(
             "magic rewrite: {} bindings for pattern {}",
             bindings.len(),
-            adornment_suffix(pattern)
+            suffix(pattern)
         )));
     }
 
@@ -106,7 +75,7 @@ pub fn rewrite(
 
     let seed_pred = Sym::new(pred);
     work.push_back((seed_pred.clone(), pattern.clone()));
-    queued.insert((seed_pred.clone(), adornment_suffix(pattern)));
+    queued.insert((seed_pred.clone(), suffix(pattern)));
 
     // Magic seed: m_p^a(constants).
     let seed = Atom::new(magic_name(pred, pattern), bindings.to_vec());
@@ -125,15 +94,8 @@ pub fn rewrite(
                     "magic rewrite does not support negation (rule {rule})"
                 )));
             }
-            // Bound head variables: those in bound positions.
-            let mut bound: HashSet<Var> = HashSet::new();
-            for (t, b) in rule.head.args.iter().zip(&adornment) {
-                if *b {
-                    if let Term::Var(v) = t {
-                        bound.insert(v.clone());
-                    }
-                }
-            }
+            // The shared SIP walk tracks bound variables left to right.
+            let mut walk = SipWalk::new(&rule.head, &adornment);
 
             let magic_guard = Atom::new(
                 magic_name(p.as_str(), &adornment),
@@ -145,37 +107,18 @@ pub fn rewrite(
                 let atom = &lit.atom;
                 if atom.is_builtin() {
                     new_body.push(lit.clone());
-                    // A ground-able comparison binds nothing new except
-                    // through `=` — conservatively mark `=` variables
-                    // bound when the other side is bound or constant.
-                    if atom.pred.as_str() == "=" && atom.args.len() == 2 {
-                        let l_bound = match &atom.args[0] {
-                            Term::Const(_) => true,
-                            Term::Var(v) => bound.contains(v),
-                        };
-                        let r_bound = match &atom.args[1] {
-                            Term::Const(_) => true,
-                            Term::Var(v) => bound.contains(v),
-                        };
-                        if l_bound || r_bound {
-                            for t in &atom.args {
-                                if let Term::Var(v) = t {
-                                    bound.insert(v.clone());
-                                }
-                            }
-                        }
-                    }
+                    walk.absorb(lit);
                     continue;
                 }
                 if idb.defines(atom.pred.as_str()) {
-                    let a = adorn_atom(atom, &bound);
+                    let a = walk.adorn(atom);
                     // Magic propagation rule: m_q^a(bound args) ← magic
                     // guard ∧ literals seen so far.
                     let magic_head =
                         Atom::new(magic_name(atom.pred.as_str(), &a), bound_args(atom, &a));
                     out.add_rule(Rule::with_literals(magic_head, new_body.clone()))?;
                     // Queue q^a for adornment.
-                    let key = (atom.pred.clone(), adornment_suffix(&a));
+                    let key = (atom.pred.clone(), suffix(&a));
                     if queued.insert(key) {
                         work.push_back((atom.pred.clone(), a.clone()));
                     }
@@ -188,9 +131,7 @@ pub fn rewrite(
                     new_body.push(lit.clone());
                 }
                 // Everything this positive literal mentions is now bound.
-                let mut vs = Vec::new();
-                atom.collect_vars(&mut vs);
-                bound.extend(vs);
+                walk.absorb(lit);
             }
 
             // The adorned rule itself.
@@ -207,24 +148,10 @@ pub fn rewrite(
     })
 }
 
-/// Builds the adornment and bindings for a query atom: constants are
-/// bound, variables free.
-pub fn query_pattern(subject: &Atom) -> (Adornment, Vec<Term>) {
-    let pattern: Adornment = subject.args.iter().map(Term::is_ground).collect();
-    let bindings: Vec<Term> = subject
-        .args
-        .iter()
-        .filter(|t| t.is_ground())
-        .cloned()
-        .collect();
-    (pattern, bindings)
-}
-
 /// Maps predicates of the rewritten program back to originals (for
 /// diagnostics).
 pub fn original_of(adorned: &str) -> Option<&str> {
-    let stripped = adorned.strip_prefix("m_").unwrap_or(adorned);
-    stripped.rsplit_once("__").map(|(p, _)| p)
+    crate::adorn::original_of(adorned)
 }
 
 /// Per-predicate adorned names introduced for `pred` in a rewritten

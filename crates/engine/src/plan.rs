@@ -22,9 +22,11 @@
 //! only when execution actually reaches that point, preserving the
 //! data-dependent nature of the original diagnostic.
 
+use crate::adorn::Adornment;
 use crate::idb::Idb;
-use qdk_logic::{CompiledRule, Interner, IrTerm, Rule, Sym, SymId};
+use qdk_logic::{CompiledRule, FxHashMap, Interner, IrTerm, Rule, Sym, SymId};
 use qdk_storage::{CatalogStats, Value};
+use std::sync::{Arc, RwLock};
 
 /// Fallback cardinality floor for predicates the stats snapshot doesn't
 /// cover (derived predicates, whose extension is unknown before the
@@ -363,7 +365,17 @@ pub struct ProgramPlan {
     interner: Interner,
     plans: Vec<RulePlan>,
     stats: Option<CatalogStats>,
+    /// QSQ net fragments, built on first demand per (predicate,
+    /// adornment) and shared by every clone of this plan. The
+    /// knowledge-base layer rebuilds the `ProgramPlan` whenever rules
+    /// change (the plan cache is generation-keyed), so fragments here
+    /// can never outlive the program they were compiled from — fact
+    /// churn retains them, rule changes drop them with the plan.
+    qsq: Arc<RwLock<QsqCache>>,
 }
+
+/// Net fragments keyed by (predicate, adornment); see [`crate::qsq`].
+pub(crate) type QsqCache = FxHashMap<(Sym, Adornment), Arc<crate::qsq::Fragment>>;
 
 impl ProgramPlan {
     /// Compiles every rule of `idb` with the legacy fewest-unbound
@@ -393,7 +405,13 @@ impl ProgramPlan {
             interner,
             plans,
             stats,
+            qsq: Arc::default(),
         }
+    }
+
+    /// The QSQ net-fragment cache (see [`crate::qsq`]).
+    pub(crate) fn qsq_cache(&self) -> &RwLock<QsqCache> {
+        &self.qsq
     }
 
     /// The cardinality snapshot this program was planned against, if any.

@@ -37,6 +37,13 @@ pub enum Strategy {
     /// program. Falls back to semi-naive when the relevant slice uses
     /// negation (the rewrite covers positive programs).
     Magic,
+    /// Query-Subquery: demand-driven set-at-a-time evaluation over QSQ
+    /// nets cached per (predicate, adornment) in the compiled plan —
+    /// the fastest strategy for bound queries served from a warm plan.
+    /// Falls back to semi-naive (recording a downgrade) when the
+    /// demanded slice uses negation or an adornment compiles to an
+    /// unschedulable filter chain.
+    Qsq,
 }
 
 /// An evaluation mode a [`Downgrade`] can degrade from or to: one of the
@@ -283,6 +290,35 @@ pub fn retrieve_compiled(
                 Err(e) => return Err(e),
             }
         }
+        Strategy::Qsq => {
+            let qsq_span = obs.span("qsq", 0);
+            match crate::qsq::qsq_substs(edb, idb, plan, &columns, &goals, opts.clone()) {
+                Ok(s) => {
+                    drop(qsq_span);
+                    s
+                }
+                // Same degradation contract as magic, plus `UnsafeRule`:
+                // an adornment whose filter chain cannot be scheduled
+                // surfaces at net execution, and plain semi-naive (which
+                // evaluates the original, safe rules) still answers.
+                Err(
+                    e @ (EngineError::NotStratified(_)
+                    | EngineError::Exhausted(_)
+                    | EngineError::UnsafeRule { .. }),
+                ) => {
+                    drop(qsq_span);
+                    obs.counter("downgrade", 1);
+                    let mut answer =
+                        retrieve_compiled(edb, idb, plan, query, Strategy::SemiNaive, opts)?;
+                    answer.downgrades.insert(
+                        0,
+                        Downgrade::strategy(Strategy::Qsq, Strategy::SemiNaive, e.to_string()),
+                    );
+                    return Ok(answer);
+                }
+                Err(e) => return Err(e),
+            }
+        }
         Strategy::Naive | Strategy::SemiNaive => {
             // Bottom-up: materialize the relevant predicates, then solve the
             // goal conjunction against EDB + materialized facts.
@@ -321,7 +357,11 @@ pub fn retrieve_compiled(
 
 /// Validates the query subject and builds the answer columns and goal
 /// conjunction shared by every evaluation strategy.
-fn query_goals(edb: &Edb, idb: &Idb, query: &Retrieve) -> Result<(Vec<Var>, Vec<Literal>)> {
+pub(crate) fn query_goals(
+    edb: &Edb,
+    idb: &Idb,
+    query: &Retrieve,
+) -> Result<(Vec<Var>, Vec<Literal>)> {
     let subject = &query.subject;
     if subject.is_builtin() {
         return Err(EngineError::UnknownSubject(subject.pred.to_string()));

@@ -20,7 +20,8 @@ use qdk_storage::{Edb, Relation};
 
 /// A delta scan is split across workers only when the delta relation has at
 /// least this many tuples; smaller scans are not worth a second task.
-const DELTA_CHUNK_MIN: usize = 64;
+/// Shared with the QSQ scheduler so both strategies chunk identically.
+pub(crate) const DELTA_CHUNK_MIN: usize = 64;
 
 /// Computes the least fixpoint of the IDB over the EDB semi-naively,
 /// stratum by stratum.
@@ -235,7 +236,7 @@ pub fn eval_seeded(
 }
 
 /// Current length of each head predicate's derived relation (0 if absent).
-fn head_lens(derived: &DerivedFacts, head_preds: &[&Sym]) -> Vec<usize> {
+pub(crate) fn head_lens(derived: &DerivedFacts, head_preds: &[&Sym]) -> Vec<usize> {
     head_preds
         .iter()
         .map(|p| derived.relation(p.as_str()).map_or(0, Relation::len))
@@ -244,7 +245,11 @@ fn head_lens(derived: &DerivedFacts, head_preds: &[&Sym]) -> Vec<usize> {
 
 /// The id ranges by which each head relation grew past its recorded
 /// `before` length — the next round's delta.
-fn delta_ranges(derived: &DerivedFacts, head_preds: &[&Sym], before: &[usize]) -> DeltaRanges {
+pub(crate) fn delta_ranges(
+    derived: &DerivedFacts,
+    head_preds: &[&Sym],
+    before: &[usize],
+) -> DeltaRanges {
     let mut ranges = DeltaRanges::default();
     for (p, &b) in head_preds.iter().zip(before) {
         let now = derived.relation(p.as_str()).map_or(0, Relation::len);
@@ -257,7 +262,7 @@ fn delta_ranges(derived: &DerivedFacts, head_preds: &[&Sym], before: &[usize]) -
 
 /// True when occurrence `i` is the plan's outermost scan, so chunking its
 /// window across workers concatenates to the sequential visit order.
-fn outermost_scan(rp: &RulePlan, i: usize) -> bool {
+pub(crate) fn outermost_scan(rp: &RulePlan, i: usize) -> bool {
     matches!(rp.steps.first(), Some(Step::Scan { occurrence, .. }) if *occurrence == i)
 }
 

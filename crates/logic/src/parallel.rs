@@ -28,19 +28,24 @@ impl Parallelism {
     }
 
     /// Platform default: `QDK_TEST_THREADS` if set to a positive integer,
-    /// otherwise the number of available cores.
+    /// otherwise the number of available cores. Resolved once per process
+    /// and cached — the environment probe and the `available_parallelism`
+    /// syscall cost microseconds, which dominates warm bound queries when
+    /// paid on every `EvalOptions::default()`.
     pub fn auto() -> Self {
-        if let Ok(v) = std::env::var("QDK_TEST_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n > 0 {
-                    return Parallelism(n);
+        static AUTO: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        Parallelism(*AUTO.get_or_init(|| {
+            if let Ok(v) = std::env::var("QDK_TEST_THREADS") {
+                if let Ok(n) = v.trim().parse::<usize>() {
+                    if n > 0 {
+                        return n;
+                    }
                 }
             }
-        }
-        let cores = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        Parallelism(cores)
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }))
     }
 
     /// The resolved worker count (always ≥ 1).

@@ -758,6 +758,7 @@ mod tests {
             Strategy::SemiNaive,
             Strategy::Magic,
             Strategy::TopDown,
+            Strategy::Qsq,
         ] {
             for workers in [1, 4] {
                 let r = s

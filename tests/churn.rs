@@ -21,7 +21,7 @@
 use proptest::prelude::*;
 use qdk::logic::parser::parse_atom;
 use qdk::logic::{Atom, Rule, Term};
-use qdk::{KnowledgeBase, Mutation, Parallelism, Request, Session};
+use qdk::{KnowledgeBase, Mutation, Parallelism, Request, Session, Strategy};
 use std::collections::BTreeSet;
 
 // ---------------------------------------------------------------------
@@ -423,4 +423,56 @@ fn maintenance_fallback_surfaces_as_downgrade() {
         "recompute must reflect the widened negation"
     );
     assert!(session.knowledge_base().is_maintained());
+}
+
+/// After a burst of fact churn, every retrieve strategy — including the
+/// goal-directed ones that bypass the maintained store — answers bound
+/// and open queries identically off the mutated knowledge base.
+#[test]
+fn all_five_strategies_agree_after_churn() {
+    let mut session = Session::new();
+    session
+        .load(
+            "predicate edge(F, T).
+             edge(a, b). edge(b, c). edge(c, d).
+             reach(X, Y) :- edge(X, Y).
+             reach(X, Y) :- edge(X, Z), reach(Z, Y).",
+        )
+        .unwrap();
+    session
+        .apply(
+            Mutation::new()
+                .insert("edge(d, e)")
+                .insert("edge(e, a)")
+                .retract("edge(b, c)")
+                .insert("edge(b, e)"),
+        )
+        .unwrap();
+    for subject in ["reach(a, Y)", "reach(X, Y)"] {
+        let mut reference: Option<Vec<String>> = None;
+        for strategy in [
+            Strategy::Naive,
+            Strategy::SemiNaive,
+            Strategy::TopDown,
+            Strategy::Magic,
+            Strategy::Qsq,
+        ] {
+            let response = session
+                .retrieve(Request::subject(subject).strategy(strategy))
+                .unwrap();
+            let mut rows: Vec<String> = response
+                .as_data()
+                .unwrap()
+                .rows
+                .iter()
+                .map(ToString::to_string)
+                .collect();
+            rows.sort();
+            rows.dedup();
+            match &reference {
+                Some(expected) => assert_eq!(expected, &rows, "{strategy:?} on {subject}"),
+                None => reference = Some(rows),
+            }
+        }
+    }
 }

@@ -6,7 +6,7 @@
 //!
 //! * a tiny substitution-based naive evaluator (the pre-refactor
 //!   semantics, reimplemented here with nothing but `unify_atoms` and
-//!   `Subst`) must derive exactly the facts the four compiled strategies
+//!   `Subst`) must derive exactly the facts the five compiled strategies
 //!   derive, on randomly generated safe programs and random EDBs;
 //! * `describe`'s derivation-tree enumeration renames rules through the
 //!   compiled slot maps — standardizing apart via
@@ -167,7 +167,7 @@ fn strategy_rows(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Random safe programs + random EDBs: all four compiled strategies
+    /// Random safe programs + random EDBs: all five compiled strategies
     /// derive exactly the facts the substitution-based reference derives.
     #[test]
     fn compiled_strategies_match_reference_semantics(
@@ -213,7 +213,7 @@ proptest! {
                 .filter(|f| f.starts_with(&format!("{pred}(")))
                 .cloned()
                 .collect();
-            for strategy in [Strategy::Naive, Strategy::SemiNaive, Strategy::Magic, Strategy::TopDown] {
+            for strategy in [Strategy::Naive, Strategy::SemiNaive, Strategy::Magic, Strategy::TopDown, Strategy::Qsq] {
                 let got = strategy_rows(&edb, &idb, pred, *arity, strategy);
                 prop_assert_eq!(
                     &got,
@@ -351,7 +351,7 @@ proptest! {
                 parse_atom(&format!("{pred}({})", vars.join(", "))).unwrap(),
                 vec![],
             );
-            for strategy in [Strategy::Naive, Strategy::SemiNaive, Strategy::Magic, Strategy::TopDown] {
+            for strategy in [Strategy::Naive, Strategy::SemiNaive, Strategy::Magic, Strategy::TopDown, Strategy::Qsq] {
                 let outcome = |workers: usize| -> Result<Vec<String>, EngineError> {
                     let opts = EvalOptions::with_limits(limits)
                         .with_parallelism(Parallelism::workers(workers));

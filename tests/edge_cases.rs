@@ -64,6 +64,7 @@ fn empty_database_answers_are_empty_not_errors() {
         Strategy::SemiNaive,
         Strategy::TopDown,
         Strategy::Magic,
+        Strategy::Qsq,
     ] {
         let kb2 = kb.clone().with_strategy(strategy);
         let q = Retrieve::new(parse_atom("tc(X, Y)").unwrap(), vec![]);
@@ -172,7 +173,12 @@ fn long_chain_recursion_depths() {
     )
     .unwrap();
     let q = Retrieve::new(parse_atom("tc(n0, Y)").unwrap(), vec![]);
-    for strategy in [Strategy::SemiNaive, Strategy::TopDown, Strategy::Magic] {
+    for strategy in [
+        Strategy::SemiNaive,
+        Strategy::TopDown,
+        Strategy::Magic,
+        Strategy::Qsq,
+    ] {
         let kb2 = kb.clone().with_strategy(strategy);
         assert_eq!(kb2.retrieve(&q).unwrap().len(), 200, "{strategy:?}");
     }

@@ -33,7 +33,7 @@ fn chain_kb(n: usize) -> KnowledgeBase {
 }
 
 #[test]
-fn all_four_strategies_report_the_same_exhaustion_diagnostic() {
+fn all_five_strategies_report_the_same_exhaustion_diagnostic() {
     let session = Session::over(chain_kb(40));
     let limits = ResourceLimits::default().with_work_budget(25);
     let mut seen = Vec::new();
@@ -42,6 +42,7 @@ fn all_four_strategies_report_the_same_exhaustion_diagnostic() {
         Strategy::SemiNaive,
         Strategy::Magic,
         Strategy::TopDown,
+        Strategy::Qsq,
     ] {
         let err = session
             .retrieve(
@@ -58,7 +59,7 @@ fn all_four_strategies_report_the_same_exhaustion_diagnostic() {
         assert!(e.spent > e.limit, "{strategy:?}");
         seen.push(e.resource);
     }
-    // One diagnostic vocabulary across all four engines.
+    // One diagnostic vocabulary across all five engines.
     assert!(seen.iter().all(|r| *r == seen[0]));
 }
 
@@ -256,4 +257,49 @@ fn kb_describe_options_thread_limits_into_retrieve() {
     let query = Retrieve::new(parse_atom("reach(X, Y)").unwrap(), vec![]);
     let err = kb.retrieve(&query).expect_err("budget must trip");
     assert!(err.to_string().contains("work budget"), "{err}");
+}
+
+#[test]
+fn qsq_downgrade_to_semi_naive_is_surfaced() {
+    // The QSQ net cannot handle negation in the relevant slice: the
+    // request still succeeds, answers match semi-naive, and the response
+    // records the Qsq -> SemiNaive downgrade.
+    let kb = kb_from(
+        "predicate edge(From, To).
+         predicate sink(N).
+         reach(X, Y) :- edge(X, Y).
+         reach(X, Y) :- edge(X, Z), reach(Z, Y).
+         safe(X, Y) :- reach(X, Y), not sink(Y).
+         edge(a, b). edge(b, c). edge(c, d). sink(c).",
+    );
+    let s = Session::over(kb);
+    let resp = s
+        .retrieve(Request::subject("safe(a, Y)").strategy(Strategy::Qsq))
+        .unwrap();
+    let downgrades = resp.downgrades().to_vec();
+    assert_eq!(downgrades.len(), 1, "downgrade must be surfaced");
+    assert_eq!(downgrades[0].from, Strategy::Qsq);
+    assert_eq!(downgrades[0].to, Strategy::SemiNaive);
+    let rows: Vec<String> = resp
+        .into_data()
+        .unwrap()
+        .sorted()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let reference: Vec<String> = s
+        .retrieve(Request::subject("safe(a, Y)").strategy(Strategy::SemiNaive))
+        .unwrap()
+        .into_data()
+        .unwrap()
+        .sorted()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    assert_eq!(rows, reference);
+    // A purely positive bound query runs on the net with no downgrade.
+    let clean = s
+        .retrieve(Request::subject("reach(a, Y)").strategy(Strategy::Qsq))
+        .unwrap();
+    assert!(clean.downgrades().is_empty());
 }

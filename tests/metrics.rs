@@ -3,7 +3,7 @@
 //! * Enabling the [`qdk::MetricsSink`] — and arming slow-query capture,
 //!   which installs a collector on *every* query — must not change any
 //!   answer, row order, completeness tag, downgrade note or `Exhausted`
-//!   diagnostic, for all four strategies at 1, 2, 4 and 8 workers.
+//!   diagnostic, for all five strategies at 1, 2, 4 and 8 workers.
 //! * The Prometheus text exposition is deterministic and pinned by a
 //!   golden snapshot.
 //! * Counters stay monotone and converge to exact totals under 4
@@ -99,7 +99,7 @@ proptest! {
         let mut metered = chain_session(&edges);
         let buf = SharedBuf::default();
         metered.capture_slow_queries(1, buf.clone());
-        for strategy in [Strategy::Naive, Strategy::SemiNaive, Strategy::TopDown, Strategy::Magic] {
+        for strategy in [Strategy::Naive, Strategy::SemiNaive, Strategy::TopDown, Strategy::Magic, Strategy::Qsq] {
             for workers in [1usize, 2, 4, 8] {
                 let a = retrieve_outcome(&plain, "prior(X, Y)", strategy, workers);
                 let b = retrieve_outcome(&metered, "prior(X, Y)", strategy, workers);
@@ -110,8 +110,8 @@ proptest! {
         // threshold (all but possibly sub-microsecond outliers) logged
         // exactly one JSON line.
         let snap = metered.metrics_snapshot().unwrap();
-        prop_assert_eq!(snap.counter("retrieves"), Some(16));
-        prop_assert_eq!(snap.histogram("retrieve_micros").unwrap().count, 16);
+        prop_assert_eq!(snap.counter("retrieves"), Some(20));
+        prop_assert_eq!(snap.histogram("retrieve_micros").unwrap().count, 20);
         let slow = snap.counter("slow_queries").unwrap_or(0);
         prop_assert!(slow >= 1, "no query reached 1 µs of wall time");
         prop_assert_eq!(buf.contents().lines().count() as u64, slow);

@@ -2,7 +2,7 @@
 //!
 //! * A [`qdk::CollectSink`] installed for a query must not change any
 //!   answer, row order, completeness tag, or `Exhausted` diagnostic — for
-//!   all four strategies at 1, 2, 4 and 8 workers.
+//!   all five strategies at 1, 2, 4 and 8 workers.
 //! * Span streams nest correctly (every end matches the innermost open
 //!   start), because spans are only emitted from coordinator code paths.
 //! * `Response::trace()` returns a structured profile whose stage
@@ -167,6 +167,7 @@ fn spans_nest_correctly_across_both_statements() {
         Strategy::SemiNaive,
         Strategy::TopDown,
         Strategy::Magic,
+        Strategy::Qsq,
     ] {
         s.retrieve(Request::subject("prior(X, Y)").strategy(strategy))
             .unwrap();
@@ -230,7 +231,7 @@ proptest! {
         for (a, b) in &edges {
             s.run(&format!("prereq(c{a}, c{b}).")).unwrap();
         }
-        for strategy in [Strategy::Naive, Strategy::SemiNaive, Strategy::TopDown, Strategy::Magic] {
+        for strategy in [Strategy::Naive, Strategy::SemiNaive, Strategy::TopDown, Strategy::Magic, Strategy::Qsq] {
             for workers in [1usize, 2, 4, 8] {
                 let plain = retrieve_outcome(&s, "prior(X, Y)", strategy, workers, false);
                 let traced = retrieve_outcome(&s, "prior(X, Y)", strategy, workers, true);

@@ -22,6 +22,7 @@ fn assert_agree(kb: &qdk::KnowledgeBase, subject: &str, qualifier: &str) {
     let semi = rows(&session, subject, qualifier, Strategy::SemiNaive);
     let top = rows(&session, subject, qualifier, Strategy::TopDown);
     let magic = rows(&session, subject, qualifier, Strategy::Magic);
+    let qsq = rows(&session, subject, qualifier, Strategy::Qsq);
     assert_eq!(
         naive, semi,
         "naive vs semi-naive on {subject} / {qualifier}"
@@ -34,6 +35,7 @@ fn assert_agree(kb: &qdk::KnowledgeBase, subject: &str, qualifier: &str) {
         semi, magic,
         "semi-naive vs magic on {subject} / {qualifier}"
     );
+    assert_eq!(semi, qsq, "semi-naive vs qsq on {subject} / {qualifier}");
 }
 
 #[test]
